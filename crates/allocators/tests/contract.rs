@@ -1,0 +1,107 @@
+//! Property-based contract tests over every baseline allocator: for any
+//! operation sequence, live allocations are disjoint and in-bounds, and
+//! frees recycle. The same model the Gallatin crate is held to
+//! (`tests/allocator_model.rs` at the workspace root).
+
+use allocators::all_baselines;
+use gpu_sim::{DeviceAllocator, DevicePtr, WarpCtx};
+use proptest::prelude::*;
+
+const HEAP: u64 = 8 << 20;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Malloc(u8),
+    Free(u16),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![(0u8..10).prop_map(Op::Malloc), (0u16..512).prop_map(Op::Free)]
+}
+
+/// Sizes spanning each allocator's native range (≤ 8192 B so every
+/// baseline can serve natively).
+fn menu(idx: u8) -> u64 {
+    [1u64, 8, 16, 33, 100, 256, 1000, 4096, 7000, 8192][idx as usize]
+}
+
+fn run_contract(name_filter: fn(&str) -> bool, ops: &[Op]) -> Result<(), TestCaseError> {
+    let warp = WarpCtx { warp_id: 0, sm_id: 0, base_tid: 0, active: 1 };
+    let lane = warp.lane(0);
+    for a in all_baselines(HEAP) {
+        if !a.is_managing() || !name_filter(a.name()) {
+            continue;
+        }
+        // live: ptr -> (requested size, stamp)
+        let mut live: Vec<(DevicePtr, u64, u64)> = Vec::new();
+        let mut stamp = 0u64;
+        for op in ops {
+            match op {
+                Op::Malloc(i) => {
+                    let size = menu(*i);
+                    if !a.supports_size(size) {
+                        continue;
+                    }
+                    let p = a.malloc(&lane, size);
+                    if p.is_null() {
+                        continue;
+                    }
+                    prop_assert!(
+                        p.0 + size <= a.heap_bytes(),
+                        "{}: allocation out of bounds",
+                        a.name()
+                    );
+                    stamp += 1;
+                    a.memory().write_stamp(p, stamp);
+                    live.push((p, size, stamp));
+                }
+                Op::Free(i) => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let (p, _, _) = live.swap_remove((*i as usize) % live.len());
+                    a.free(&lane, p);
+                }
+            }
+            // Every live stamp must be intact: clobbering means two live
+            // allocations overlap.
+            for &(p, _, s) in &live {
+                prop_assert_eq!(
+                    a.memory().read_stamp(p),
+                    s,
+                    "{}: stamp clobbered (overlap)",
+                    a.name()
+                );
+            }
+        }
+        for (p, _, _) in live {
+            a.free(&lane, p);
+        }
+        prop_assert_eq!(a.stats().reserved_bytes, 0, "{}: leak", a.name());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn cuda_heap_contract(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        run_contract(|n| n == "CUDA", &ops)?;
+    }
+
+    #[test]
+    fn ouroboros_contract(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        run_contract(|n| n.starts_with("Ouroboros"), &ops)?;
+    }
+
+    #[test]
+    fn reg_eff_contract(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        run_contract(|n| n.starts_with("RegEff"), &ops)?;
+    }
+
+    #[test]
+    fn scatter_xmalloc_contract(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        run_contract(|n| n == "ScatterAlloc" || n == "XMalloc", &ops)?;
+    }
+}

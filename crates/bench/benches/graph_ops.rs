@@ -1,0 +1,26 @@
+//! Criterion microbench for E12: graph phases per allocator.
+
+use bench::experiments::graph_bench::graph_phases;
+use bench::roster::quick_roster;
+use bench::HarnessConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_graph(c: &mut Criterion) {
+    let cfg = HarnessConfig::default();
+    cfg.install_pool();
+    let roster = quick_roster(256 << 20, cfg.num_sms);
+    let mut group = c.benchmark_group("graph_phases");
+    group.sample_size(10);
+    for a in &roster {
+        if !a.is_managing() {
+            continue;
+        }
+        group.bench_with_input(BenchmarkId::new("all_phases", a.name()), a, |b, a| {
+            b.iter(|| graph_phases(a, &cfg, 2048, 8192));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph);
+criterion_main!(benches);

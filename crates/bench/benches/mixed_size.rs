@@ -1,0 +1,42 @@
+//! Criterion microbench for E4/E5 (Fig 4c/4d): mixed-size alloc + free.
+
+use bench::roster::quick_roster;
+use bench::workload::{run_alloc_free, SizeSpec};
+use bench::HarnessConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_mixed_size(c: &mut Criterion) {
+    let cfg = HarnessConfig::default();
+    cfg.install_pool();
+    let threads = 8192u64;
+    let roster = quick_roster(256 << 20, cfg.num_sms);
+    let mut group = c.benchmark_group("mixed_size_alloc_free");
+    group.sample_size(10);
+    for upper in [64u64, 1024, 4096] {
+        for a in &roster {
+            if !a.supports_size(upper) || a.heap_bytes() < threads * upper {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(format!("upto{}B", upper), a.name()),
+                &upper,
+                |b, &upper| {
+                    b.iter(|| {
+                        a.reset();
+                        run_alloc_free(
+                            a.as_ref(),
+                            cfg.device(),
+                            threads,
+                            SizeSpec::MixedUpTo(upper),
+                            false,
+                        )
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mixed_size);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion microbench for E6/E7 (Fig 5): throughput scaling with the
+//! number of logical threads at a fixed 16-byte allocation size.
+
+use bench::roster::quick_roster;
+use bench::workload::{run_alloc_free, SizeSpec};
+use bench::HarnessConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_scaling(c: &mut Criterion) {
+    let cfg = HarnessConfig::default();
+    cfg.install_pool();
+    let roster = quick_roster(256 << 20, cfg.num_sms);
+    let mut group = c.benchmark_group("scaling_16B");
+    group.sample_size(10);
+    for log_threads in [8u32, 11, 14] {
+        let threads = 1u64 << log_threads;
+        group.throughput(Throughput::Elements(threads));
+        for a in &roster {
+            group.bench_with_input(
+                BenchmarkId::new(format!("2^{log_threads}"), a.name()),
+                &threads,
+                |b, &threads| {
+                    b.iter(|| {
+                        a.reset();
+                        run_alloc_free(
+                            a.as_ref(),
+                            cfg.device(),
+                            threads,
+                            SizeSpec::Fixed(16),
+                            false,
+                        )
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion microbench for E2/E3 (Fig 4a/4b): single-size alloc + free
+//! throughput per allocator at a fixed thread count.
+
+use bench::roster::quick_roster;
+use bench::workload::{run_alloc_free, SizeSpec};
+use bench::HarnessConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_single_size(c: &mut Criterion) {
+    let cfg = HarnessConfig::default();
+    cfg.install_pool();
+    let threads = 8192u64;
+    let roster = quick_roster(256 << 20, cfg.num_sms);
+    let mut group = c.benchmark_group("single_size_alloc_free");
+    group.sample_size(10);
+    for size in [16u64, 256, 4096] {
+        for a in &roster {
+            if !a.supports_size(size) || a.heap_bytes() < threads * size {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}B", size), a.name()),
+                &size,
+                |b, &size| {
+                    b.iter(|| {
+                        a.reset();
+                        run_alloc_free(
+                            a.as_ref(),
+                            cfg.device(),
+                            threads,
+                            SizeSpec::Fixed(size),
+                            false,
+                        )
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_size);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Criterion microbench for E15: concurrent vEB tree operation
+//! throughput — the §3 claim that single-word atomic nodes give fast,
+//! highly concurrent insert/delete/successor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use veb::VebTree;
+
+fn bench_veb(c: &mut Criterion) {
+    let _ = rayon::ThreadPoolBuilder::new().num_threads(8).build_global();
+
+    let mut group = c.benchmark_group("veb_ops");
+    group.sample_size(20);
+    for universe in [4096u64, 262_144, 16_777_216] {
+        group.throughput(Throughput::Elements(10_000));
+        group.bench_with_input(
+            BenchmarkId::new("insert_remove", universe),
+            &universe,
+            |b, &u| {
+                let t = VebTree::new(u);
+                b.iter(|| {
+                    for i in 0..10_000u64 {
+                        let x = (i * 2_654_435_761) % u;
+                        t.insert(x);
+                        t.remove(x);
+                    }
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("successor", universe), &universe, |b, &u| {
+            let t = VebTree::new(u);
+            for i in (0..u).step_by((u / 1024).max(1) as usize) {
+                t.insert(i);
+            }
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..10_000u64 {
+                    let x = (i * 2_654_435_761) % u;
+                    if let Some(s) = t.successor(x) {
+                        acc = acc.wrapping_add(s);
+                    }
+                }
+                acc
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("claim_reinsert", universe),
+            &universe,
+            |b, &u| {
+                let t = VebTree::new_full(u);
+                b.iter(|| {
+                    for _ in 0..10_000 {
+                        if let Some(x) = t.claim_first_ge(0) {
+                            t.insert(x);
+                        }
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+
+    // Concurrent claim throughput: N rayon tasks hammer claim+reinsert.
+    let mut group = c.benchmark_group("veb_concurrent_claims");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(8 * 2_000));
+    group.bench_function("8tasks_x2000", |b| {
+        let t = VebTree::new_full(1 << 16);
+        b.iter(|| {
+            rayon::scope(|s| {
+                for _ in 0..8 {
+                    s.spawn(|_| {
+                        for _ in 0..2_000 {
+                            if let Some(x) = t.claim_first_ge(0) {
+                                t.insert(x);
+                            }
+                        }
+                    });
+                }
+            });
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_veb);
+criterion_main!(benches);

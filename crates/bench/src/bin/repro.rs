@@ -1,0 +1,130 @@
+//! `repro` — regenerate every table and figure of the Gallatin paper.
+//!
+//! ```text
+//! repro <subcommand> [flags]
+//!
+//! Subcommands (see DESIGN.md §5 for the experiment index):
+//!   init            E1  — §6.4 initialization overhead
+//!   single          E2/E3 — Fig 4a/4b single-size alloc + free
+//!   mixed           E4/E5 — Fig 4c/4d mixed-size alloc + free
+//!   scaling         E6/E7 — Fig 5 scaling with thread count
+//!   variance        E8  — §6.8 latency variance
+//!   warmup          E9  — §6.9 warmed-up allocators
+//!   fragmentation   E10 — Fig 6a/6b fragmentation
+//!   utilization     E11 — Fig 6c utilization (OOM test)
+//!   graph           E12 — §6.12 dynamic graph phases
+//!   expansion       E13 — §6.12 graph expansion
+//!   summary         §6.3-style speedup summary from the written CSVs
+//!   all             everything above, in order
+//!
+//! Flags:
+//!   --threads N     logical GPU threads (default 32768)
+//!   --runs N        repetitions per measurement, median reported (default 7)
+//!   --heap BYTES    heap per allocator, accepts suffix K/M/G (default 1G)
+//!   --sms N         simulated streaming multiprocessors (default 128)
+//!   --pool N        OS worker threads (default max(8, cores))
+//!   --out DIR       CSV output directory (default results)
+//!   --full          paper-scale: 1M threads, 50 runs, 2G heap, 2^20 scaling
+//! ```
+
+use bench::experiments as exp;
+use bench::HarnessConfig;
+
+fn parse_bytes(s: &str) -> Option<u64> {
+    let (num, mult) = match s.chars().last()? {
+        'G' | 'g' => (&s[..s.len() - 1], 1u64 << 30),
+        'M' | 'm' => (&s[..s.len() - 1], 1u64 << 20),
+        'K' | 'k' => (&s[..s.len() - 1], 1u64 << 10),
+        _ => (s, 1),
+    };
+    num.parse::<u64>().ok().map(|n| n * mult)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: repro <init|single|mixed|scaling|variance|warmup|fragmentation|utilization|graph|expansion|summary|all> [--threads N] [--runs N] [--heap BYTES] [--sms N] [--pool N] [--out DIR] [--full]");
+        std::process::exit(2);
+    }
+    let cmd = args[0].clone();
+    let mut cfg = HarnessConfig::default();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threads" => {
+                cfg.threads = args[i + 1].parse().expect("--threads N");
+                i += 2;
+            }
+            "--runs" => {
+                cfg.runs = args[i + 1].parse().expect("--runs N");
+                i += 2;
+            }
+            "--heap" => {
+                cfg.heap_bytes = parse_bytes(&args[i + 1]).expect("--heap BYTES");
+                i += 2;
+            }
+            "--sms" => {
+                cfg.num_sms = args[i + 1].parse().expect("--sms N");
+                i += 2;
+            }
+            "--pool" => {
+                cfg.pool_threads = args[i + 1].parse().expect("--pool N");
+                i += 2;
+            }
+            "--out" => {
+                cfg.out_dir = args[i + 1].clone();
+                i += 2;
+            }
+            "--full" => {
+                cfg = cfg.clone().at_full_scale();
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    cfg.install_pool();
+    println!(
+        "# gallatin-repro harness — threads={} runs={} heap={}MiB sms={} pool={}",
+        cfg.threads,
+        cfg.runs,
+        cfg.heap_bytes >> 20,
+        cfg.num_sms,
+        cfg.pool_threads
+    );
+
+    let t0 = std::time::Instant::now();
+    match cmd.as_str() {
+        "init" => exp::run_init(&cfg),
+        "single" => exp::run_single(&cfg),
+        "mixed" => exp::run_mixed(&cfg),
+        "scaling" => exp::run_scaling(&cfg),
+        "variance" => exp::run_variance(&cfg),
+        "warmup" => exp::run_warmup(&cfg),
+        "fragmentation" => exp::run_fragmentation(&cfg),
+        "utilization" => exp::run_utilization(&cfg),
+        "graph" => exp::run_graph(&cfg),
+        "expansion" => exp::run_graph_expansion(&cfg),
+        "summary" => exp::run_summary(&cfg.out_dir),
+        "all" => {
+            exp::run_init(&cfg);
+            exp::run_single(&cfg);
+            exp::run_mixed(&cfg);
+            exp::run_scaling(&cfg);
+            exp::run_variance(&cfg);
+            exp::run_warmup(&cfg);
+            exp::run_fragmentation(&cfg);
+            exp::run_utilization(&cfg);
+            exp::run_graph(&cfg);
+            exp::run_graph_expansion(&cfg);
+            exp::run_summary(&cfg.out_dir);
+        }
+        other => {
+            eprintln!("unknown subcommand {other}");
+            std::process::exit(2);
+        }
+    }
+    println!("\n# done in {:.1}s — CSVs in {}/", t0.elapsed().as_secs_f64(), cfg.out_dir);
+}

@@ -1,0 +1,65 @@
+//! E10 — §6.10 / Fig 6a-b: fragmentation.
+//!
+//! The survey's fragmentation metric: perform a static set of allocations
+//! and report the span between the highest and lowest address handed out,
+//! normalized by the ideal (tightly packed) footprint. 1.0 means perfectly
+//! compact; larger values mean the allocator scattered the allocations
+//! across its heap.
+
+use crate::report::Table;
+use crate::roster::{for_each_allocator, roster_names};
+use crate::workload::{run_alloc_free, SizeSpec};
+use crate::HarnessConfig;
+
+/// Sizes measured (single-size panel; the mixed panel uses the range
+/// upper bound).
+pub const FRAG_SIZES: [u64; 5] = [16, 64, 256, 1024, 4096];
+
+/// Run the fragmentation experiment.
+pub fn run_fragmentation(cfg: &HarnessConfig) {
+    let names = roster_names();
+    // grid[mixed][size_idx][alloc_idx]
+    let mut grid = vec![vec![vec!["n/a".to_string(); names.len()]; FRAG_SIZES.len()]; 2];
+
+    for_each_allocator(cfg.heap_bytes, cfg.num_sms, |ai, a| {
+        for (mi, mixed) in [false, true].into_iter().enumerate() {
+            for (si, &size) in FRAG_SIZES.iter().enumerate() {
+                let spec =
+                    if mixed { SizeSpec::MixedUpTo(size) } else { SizeSpec::Fixed(size) };
+                if !a.supports_size(size) || a.heap_bytes() < cfg.threads * size {
+                    continue;
+                }
+                a.reset();
+                let r = run_alloc_free(a, cfg.device(), cfg.threads, spec, true);
+                if r.failed > 0 || r.max_addr <= r.min_addr {
+                    grid[mi][si][ai] = "fail".into();
+                    continue;
+                }
+                // Ideal footprint: sum of the requested sizes.
+                let ideal: u64 = (0..cfg.threads).map(|t| spec.size_for(t)).sum();
+                let span = r.max_addr - r.min_addr;
+                grid[mi][si][ai] = format!("{:.2}", span as f64 / ideal as f64);
+            }
+        }
+    });
+
+    let mut headers = vec!["size B"];
+    headers.extend(names.iter().copied());
+    for (mi, (title, file)) in [
+        ("Fig 6a — fragmentation, single-size (span / ideal)", "fig6a_frag_single"),
+        ("Fig 6b — fragmentation, mixed-size (span / ideal)", "fig6b_frag_mixed"),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mut tab = Table::new(format!("{title}, {} allocations", cfg.threads), &headers);
+        for (si, &size) in FRAG_SIZES.iter().enumerate() {
+            let mut row = vec![size.to_string()];
+            for ai in 0..names.len() {
+                row.push(grid[mi][si][ai].clone());
+            }
+            tab.row(row);
+        }
+        tab.emit(&cfg.out_dir, file);
+    }
+}

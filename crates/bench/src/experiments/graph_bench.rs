@@ -1,0 +1,168 @@
+//! E12/E13 — §6.12: dynamic graph tests and expansion tests.
+//!
+//! The graph workload exercises each allocator through five phases —
+//! initialization, single edge updates, bulk edge updates, edge deletes,
+//! bulk edge deletes — plus the expansion schedule where Zipf-skewed hub
+//! vertices keep doubling their edge lists until they outgrow
+//! chunk-limited allocators' native size (the workload that motivates a
+//! general-purpose allocator in §1).
+
+use crate::report::{fmt_ms, Table};
+use crate::HarnessConfig;
+use gpu_sim::{launch, DeviceAllocator};
+use graph::{expansion_rounds, uniform_edges, zipf_edges, DynamicGraph, EdgeBatch};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Apply a batch of edge insertions, one logical thread per edge.
+fn apply_inserts(g: &DynamicGraph<&dyn DeviceAllocator>, cfg: &HarnessConfig, batch: &EdgeBatch) {
+    launch(cfg.device(), batch.len() as u64, |l| {
+        let (src, dst) = batch[l.global_tid() as usize];
+        g.insert_edge(l, src, dst);
+    });
+}
+
+/// Apply a batch of edge deletions.
+fn apply_deletes(g: &DynamicGraph<&dyn DeviceAllocator>, cfg: &HarnessConfig, batch: &EdgeBatch) {
+    launch(cfg.device(), batch.len() as u64, |l| {
+        let (src, dst) = batch[l.global_tid() as usize];
+        g.delete_edge(l, src, dst);
+    });
+}
+
+/// Phase timings for one allocator, in ms. `None` marks a phase the
+/// allocator failed (allocation failures during updates).
+#[derive(Debug, Default)]
+pub struct GraphTimings {
+    pub init: Option<f64>,
+    pub insert: Option<f64>,
+    pub bulk_insert: Option<f64>,
+    pub delete: Option<f64>,
+    pub bulk_delete: Option<f64>,
+}
+
+/// Run the five-phase graph benchmark on one allocator.
+pub fn graph_phases(
+    alloc: &Arc<dyn DeviceAllocator>,
+    cfg: &HarnessConfig,
+    num_vertices: u32,
+    base_edges: usize,
+) -> GraphTimings {
+    alloc.reset();
+    let a: &dyn DeviceAllocator = alloc.as_ref();
+    let g = DynamicGraph::new(num_vertices as usize, a);
+    let mut t = GraphTimings::default();
+
+    let phase = |g: &DynamicGraph<&dyn DeviceAllocator>,
+                 body: &dyn Fn(&DynamicGraph<&dyn DeviceAllocator>)|
+     -> Option<f64> {
+        let before = g.failed_updates();
+        let t0 = Instant::now();
+        body(g);
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        (g.failed_updates() == before).then_some(ms)
+    };
+
+    // Initialization: build the base graph from a uniform batch.
+    let init_batch = uniform_edges(num_vertices, base_edges, 0xC0FFEE);
+    t.init = phase(&g, &|g| apply_inserts(g, cfg, &init_batch));
+
+    // Edge updates: skewed single-edge stream (one thread per edge).
+    let upd = zipf_edges(num_vertices, base_edges / 2, 0.8, 0xBEEF);
+    t.insert = phase(&g, &|g| apply_inserts(g, cfg, &upd));
+
+    // Bulk updates: one large batch.
+    let bulk = zipf_edges(num_vertices, base_edges, 0.8, 0xF00D);
+    t.bulk_insert = phase(&g, &|g| apply_inserts(g, cfg, &bulk));
+
+    // Deletes: remove the update stream.
+    t.delete = phase(&g, &|g| apply_deletes(g, cfg, &upd));
+
+    // Bulk deletes: remove the bulk batch.
+    t.bulk_delete = phase(&g, &|g| apply_deletes(g, cfg, &bulk));
+
+    // Teardown (untimed).
+    launch(cfg.device(), 1, |l| g.destroy(l));
+    t
+}
+
+/// E12: the five-phase table across the roster.
+pub fn run_graph(cfg: &HarnessConfig) {
+    let num_vertices = if cfg.full { 1 << 17 } else { 1 << 13 };
+    let base_edges = (cfg.threads as usize).max(1 << 14);
+    let mut tab = Table::new(
+        format!(
+            "§6.12 — dynamic graph, {num_vertices} vertices, {base_edges} base edges (ms; fail = allocation failures)"
+        ),
+        &["allocator", "init", "insert", "bulk insert", "delete", "bulk delete"],
+    );
+    for name in crate::roster::roster_names() {
+        let a = crate::roster::build_by_name(name, cfg.heap_bytes, cfg.num_sms)
+            .expect("known roster name");
+        if !a.is_managing() {
+            continue; // RegEff-AW cannot run a real data structure
+        }
+        let t = graph_phases(&a, cfg, num_vertices, base_edges);
+        let cell = |x: Option<f64>| x.map(fmt_ms).unwrap_or_else(|| "fail".into());
+        tab.row(vec![
+            a.name().to_string(),
+            cell(t.init),
+            cell(t.insert),
+            cell(t.bulk_insert),
+            cell(t.delete),
+            cell(t.bulk_delete),
+        ]);
+    }
+    tab.emit(&cfg.out_dir, "graph_phases");
+}
+
+/// E13: the expansion test — repeated skewed growth rounds. Reports time
+/// per round and whether the allocator survived all rounds (hub edge
+/// lists exceed 8192 B quickly, stranding chunk-limited designs on their
+/// capped fallback).
+pub fn run_graph_expansion(cfg: &HarnessConfig) {
+    let num_vertices = 1 << 10;
+    let rounds = 8;
+    let edges_per_round = if cfg.full { 1 << 18 } else { 1 << 16 };
+    let batches = expansion_rounds(num_vertices, rounds, edges_per_round, 1.0, 0xE1);
+    let roster = crate::roster::expansion_roster(cfg.heap_bytes, cfg.num_sms);
+
+    let mut headers = vec!["allocator".to_string()];
+    headers.extend((0..rounds).map(|r| format!("round {r} ms")));
+    headers.push("survived".to_string());
+    let hdr_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut tab = Table::new(
+        format!(
+            "§6.12 — graph expansion, {num_vertices} vertices × {rounds} rounds × {edges_per_round} edges (Zipf α=1.0)"
+        ),
+        &hdr_refs,
+    );
+
+    for a in roster {
+        if !a.is_managing() {
+            continue;
+        }
+        a.reset();
+        let dyn_a: &dyn DeviceAllocator = a.as_ref();
+        let g = DynamicGraph::new(num_vertices as usize, dyn_a);
+        let mut row = vec![a.name().to_string()];
+        let mut survived = true;
+        for batch in &batches {
+            let before = g.failed_updates();
+            let t0 = Instant::now();
+            apply_inserts(&g, cfg, batch);
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            if g.failed_updates() > before {
+                row.push(format!("{}*", fmt_ms(ms)));
+                survived = false;
+            } else {
+                row.push(fmt_ms(ms));
+            }
+        }
+        row.push(if survived { "yes".into() } else { "no".into() });
+        tab.row(row);
+        launch(cfg.device(), 1, |l| g.destroy(l));
+    }
+    tab.emit(&cfg.out_dir, "graph_expansion");
+    println!("(* = round had allocation failures: hub lists outgrew the allocator)");
+}

@@ -1,0 +1,35 @@
+//! E1 — §6.4: allocator initialization overhead.
+//!
+//! The paper reports one-time initialization cost (most allocators
+//! ~27 ms, Gallatin 31 ms, Ouroboros-C-S fastest at ~12 ms on the A40).
+//! Here we time construction + first-use readiness of each allocator at
+//! the benchmark heap size, plus the cost of a `reset` (which the main
+//! protocol performs between runs).
+
+use crate::report::{fmt_ms, Table};
+use crate::HarnessConfig;
+use std::time::Instant;
+
+/// Run the initialization-overhead experiment.
+pub fn run_init(cfg: &HarnessConfig) {
+    let mut tab = Table::new(
+        format!("§6.4 — initialization overhead at {} MiB heap", cfg.heap_bytes >> 20),
+        &["allocator", "construct ms", "reset ms"],
+    );
+    let names: Vec<String> =
+        crate::roster::roster_names().into_iter().map(str::to_string).collect();
+    for name in names {
+        // Construction: arena mapping + metadata layout.
+        let t = Instant::now();
+        let a = crate::roster::build_by_name(&name, cfg.heap_bytes, cfg.num_sms)
+            .expect("roster name must be constructible");
+        let construct_ms = t.elapsed().as_secs_f64() * 1e3;
+        // Reset: the re-initialization the main protocol performs between
+        // runs.
+        let t = Instant::now();
+        a.reset();
+        let reset_ms = t.elapsed().as_secs_f64() * 1e3;
+        tab.row(vec![name, fmt_ms(construct_ms), fmt_ms(reset_ms)]);
+    }
+    tab.emit(&cfg.out_dir, "init_overhead");
+}

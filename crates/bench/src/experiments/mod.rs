@@ -1,0 +1,21 @@
+//! One driver per paper experiment (see DESIGN.md §5, E1–E13).
+
+pub mod fragmentation;
+pub mod graph_bench;
+pub mod init_bench;
+pub mod mixed;
+pub mod scaling;
+pub mod single;
+pub mod summary;
+pub mod utilization;
+pub mod variance;
+
+pub use fragmentation::run_fragmentation;
+pub use graph_bench::{run_graph, run_graph_expansion};
+pub use init_bench::run_init;
+pub use mixed::run_mixed;
+pub use scaling::run_scaling;
+pub use single::{run_single, run_warmup};
+pub use summary::run_summary;
+pub use utilization::run_utilization;
+pub use variance::run_variance;

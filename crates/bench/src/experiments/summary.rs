@@ -1,0 +1,145 @@
+//! Results summary (paper §6.3): Gallatin's speedup over the next-best
+//! allocator, computed from the CSVs the other experiments wrote.
+//!
+//! The paper's headline numbers are of this form — "up to 374× faster
+//! than the next-best allocator on single-sized allocations"; this
+//! subcommand derives the analogous ratios from our measured tables.
+//! RegEff-AW is excluded from "next best", as in §6.2 (it does not
+//! manage memory).
+
+use crate::report::Table;
+use std::path::Path;
+
+/// Parse a CSV cell into milliseconds, rejecting markers ("n/a", "fail",
+/// suffixes like `*` or `!`, time-outs).
+fn parse_cell(cell: &str) -> Option<f64> {
+    let c = cell.trim();
+    if c.is_empty() || c == "n/a" || c == "fail" || c.contains("t/o") {
+        return None;
+    }
+    let c = c.trim_end_matches(['*', '!']);
+    c.parse::<f64>().ok()
+}
+
+/// One row's comparison: Gallatin vs the best competitor.
+struct RowRatio {
+    label: String,
+    gallatin: f64,
+    best_other: f64,
+    best_name: String,
+}
+
+/// Read a results CSV and compute per-row Gallatin-vs-next-best ratios.
+fn analyze_csv(path: &Path) -> Option<Vec<RowRatio>> {
+    let content = std::fs::read_to_string(path).ok()?;
+    let mut lines = content.lines();
+    let header: Vec<&str> = lines.next()?.split(',').collect();
+    let gallatin_col = header.iter().position(|h| *h == "Gallatin")?;
+    let mut out = Vec::new();
+    for line in lines {
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells.len() != header.len() {
+            continue;
+        }
+        let Some(g) = parse_cell(cells[gallatin_col]) else { continue };
+        let mut best: Option<(f64, &str)> = None;
+        for (i, cell) in cells.iter().enumerate() {
+            if i == 0 || i == gallatin_col || header[i] == "RegEff-AW" || header[i] == "op" {
+                continue;
+            }
+            if let Some(v) = parse_cell(cell) {
+                if best.is_none_or(|(b, _)| v < b) {
+                    best = Some((v, header[i]));
+                }
+            }
+        }
+        let Some((b, name)) = best else { continue };
+        out.push(RowRatio {
+            label: cells[0].to_string(),
+            gallatin: g,
+            best_other: b,
+            best_name: name.to_string(),
+        });
+    }
+    Some(out)
+}
+
+/// Run the summary over every timing CSV present in `out_dir`.
+pub fn run_summary(out_dir: &str) {
+    let tables = [
+        ("fig4a_single_alloc", "single-size alloc (Fig 4a)"),
+        ("fig4b_single_free", "single-size free (Fig 4b)"),
+        ("fig4c_mixed_alloc", "mixed-size alloc (Fig 4c)"),
+        ("fig4d_mixed_free", "mixed-size free (Fig 4d)"),
+        ("fig5_scaling_alloc_16b", "scaling alloc 16 B (Fig 5)"),
+        ("fig5_scaling_alloc_64b", "scaling alloc 64 B (Fig 5)"),
+        ("fig5_scaling_alloc_512b", "scaling alloc 512 B (Fig 5)"),
+        ("fig5_scaling_alloc_8192b", "scaling alloc 8192 B (Fig 5)"),
+        ("fig5_scaling_free_16b", "scaling free 16 B (Fig 5)"),
+        ("fig5_scaling_free_8192b", "scaling free 8192 B (Fig 5)"),
+    ];
+    let mut tab = Table::new(
+        "§6.3-style summary — Gallatin vs next-best managing allocator (speedup = best_other / gallatin)",
+        &["experiment", "min speedup", "max speedup", "rows won", "rows", "max vs"],
+    );
+    for (file, label) in tables {
+        let path = Path::new(out_dir).join(format!("{file}.csv"));
+        let Some(rows) = analyze_csv(&path) else { continue };
+        if rows.is_empty() {
+            continue;
+        }
+        let ratios: Vec<f64> = rows.iter().map(|r| r.best_other / r.gallatin).collect();
+        let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = ratios.iter().cloned().fold(0.0_f64, f64::max);
+        let won = ratios.iter().filter(|&&r| r >= 1.0).count();
+        let max_row = rows
+            .iter()
+            .zip(&ratios)
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(r, _)| format!("{} @ {}", r.best_name, r.label))
+            .unwrap_or_default();
+        tab.row(vec![
+            label.to_string(),
+            format!("{min:.2}x"),
+            format!("{max:.2}x"),
+            won.to_string(),
+            rows.len().to_string(),
+            max_row,
+        ]);
+    }
+    tab.emit(out_dir, "summary_speedups");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_parsing_handles_markers() {
+        assert_eq!(parse_cell("1.25"), Some(1.25));
+        assert_eq!(parse_cell("1.25*"), Some(1.25));
+        assert_eq!(parse_cell("0.50!"), Some(0.5));
+        assert_eq!(parse_cell("n/a"), None);
+        assert_eq!(parse_cell("fail"), None);
+        assert_eq!(parse_cell("89.1% t/o"), None);
+        assert_eq!(parse_cell(""), None);
+    }
+
+    #[test]
+    fn analyze_computes_next_best() {
+        let dir = std::env::temp_dir().join("gallatin-summary-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        std::fs::write(
+            &path,
+            "size B,Gallatin,CUDA,RegEff-AW,ScatterAlloc\n16,1.0,10.0,0.1,4.0\n32,2.0,8.0,0.1,n/a\n",
+        )
+        .unwrap();
+        let rows = analyze_csv(&path).unwrap();
+        assert_eq!(rows.len(), 2);
+        // AW excluded: best other at 16 B is ScatterAlloc (4.0).
+        assert_eq!(rows[0].best_other, 4.0);
+        assert_eq!(rows[0].best_name, "ScatterAlloc");
+        assert_eq!(rows[1].best_other, 8.0);
+    }
+}

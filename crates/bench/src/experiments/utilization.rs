@@ -1,0 +1,137 @@
+//! E11 — Fig 6c: memory utilization ("out of memory" test).
+//!
+//! Allocators get a fixed heap (2 GB in the paper) and allocate in
+//! batches of 100 K **until failure or time-out** (the paper's wording —
+//! some designs degrade quadratically as the heap fills); the metric is
+//! the number of successful allocations as a fraction of the theoretical
+//! maximum (`heap / size`). The paper's accounting footnote is
+//! reproduced: the Ouroboros variants carry a CUDA-heap reserve on top
+//! of the heap they report, so a second column charges that reserve
+//! against them.
+
+use crate::report::{fmt_pct, Table};
+use crate::workload::SizeSpec;
+use crate::HarnessConfig;
+use gpu_sim::{launch_warps, DevicePtr};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Sizes from Figure 6c (4 B to 8192 B).
+pub const UTIL_SIZES: [u64; 6] = [4, 64, 256, 1024, 4096, 8192];
+
+/// Batch size: allocations per round (paper: 100 K).
+const BATCH: u64 = 100_000;
+
+/// Per-(allocator, size) wall-clock budget before declaring a time-out.
+const TIME_BUDGET: Duration = Duration::from_secs(15);
+
+/// Allocate batches of `size` until failure or time-out; returns the
+/// success count and whether the budget expired first.
+fn fill_until_oom(
+    a: &dyn gpu_sim::DeviceAllocator,
+    cfg: &HarnessConfig,
+    size: u64,
+) -> (u64, bool) {
+    a.reset();
+    let succeeded = AtomicU64::new(0);
+    let cap = a.heap_bytes() / size + BATCH; // safety stop
+    let mut total = 0u64;
+    let t0 = Instant::now();
+    let mut timed_out = false;
+    loop {
+        let failed = AtomicU64::new(0);
+        launch_warps(cfg.device(), BATCH, |warp| {
+            let sizes = vec![Some(size); warp.active as usize];
+            let mut out = vec![DevicePtr::NULL; warp.active as usize];
+            a.warp_malloc(warp, &sizes, &mut out);
+            for p in &out {
+                if p.is_null() {
+                    failed.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    succeeded.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+        total += BATCH;
+        if failed.load(Ordering::Relaxed) > 0 || total > cap {
+            break;
+        }
+        if t0.elapsed() > TIME_BUDGET {
+            timed_out = true;
+            break;
+        }
+    }
+    (succeeded.load(Ordering::Relaxed), timed_out)
+}
+
+/// Run the utilization experiment.
+///
+/// Unlike the timing experiments, this one touches nearly every page of
+/// each allocator's arena, so allocators are constructed **one at a
+/// time** (and dropped before the next) to bound resident memory to a
+/// single heap.
+pub fn run_utilization(cfg: &HarnessConfig) {
+    let names: Vec<String> =
+        crate::roster::roster_names().into_iter().map(str::to_string).collect();
+    let mut headers = vec!["size B".to_string()];
+    headers.extend(names.iter().cloned());
+    let hdr_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut tab = Table::new(
+        format!(
+            "Fig 6c — utilization: allocations until OOM or time-out / theoretical max ({} MiB heap)",
+            cfg.heap_bytes >> 20
+        ),
+        &hdr_refs,
+    );
+    // Second table: utilization charged with any CUDA-heap reserve the
+    // allocator keeps besides its main pool (the paper's §6.11 footnote:
+    // counting the 500 MB reserve puts Ouroboros below Gallatin).
+    let mut adj_tab = Table::new(
+        "Fig 6c (adjusted) — utilization counting the CUDA-heap reserve",
+        &hdr_refs,
+    );
+
+    // grid[size_idx][alloc_idx] = (cell, adjusted cell)
+    let mut grid =
+        vec![vec![("n/a".to_string(), "n/a".to_string()); names.len()]; UTIL_SIZES.len()];
+    for (ai, name) in names.iter().enumerate() {
+        let a = crate::roster::build_by_name(name, cfg.heap_bytes, cfg.num_sms)
+            .expect("roster name must be constructible");
+        for (si, &size) in UTIL_SIZES.iter().enumerate() {
+            if !a.supports_size(size) {
+                continue;
+            }
+            let (got, timed_out) = fill_until_oom(a.as_ref(), cfg, size);
+            let theoretical = a.heap_bytes() / SizeSpec::Fixed(size).size_for(0).max(1);
+            let util = got as f64 / theoretical as f64;
+            let cell = if timed_out {
+                format!("{} t/o", fmt_pct(util))
+            } else {
+                fmt_pct(util)
+            };
+            // The reserve-adjusted figure: Ouroboros keeps a quarter of
+            // its arena (cap 500 MB) as CUDA fallback; for others the two
+            // figures coincide because the whole arena is the allocator.
+            let extra = if name.starts_with("Ouroboros") {
+                (a.heap_bytes() / 4).min(500 << 20)
+            } else {
+                0
+            };
+            let adj_util = got as f64 / ((a.heap_bytes() + extra) / size) as f64;
+            grid[si][ai] = (cell, fmt_pct(adj_util));
+            a.reset();
+        }
+    }
+    for (si, &size) in UTIL_SIZES.iter().enumerate() {
+        let mut row = vec![size.to_string()];
+        let mut adj_row = vec![size.to_string()];
+        for ai in 0..names.len() {
+            row.push(grid[si][ai].0.clone());
+            adj_row.push(grid[si][ai].1.clone());
+        }
+        tab.row(row);
+        adj_tab.row(adj_row);
+    }
+    tab.emit(&cfg.out_dir, "fig6c_utilization");
+    adj_tab.emit(&cfg.out_dir, "fig6c_utilization_adjusted");
+}

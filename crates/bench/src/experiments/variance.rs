@@ -1,0 +1,53 @@
+//! E8 — §6.8: variance in allocation and free latency.
+//!
+//! The paper reports the variance of per-run latency across the 50 runs
+//! of the single-size test; Gallatin's headline is having the lowest
+//! variance at nearly every size (4–87× below the next best).
+
+use crate::report::Table;
+use crate::roster::{for_each_allocator, roster_names};
+use crate::workload::{measure, SizeSpec};
+use crate::HarnessConfig;
+
+/// Sizes at which variance is reported.
+pub const VARIANCE_SIZES: [u64; 4] = [16, 64, 512, 4096];
+
+/// Run the variance experiment.
+pub fn run_variance(cfg: &HarnessConfig) {
+    let names = roster_names();
+    // grid[size_idx][alloc_idx] = (alloc variance, free variance)
+    let mut grid =
+        vec![vec![("n/a".to_string(), "n/a".to_string()); names.len()]; VARIANCE_SIZES.len()];
+    for_each_allocator(cfg.heap_bytes, cfg.num_sms, |ai, a| {
+        for (si, &size) in VARIANCE_SIZES.iter().enumerate() {
+            if !a.supports_size(size) || a.heap_bytes() < cfg.threads * size {
+                continue;
+            }
+            let m =
+                measure(a, cfg.device(), cfg.threads, SizeSpec::Fixed(size), cfg.runs, false);
+            grid[si][ai] =
+                (format!("{:.5}", m.alloc_variance()), format!("{:.5}", m.free_variance()));
+        }
+    });
+
+    let mut headers = vec!["size B", "op"];
+    headers.extend(names.iter().copied());
+    let mut tab = Table::new(
+        format!(
+            "§6.8 — latency variance across {} runs, {} threads (ms²)",
+            cfg.runs, cfg.threads
+        ),
+        &headers,
+    );
+    for (si, &size) in VARIANCE_SIZES.iter().enumerate() {
+        let mut arow = vec![size.to_string(), "alloc".to_string()];
+        let mut frow = vec![size.to_string(), "free".to_string()];
+        for ai in 0..names.len() {
+            arow.push(grid[si][ai].0.clone());
+            frow.push(grid[si][ai].1.clone());
+        }
+        tab.row(arow);
+        tab.row(frow);
+    }
+    tab.emit(&cfg.out_dir, "variance");
+}

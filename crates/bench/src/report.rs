@@ -1,0 +1,135 @@
+//! Table and CSV output for the harness.
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// A simple aligned-column table printed to stdout and mirrored to CSV.
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Render the aligned table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n== {} ==\n", self.title));
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&line(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout and write `<out_dir>/<file>.csv`.
+    pub fn emit(&self, out_dir: &str, file: &str) {
+        print!("{}", self.render());
+        if let Err(e) = self.write_csv(out_dir, file) {
+            eprintln!("warning: could not write CSV {file}: {e}");
+        }
+    }
+
+    fn write_csv(&self, out_dir: &str, file: &str) -> std::io::Result<()> {
+        fs::create_dir_all(out_dir)?;
+        let path = Path::new(out_dir).join(format!("{file}.csv"));
+        let mut f = fs::File::create(path)?;
+        writeln!(f, "{}", self.headers.join(","))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        Ok(())
+    }
+}
+
+/// Format milliseconds with sensible precision.
+pub fn fmt_ms(ms: f64) -> String {
+    if ms.is_nan() {
+        "n/a".to_string()
+    } else if ms >= 100.0 {
+        format!("{ms:.0}")
+    } else if ms >= 1.0 {
+        format!("{ms:.2}")
+    } else {
+        format!("{ms:.4}")
+    }
+}
+
+/// Format a ratio/percentage.
+pub fn fmt_pct(x: f64) -> String {
+    if x.is_nan() {
+        "n/a".to_string()
+    } else {
+        format!("{:.1}%", 100.0 * x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer".into(), "2.5".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("longer"));
+        // Columns aligned: both rows end at the same width.
+        let lines: Vec<&str> = s.lines().filter(|l| l.contains('1') || l.contains("2.5")).collect();
+        assert_eq!(lines.len(), 2);
+    }
+
+    #[test]
+    fn csv_written() {
+        let dir = std::env::temp_dir().join("gallatin-bench-test");
+        let dir = dir.to_str().unwrap();
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.write_csv(dir, "unit").unwrap();
+        let content = std::fs::read_to_string(format!("{dir}/unit.csv")).unwrap();
+        assert_eq!(content, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_ms(123.4), "123");
+        assert_eq!(fmt_ms(1.234), "1.23");
+        assert_eq!(fmt_ms(0.1234), "0.1234");
+        assert_eq!(fmt_ms(f64::NAN), "n/a");
+        assert_eq!(fmt_pct(0.891), "89.1%");
+    }
+}

@@ -1,0 +1,185 @@
+//! The allocator roster benchmarked by every experiment.
+
+use allocators::all_baselines;
+use gallatin::{Gallatin, GallatinConfig};
+use gpu_sim::DeviceAllocator;
+use std::sync::Arc;
+
+/// Gallatin configured for the harness's heap and SM count.
+pub fn gallatin(heap_bytes: u64, num_sms: u32) -> Gallatin {
+    Gallatin::new(GallatinConfig {
+        heap_bytes,
+        num_sms,
+        ..GallatinConfig::default()
+    })
+}
+
+/// The full roster: Gallatin first, then every survey baseline, in the
+/// order the paper's figures list them.
+pub fn full_roster(heap_bytes: u64, num_sms: u32) -> Vec<Arc<dyn DeviceAllocator>> {
+    // Gallatin's heap must be segment-aligned.
+    let gall_heap = heap_bytes / (16 << 20) * (16 << 20);
+    let gall_heap = if gall_heap == 0 { 16 << 20 } else { gall_heap };
+    let mut v: Vec<Arc<dyn DeviceAllocator>> = vec![Arc::new(gallatin(gall_heap, num_sms))];
+    v.extend(all_baselines(heap_bytes));
+    v
+}
+
+/// The display names of the full roster, in figure order, without
+/// constructing any allocator.
+pub fn roster_names() -> Vec<&'static str> {
+    vec![
+        "Gallatin",
+        "CUDA",
+        "Ouroboros-C-S",
+        "Ouroboros-C-VA",
+        "Ouroboros-C-VL",
+        "Ouroboros-P-S",
+        "Ouroboros-P-VA",
+        "Ouroboros-P-VL",
+        "RegEff-A",
+        "RegEff-AW",
+        "RegEff-C",
+        "RegEff-CF",
+        "RegEff-CM",
+        "RegEff-CFM",
+        "ScatterAlloc",
+        "XMalloc",
+    ]
+}
+
+/// Iterate the roster **one allocator at a time**: each is constructed,
+/// passed to `f`, and dropped (unmapping its arena) before the next is
+/// built. The timing experiments use this instead of holding the whole
+/// roster because 16 concurrently resident heaps exceed small hosts'
+/// RAM once their pages are touched.
+pub fn for_each_allocator(
+    heap_bytes: u64,
+    num_sms: u32,
+    mut f: impl FnMut(usize, &dyn DeviceAllocator),
+) {
+    for (i, name) in roster_names().into_iter().enumerate() {
+        let a = build_by_name(name, heap_bytes, num_sms).expect("known roster name");
+        f(i, a.as_ref());
+        drop(a);
+    }
+}
+
+/// The roster for the graph *expansion* test: identical to
+/// [`full_roster`], except the Ouroboros variants carry a CUDA-heap
+/// reserve scaled the way the paper describes deployed allocators
+/// (≈50 MB beside an 8 GB benchmark heap, i.e. under 1% — `heap/256`
+/// here). With the default quarter-heap reserve the scaled-down workload
+/// could never overflow it, and the experiment would lose the failure
+/// mode it exists to show (§6.12: skewed hub edge lists outgrow the
+/// fixed reserve).
+pub fn expansion_roster(heap_bytes: u64, num_sms: u32) -> Vec<Arc<dyn DeviceAllocator>> {
+    use allocators::{Ouroboros, OuroborosKind, QueueKind};
+    let reserve = (heap_bytes / 256).max(1 << 20);
+    full_roster(heap_bytes, num_sms)
+        .into_iter()
+        .map(|a| -> Arc<dyn DeviceAllocator> {
+            if a.name().starts_with("Ouroboros-") {
+                let kind =
+                    if a.name().contains("-C-") { OuroborosKind::Chunk } else { OuroborosKind::Page };
+                let queue = if a.name().ends_with("-VA") {
+                    QueueKind::VirtArray
+                } else if a.name().ends_with("-VL") {
+                    QueueKind::VirtList
+                } else {
+                    QueueKind::Static
+                };
+                Arc::new(Ouroboros::with_reserve(heap_bytes, kind, queue, reserve))
+            } else {
+                a
+            }
+        })
+        .collect()
+}
+
+/// Construct a single allocator by its display name (used by the init
+/// benchmark to time construction individually).
+pub fn build_by_name(
+    name: &str,
+    heap_bytes: u64,
+    num_sms: u32,
+) -> Option<Arc<dyn DeviceAllocator>> {
+    use allocators::{
+        CudaHeapSim, Ouroboros, OuroborosKind, QueueKind, RegEff, RegEffVariant, ScatterAlloc,
+        XMalloc,
+    };
+    let a: Arc<dyn DeviceAllocator> = match name {
+        "Gallatin" => {
+            let gall_heap = (heap_bytes / (16 << 20) * (16 << 20)).max(16 << 20);
+            Arc::new(gallatin(gall_heap, num_sms))
+        }
+        "CUDA" => Arc::new(CudaHeapSim::new(heap_bytes)),
+        "ScatterAlloc" => Arc::new(ScatterAlloc::new(heap_bytes)),
+        "XMalloc" => Arc::new(XMalloc::new(heap_bytes)),
+        n if n.starts_with("Ouroboros-") => {
+            let kind = if n.contains("-C-") { OuroborosKind::Chunk } else { OuroborosKind::Page };
+            let queue = if n.ends_with("-VA") {
+                QueueKind::VirtArray
+            } else if n.ends_with("-VL") {
+                QueueKind::VirtList
+            } else {
+                QueueKind::Static
+            };
+            Arc::new(Ouroboros::new(heap_bytes, kind, queue))
+        }
+        n if n.starts_with("RegEff-") => {
+            let variant = match n {
+                "RegEff-A" => RegEffVariant::A,
+                "RegEff-AW" => RegEffVariant::AW,
+                "RegEff-C" => RegEffVariant::C,
+                "RegEff-CF" => RegEffVariant::CF,
+                "RegEff-CM" => RegEffVariant::CM,
+                "RegEff-CFM" => RegEffVariant::CFM,
+                _ => return None,
+            };
+            Arc::new(RegEff::new(heap_bytes, variant))
+        }
+        _ => return None,
+    };
+    Some(a)
+}
+
+/// A reduced roster for quick runs: Gallatin plus one representative of
+/// each design family.
+pub fn quick_roster(heap_bytes: u64, num_sms: u32) -> Vec<Arc<dyn DeviceAllocator>> {
+    full_roster(heap_bytes, num_sms)
+        .into_iter()
+        .filter(|a| {
+            matches!(
+                a.name(),
+                "Gallatin"
+                    | "CUDA"
+                    | "Ouroboros-P-VA"
+                    | "Ouroboros-C-S"
+                    | "RegEff-CFM"
+                    | "RegEff-AW"
+                    | "ScatterAlloc"
+                    | "XMalloc"
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_roster_has_gallatin_and_all_baselines() {
+        let r = full_roster(64 << 20, 16);
+        assert_eq!(r.len(), 16);
+        assert_eq!(r[0].name(), "Gallatin");
+    }
+
+    #[test]
+    fn quick_roster_is_a_subset() {
+        let q = quick_roster(64 << 20, 16);
+        assert_eq!(q.len(), 8);
+        assert_eq!(q[0].name(), "Gallatin");
+    }
+}

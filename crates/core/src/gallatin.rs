@@ -1,0 +1,915 @@
+//! The Gallatin allocator: segment, block, and slice pipelines.
+//!
+//! Allocation routes by size (paper Figure 3, smallest pipeline first):
+//!
+//! * `size ≤ max_slice` (4096 B default) → **slice** pipeline: coalesce
+//!   same-class requests in the warp, one `fetch_add` on the cached
+//!   block's malloc counter serves the whole group (Algorithm 3);
+//! * `max_slice < size ≤ segment` → **block** pipeline: pop a whole block
+//!   of the smallest sufficient class (Algorithm 2);
+//! * `size > segment` → **segment** pipeline: claim contiguous segments
+//!   from the *back* of the segment tree (Algorithm 1's multi-segment
+//!   branch).
+//!
+//! Frees invert the mapping from the pointer offset alone (Algorithm 4):
+//! divide by the segment size for the segment id, read its `tree_id`,
+//! then route to the slice, block, or segment return path.
+
+use crate::buffer::BlockBuffer;
+use crate::config::{GallatinConfig, Geometry};
+use crate::table::{BlockHandle, MemoryTable, LARGE_BASE, LARGE_BODY, TREE_FREE};
+use crate::index::SegmentIndex;
+use gpu_sim::{AllocStats, DeviceAllocator, DeviceMemory, DevicePtr, LaneCtx, Metrics, WarpCtx};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of times the slice pipeline retries a failed block refresh
+/// before declaring the heap exhausted.
+const SLICE_RETRIES: usize = 64;
+
+/// The Gallatin GPU memory manager.
+pub struct Gallatin {
+    geo: Geometry,
+    mem: DeviceMemory,
+    /// One bit per free segment; allocations claim from the front,
+    /// multi-segment allocations from the back (§4.1).
+    segment_tree: SegmentIndex,
+    /// One tree per slice class; a set bit means "this segment is
+    /// formatted for the class and has blocks available" (§4.2).
+    block_trees: Vec<SegmentIndex>,
+    table: MemoryTable,
+    buffers: Vec<BlockBuffer>,
+    metrics: Metrics,
+    /// Bytes reserved by live allocations (internal accounting, includes
+    /// size-class rounding).
+    reserved: AtomicU64,
+}
+
+impl Gallatin {
+    /// Build and initialize an allocator over a fresh arena.
+    pub fn new(cfg: GallatinConfig) -> Self {
+        let geo = cfg.geometry();
+        let mem = DeviceMemory::new(geo.heap_bytes as usize);
+        let segment_tree = SegmentIndex::new_full(cfg.search, geo.num_segments);
+        let block_trees =
+            (0..geo.num_classes).map(|_| SegmentIndex::new(cfg.search, geo.num_segments)).collect();
+        let table = MemoryTable::new(geo);
+        let buffers = (0..geo.num_classes)
+            .map(|c| {
+                BlockBuffer::new(BlockBuffer::slots_for_class(cfg.num_sms, c, cfg.min_buffer_slots))
+            })
+            .collect();
+        Gallatin {
+            geo,
+            mem,
+            segment_tree,
+            block_trees,
+            table,
+            buffers,
+            metrics: Metrics::new(),
+            reserved: AtomicU64::new(0),
+        }
+    }
+
+    /// The derived geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geo
+    }
+
+    /// Number of segments currently free (diagnostics / tests).
+    pub fn free_segments(&self) -> u64 {
+        self.segment_tree.count()
+    }
+
+    /// Release the block-buffer *wavefront*: every block cached in a
+    /// per-SM buffer slot that has served no live slices is returned to
+    /// its segment's ring (and the segment to the segment tree when that
+    /// empties it).
+    ///
+    /// The paper attributes Gallatin's utilization gap to exactly these
+    /// always-populated buffers (§6.11: "as all allocation sizes start
+    /// with some blocks live, allocating from only one size will leave
+    /// the initialized blocks from other sizes untouched"). `trim` is the
+    /// corresponding maintenance hook: an application at a memory
+    /// high-water mark can call it between kernels to recover the
+    /// wavefront. Blocks with live slices stay cached.
+    ///
+    /// Must not run concurrently with allocation (host-side maintenance
+    /// point, like a stream synchronization on the GPU).
+    pub fn trim(&self) -> u64 {
+        let mut reclaimed = 0;
+        for (class, buffer) in self.buffers.iter().enumerate() {
+            for handle in buffer.drain() {
+                let seg = handle.segment(self.geo.max_blocks);
+                let block = handle.block(self.geo.max_blocks);
+                let meta = self.table.seg(seg);
+                let served = meta.malloc_ctr[block as usize].load(Ordering::Acquire) as u64;
+                let freed = meta.free_ctr[block as usize].load(Ordering::Acquire) as u64;
+                if served == freed {
+                    // No live slices: safe to recycle wholesale.
+                    meta.malloc_ctr[block as usize].store(0, Ordering::Relaxed);
+                    meta.free_ctr[block as usize].store(0, Ordering::Release);
+                    self.free_block(handle, class);
+                    reclaimed += 1;
+                } else {
+                    // Live slices: *retire* the block — mark it exhausted
+                    // and credit the never-served slices as freed, so the
+                    // ordinary free path recycles it once the live slices
+                    // come back. (Re-buffering it instead could strand it
+                    // if the slot is taken, leaking the block.)
+                    let spb = self.geo.slices_per_block;
+                    meta.malloc_ctr[block as usize].store(spb as u32, Ordering::Relaxed);
+                    let credit = (spb - served) as u32;
+                    let prev =
+                        meta.free_ctr[block as usize].fetch_add(credit, Ordering::AcqRel);
+                    if (prev + credit) as u64 == spb {
+                        // All live slices were freed between our loads:
+                        // recycle now.
+                        meta.malloc_ctr[block as usize].store(0, Ordering::Relaxed);
+                        meta.free_ctr[block as usize].store(0, Ordering::Release);
+                        self.free_block(handle, class);
+                        reclaimed += 1;
+                    }
+                }
+            }
+        }
+        reclaimed
+    }
+
+    // ==================================================================
+    // Segment pipeline (Algorithm 1)
+    // ==================================================================
+
+    /// Claim one segment from the *front* of the segment tree, format it
+    /// for `class`, and attach it to that block tree. Returns `false` when
+    /// no segment is free.
+    fn get_segment(&self, class: usize) -> bool {
+        // successor(0) + claim, retried inside claim_first_ge.
+        let Some(seg) = self.segment_tree.claim_first_ge(0) else {
+            return false;
+        };
+        self.metrics.count_cas(true);
+        self.table.format_segment(seg, class);
+        // Broadcast availability: insert into the block tree last, so any
+        // thread that finds the segment sees a fully formatted state.
+        self.block_trees[class].insert(seg);
+        self.metrics.count_rmw();
+        true
+    }
+
+    /// Claim `n` contiguous segments from the *back* of the segment tree
+    /// (first fit from the end) as one large allocation.
+    fn get_segments_back(&self, n: u64) -> Option<u64> {
+        let start = self.segment_tree.claim_contiguous_from_back(n)?;
+        self.table.mark_large(start, n);
+        Some(start)
+    }
+
+    // ==================================================================
+    // Block pipeline (Algorithm 2)
+    // ==================================================================
+
+    /// Pop a block of `class` from some formatted segment, pulling a new
+    /// segment from the segment tree when none has blocks available.
+    fn get_block(&self, class: usize) -> Option<BlockHandle> {
+        loop {
+            let Some(seg) = self.block_trees[class].successor(0) else {
+                // No formatted segment with availability; grab a new one.
+                if !self.get_segment(class) {
+                    // One more scan: a concurrent thread may have attached
+                    // a segment between our search and the failed claim.
+                    self.block_trees[class].successor(0)?;
+                }
+                continue;
+            };
+            let meta = self.table.seg(seg);
+            let Some(block) = meta.ring.pop() else {
+                // Ring empty: deactivate the segment so searches skip it,
+                // repairing the race where a free lands in between.
+                if self.block_trees[class].claim_exact(seg) {
+                    self.metrics.count_cas(true);
+                    if !meta.ring.is_empty() && meta.ldcv_tree_id() == class as u32 {
+                        self.block_trees[class].insert(seg);
+                    }
+                }
+                continue;
+            };
+            self.metrics.count_rmw();
+            // Algorithm 2's staleness check: the segment may have been
+            // reclaimed and reformatted since we found it.
+            if meta.ldcv_tree_id() != class as u32 {
+                meta.ring.push(block);
+                self.metrics.count_cas(false);
+                continue;
+            }
+            return Some(BlockHandle::new(seg, block, self.geo.max_blocks));
+        }
+    }
+
+    /// Return a block to its segment's ring and restore the segment's
+    /// block-tree visibility; reclaim the segment when every block is home
+    /// (paper §4.2 / §5).
+    fn free_block(&self, handle: BlockHandle, class: usize) {
+        let seg = handle.segment(self.geo.max_blocks);
+        let block = handle.block(self.geo.max_blocks);
+        let meta = self.table.seg(seg);
+        meta.ring.push(block);
+        self.metrics.count_rmw();
+        let nblocks = self.geo.blocks_per_segment(class) ;
+        if meta.ring.len() == nblocks {
+            self.try_reclaim_segment(seg, class, nblocks);
+        } else {
+            // Ensure the segment is findable again (idempotent set-bit).
+            self.block_trees[class].insert(seg);
+        }
+    }
+
+    /// Attempt the class→free transition described in `crate::table`.
+    fn try_reclaim_segment(&self, seg: u64, class: usize, nblocks: u64) {
+        // Step 1: make the segment unreachable for new block requests.
+        if !self.block_trees[class].claim_exact(seg) {
+            // Not present: either a popper deactivated it (it will be
+            // re-inserted by the next free) or another reclaimer owns it.
+            return;
+        }
+        let meta = self.table.seg(seg);
+        // Step 2: publish FREE so in-window poppers fail their ldcv check
+        // and push their block back.
+        meta.tree_id.store(TREE_FREE, Ordering::SeqCst);
+        // Step 3: re-verify fullness. A popper that slipped in before the
+        // publish has already decremented the ring length.
+        if meta.ring.len() != nblocks {
+            // Undo: the segment stays formatted.
+            meta.tree_id.store(class as u32, Ordering::SeqCst);
+            self.block_trees[class].insert(seg);
+            return;
+        }
+        // The ring is full and the id is FREE: any late straggler will
+        // push back before the next format's drain completes.
+        self.segment_tree.insert(seg);
+    }
+
+    // ==================================================================
+    // Slice pipeline (Algorithm 3)
+    // ==================================================================
+
+    /// Allocate one slice of `class` per lane in `lanes` (a coalesced
+    /// group), writing results through `assign`. Returns the number of
+    /// lanes served (a prefix of `lanes`); the rest hit heap exhaustion.
+    ///
+    /// The group leader's single `fetch_add(count)` on the cached block's
+    /// malloc counter serves every lane; lanes that overshoot the block
+    /// retry after the last-slice taker swaps a fresh block into the
+    /// buffer. Allocation-free: this is the hot path.
+    fn slice_malloc_group(
+        &self,
+        sm_id: u32,
+        class: usize,
+        lanes: &[u32],
+        mut assign: impl FnMut(u32, DevicePtr),
+    ) -> usize {
+        let spb = self.geo.slices_per_block;
+        let buffer = &self.buffers[class];
+        let mut next = 0usize; // lanes[..next] are served
+        let mut attempts = 0;
+        while next < lanes.len() {
+            attempts += 1;
+            if attempts > SLICE_RETRIES {
+                break; // heap exhausted for this class
+            }
+            let handle = match buffer.current(sm_id) {
+                Some(h) => h,
+                None => {
+                    // Leader fetches a block and installs it.
+                    let Some(new) = self.get_block(class) else { break };
+                    match buffer.try_install(sm_id, new) {
+                        Ok(()) => new,
+                        Err(winner) => {
+                            // Someone beat us; return ours and use theirs.
+                            self.free_block(new, class);
+                            winner
+                        }
+                    }
+                }
+            };
+            let seg = handle.segment(self.geo.max_blocks);
+            let block = handle.block(self.geo.max_blocks);
+            let meta = self.table.seg(seg);
+            let count = (lanes.len() - next) as u32;
+            let base = meta.malloc_ctr[block as usize].fetch_add(count, Ordering::AcqRel);
+            self.metrics.count_rmw();
+            self.metrics.count_coalesced(count.saturating_sub(1) as u64);
+
+            let mut served = 0u64;
+            let mut took_last = false;
+            for (rank, lane) in lanes[next..].iter().enumerate() {
+                let idx = base as u64 + rank as u64;
+                if idx < spb {
+                    let off = self.geo.offset_of(seg, block, idx, class);
+                    assign(*lane, DevicePtr(off));
+                    served += 1;
+                    if idx == spb - 1 {
+                        took_last = true;
+                    }
+                }
+            }
+            next += served as usize;
+            self.reserved.fetch_add(served * self.geo.slice_size(class), Ordering::Relaxed);
+
+            if took_last {
+                // This group took the block's final slice: it is the
+                // designated replacer (paper §4.3). Swap in a fresh block,
+                // or clear the slot on exhaustion so others can retry.
+                match self.get_block(class) {
+                    Some(new) => {
+                        if !buffer.try_replace(sm_id, handle, new) {
+                            self.free_block(new, class);
+                        }
+                    }
+                    None => {
+                        buffer.try_clear(sm_id, handle);
+                    }
+                }
+            } else if next < lanes.len() {
+                // Overshot a block someone else must replace; yield so the
+                // replacer can finish, then retry with the fresh block.
+                std::hint::spin_loop();
+            }
+        }
+        next
+    }
+
+    /// Free one slice (Algorithm 4's small-allocation branch).
+    fn slice_free(&self, seg: u64, class: usize, off: u64) {
+        let block = self.geo.block_of(off, class);
+        self.slice_free_n(seg, class, block, 1);
+    }
+
+    /// Return `n` slices of one block with a single atomic — the
+    /// coalesced-free counterpart of Algorithm 3 (paper §6.5: frees from
+    /// the same warp hitting the same block share one `fetch_add`).
+    fn slice_free_n(&self, seg: u64, class: usize, block: u64, n: u32) {
+        let meta = self.table.seg(seg);
+        let spb = self.geo.slices_per_block;
+        let prev = meta.free_ctr[block as usize].fetch_add(n, Ordering::AcqRel);
+        self.metrics.count_rmw();
+        self.metrics.count_coalesced(n.saturating_sub(1) as u64);
+        self.reserved
+            .fetch_sub(n as u64 * self.geo.slice_size(class), Ordering::Relaxed);
+        if prev as u64 + n as u64 == spb {
+            // Every slice allocated and returned: recycle the block.
+            // Exclusive here (only one free observes the last count), and
+            // the block is guaranteed out of the buffer because its last
+            // slice could only be freed after the taker of that slice
+            // finished its malloc — which performed the buffer swap.
+            meta.malloc_ctr[block as usize].store(0, Ordering::Relaxed);
+            meta.free_ctr[block as usize].store(0, Ordering::Release);
+            self.free_block(BlockHandle::new(seg, block, self.geo.max_blocks), class);
+        }
+    }
+
+    // ==================================================================
+    // Size routing
+    // ==================================================================
+
+    /// Allocate a whole block (mid-size requests).
+    fn block_malloc(&self, class: usize) -> DevicePtr {
+        let Some(handle) = self.get_block(class) else {
+            return DevicePtr::NULL;
+        };
+        let seg = handle.segment(self.geo.max_blocks);
+        let block = handle.block(self.geo.max_blocks);
+        self.table.seg(seg).set_whole_block(block);
+        self.reserved.fetch_add(self.geo.block_size(class), Ordering::Relaxed);
+        DevicePtr(self.geo.offset_of(seg, block, 0, class))
+    }
+
+    /// Allocate `n` contiguous segments (requests above the largest
+    /// block).
+    fn large_malloc(&self, size: u64) -> DevicePtr {
+        let n = self.geo.segments_for(size);
+        match self.get_segments_back(n) {
+            Some(start) => {
+                self.reserved.fetch_add(n * self.geo.segment_bytes, Ordering::Relaxed);
+                DevicePtr(start * self.geo.segment_bytes)
+            }
+            None => DevicePtr::NULL,
+        }
+    }
+
+    fn malloc_routed(&self, sm_id: u32, size: u64) -> DevicePtr {
+        if size == 0 || size > self.geo.heap_bytes {
+            self.metrics.count_malloc(false);
+            return DevicePtr::NULL;
+        }
+        let ptr = if let Some(class) = self.geo.slice_class(size) {
+            let mut out = DevicePtr::NULL;
+            self.slice_malloc_group(sm_id, class, &[0u32], |_, p| out = p);
+            out
+        } else if let Some(class) = self.geo.block_class(size) {
+            self.block_malloc(class)
+        } else {
+            self.large_malloc(size)
+        };
+        self.metrics.count_malloc(!ptr.is_null());
+        ptr
+    }
+
+    fn free_routed(&self, ptr: DevicePtr) {
+        self.metrics.count_free();
+        let off = ptr.0;
+        assert!(off < self.geo.heap_bytes, "free of foreign pointer {off}");
+        let seg = self.geo.segment_of(off);
+        let meta = self.table.seg(seg);
+        let id = meta.ldcv_tree_id();
+        if (id as usize) < self.geo.num_classes {
+            let class = id as usize;
+            let block = self.geo.block_of(off, class);
+            let is_block_start = self.geo.slice_of(off, class) == 0;
+            if is_block_start && meta.is_whole_block(block)
+                && meta.clear_whole_block(block) {
+                    self.reserved.fetch_sub(self.geo.block_size(class), Ordering::Relaxed);
+                    self.free_block(BlockHandle::new(seg, block, self.geo.max_blocks), class);
+                    return;
+                }
+            self.slice_free(seg, class, off);
+        } else if id == LARGE_BODY {
+            panic!("free of interior pointer into a large allocation (segment {seg})");
+        } else if id >= LARGE_BASE && id != TREE_FREE {
+            if let Some(n) = self.table.unmark_large(seg) {
+                self.reserved.fetch_sub(n * self.geo.segment_bytes, Ordering::Relaxed);
+                self.segment_tree.insert_range(seg, n);
+            }
+        } else {
+            panic!("free into an unformatted segment {seg} (double free?)");
+        }
+    }
+}
+
+impl DeviceAllocator for Gallatin {
+    fn name(&self) -> &str {
+        "Gallatin"
+    }
+
+    fn memory(&self) -> &DeviceMemory {
+        &self.mem
+    }
+
+    fn malloc(&self, ctx: &LaneCtx, size: u64) -> DevicePtr {
+        self.malloc_routed(ctx.sm_id(), size)
+    }
+
+    fn free(&self, _ctx: &LaneCtx, ptr: DevicePtr) {
+        self.free_routed(ptr);
+    }
+
+    /// Warp-collective free with opportunistic coalescing: slice frees
+    /// targeting the same block are grouped so one `fetch_add(k)` returns
+    /// all of them (paper §6.5). Whole-block and large frees take the
+    /// scalar path.
+    fn warp_free(&self, warp: &WarpCtx, ptrs: &[DevicePtr]) {
+        debug_assert_eq!(ptrs.len(), warp.active as usize);
+        // (block handle raw, count) groups; ≤32 entries, fixed scratch.
+        let mut groups = [(u64::MAX, 0u32); gpu_sim::WARP_SIZE];
+        let mut classes = [0usize; gpu_sim::WARP_SIZE];
+        let mut n_groups = 0usize;
+        for lane in warp.lanes() {
+            let ptr = ptrs[lane];
+            if ptr.is_null() {
+                continue;
+            }
+            self.metrics.count_free();
+            let off = ptr.0;
+            assert!(off < self.geo.heap_bytes, "free of foreign pointer {off}");
+            let seg = self.geo.segment_of(off);
+            let meta = self.table.seg(seg);
+            let id = meta.ldcv_tree_id();
+            if (id as usize) < self.geo.num_classes {
+                let class = id as usize;
+                let block = self.geo.block_of(off, class);
+                let is_block_start = self.geo.slice_of(off, class) == 0;
+                if is_block_start && meta.is_whole_block(block) && meta.clear_whole_block(block)
+                {
+                    self.reserved
+                        .fetch_sub(self.geo.block_size(class), Ordering::Relaxed);
+                    self.free_block(BlockHandle::new(seg, block, self.geo.max_blocks), class);
+                    continue;
+                }
+                // Coalesce: ballot-equivalent grouping by block.
+                let key = BlockHandle::new(seg, block, self.geo.max_blocks).0;
+                match groups[..n_groups].iter().position(|&(k, _)| k == key) {
+                    Some(i) => groups[i].1 += 1,
+                    None => {
+                        groups[n_groups] = (key, 1);
+                        classes[n_groups] = class;
+                        n_groups += 1;
+                    }
+                }
+            } else if id == LARGE_BODY {
+                panic!("free of interior pointer into a large allocation (segment {seg})");
+            } else if id >= LARGE_BASE && id != TREE_FREE {
+                if let Some(n) = self.table.unmark_large(seg) {
+                    self.reserved
+                        .fetch_sub(n * self.geo.segment_bytes, Ordering::Relaxed);
+                    self.segment_tree.insert_range(seg, n);
+                }
+            } else {
+                panic!("free into an unformatted segment {seg} (double free?)");
+            }
+        }
+        for (i, &(key, count)) in groups[..n_groups].iter().enumerate() {
+            let handle = BlockHandle(key);
+            let seg = handle.segment(self.geo.max_blocks);
+            let block = handle.block(self.geo.max_blocks);
+            self.slice_free_n(seg, classes[i], block, count);
+        }
+    }
+
+    /// Warp-collective allocation with opportunistic coalescing
+    /// (Algorithm 3): lanes requesting the same slice class are grouped by
+    /// ballot; each group's leader issues one atomic for the whole group.
+    fn warp_malloc(&self, warp: &WarpCtx, sizes: &[Option<u64>], out: &mut [DevicePtr]) {
+        debug_assert_eq!(sizes.len(), warp.active as usize);
+        debug_assert_eq!(out.len(), warp.active as usize);
+        for p in out.iter_mut() {
+            *p = DevicePtr::NULL;
+        }
+        // Group lanes by slice class (cg::coalesced_threads + ballot).
+        // Fixed-size scratch keeps this path allocation-free.
+        let mut keys = [None::<usize>; gpu_sim::WARP_SIZE];
+        for lane in warp.lanes() {
+            keys[lane] = sizes[lane].and_then(|sz| self.geo.slice_class(sz));
+        }
+        let mut lanes_buf = [0u32; gpu_sim::WARP_SIZE];
+        for class in 0..self.geo.num_classes {
+            let mut n = 0usize;
+            for lane in warp.lanes() {
+                if keys[lane] == Some(class) {
+                    lanes_buf[n] = lane as u32;
+                    n += 1;
+                }
+            }
+            if n == 0 {
+                continue;
+            }
+            let served = self.slice_malloc_group(warp.sm_id, class, &lanes_buf[..n], |lane, p| {
+                out[lane as usize] = p;
+            });
+            // Unserved lanes (exhaustion) keep NULL.
+            for _ in 0..served {
+                self.metrics.count_malloc(true);
+            }
+            for _ in served..n {
+                self.metrics.count_malloc(false);
+            }
+        }
+        // Non-slice requests fall through to the scalar paths.
+        for lane in warp.lanes() {
+            if keys[lane].is_none() {
+                if let Some(size) = sizes[lane] {
+                    out[lane] = self.malloc_routed(warp.sm_id, size);
+                }
+            }
+        }
+    }
+
+    fn reset(&self) {
+        for b in &self.buffers {
+            b.drain();
+        }
+        self.table.reset();
+        self.segment_tree.fill();
+        for t in &self.block_trees {
+            t.clear();
+        }
+        self.metrics.reset();
+        self.reserved.store(0, Ordering::Relaxed);
+    }
+
+    fn heap_bytes(&self) -> u64 {
+        self.geo.heap_bytes
+    }
+
+    fn max_native_size(&self) -> u64 {
+        // Any size up to the whole heap, by design.
+        self.geo.heap_bytes
+    }
+
+    fn metrics(&self) -> Option<&Metrics> {
+        Some(&self.metrics)
+    }
+
+    fn stats(&self) -> AllocStats {
+        AllocStats {
+            heap_bytes: self.geo.heap_bytes,
+            reserved_bytes: self.reserved.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{launch_warps, DeviceConfig};
+
+    fn tiny() -> Gallatin {
+        Gallatin::new(GallatinConfig::small_test(1 << 20)) // 16 segments
+    }
+
+    fn with_lane<R>(f: impl FnOnce(&LaneCtx) -> R) -> R {
+        let warp = WarpCtx { warp_id: 0, sm_id: 0, base_tid: 0, active: 1 };
+        f(&warp.lane(0))
+    }
+
+    #[test]
+    fn slice_allocations_are_distinct_and_in_bounds() {
+        let g = tiny();
+        with_lane(|l| {
+            let mut ptrs = Vec::new();
+            for _ in 0..500 {
+                let p = g.malloc(l, 16);
+                assert!(!p.is_null());
+                assert!(p.0 + 16 <= g.heap_bytes());
+                ptrs.push(p.0);
+            }
+            ptrs.sort_unstable();
+            ptrs.dedup();
+            assert_eq!(ptrs.len(), 500);
+            for &p in &ptrs {
+                g.free(l, DevicePtr(p));
+            }
+        });
+    }
+
+    #[test]
+    fn size_zero_and_oversize_fail_cleanly() {
+        let g = tiny();
+        with_lane(|l| {
+            assert!(g.malloc(l, 0).is_null());
+            assert!(g.malloc(l, g.heap_bytes() + 1).is_null());
+        });
+    }
+
+    #[test]
+    fn block_allocation_and_free_roundtrip() {
+        let g = tiny();
+        with_lane(|l| {
+            // 1 KB > max_slice (256 B): block path, 1 KB blocks.
+            let p = g.malloc(l, 1000);
+            assert!(!p.is_null());
+            assert_eq!(p.0 % 1024, 0, "block allocations are block-aligned");
+            let before = g.free_segments();
+            g.free(l, p);
+            // Freeing the only block returns the segment.
+            assert_eq!(g.free_segments(), before + 1);
+        });
+    }
+
+    #[test]
+    fn large_allocations_come_from_the_back() {
+        let g = tiny();
+        with_lane(|l| {
+            let seg_bytes = g.geometry().segment_bytes;
+            let p = g.malloc(l, 3 * seg_bytes); // 3 contiguous segments
+            assert!(!p.is_null());
+            assert_eq!(p.0 % seg_bytes, 0);
+            assert_eq!(g.geometry().segment_of(p.0), 13, "claims from the back");
+            let small = g.malloc(l, 16);
+            assert_eq!(g.geometry().segment_of(small.0), 0, "small from the front");
+            g.free(l, p);
+            assert_eq!(g.free_segments(), 15); // one held by the slice segment
+            g.free(l, small);
+        });
+    }
+
+    #[test]
+    fn whole_heap_allocation_succeeds_when_empty() {
+        let g = tiny();
+        with_lane(|l| {
+            let p = g.malloc(l, g.heap_bytes());
+            assert!(!p.is_null());
+            assert_eq!(p.0, 0);
+            assert!(g.malloc(l, 16).is_null(), "nothing left");
+            g.free(l, p);
+            assert!(!g.malloc(l, 16).is_null());
+        });
+    }
+
+    #[test]
+    fn slice_exhaustion_returns_null_not_overlap() {
+        // Heap of 2 segments, all blocks of class 0 = 64 slices each.
+        let g = Gallatin::new(GallatinConfig::small_test(128 << 10));
+        with_lane(|l| {
+            let mut ptrs = std::collections::HashSet::new();
+            let mut failed = 0;
+            for _ in 0..(2 * 64 * 64 + 100) {
+                let p = g.malloc(l, 16);
+                if p.is_null() {
+                    failed += 1;
+                } else {
+                    assert!(ptrs.insert(p.0), "double allocation at {}", p.0);
+                }
+            }
+            assert!(failed >= 100, "over-subscription must fail");
+        });
+    }
+
+    #[test]
+    fn free_then_realloc_reuses_memory() {
+        let g = tiny();
+        with_lane(|l| {
+            // Fill a whole block so it recycles on full free.
+            let spb = g.geometry().slices_per_block as usize;
+            let ptrs: Vec<_> = (0..spb).map(|_| g.malloc(l, 16)).collect();
+            assert!(ptrs.iter().all(|p| !p.is_null()));
+            for &p in &ptrs {
+                g.free(l, p);
+            }
+            // The allocator can serve the same number again.
+            let again: Vec<_> = (0..spb).map(|_| g.malloc(l, 16)).collect();
+            assert!(again.iter().all(|p| !p.is_null()));
+            for &p in &again {
+                g.free(l, p);
+            }
+        });
+    }
+
+    #[test]
+    fn payload_stamps_survive() {
+        let g = tiny();
+        with_lane(|l| {
+            let ptrs: Vec<_> = (0..200).map(|i| {
+                let p = g.malloc(l, 64);
+                g.memory().write_stamp(p, 0xabc0 + i);
+                p
+            }).collect();
+            for (i, &p) in ptrs.iter().enumerate() {
+                assert_eq!(g.memory().read_stamp(p), 0xabc0 + i as u64);
+                g.free(l, p);
+            }
+        });
+    }
+
+    #[test]
+    fn warp_malloc_coalesces_same_class() {
+        let g = tiny();
+        let warp = WarpCtx { warp_id: 0, sm_id: 0, base_tid: 0, active: 32 };
+        let sizes = vec![Some(16u64); 32];
+        let mut out = vec![DevicePtr::NULL; 32];
+        g.warp_malloc(&warp, &sizes, &mut out);
+        let mut offs: Vec<u64> = out.iter().map(|p| p.0).collect();
+        assert!(out.iter().all(|p| !p.is_null()));
+        offs.sort_unstable();
+        offs.dedup();
+        assert_eq!(offs.len(), 32);
+        // Coalescing: 31 of the 32 requests piggybacked on the leader.
+        let m = g.metrics().unwrap().snapshot();
+        assert_eq!(m.coalesced_requests, 31);
+        g.warp_free(&warp, &out);
+    }
+
+    #[test]
+    fn warp_free_coalesces_same_block() {
+        let g = tiny();
+        let warp = WarpCtx { warp_id: 0, sm_id: 0, base_tid: 0, active: 32 };
+        let sizes = vec![Some(16u64); 32];
+        let mut out = vec![DevicePtr::NULL; 32];
+        g.warp_malloc(&warp, &sizes, &mut out);
+        assert!(out.iter().all(|p| !p.is_null()));
+        let before = g.metrics().unwrap().snapshot().atomic_rmw;
+        g.warp_free(&warp, &out);
+        let after = g.metrics().unwrap().snapshot().atomic_rmw;
+        // 32 frees of slices in (at most two) blocks: a handful of
+        // fetch_adds, not 32.
+        assert!(
+            after - before <= 4,
+            "frees not coalesced: {} atomics for 32 frees",
+            after - before
+        );
+        assert_eq!(g.stats().reserved_bytes, 0);
+    }
+
+    #[test]
+    fn mixed_warp_requests_route_correctly() {
+        let g = tiny();
+        let warp = WarpCtx { warp_id: 0, sm_id: 0, base_tid: 0, active: 8 };
+        let sizes = vec![
+            Some(16u64),
+            Some(16),
+            Some(256),
+            None,
+            Some(1024),          // block path
+            Some((2 * 64) << 10),  // large path (2 segments)
+            Some(16),
+            Some(32),
+        ];
+        let mut out = vec![DevicePtr::NULL; 8];
+        g.warp_malloc(&warp, &sizes, &mut out);
+        for (i, p) in out.iter().enumerate() {
+            if sizes[i].is_some() {
+                assert!(!p.is_null(), "lane {i} failed");
+            } else {
+                assert!(p.is_null());
+            }
+        }
+        g.warp_free(&warp, &out);
+        assert_eq!(g.stats().reserved_bytes, 0);
+    }
+
+    #[test]
+    fn concurrent_malloc_free_storm_no_overlap() {
+        let g = std::sync::Arc::new(Gallatin::new(GallatinConfig::small_test(2 << 20)));
+        let threads = 2048u64;
+        launch_warps(DeviceConfig::with_sms(8), threads, |warp| {
+            let n = warp.active as usize;
+            let sizes: Vec<Option<u64>> =
+                (0..n).map(|l| Some(16 << ((warp.base_tid as usize + l) % 4))).collect();
+            let mut out = vec![DevicePtr::NULL; n];
+            for _round in 0..10 {
+                g.warp_malloc(warp, &sizes, &mut out);
+                for (l, p) in out.iter().enumerate() {
+                    if !p.is_null() {
+                        g.memory().write_stamp(*p, warp.base_tid + l as u64);
+                    }
+                }
+                for (l, p) in out.iter().enumerate() {
+                    if !p.is_null() {
+                        assert_eq!(
+                            g.memory().read_stamp(*p),
+                            warp.base_tid + l as u64,
+                            "payload clobbered: overlapping allocation"
+                        );
+                    }
+                }
+                g.warp_free(warp, &out);
+            }
+        });
+        assert_eq!(g.stats().reserved_bytes, 0);
+    }
+
+    #[test]
+    fn trim_releases_the_wavefront() {
+        let g = tiny(); // 16 segments
+        with_lane(|l| {
+            // Touch every slice class once: each pins a buffered block,
+            // and thus a segment.
+            let ptrs: Vec<_> = (0..5).map(|c| g.malloc(l, 16 << c)).collect();
+            for &p in &ptrs {
+                g.free(l, p);
+            }
+            assert!(g.free_segments() < 16, "wavefront pins segments");
+            let reclaimed = g.trim();
+            assert!(reclaimed >= 5, "trim reclaimed only {reclaimed}");
+            assert_eq!(g.free_segments(), 16, "wavefront fully released");
+            // Allocation still works after a trim.
+            let p = g.malloc(l, 16);
+            assert!(!p.is_null());
+            g.free(l, p);
+        });
+    }
+
+    #[test]
+    fn trim_retires_blocks_with_live_slices() {
+        let g = tiny();
+        with_lane(|l| {
+            let live = g.malloc(l, 16);
+            assert!(!live.is_null());
+            g.memory().write_stamp(live, 0x11fe);
+            g.trim();
+            // The live slice survives the trim…
+            assert_eq!(g.memory().read_stamp(live), 0x11fe);
+            // …and freeing it recycles the retired block and its segment.
+            g.free(l, live);
+            assert_eq!(g.free_segments(), 16);
+            assert_eq!(g.stats().reserved_bytes, 0);
+        });
+    }
+
+    #[test]
+    fn reset_restores_full_capacity() {
+        let g = tiny();
+        with_lane(|l| {
+            for _ in 0..100 {
+                g.malloc(l, 64);
+            }
+            let p = g.malloc(l, (4 * 64) << 10);
+            assert!(!p.is_null());
+        });
+        g.reset();
+        assert_eq!(g.free_segments(), 16);
+        assert_eq!(g.stats().reserved_bytes, 0);
+        with_lane(|l| {
+            let p = g.malloc(l, g.heap_bytes());
+            assert!(!p.is_null(), "whole heap available after reset");
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "interior pointer")]
+    fn interior_large_free_panics() {
+        let g = tiny();
+        with_lane(|l| {
+            let p = g.malloc(l, 2 * (64 << 10));
+            g.free(l, DevicePtr(p.0 + (64 << 10)));
+        });
+    }
+}

@@ -1,0 +1,95 @@
+//! The global allocator variant (paper Appendix A.2).
+//!
+//! For convenience, Gallatin ships a variant callable through static
+//! device pointers: `init_global_allocator(num_bytes)` once on the host,
+//! then `global_malloc` / `global_free` from any device function. This
+//! module reproduces that interface over a process-wide instance.
+//!
+//! ```
+//! use gallatin::global::{global_free, global_malloc, init_global_allocator};
+//! use gpu_sim::{launch, DeviceConfig};
+//!
+//! init_global_allocator(64 << 20);
+//! launch(DeviceConfig::default(), 1024, |ctx| {
+//!     let p = global_malloc(ctx, 64);
+//!     assert!(!p.is_null());
+//!     global_free(ctx, p);
+//! });
+//! ```
+
+use crate::config::GallatinConfig;
+use crate::gallatin::Gallatin;
+use gpu_sim::{DeviceAllocator, DevicePtr, LaneCtx};
+use std::sync::OnceLock;
+
+static GLOBAL: OnceLock<Gallatin> = OnceLock::new();
+
+/// Initialize the global allocator with `num_bytes` of device memory
+/// (rounded down to whole segments, minimum one segment) and the default
+/// configuration. Subsequent calls are ignored, as with the CUDA
+/// original where the device pointer is set once.
+pub fn init_global_allocator(num_bytes: u64) {
+    init_global_allocator_with(GallatinConfig {
+        heap_bytes: (num_bytes / (16 << 20) * (16 << 20)).max(16 << 20),
+        ..GallatinConfig::default()
+    });
+}
+
+/// Initialize the global allocator with an explicit configuration.
+pub fn init_global_allocator_with(cfg: GallatinConfig) {
+    let _ = GLOBAL.set(Gallatin::new(cfg));
+}
+
+/// Whether [`init_global_allocator`] has been called.
+pub fn global_allocator_initialized() -> bool {
+    GLOBAL.get().is_some()
+}
+
+/// The global instance.
+///
+/// # Panics
+/// Panics if the global allocator has not been initialized.
+pub fn global_allocator() -> &'static Gallatin {
+    GLOBAL.get().expect("call init_global_allocator first")
+}
+
+/// Device-side `void* global_malloc(num_bytes)`.
+pub fn global_malloc(ctx: &LaneCtx, num_bytes: u64) -> DevicePtr {
+    global_allocator().malloc(ctx, num_bytes)
+}
+
+/// Device-side `void global_free(void* alloc)`.
+pub fn global_free(ctx: &LaneCtx, alloc: DevicePtr) {
+    global_allocator().free(ctx, alloc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{launch, DeviceConfig};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    // Note: the global is process-wide, so all assertions live in one
+    // test to avoid cross-test init races.
+    #[test]
+    fn global_variant_end_to_end() {
+        assert!(!global_allocator_initialized());
+        init_global_allocator(48 << 20);
+        assert!(global_allocator_initialized());
+        // Second init is a no-op.
+        init_global_allocator(128 << 20);
+        assert_eq!(global_allocator().heap_bytes(), 48 << 20);
+
+        let ok = AtomicU64::new(0);
+        launch(DeviceConfig::default(), 10_000, |ctx| {
+            let p = global_malloc(ctx, 32);
+            assert!(!p.is_null());
+            global_allocator().memory().write_stamp(p, ctx.global_tid());
+            assert_eq!(global_allocator().memory().read_stamp(p), ctx.global_tid());
+            global_free(ctx, p);
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 10_000);
+        assert_eq!(global_allocator().stats().reserved_bytes, 0);
+    }
+}

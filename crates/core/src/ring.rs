@@ -1,0 +1,296 @@
+//! The constant-size per-segment block ring queue.
+//!
+//! Paper §4.2: "Blocks are allocated and returned to the segment using a
+//! constant-size per-segment ring queue." The queue hands out block ids
+//! (`0..blocks_per_segment`) and receives them back when all of a block's
+//! slices have been freed, enabling block reuse inside a live segment.
+//!
+//! This is a bounded MPMC queue in the classic Vyukov style: each cell
+//! carries a sequence number that encodes whether it is ready for the next
+//! enqueue or the next dequeue, so both operations are a single CAS on the
+//! ticket counter plus one store in the common case. Capacity is fixed at
+//! construction (`max_blocks`, 256 in the paper's configuration).
+//!
+//! A separate `len` counter is maintained (relaxed increments/decrements
+//! around the queue ops) because Gallatin's segment-reclamation protocol
+//! needs a "ring is full again" observation: a segment may only be
+//! recycled once every popped block has been pushed back (see
+//! `crate::table`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bounded MPMC queue of block ids with an occupancy counter.
+pub struct BlockRing {
+    cells: Box<[Cell]>,
+    /// Capacity mask (capacity is a power of two).
+    mask: u64,
+    enqueue_pos: AtomicU64,
+    dequeue_pos: AtomicU64,
+    /// Number of ids currently enqueued (may transiently lag the queue by
+    /// the width of an in-flight operation).
+    len: AtomicU64,
+}
+
+struct Cell {
+    seq: AtomicU64,
+    value: AtomicU64,
+}
+
+impl BlockRing {
+    /// An empty ring with capacity for `capacity` block ids (rounded up to
+    /// a power of two).
+    pub fn new(capacity: u64) -> Self {
+        assert!(capacity > 0);
+        let cap = capacity.next_power_of_two();
+        let cells = (0..cap)
+            .map(|i| Cell { seq: AtomicU64::new(i), value: AtomicU64::new(0) })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        BlockRing {
+            cells,
+            mask: cap - 1,
+            enqueue_pos: AtomicU64::new(0),
+            dequeue_pos: AtomicU64::new(0),
+            len: AtomicU64::new(0),
+        }
+    }
+
+    /// Capacity (power of two ≥ requested).
+    #[inline]
+    pub fn capacity(&self) -> u64 {
+        self.mask + 1
+    }
+
+    /// Current occupancy. Exact when the queue is quiescent; used by the
+    /// reclamation protocol, which tolerates transient undercounts (they
+    /// only delay reclamation, never corrupt it — see `crate::table`).
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// Whether the ring is empty (same caveat as [`BlockRing::len`]).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueue a block id. Returns `false` if the queue is full (only
+    /// possible through misuse: a segment never holds more ids than its
+    /// block count, which is ≤ capacity).
+    pub fn push(&self, value: u64) -> bool {
+        let mut pos = self.enqueue_pos.load(Ordering::Relaxed);
+        loop {
+            let cell = &self.cells[(pos & self.mask) as usize];
+            let seq = cell.seq.load(Ordering::Acquire);
+            if seq == pos {
+                match self.enqueue_pos.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        cell.value.store(value, Ordering::Relaxed);
+                        cell.seq.store(pos + 1, Ordering::Release);
+                        self.len.fetch_add(1, Ordering::AcqRel);
+                        return true;
+                    }
+                    Err(p) => pos = p,
+                }
+            } else if seq < pos {
+                return false; // full
+            } else {
+                pos = self.enqueue_pos.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Dequeue a block id, or `None` if the queue is empty.
+    pub fn pop(&self) -> Option<u64> {
+        let mut pos = self.dequeue_pos.load(Ordering::Relaxed);
+        loop {
+            let cell = &self.cells[(pos & self.mask) as usize];
+            let seq = cell.seq.load(Ordering::Acquire);
+            if seq == pos + 1 {
+                match self.dequeue_pos.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        let v = cell.value.load(Ordering::Relaxed);
+                        cell.seq.store(pos + self.mask + 1, Ordering::Release);
+                        self.len.fetch_sub(1, Ordering::AcqRel);
+                        return Some(v);
+                    }
+                    Err(p) => pos = p,
+                }
+            } else if seq <= pos {
+                return None; // empty
+            } else {
+                pos = self.dequeue_pos.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Reinitialize to hold exactly the ids `0..count`, in order.
+    ///
+    /// **Not thread-safe**: callers must hold exclusive ownership of the
+    /// segment (Gallatin's format path claims the segment from the segment
+    /// tree and drains stragglers before calling this).
+    pub fn reset_full(&self, count: u64) {
+        assert!(count <= self.capacity(), "segment block count exceeds ring capacity");
+        for (i, cell) in self.cells.iter().enumerate() {
+            let i = i as u64;
+            if i < count {
+                cell.value.store(i, Ordering::Relaxed);
+                cell.seq.store(i + 1, Ordering::Relaxed);
+            } else {
+                cell.seq.store(i, Ordering::Relaxed);
+            }
+        }
+        self.enqueue_pos.store(count, Ordering::Relaxed);
+        self.dequeue_pos.store(0, Ordering::Relaxed);
+        self.len.store(count, Ordering::Release);
+    }
+
+    /// Reinitialize to empty. Same exclusivity requirement as
+    /// [`BlockRing::reset_full`].
+    pub fn reset_empty(&self) {
+        for (i, cell) in self.cells.iter().enumerate() {
+            cell.seq.store(i as u64, Ordering::Relaxed);
+        }
+        self.enqueue_pos.store(0, Ordering::Relaxed);
+        self.dequeue_pos.store(0, Ordering::Relaxed);
+        self.len.store(0, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn fifo_order_single_threaded() {
+        let r = BlockRing::new(8);
+        assert!(r.is_empty());
+        for i in 0..8 {
+            assert!(r.push(i));
+        }
+        assert_eq!(r.len(), 8);
+        assert!(!r.push(99), "full ring must reject");
+        for i in 0..8 {
+            assert_eq!(r.pop(), Some(i));
+        }
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn reset_full_preloads_ids() {
+        let r = BlockRing::new(16);
+        r.reset_full(10);
+        assert_eq!(r.len(), 10);
+        let mut seen = Vec::new();
+        while let Some(v) = r.pop() {
+            seen.push(v);
+        }
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+        // Reusable after drain.
+        assert!(r.push(3));
+        assert_eq!(r.pop(), Some(3));
+    }
+
+    #[test]
+    fn reset_empty_discards_contents() {
+        let r = BlockRing::new(8);
+        r.push(1);
+        r.push(2);
+        r.reset_empty();
+        assert_eq!(r.pop(), None);
+        assert!(r.push(7));
+        assert_eq!(r.pop(), Some(7));
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        assert_eq!(BlockRing::new(5).capacity(), 8);
+        assert_eq!(BlockRing::new(256).capacity(), 256);
+    }
+
+    #[test]
+    fn wraparound_many_cycles() {
+        let r = BlockRing::new(4);
+        for round in 0..100u64 {
+            assert!(r.push(round));
+            assert_eq!(r.pop(), Some(round));
+        }
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn concurrent_push_pop_conserves_ids() {
+        let r = BlockRing::new(256);
+        r.reset_full(256);
+        // 8 threads cycle pop→push; afterwards all 256 ids are present
+        // exactly once.
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..10_000 {
+                        if let Some(v) = r.pop() {
+                            assert!(v < 256);
+                            assert!(r.push(v));
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(r.len(), 256);
+        let mut seen = HashSet::new();
+        while let Some(v) = r.pop() {
+            assert!(seen.insert(v), "duplicate id {v}");
+        }
+        assert_eq!(seen.len(), 256);
+    }
+
+    #[test]
+    fn concurrent_producers_consumers() {
+        let ring = BlockRing::new(64);
+        let r = &ring;
+        let produced: u64 = 4 * 5_000;
+        let consumed = &std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                s.spawn(move || {
+                    for i in 0..5_000u64 {
+                        let v = t * 5_000 + i;
+                        while !r.push(v) {
+                            std::hint::spin_loop();
+                        }
+                    }
+                });
+            }
+            for _ in 0..4 {
+                s.spawn(move || {
+                    loop {
+                        if r.pop().is_some() {
+                            let n = consumed.fetch_add(1, Ordering::Relaxed) + 1;
+                            if n >= produced {
+                                break;
+                            }
+                        } else if consumed.load(Ordering::Relaxed) >= produced {
+                            break;
+                        } else {
+                            std::hint::spin_loop();
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(consumed.load(Ordering::Relaxed), produced);
+        assert!(r.is_empty());
+    }
+}

@@ -1,0 +1,360 @@
+//! The memory table: per-segment and per-block metadata (paper §5.1).
+//!
+//! Since the maximum number of blocks per segment is known at
+//! construction, all metadata is pre-allocated: every segment carries a
+//! `tree_id` word, a block ring queue ([`crate::ring::BlockRing`]), a
+//! whole-block bitmap, and `max_blocks` pairs of slice malloc/free
+//! counters. Formatting a segment for a larger block size simply leaves
+//! the excess block counters unused, exactly as described in the paper.
+//!
+//! ## Segment lifecycle and the reclamation protocol
+//!
+//! A segment is in one of three logical states, encoded in `tree_id`:
+//!
+//! * `TREE_FREE` — owned by the segment tree;
+//! * `0..num_classes` — formatted for that block tree;
+//! * `LARGE_BASE + n` — head of an `n`-segment large allocation
+//!   (`LARGE_BODY` marks its non-head segments).
+//!
+//! Transitions are guarded the way the paper's Algorithm 2 implies:
+//!
+//! * **Format** (free → class c): the formatter owns the segment
+//!   exclusively (it claimed the bit from the segment tree). Before
+//!   rebuilding the ring it *drains stragglers*: it spins until the ring
+//!   holds every block of the segment's previous life. A straggler is a
+//!   thread that popped a block just as the segment was being reclaimed;
+//!   Algorithm 2's `ldcv` re-check makes it push the block back, and the
+//!   drain guarantees the reformat cannot overlap that push. This closes
+//!   the ABA window between reclaim and reuse.
+//! * **Reclaim** (class c → free): triggered by the free that returns the
+//!   last block. The reclaimer first removes the segment from the block
+//!   tree (`claim_exact`, making it unreachable to new block requests),
+//!   then publishes `TREE_FREE`, then re-verifies the ring is still full.
+//!   Any thread that popped a block in the window re-reads `tree_id`
+//!   (the `ldcv` check), observes the mismatch, pushes the block back and
+//!   retries elsewhere — so a full ring at the re-verify point is stable
+//!   and the segment can be handed to the segment tree.
+
+use crate::config::Geometry;
+use crate::ring::BlockRing;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// `tree_id` value for a segment owned by the segment tree.
+pub const TREE_FREE: u32 = u32::MAX;
+/// `tree_id` value for a non-head segment of a large allocation.
+pub const LARGE_BODY: u32 = u32::MAX - 1;
+/// `tree_id` base for heads of large allocations: `LARGE_BASE + n` marks
+/// the head of an `n`-segment allocation. (The paper stores
+/// `numBlockTrees + numSegments`; we offset from the top of the u32 range
+/// to keep the class ids dense.)
+pub const LARGE_BASE: u32 = 1 << 24;
+
+/// A handle to one block: `(segment, block_index)` packed densely.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BlockHandle(pub u64);
+
+impl BlockHandle {
+    /// Raw value of the null handle.
+    pub const NULL_RAW: u64 = u64::MAX;
+
+    /// Pack `(segment, block)` into a handle.
+    #[inline]
+    pub fn new(seg: u64, block: u64, max_blocks: u64) -> Self {
+        BlockHandle(seg * max_blocks + block)
+    }
+
+    /// The segment this handle's block belongs to.
+    #[inline]
+    pub fn segment(self, max_blocks: u64) -> u64 {
+        self.0 / max_blocks
+    }
+
+    /// The block index within its segment.
+    #[inline]
+    pub fn block(self, max_blocks: u64) -> u64 {
+        self.0 % max_blocks
+    }
+}
+
+/// Per-segment metadata.
+pub struct SegmentMeta {
+    /// Current owner: `TREE_FREE`, a block-tree class, or a large-alloc
+    /// marker. SeqCst accesses order the reclaim/format handshake.
+    pub tree_id: AtomicU32,
+    /// Block count of the segment's current (or, when free, previous)
+    /// format — the drain target for the next format.
+    pub cur_blocks: AtomicU32,
+    /// Free-block ring queue.
+    pub ring: BlockRing,
+    /// One bit per block: set while the block is handed out wholesale
+    /// (block-level allocation) rather than sliced.
+    pub whole_block: Box<[AtomicU64]>,
+    /// Per-block slice malloc counters.
+    pub malloc_ctr: Box<[AtomicU32]>,
+    /// Per-block slice free counters.
+    pub free_ctr: Box<[AtomicU32]>,
+}
+
+impl SegmentMeta {
+    fn new(max_blocks: u64) -> Self {
+        let words = max_blocks.div_ceil(64) as usize;
+        SegmentMeta {
+            tree_id: AtomicU32::new(TREE_FREE),
+            cur_blocks: AtomicU32::new(0),
+            ring: BlockRing::new(max_blocks),
+            whole_block: (0..words).map(|_| AtomicU64::new(0)).collect(),
+            malloc_ctr: (0..max_blocks).map(|_| AtomicU32::new(0)).collect(),
+            free_ctr: (0..max_blocks).map(|_| AtomicU32::new(0)).collect(),
+        }
+    }
+
+    /// Read the tree id with `ldcv` semantics (Algorithm 2's staleness
+    /// check).
+    #[inline]
+    pub fn ldcv_tree_id(&self) -> u32 {
+        self.tree_id.load(Ordering::SeqCst)
+    }
+
+    /// Mark `block` as handed out wholesale (block-level allocation).
+    #[inline]
+    pub fn set_whole_block(&self, block: u64) {
+        self.whole_block[(block / 64) as usize].fetch_or(1 << (block % 64), Ordering::AcqRel);
+    }
+
+    /// Clears the whole-block bit; returns whether it was set (exclusive
+    /// among concurrent clearers, protecting against double free).
+    #[inline]
+    pub fn clear_whole_block(&self, block: u64) -> bool {
+        let prev = self.whole_block[(block / 64) as usize]
+            .fetch_and(!(1 << (block % 64)), Ordering::AcqRel);
+        prev & (1 << (block % 64)) != 0
+    }
+
+    /// Whether `block` is currently handed out wholesale.
+    #[inline]
+    pub fn is_whole_block(&self, block: u64) -> bool {
+        self.whole_block[(block / 64) as usize].load(Ordering::Acquire) & (1 << (block % 64))
+            != 0
+    }
+}
+
+/// The memory table: all segments' metadata.
+pub struct MemoryTable {
+    geo: Geometry,
+    segments: Box<[SegmentMeta]>,
+}
+
+impl MemoryTable {
+    /// Pre-allocate metadata for every segment of `geo` (paper §5.1).
+    pub fn new(geo: Geometry) -> Self {
+        let segments = (0..geo.num_segments)
+            .map(|_| SegmentMeta::new(geo.max_blocks))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        MemoryTable { geo, segments }
+    }
+
+    /// Metadata of segment `seg`.
+    #[inline]
+    pub fn seg(&self, seg: u64) -> &SegmentMeta {
+        &self.segments[seg as usize]
+    }
+
+    /// The geometry this table was laid out for.
+    #[inline]
+    pub fn geometry(&self) -> &Geometry {
+        &self.geo
+    }
+
+    /// Format a freshly claimed segment for class `c`: drain stragglers
+    /// from its previous life, rebuild the ring with the class's block
+    /// ids, zero the counters, then publish the class id.
+    ///
+    /// The caller must exclusively own the segment (a successful
+    /// `claim_exact`/`claim_first_ge` on the segment tree).
+    pub fn format_segment(&self, seg: u64, class: usize) {
+        let meta = self.seg(seg);
+        debug_assert_eq!(meta.tree_id.load(Ordering::SeqCst), TREE_FREE);
+        // Drain: wait until every block of the previous format is home.
+        let prev_blocks = meta.cur_blocks.load(Ordering::Acquire) as u64;
+        let mut spins = 0u64;
+        while meta.ring.len() < prev_blocks {
+            std::hint::spin_loop();
+            spins += 1;
+            if spins > 1 << 26 {
+                panic!("segment {seg} drain stalled: straggler never returned its block");
+            }
+        }
+        let nblocks = self.geo.blocks_per_segment(class);
+        meta.ring.reset_full(nblocks);
+        meta.cur_blocks.store(nblocks as u32, Ordering::Release);
+        for b in 0..nblocks as usize {
+            meta.malloc_ctr[b].store(0, Ordering::Relaxed);
+            meta.free_ctr[b].store(0, Ordering::Relaxed);
+        }
+        for w in meta.whole_block.iter() {
+            w.store(0, Ordering::Relaxed);
+        }
+        meta.tree_id.store(class as u32, Ordering::SeqCst);
+    }
+
+    /// Mark segments `[start, start+n)` as one large allocation. Caller
+    /// exclusively owns them (claimed from the segment tree).
+    pub fn mark_large(&self, start: u64, n: u64) {
+        debug_assert!(n >= 1);
+        self.seg(start).tree_id.store(LARGE_BASE + n as u32, Ordering::SeqCst);
+        for s in start + 1..start + n {
+            self.seg(s).tree_id.store(LARGE_BODY, Ordering::SeqCst);
+        }
+    }
+
+    /// Release a large allocation's segments back to the free state;
+    /// returns `n`, the number of segments. Returns `None` if `seg` is not
+    /// a large-allocation head (double free / bogus pointer).
+    pub fn unmark_large(&self, seg: u64) -> Option<u64> {
+        let meta = self.seg(seg);
+        let id = meta.tree_id.load(Ordering::SeqCst);
+        if id < LARGE_BASE || id == LARGE_BODY || id == TREE_FREE {
+            return None;
+        }
+        let n = (id - LARGE_BASE) as u64;
+        // Exclusive release: only one freer may transition head → FREE.
+        if meta
+            .tree_id
+            .compare_exchange(id, TREE_FREE, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return None;
+        }
+        for s in seg + 1..seg + n {
+            self.seg(s).tree_id.store(TREE_FREE, Ordering::SeqCst);
+        }
+        Some(n)
+    }
+
+    /// Reset every segment to the initial free state. Not thread-safe.
+    pub fn reset(&self) {
+        for meta in self.segments.iter() {
+            meta.tree_id.store(TREE_FREE, Ordering::Relaxed);
+            meta.cur_blocks.store(0, Ordering::Relaxed);
+            meta.ring.reset_empty();
+            for w in meta.whole_block.iter() {
+                w.store(0, Ordering::Relaxed);
+            }
+            for c in meta.malloc_ctr.iter() {
+                c.store(0, Ordering::Relaxed);
+            }
+            for c in meta.free_ctr.iter() {
+                c.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GallatinConfig;
+
+    fn table() -> MemoryTable {
+        MemoryTable::new(GallatinConfig::small_test(1 << 20).geometry())
+    }
+
+    #[test]
+    fn block_handle_packs_and_unpacks() {
+        let h = BlockHandle::new(5, 17, 64);
+        assert_eq!(h.segment(64), 5);
+        assert_eq!(h.block(64), 17);
+    }
+
+    #[test]
+    fn format_publishes_class_and_fills_ring() {
+        let t = table();
+        t.format_segment(3, 1); // class 1: 2 KB blocks, 32 per segment
+        let meta = t.seg(3);
+        assert_eq!(meta.ldcv_tree_id(), 1);
+        assert_eq!(meta.ring.len(), 32);
+        assert_eq!(meta.cur_blocks.load(Ordering::Relaxed), 32);
+        let mut ids = Vec::new();
+        while let Some(b) = meta.ring.pop() {
+            ids.push(b);
+        }
+        assert_eq!(ids, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reformat_after_full_return() {
+        let t = table();
+        t.format_segment(0, 0); // 64 blocks
+        let meta = t.seg(0);
+        let b = meta.ring.pop().unwrap();
+        meta.ring.push(b);
+        // Simulate reclaim then reformat for a different class.
+        meta.tree_id.store(TREE_FREE, Ordering::SeqCst);
+        t.format_segment(0, 4); // 16 KB blocks, 4 per segment
+        assert_eq!(meta.ring.len(), 4);
+        assert_eq!(meta.ldcv_tree_id(), 4);
+    }
+
+    #[test]
+    fn whole_block_bits_are_exclusive() {
+        let t = table();
+        let meta = t.seg(1);
+        meta.set_whole_block(63);
+        assert!(meta.is_whole_block(63));
+        assert!(!meta.is_whole_block(62));
+        assert!(meta.clear_whole_block(63));
+        assert!(!meta.clear_whole_block(63), "second clear must lose");
+    }
+
+    #[test]
+    fn large_mark_unmark_roundtrip() {
+        let t = table();
+        t.mark_large(4, 3);
+        assert_eq!(t.seg(4).ldcv_tree_id(), LARGE_BASE + 3);
+        assert_eq!(t.seg(5).ldcv_tree_id(), LARGE_BODY);
+        assert_eq!(t.seg(6).ldcv_tree_id(), LARGE_BODY);
+        assert_eq!(t.unmark_large(4), Some(3));
+        assert_eq!(t.seg(4).ldcv_tree_id(), TREE_FREE);
+        assert_eq!(t.seg(5).ldcv_tree_id(), TREE_FREE);
+        // Double free is rejected.
+        assert_eq!(t.unmark_large(4), None);
+        // Body segments are never valid heads.
+        t.mark_large(8, 2);
+        assert_eq!(t.unmark_large(9), None);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let t = table();
+        t.format_segment(2, 0);
+        t.seg(2).ring.pop();
+        t.reset();
+        assert_eq!(t.seg(2).ldcv_tree_id(), TREE_FREE);
+        assert_eq!(t.seg(2).ring.len(), 0);
+        assert_eq!(t.seg(2).cur_blocks.load(Ordering::Relaxed), 0);
+        // Reformat works after reset (drain target is 0).
+        t.format_segment(2, 0);
+        assert_eq!(t.seg(2).ring.len(), 64);
+    }
+
+    #[test]
+    fn drain_waits_for_straggler() {
+        let t = std::sync::Arc::new(table());
+        t.format_segment(0, 0);
+        let b = t.seg(0).ring.pop().unwrap(); // straggler holds a block
+        t.seg(0).tree_id.store(TREE_FREE, Ordering::SeqCst);
+
+        let t2 = t.clone();
+        let handle = std::thread::spawn(move || {
+            // Will spin until the straggler pushes back.
+            t2.format_segment(0, 1);
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!handle.is_finished(), "format must wait for the straggler");
+        t.seg(0).ring.push(b);
+        handle.join().unwrap();
+        assert_eq!(t.seg(0).ldcv_tree_id(), 1);
+        assert_eq!(t.seg(0).ring.len(), 32);
+    }
+}

@@ -1,0 +1,162 @@
+//! Stress tests targeting Gallatin's segment-reclamation protocol — the
+//! class→free→reformat transition guarded by the `ldcv` staleness check
+//! and the drain-before-reformat rule (see `crate::table` docs).
+//!
+//! The scenario these force: a segment's last block is freed (reclaim
+//! begins) while other threads are still popping blocks from its ring
+//! and while further threads immediately demand segments of a *different*
+//! class (reformat pressure). Any protocol hole shows up as a double
+//! allocation (caught by payload stamps) or a lost segment (caught by
+//! capacity accounting).
+
+use gallatin::{Gallatin, GallatinConfig};
+use gpu_sim::{launch_warps, DeviceAllocator, DeviceConfig, DevicePtr};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Tiny heap = constant segment churn: every warp's allocations span
+/// whole segments, so segments cycle through reclaim/reformat constantly.
+fn churn_config() -> GallatinConfig {
+    GallatinConfig::small_test(256 << 10) // 4 segments of 64 KB
+}
+
+#[test]
+fn alternating_class_churn_reclaims_and_reformats() {
+    let g = Gallatin::new(churn_config());
+    let spb = g.geometry().slices_per_block; // 64
+    let corrupt = AtomicU64::new(0);
+
+    // Each warp fills a whole block of one class, verifies, frees it all
+    // (returning the block, often the segment), then repeats with another
+    // class — forcing reformats of the same segments.
+    launch_warps(DeviceConfig::with_sms(4), 64, |warp| {
+        for round in 0..30u64 {
+            let class_size = 16u64 << ((warp.warp_id + round) % 5);
+            let mut ptrs = Vec::with_capacity(spb as usize / 4);
+            for i in 0..spb / 4 {
+                let p = g.malloc(&warp.lane(0), class_size);
+                if p.is_null() {
+                    continue;
+                }
+                g.memory().write_stamp(p, warp.warp_id * 1_000_000 + round * 1000 + i);
+                ptrs.push((p, warp.warp_id * 1_000_000 + round * 1000 + i));
+            }
+            for &(p, stamp) in &ptrs {
+                if g.memory().read_stamp(p) != stamp {
+                    corrupt.fetch_add(1, Ordering::Relaxed);
+                }
+                g.free(&warp.lane(0), p);
+            }
+        }
+    });
+    assert_eq!(corrupt.load(Ordering::Relaxed), 0, "double allocation during churn");
+    assert_eq!(g.stats().reserved_bytes, 0);
+    // No segment may be lost: after a reset everything is claimable.
+    g.reset();
+    assert_eq!(g.free_segments(), 4);
+}
+
+#[test]
+fn block_pop_racing_reclaim_never_double_serves() {
+    // Two populations: block-grabbers (whole-block mallocs, which pop from
+    // rings) and slice churners (which drive free counters to the reclaim
+    // threshold). The ldcv re-check is what keeps them apart.
+    let g = Gallatin::new(churn_config());
+    let corrupt = AtomicU64::new(0);
+    launch_warps(DeviceConfig::with_sms(4), 128, |warp| {
+        let l = warp.lane(0);
+        for round in 0..40u64 {
+            if warp.warp_id % 2 == 0 {
+                // Whole-block path (1 KB blocks of class 0).
+                let p = g.malloc(&l, 1024);
+                if !p.is_null() {
+                    g.memory().write_stamp(p, warp.warp_id ^ round);
+                    if g.memory().read_stamp(p) != warp.warp_id ^ round {
+                        corrupt.fetch_add(1, Ordering::Relaxed);
+                    }
+                    g.free(&l, p);
+                }
+            } else {
+                // Slice path on the same class (16 B slices, same blocks).
+                let mut ptrs = [DevicePtr::NULL; 16];
+                for (i, slot) in ptrs.iter_mut().enumerate() {
+                    *slot = g.malloc(&l, 16);
+                    if !slot.is_null() {
+                        g.memory().write_stamp(*slot, round * 100 + i as u64);
+                    }
+                }
+                for (i, p) in ptrs.iter().enumerate() {
+                    if !p.is_null() {
+                        if g.memory().read_stamp(*p) != round * 100 + i as u64 {
+                            corrupt.fetch_add(1, Ordering::Relaxed);
+                        }
+                        g.free(&l, *p);
+                    }
+                }
+            }
+        }
+    });
+    assert_eq!(corrupt.load(Ordering::Relaxed), 0);
+    assert_eq!(g.stats().reserved_bytes, 0);
+}
+
+#[test]
+fn large_allocation_racing_segment_reclaim() {
+    // Multi-segment claims from the back race against slice-churn
+    // reclaims: the contiguous claim's per-bit rollback must never
+    // intersect a segment the block pipeline still owns.
+    let g = Gallatin::new(GallatinConfig::small_test(512 << 10)); // 8 segments
+    let corrupt = AtomicU64::new(0);
+    launch_warps(DeviceConfig::with_sms(4), 64, |warp| {
+        let l = warp.lane(0);
+        for round in 0..30u64 {
+            if warp.warp_id % 4 == 0 {
+                // 2-segment large allocation.
+                let p = g.malloc(&l, 128 << 10);
+                if !p.is_null() {
+                    g.memory().write_stamp(p, warp.warp_id);
+                    g.memory().write_stamp(p.offset((128 << 10) - 8), warp.warp_id);
+                    if g.memory().read_stamp(p) != warp.warp_id {
+                        corrupt.fetch_add(1, Ordering::Relaxed);
+                    }
+                    g.free(&l, p);
+                }
+            } else {
+                let p = g.malloc(&l, 16 << ((warp.warp_id + round) % 5));
+                if !p.is_null() {
+                    g.memory().write_stamp(p, warp.warp_id * 7919 + round);
+                    if g.memory().read_stamp(p) != warp.warp_id * 7919 + round {
+                        corrupt.fetch_add(1, Ordering::Relaxed);
+                    }
+                    g.free(&l, p);
+                }
+            }
+        }
+    });
+    assert_eq!(corrupt.load(Ordering::Relaxed), 0);
+    assert_eq!(g.stats().reserved_bytes, 0);
+}
+
+#[test]
+fn flat_scan_backend_survives_the_same_churn() {
+    // The ablation backend must be just as correct, only slower.
+    let g = Gallatin::new(GallatinConfig {
+        search: gallatin::SearchStructure::FlatScan,
+        ..churn_config()
+    });
+    let corrupt = AtomicU64::new(0);
+    launch_warps(DeviceConfig::with_sms(4), 64, |warp| {
+        let l = warp.lane(0);
+        for round in 0..20u64 {
+            let p = g.malloc(&l, 16 << ((warp.warp_id + round) % 5));
+            if !p.is_null() {
+                g.memory().write_stamp(p, warp.warp_id * 31 + round);
+                if g.memory().read_stamp(p) != warp.warp_id * 31 + round {
+                    corrupt.fetch_add(1, Ordering::Relaxed);
+                }
+                g.free(&l, p);
+            }
+        }
+    });
+    assert_eq!(corrupt.load(Ordering::Relaxed), 0);
+    assert_eq!(g.stats().reserved_bytes, 0);
+}

@@ -1,0 +1,253 @@
+//! The common device-allocator interface.
+//!
+//! Every allocator in this workspace — Gallatin and all survey baselines —
+//! implements [`DeviceAllocator`], so the benchmark harness can run the
+//! identical kernels over each of them, as the Winter et al. survey
+//! testbed does with its uniform malloc/free interface.
+//!
+//! Two entry points exist per operation:
+//!
+//! * scalar ([`DeviceAllocator::malloc`] / [`DeviceAllocator::free`]) —
+//!   one lane allocating on its own;
+//! * warp-collective ([`DeviceAllocator::warp_malloc`] /
+//!   [`DeviceAllocator::warp_free`]) — the whole warp's requests at once.
+//!
+//! The default collective implementations simply loop over lanes issuing
+//! scalar calls, which is exactly what a non-coalescing allocator does on
+//! hardware (32 independent atomic transactions). Gallatin overrides them
+//! to perform the paper's opportunistic coalescing.
+
+use crate::mem::{DeviceMemory, DevicePtr};
+use crate::metrics::Metrics;
+use crate::warp::{LaneCtx, WarpCtx};
+
+/// Point-in-time occupancy statistics reported by an allocator.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AllocStats {
+    /// Total bytes the allocator manages.
+    pub heap_bytes: u64,
+    /// Bytes currently reserved by live allocations, *as accounted by the
+    /// allocator* (includes internal rounding to its size classes).
+    pub reserved_bytes: u64,
+}
+
+/// A device-side memory allocator running on the simulated SIMT substrate.
+pub trait DeviceAllocator: Send + Sync {
+    /// Short display name used in benchmark tables, e.g. `"Gallatin"`,
+    /// `"Ouroboros-P-VA"`.
+    fn name(&self) -> &str;
+
+    /// The arena this allocator hands pointers into.
+    fn memory(&self) -> &DeviceMemory;
+
+    /// Allocate `size` bytes from device code. Returns
+    /// [`DevicePtr::NULL`] when the request cannot be satisfied.
+    fn malloc(&self, ctx: &LaneCtx, size: u64) -> DevicePtr;
+
+    /// Return an allocation obtained from [`DeviceAllocator::malloc`].
+    fn free(&self, ctx: &LaneCtx, ptr: DevicePtr);
+
+    /// Warp-collective allocation: `sizes[lane]` is `Some(size)` for each
+    /// requesting lane; on return `out[lane]` holds that lane's pointer
+    /// (or NULL). The default issues scalar calls lane by lane.
+    fn warp_malloc(&self, warp: &WarpCtx, sizes: &[Option<u64>], out: &mut [DevicePtr]) {
+        debug_assert_eq!(sizes.len(), warp.active as usize);
+        debug_assert_eq!(out.len(), warp.active as usize);
+        for lane in warp.lanes() {
+            if let Some(size) = sizes[lane] {
+                out[lane] = self.malloc(&warp.lane(lane), size);
+            } else {
+                out[lane] = DevicePtr::NULL;
+            }
+        }
+    }
+
+    /// Warp-collective free of `ptrs[lane]` (NULL entries are skipped).
+    fn warp_free(&self, warp: &WarpCtx, ptrs: &[DevicePtr]) {
+        debug_assert_eq!(ptrs.len(), warp.active as usize);
+        for lane in warp.lanes() {
+            if !ptrs[lane].is_null() {
+                self.free(&warp.lane(lane), ptrs[lane]);
+            }
+        }
+    }
+
+    /// Reinitialize to the freshly-constructed state. The benchmark resets
+    /// allocators between rounds (paper §6.1) so every round measures
+    /// cold-state behaviour; must only be called while no kernel is live.
+    fn reset(&self);
+
+    /// Total bytes under management.
+    fn heap_bytes(&self) -> u64;
+
+    /// Whether a request of `size` bytes is supported *by design* (e.g.
+    /// Ouroboros natively supports nothing above its 8192-byte chunk and
+    /// services bigger requests only through its CUDA-heap fallback).
+    fn supports_size(&self, size: u64) -> bool {
+        size > 0 && size <= self.heap_bytes()
+    }
+
+    /// The largest request the native (non-fallback) pipeline serves.
+    fn max_native_size(&self) -> u64 {
+        self.heap_bytes()
+    }
+
+    /// `false` for pseudo-allocators that do not actually manage memory
+    /// and may double-allocate (RegEff-AW). Such allocators are shown in
+    /// figures as an optimum but excluded from comparisons (paper §6.2).
+    fn is_managing(&self) -> bool {
+        true
+    }
+
+    /// Instrumentation counters, if the allocator keeps them.
+    fn metrics(&self) -> Option<&Metrics> {
+        None
+    }
+
+    /// Occupancy statistics.
+    fn stats(&self) -> AllocStats {
+        AllocStats { heap_bytes: self.heap_bytes(), reserved_bytes: 0 }
+    }
+}
+
+/// Blanket impl so `Arc<A>`/`Box<A>`/`&A` can be used wherever a
+/// `DeviceAllocator` is expected.
+impl<T: DeviceAllocator + ?Sized> DeviceAllocator for &T {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn memory(&self) -> &DeviceMemory {
+        (**self).memory()
+    }
+    fn malloc(&self, ctx: &LaneCtx, size: u64) -> DevicePtr {
+        (**self).malloc(ctx, size)
+    }
+    fn free(&self, ctx: &LaneCtx, ptr: DevicePtr) {
+        (**self).free(ctx, ptr)
+    }
+    fn warp_malloc(&self, warp: &WarpCtx, sizes: &[Option<u64>], out: &mut [DevicePtr]) {
+        (**self).warp_malloc(warp, sizes, out)
+    }
+    fn warp_free(&self, warp: &WarpCtx, ptrs: &[DevicePtr]) {
+        (**self).warp_free(warp, ptrs)
+    }
+    fn reset(&self) {
+        (**self).reset()
+    }
+    fn heap_bytes(&self) -> u64 {
+        (**self).heap_bytes()
+    }
+    fn supports_size(&self, size: u64) -> bool {
+        (**self).supports_size(size)
+    }
+    fn max_native_size(&self) -> u64 {
+        (**self).max_native_size()
+    }
+    fn is_managing(&self) -> bool {
+        (**self).is_managing()
+    }
+    fn metrics(&self) -> Option<&Metrics> {
+        (**self).metrics()
+    }
+    fn stats(&self) -> AllocStats {
+        (**self).stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::launch::{launch_warps, DeviceConfig};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A trivial bump allocator used to exercise the trait defaults.
+    struct Bump {
+        mem: DeviceMemory,
+        next: AtomicU64,
+    }
+
+    impl Bump {
+        fn new(len: usize) -> Self {
+            Bump { mem: DeviceMemory::new(len), next: AtomicU64::new(0) }
+        }
+    }
+
+    impl DeviceAllocator for Bump {
+        fn name(&self) -> &str {
+            "Bump"
+        }
+        fn memory(&self) -> &DeviceMemory {
+            &self.mem
+        }
+        fn malloc(&self, _ctx: &LaneCtx, size: u64) -> DevicePtr {
+            let size = size.next_multiple_of(8);
+            let off = self.next.fetch_add(size, Ordering::Relaxed);
+            if off + size <= self.mem.len() as u64 {
+                DevicePtr(off)
+            } else {
+                DevicePtr::NULL
+            }
+        }
+        fn free(&self, _ctx: &LaneCtx, _ptr: DevicePtr) {}
+        fn reset(&self) {
+            self.next.store(0, Ordering::Relaxed);
+        }
+        fn heap_bytes(&self) -> u64 {
+            self.mem.len() as u64
+        }
+    }
+
+    #[test]
+    fn default_warp_malloc_services_all_lanes() {
+        let a = Bump::new(1 << 20);
+        launch_warps(DeviceConfig::default(), 64, |warp| {
+            let sizes = vec![Some(16u64); warp.active as usize];
+            let mut out = vec![DevicePtr::NULL; warp.active as usize];
+            a.warp_malloc(warp, &sizes, &mut out);
+            for p in &out {
+                assert!(!p.is_null());
+            }
+            a.warp_free(warp, &out);
+        });
+    }
+
+    #[test]
+    fn bump_returns_disjoint_ranges() {
+        let a = Bump::new(1 << 16);
+        let ptrs = std::sync::Mutex::new(Vec::new());
+        launch_warps(DeviceConfig::default(), 128, |warp| {
+            for lane in warp.lanes() {
+                let p = a.malloc(&warp.lane(lane), 32);
+                assert!(!p.is_null());
+                ptrs.lock().unwrap().push(p.0);
+            }
+        });
+        let mut v = ptrs.into_inner().unwrap();
+        v.sort_unstable();
+        v.dedup();
+        assert_eq!(v.len(), 128);
+    }
+
+    #[test]
+    fn exhaustion_returns_null() {
+        let a = Bump::new(64);
+        launch_warps(DeviceConfig::default(), 1, |warp| {
+            let l = warp.lane(0);
+            assert!(!a.malloc(&l, 64).is_null());
+            assert!(a.malloc(&l, 64).is_null());
+            a.reset();
+            assert!(!a.malloc(&l, 64).is_null());
+        });
+    }
+
+    #[test]
+    fn trait_object_dispatch_works() {
+        let a = Bump::new(1 << 12);
+        let dyn_ref: &dyn DeviceAllocator = &a;
+        assert_eq!(dyn_ref.name(), "Bump");
+        assert!(dyn_ref.is_managing());
+        assert!(dyn_ref.metrics().is_none());
+        assert!(dyn_ref.supports_size(8));
+        assert!(!dyn_ref.supports_size(0));
+    }
+}

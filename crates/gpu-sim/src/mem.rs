@@ -1,0 +1,342 @@
+//! Device memory: one contiguous arena standing in for GPU DRAM.
+//!
+//! All of the allocators in this workspace hand out [`DevicePtr`]s, which
+//! are byte offsets into a [`DeviceMemory`] arena. Using offsets instead of
+//! host pointers keeps the paper's pointer arithmetic intact: Gallatin
+//! locates the segment, block and slice of an allocation by integer
+//! division on the offset (paper §5), and the benchmark's correctness
+//! checks write/read payloads through the arena.
+//!
+//! # Access discipline
+//!
+//! Two kinds of access are offered:
+//!
+//! * **Atomic views** ([`DeviceMemory::atomic_u32`] /
+//!   [`DeviceMemory::atomic_u64`]): used for all allocator *metadata*
+//!   (counters, bitmaps, queue slots). These are real `std::sync::atomic`
+//!   objects aliasing the arena, so concurrent metadata access is fully
+//!   defined behaviour.
+//! * **Payload copies** ([`DeviceMemory::write_bytes`] /
+//!   [`DeviceMemory::read_bytes`]): plain `memcpy`-style access used by
+//!   benchmark kernels for allocation payloads. The required discipline is
+//!   the same as on a GPU: a payload range must be accessed by its owner
+//!   only between `malloc` and `free`. The allocator property tests verify
+//!   ownership is exclusive (no double allocation), which is what makes
+//!   this discipline sound.
+
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Arena alignment. 16 bytes satisfies every atomic type and — critically
+/// — keeps `alloc_zeroed` on the `calloc` fast path: for alignments above
+/// the platform minimum (16 on x86-64 Linux) the allocator falls back to
+/// `posix_memalign` + an explicit memset, which makes a multi-GiB arena
+/// fully resident at construction instead of lazily zero-paged.
+const ARENA_ALIGN: usize = 16;
+
+/// A device pointer: a byte offset into a [`DeviceMemory`] arena.
+///
+/// `DevicePtr::NULL` plays the role of `nullptr` returned by a failed
+/// device `malloc`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct DevicePtr(pub u64);
+
+impl DevicePtr {
+    /// The null device pointer (allocation failure).
+    pub const NULL: DevicePtr = DevicePtr(u64::MAX);
+
+    /// Whether this pointer is null.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self == Self::NULL
+    }
+
+    /// Offset arithmetic, mirroring `ptr + bytes` in device code.
+    #[inline]
+    pub fn offset(self, bytes: u64) -> DevicePtr {
+        debug_assert!(!self.is_null());
+        DevicePtr(self.0 + bytes)
+    }
+}
+
+/// A contiguous, zero-initialized arena standing in for GPU DRAM.
+///
+/// The arena is allocated once (the paper's Gallatin similarly grabs its
+/// whole heap with a single `cudaMalloc` at init) and freed on drop.
+pub struct DeviceMemory {
+    base: NonNull<u8>,
+    len: usize,
+}
+
+// SAFETY: the arena is plain memory; all concurrent access goes through
+// atomics or follows the exclusive-ownership payload discipline documented
+// on the type.
+unsafe impl Send for DeviceMemory {}
+unsafe impl Sync for DeviceMemory {}
+
+impl DeviceMemory {
+    /// Allocate a zeroed arena of `len` bytes (rounded up to the arena
+    /// alignment).
+    ///
+    /// # Panics
+    /// Panics if `len == 0` or if the host allocation fails.
+    pub fn new(len: usize) -> Self {
+        assert!(len > 0, "device memory must be non-empty");
+        let len = len.next_multiple_of(ARENA_ALIGN);
+        let layout = Layout::from_size_align(len, ARENA_ALIGN).expect("arena layout");
+        // SAFETY: layout has non-zero size.
+        let raw = unsafe { alloc_zeroed(layout) };
+        let Some(base) = NonNull::new(raw) else {
+            handle_alloc_error(layout)
+        };
+        DeviceMemory { base, len }
+    }
+
+    /// Total arena size in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the arena is empty (never true; arenas are non-empty).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn check(&self, off: u64, bytes: usize, align: usize) {
+        let off = off as usize;
+        assert!(
+            off.is_multiple_of(align),
+            "device access at offset {off} misaligned for {align}-byte access"
+        );
+        assert!(
+            off.checked_add(bytes).is_some_and(|end| end <= self.len),
+            "device access [{off}, {off}+{bytes}) out of bounds (arena {} bytes)",
+            self.len
+        );
+    }
+
+    /// An atomic 32-bit view of the word at byte offset `off`.
+    ///
+    /// Models a CUDA atomic on a 32-bit machine word (paper §4.3: "one
+    /// atomic operation on a 32-bit machine word is employed for malloc
+    /// and free").
+    #[inline]
+    pub fn atomic_u32(&self, off: u64) -> &AtomicU32 {
+        self.check(off, 4, 4);
+        // SAFETY: in-bounds, aligned, and AtomicU32 has no invalid bit
+        // patterns; aliasing with other atomic views is fine.
+        unsafe { &*(self.base.as_ptr().add(off as usize) as *const AtomicU32) }
+    }
+
+    /// An atomic 64-bit view of the word at byte offset `off`.
+    #[inline]
+    pub fn atomic_u64(&self, off: u64) -> &AtomicU64 {
+        self.check(off, 8, 8);
+        // SAFETY: see atomic_u32.
+        unsafe { &*(self.base.as_ptr().add(off as usize) as *const AtomicU64) }
+    }
+
+    /// Relaxed atomic load of a u32 — the common "just read the word" in
+    /// device code.
+    #[inline]
+    pub fn load_u32(&self, off: u64) -> u32 {
+        self.atomic_u32(off).load(Ordering::Relaxed)
+    }
+
+    /// Relaxed atomic store of a u32.
+    #[inline]
+    pub fn store_u32(&self, off: u64, v: u32) {
+        self.atomic_u32(off).store(v, Ordering::Relaxed)
+    }
+
+    /// Acquire load of a u32, modeling the CUDA `ld.cv` ("load, cache
+    /// volatile") intrinsic Gallatin uses to re-read possibly-stale global
+    /// metadata (paper Algorithm 2).
+    #[inline]
+    pub fn ldcv_u32(&self, off: u64) -> u32 {
+        self.atomic_u32(off).load(Ordering::Acquire)
+    }
+
+    /// Relaxed atomic load of a u64.
+    #[inline]
+    pub fn load_u64(&self, off: u64) -> u64 {
+        self.atomic_u64(off).load(Ordering::Relaxed)
+    }
+
+    /// Relaxed atomic store of a u64.
+    #[inline]
+    pub fn store_u64(&self, off: u64, v: u64) {
+        self.atomic_u64(off).store(v, Ordering::Relaxed)
+    }
+
+    /// Copy `data` into the arena at `ptr` (payload write).
+    ///
+    /// See the module docs for the ownership discipline that makes
+    /// concurrent payload access sound.
+    #[inline]
+    pub fn write_bytes(&self, ptr: DevicePtr, data: &[u8]) {
+        self.check(ptr.0, data.len(), 1);
+        // SAFETY: bounds-checked; exclusive ownership of live payload
+        // ranges is the documented access discipline.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                data.as_ptr(),
+                self.base.as_ptr().add(ptr.0 as usize),
+                data.len(),
+            );
+        }
+    }
+
+    /// Copy `out.len()` bytes out of the arena at `ptr` (payload read).
+    #[inline]
+    pub fn read_bytes(&self, ptr: DevicePtr, out: &mut [u8]) {
+        self.check(ptr.0, out.len(), 1);
+        // SAFETY: see write_bytes.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                self.base.as_ptr().add(ptr.0 as usize),
+                out.as_mut_ptr(),
+                out.len(),
+            );
+        }
+    }
+
+    /// Write a little-endian u64 payload stamp at `ptr` — the benchmark's
+    /// "write to the allocation and check it" correctness pattern.
+    #[inline]
+    pub fn write_stamp(&self, ptr: DevicePtr, stamp: u64) {
+        self.write_bytes(ptr, &stamp.to_le_bytes());
+    }
+
+    /// Read back a little-endian u64 payload stamp from `ptr`.
+    #[inline]
+    pub fn read_stamp(&self, ptr: DevicePtr) -> u64 {
+        let mut buf = [0u8; 8];
+        self.read_bytes(ptr, &mut buf);
+        u64::from_le_bytes(buf)
+    }
+
+    /// Zero a byte range (used by allocator `reset` implementations).
+    pub fn zero_range(&self, off: u64, bytes: usize) {
+        self.check(off, bytes, 1);
+        // SAFETY: bounds-checked; callers only reset quiescent arenas.
+        unsafe {
+            std::ptr::write_bytes(self.base.as_ptr().add(off as usize), 0, bytes);
+        }
+    }
+}
+
+impl Drop for DeviceMemory {
+    fn drop(&mut self) {
+        let layout = Layout::from_size_align(self.len, ARENA_ALIGN).expect("arena layout");
+        // SAFETY: allocated with the identical layout in `new`.
+        unsafe { dealloc(self.base.as_ptr(), layout) };
+    }
+}
+
+impl std::fmt::Debug for DeviceMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeviceMemory").field("len", &self.len).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn arena_is_zeroed() {
+        let mem = DeviceMemory::new(4096);
+        for off in (0..4096).step_by(8) {
+            assert_eq!(mem.load_u64(off), 0);
+        }
+    }
+
+    #[test]
+    fn null_pointer_identity() {
+        assert!(DevicePtr::NULL.is_null());
+        assert!(!DevicePtr(0).is_null());
+        assert_eq!(DevicePtr(16).offset(8), DevicePtr(24));
+    }
+
+    #[test]
+    fn atomic_views_alias_payload_bytes() {
+        let mem = DeviceMemory::new(64);
+        mem.atomic_u64(0).store(0x1122_3344_5566_7788, Ordering::Relaxed);
+        let mut buf = [0u8; 8];
+        mem.read_bytes(DevicePtr(0), &mut buf);
+        assert_eq!(u64::from_le_bytes(buf), 0x1122_3344_5566_7788);
+    }
+
+    #[test]
+    fn stamps_roundtrip() {
+        let mem = DeviceMemory::new(128);
+        mem.write_stamp(DevicePtr(32), 0xdead_beef);
+        assert_eq!(mem.read_stamp(DevicePtr(32)), 0xdead_beef);
+        assert_eq!(mem.read_stamp(DevicePtr(40)), 0);
+    }
+
+    #[test]
+    fn len_rounds_up_to_alignment() {
+        let mem = DeviceMemory::new(1);
+        assert_eq!(mem.len(), 16);
+        assert!(!mem.is_empty());
+    }
+
+    #[test]
+    fn huge_arena_is_lazily_paged() {
+        // Guards the calloc fast path: a large zeroed arena must be
+        // cheap to construct (no eager memset of every page). 4 GiB
+        // would take seconds to memset; lazy mapping is ~instant.
+        let t0 = std::time::Instant::now();
+        let mem = DeviceMemory::new(4 << 30);
+        assert!(
+            t0.elapsed() < std::time::Duration::from_millis(500),
+            "arena construction took {:?} — alloc_zeroed fell off the lazy path",
+            t0.elapsed()
+        );
+        assert_eq!(mem.load_u64((4 << 30) - 8), 0);
+    }
+
+    #[test]
+    fn concurrent_fetch_add_sums() {
+        let mem = DeviceMemory::new(64);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        mem.atomic_u32(0).fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(mem.load_u32(0), 8000);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_access_panics() {
+        let mem = DeviceMemory::new(64);
+        mem.load_u64(64);
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned")]
+    fn misaligned_atomic_panics() {
+        let mem = DeviceMemory::new(64);
+        mem.load_u32(2);
+    }
+
+    #[test]
+    fn zero_range_clears() {
+        let mem = DeviceMemory::new(64);
+        mem.store_u64(8, u64::MAX);
+        mem.zero_range(8, 8);
+        assert_eq!(mem.load_u64(8), 0);
+    }
+}

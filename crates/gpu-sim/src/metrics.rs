@@ -1,0 +1,193 @@
+//! Lightweight instrumentation counters.
+//!
+//! The ablation experiments (DESIGN.md E14) need to *show* why coalescing
+//! wins: Gallatin issues one atomic RMW per coalesced group where a
+//! conventional allocator issues one per thread. Every allocator in this
+//! workspace owns a [`Metrics`] and bumps it on its contended operations;
+//! counts are relaxed (they are statistics, not synchronization).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Relaxed operation counters for one allocator instance.
+#[derive(Default, Debug)]
+pub struct Metrics {
+    /// Atomic read-modify-write instructions issued on shared metadata
+    /// (fetch_add, swap, or, and — the GPU `atomicAdd`/`atomicOr`/... set).
+    pub atomic_rmw: AtomicU64,
+    /// Compare-and-swap attempts (successful or not).
+    pub cas_attempts: AtomicU64,
+    /// CAS attempts that failed and were retried.
+    pub cas_failures: AtomicU64,
+    /// Times a lock was taken (only nonzero for lock-based baselines,
+    /// e.g. the CUDA-heap model).
+    pub lock_acquires: AtomicU64,
+    /// Requests that were satisfied as part of a coalesced group led by
+    /// another lane (i.e. without issuing their own atomic).
+    pub coalesced_requests: AtomicU64,
+    /// Allocation requests observed.
+    pub mallocs: AtomicU64,
+    /// Free requests observed.
+    pub frees: AtomicU64,
+    /// Allocation requests that returned null (out of memory / unsupported).
+    pub failed_mallocs: AtomicU64,
+}
+
+impl Metrics {
+    /// New zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one atomic RMW on shared metadata.
+    #[inline]
+    pub fn count_rmw(&self) {
+        self.atomic_rmw.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one CAS attempt and whether it succeeded.
+    #[inline]
+    pub fn count_cas(&self, success: bool) {
+        self.cas_attempts.fetch_add(1, Ordering::Relaxed);
+        if !success {
+            self.cas_failures.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record one lock acquisition.
+    #[inline]
+    pub fn count_lock(&self) {
+        self.lock_acquires.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `followers` requests served by another lane's atomic.
+    #[inline]
+    pub fn count_coalesced(&self, followers: u64) {
+        self.coalesced_requests.fetch_add(followers, Ordering::Relaxed);
+    }
+
+    /// Record one allocation request and whether it succeeded.
+    #[inline]
+    pub fn count_malloc(&self, ok: bool) {
+        self.mallocs.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            self.failed_mallocs.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record one free request.
+    #[inline]
+    pub fn count_free(&self) {
+        self.frees.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&self) {
+        self.atomic_rmw.store(0, Ordering::Relaxed);
+        self.cas_attempts.store(0, Ordering::Relaxed);
+        self.cas_failures.store(0, Ordering::Relaxed);
+        self.lock_acquires.store(0, Ordering::Relaxed);
+        self.coalesced_requests.store(0, Ordering::Relaxed);
+        self.mallocs.store(0, Ordering::Relaxed);
+        self.frees.store(0, Ordering::Relaxed);
+        self.failed_mallocs.store(0, Ordering::Relaxed);
+    }
+
+    /// Snapshot into a plain struct for reporting.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            atomic_rmw: self.atomic_rmw.load(Ordering::Relaxed),
+            cas_attempts: self.cas_attempts.load(Ordering::Relaxed),
+            cas_failures: self.cas_failures.load(Ordering::Relaxed),
+            lock_acquires: self.lock_acquires.load(Ordering::Relaxed),
+            coalesced_requests: self.coalesced_requests.load(Ordering::Relaxed),
+            mallocs: self.mallocs.load(Ordering::Relaxed),
+            frees: self.frees.load(Ordering::Relaxed),
+            failed_mallocs: self.failed_mallocs.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value snapshot of [`Metrics`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Atomic RMW instructions issued on shared metadata.
+    pub atomic_rmw: u64,
+    /// Compare-and-swap attempts.
+    pub cas_attempts: u64,
+    /// CAS attempts that failed.
+    pub cas_failures: u64,
+    /// Lock acquisitions (lock-based designs only).
+    pub lock_acquires: u64,
+    /// Requests served by another lane's coalesced atomic.
+    pub coalesced_requests: u64,
+    /// Allocation requests observed.
+    pub mallocs: u64,
+    /// Free requests observed.
+    pub frees: u64,
+    /// Allocation requests that returned null.
+    pub failed_mallocs: u64,
+}
+
+impl MetricsSnapshot {
+    /// Atomic operations per allocation — the ablation's headline number.
+    pub fn rmw_per_malloc(&self) -> f64 {
+        if self.mallocs == 0 {
+            0.0
+        } else {
+            (self.atomic_rmw + self.cas_attempts) as f64 / self.mallocs as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let m = Metrics::new();
+        m.count_rmw();
+        m.count_rmw();
+        m.count_cas(true);
+        m.count_cas(false);
+        m.count_lock();
+        m.count_coalesced(3);
+        m.count_malloc(true);
+        m.count_malloc(false);
+        m.count_free();
+        let s = m.snapshot();
+        assert_eq!(s.atomic_rmw, 2);
+        assert_eq!(s.cas_attempts, 2);
+        assert_eq!(s.cas_failures, 1);
+        assert_eq!(s.lock_acquires, 1);
+        assert_eq!(s.coalesced_requests, 3);
+        assert_eq!(s.mallocs, 2);
+        assert_eq!(s.failed_mallocs, 1);
+        assert_eq!(s.frees, 1);
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn rmw_per_malloc_handles_zero() {
+        let s = MetricsSnapshot::default();
+        assert_eq!(s.rmw_per_malloc(), 0.0);
+        let s = MetricsSnapshot { atomic_rmw: 10, cas_attempts: 2, mallocs: 4, ..Default::default() };
+        assert_eq!(s.rmw_per_malloc(), 3.0);
+    }
+
+    #[test]
+    fn concurrent_counting_is_lossless() {
+        let m = Metrics::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..10_000 {
+                        m.count_rmw();
+                    }
+                });
+            }
+        });
+        assert_eq!(m.snapshot().atomic_rmw, 40_000);
+    }
+}

@@ -1,0 +1,204 @@
+//! Warps, lanes, and cooperative-groups collectives.
+//!
+//! A warp is the GPU's unit of lockstep execution: 32 lanes that can
+//! exchange values without touching memory. Gallatin's headline trick —
+//! opportunistic request coalescing (paper §4.3, Algorithm 3) — is built
+//! on the CUDA cooperative-groups API: `coalesced_threads()` groups the
+//! currently-active lanes, `ballot` finds lanes making the same request,
+//! an elected leader performs one atomic on behalf of the group, and the
+//! result is distributed with broadcast + exclusive scan.
+//!
+//! The simulator executes a warp as a unit (one closure invocation per
+//! warp; see [`crate::launch`]), so the collectives here have exact lane
+//! visibility and are implemented as plain slice operations. That matches
+//! hardware semantics: from inside the warp, the collective is a
+//! synchronous, all-lanes-visible primitive.
+
+/// Number of lanes in a warp, fixed at the CUDA value.
+pub const WARP_SIZE: usize = 32;
+
+/// Execution context of one warp.
+///
+/// `active` is the number of live lanes (the last warp of a launch may be
+/// partial, like a partially-full warp at the tail of a CUDA grid).
+#[derive(Clone, Copy, Debug)]
+pub struct WarpCtx {
+    /// Global warp index within the launch.
+    pub warp_id: u64,
+    /// Streaming multiprocessor this warp is resident on. Gallatin's block
+    /// buffers are indexed by SM (paper §4.3 "Faster access to blocks").
+    pub sm_id: u32,
+    /// Global thread id of lane 0.
+    pub base_tid: u64,
+    /// Number of active lanes, `1..=WARP_SIZE`.
+    pub active: u32,
+}
+
+impl WarpCtx {
+    /// Iterator over active lane indices.
+    #[inline]
+    pub fn lanes(&self) -> impl Iterator<Item = usize> {
+        0..self.active as usize
+    }
+
+    /// Per-lane context for scalar (non-collective) calls.
+    #[inline]
+    pub fn lane(&self, lane: usize) -> LaneCtx<'_> {
+        debug_assert!(lane < self.active as usize);
+        LaneCtx { warp: self, lane: lane as u32 }
+    }
+
+    /// `__ballot_sync`: a bitmask of active lanes whose predicate is true.
+    ///
+    /// `preds` must have one entry per active lane.
+    #[inline]
+    pub fn ballot(&self, preds: &[bool]) -> u32 {
+        debug_assert_eq!(preds.len(), self.active as usize);
+        let mut mask = 0u32;
+        for (lane, &p) in preds.iter().enumerate() {
+            if p {
+                mask |= 1 << lane;
+            }
+        }
+        mask
+    }
+
+    /// The leader of a coalesced group: the lowest set lane in `mask`
+    /// (CUDA's `coalesced_group::thread_rank() == 0` convention).
+    #[inline]
+    pub fn leader(mask: u32) -> u32 {
+        debug_assert!(mask != 0, "leader of empty group");
+        mask.trailing_zeros()
+    }
+
+    /// Exclusive prefix rank of `lane` within the coalesced group `mask` —
+    /// CUDA's `coalesced_group::thread_rank()`. Gallatin uses this as the
+    /// `exclusiveScan(1)` in Algorithm 3 to give each lane a distinct
+    /// slice index from the leader's single `atomicAdd`.
+    #[inline]
+    pub fn rank_in(mask: u32, lane: u32) -> u32 {
+        debug_assert!(mask & (1 << lane) != 0, "lane not in group");
+        (mask & ((1u32 << lane) - 1)).count_ones()
+    }
+
+    /// `coalesced_threads()` + grouping by request key: partitions the
+    /// active lanes that made a request (`keys[lane] = Some(k)`) into
+    /// groups of equal `k`, each with its lane mask.
+    ///
+    /// Returns `(key, mask)` pairs in order of first occurrence. Lanes with
+    /// `None` made no request and join no group, exactly like inactive
+    /// lanes in a coalesced group.
+    pub fn coalesce_by<K: Eq + Copy>(&self, keys: &[Option<K>]) -> Vec<(K, u32)> {
+        debug_assert_eq!(keys.len(), self.active as usize);
+        let mut groups: Vec<(K, u32)> = Vec::new();
+        for (lane, key) in keys.iter().enumerate() {
+            let Some(k) = key else { continue };
+            match groups.iter_mut().find(|(gk, _)| gk == k) {
+                Some((_, mask)) => *mask |= 1 << lane,
+                None => groups.push((*k, 1 << lane)),
+            }
+        }
+        groups
+    }
+
+    /// Lanes set in `mask`, in ascending order.
+    #[inline]
+    pub fn group_lanes(mask: u32) -> impl Iterator<Item = u32> {
+        (0..WARP_SIZE as u32).filter(move |l| mask & (1 << l) != 0)
+    }
+}
+
+/// Execution context of a single lane (thread) inside a warp.
+#[derive(Clone, Copy, Debug)]
+pub struct LaneCtx<'a> {
+    /// The warp this lane belongs to.
+    pub warp: &'a WarpCtx,
+    /// Lane index, `0..warp.active`.
+    pub lane: u32,
+}
+
+impl LaneCtx<'_> {
+    /// Global thread id of this lane within the launch.
+    #[inline]
+    pub fn global_tid(&self) -> u64 {
+        self.warp.base_tid + self.lane as u64
+    }
+
+    /// SM the lane executes on.
+    #[inline]
+    pub fn sm_id(&self) -> u32 {
+        self.warp.sm_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn warp(active: u32) -> WarpCtx {
+        WarpCtx { warp_id: 7, sm_id: 3, base_tid: 7 * 32, active }
+    }
+
+    #[test]
+    fn ballot_sets_matching_lanes() {
+        let w = warp(4);
+        let mask = w.ballot(&[true, false, true, true]);
+        assert_eq!(mask, 0b1101);
+    }
+
+    #[test]
+    fn leader_is_lowest_lane() {
+        assert_eq!(WarpCtx::leader(0b1101), 0);
+        assert_eq!(WarpCtx::leader(0b1100), 2);
+    }
+
+    #[test]
+    fn rank_counts_lower_set_lanes() {
+        let mask = 0b1011_0100u32;
+        assert_eq!(WarpCtx::rank_in(mask, 2), 0);
+        assert_eq!(WarpCtx::rank_in(mask, 4), 1);
+        assert_eq!(WarpCtx::rank_in(mask, 5), 2);
+        assert_eq!(WarpCtx::rank_in(mask, 7), 3);
+    }
+
+    #[test]
+    fn coalesce_groups_equal_keys() {
+        let w = warp(6);
+        let keys = [Some(16u64), Some(32), None, Some(16), Some(32), Some(16)];
+        let groups = w.coalesce_by(&keys);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0], (16, 0b101001));
+        assert_eq!(groups[1], (32, 0b010010));
+    }
+
+    #[test]
+    fn coalesce_all_none_is_empty() {
+        let w = warp(3);
+        let groups = w.coalesce_by::<u64>(&[None, None, None]);
+        assert!(groups.is_empty());
+    }
+
+    #[test]
+    fn group_lanes_enumerates_mask() {
+        let lanes: Vec<u32> = WarpCtx::group_lanes(0b1010).collect();
+        assert_eq!(lanes, vec![1, 3]);
+    }
+
+    #[test]
+    fn lane_ctx_global_tid() {
+        let w = warp(32);
+        assert_eq!(w.lane(5).global_tid(), 7 * 32 + 5);
+        assert_eq!(w.lane(5).sm_id(), 3);
+    }
+
+    #[test]
+    fn ranks_partition_group() {
+        // Every lane in a group gets a unique rank 0..count.
+        let mask = 0b1111_0110_1001u32;
+        let mut ranks: Vec<u32> =
+            WarpCtx::group_lanes(mask).map(|l| WarpCtx::rank_in(mask, l)).collect();
+        ranks.sort_unstable();
+        let expect: Vec<u32> = (0..mask.count_ones()).collect();
+        assert_eq!(ranks, expect);
+    }
+}

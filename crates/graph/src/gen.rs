@@ -1,0 +1,145 @@
+//! Workload generators for the graph benchmarks.
+//!
+//! The paper's graph tests (§6.12) run on real social-network-style
+//! graphs; their defining properties are (a) streams of edge updates and
+//! (b) heavy degree skew — "the average user vertex has less than 35
+//! edges, while the most connected user has over 2.9 million". No graph
+//! downloads are available here, so these generators synthesize streams
+//! with controlled versions of exactly those properties (see DESIGN.md §1
+//! for the substitution argument).
+
+use rand::distributions::Distribution;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A batch of edge updates `(src, dst)`.
+pub type EdgeBatch = Vec<(u32, u64)>;
+
+/// Uniform stream: every edge picks its source uniformly. Models the
+/// benchmark's synthetic update batches.
+pub fn uniform_edges(num_vertices: u32, num_edges: usize, seed: u64) -> EdgeBatch {
+    assert!(num_vertices > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..num_edges)
+        .map(|_| (rng.gen_range(0..num_vertices), rng.gen::<u64>() >> 16))
+        .collect()
+}
+
+/// A sampler for a Zipf(α) distribution over `0..n` built from the
+/// inverse CDF (binary search over cumulative weights).
+struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: u32, alpha: f64) -> Self {
+        assert!(n > 0);
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+}
+
+impl Distribution<u32> for Zipf {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u) as u32
+    }
+}
+
+/// Skewed ("Twitter-like") stream: sources are drawn Zipf(α), so a few
+/// hub vertices accumulate most edges while the median vertex stays
+/// small. `alpha ≈ 1.0` reproduces social-graph-like skew.
+pub fn zipf_edges(num_vertices: u32, num_edges: usize, alpha: f64, seed: u64) -> EdgeBatch {
+    let zipf = Zipf::new(num_vertices, alpha);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..num_edges)
+        .map(|_| (zipf.sample(&mut rng), rng.gen::<u64>() >> 16))
+        .collect()
+}
+
+/// The expansion schedule (§6.12's expansion tests): a sequence of
+/// rounds, each inserting `edges_per_round` additional edges, with
+/// sources Zipf-skewed so hub edge lists repeatedly double and
+/// eventually outgrow chunk-limited allocators' native size. Returns one
+/// batch per round.
+pub fn expansion_rounds(
+    num_vertices: u32,
+    rounds: usize,
+    edges_per_round: usize,
+    alpha: f64,
+    seed: u64,
+) -> Vec<EdgeBatch> {
+    (0..rounds)
+        .map(|r| zipf_edges(num_vertices, edges_per_round, alpha, seed.wrapping_add(r as u64)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn uniform_covers_vertex_range() {
+        let edges = uniform_edges(100, 10_000, 7);
+        assert_eq!(edges.len(), 10_000);
+        assert!(edges.iter().all(|&(s, _)| s < 100));
+        let distinct: std::collections::HashSet<u32> =
+            edges.iter().map(|&(s, _)| s).collect();
+        assert!(distinct.len() > 90, "uniform stream should touch most vertices");
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        assert_eq!(uniform_edges(50, 100, 3), uniform_edges(50, 100, 3));
+        assert_ne!(uniform_edges(50, 100, 3), uniform_edges(50, 100, 4));
+        assert_eq!(zipf_edges(50, 100, 1.0, 3), zipf_edges(50, 100, 1.0, 3));
+    }
+
+    #[test]
+    fn zipf_concentrates_on_hubs() {
+        let edges = zipf_edges(10_000, 100_000, 1.0, 11);
+        let mut deg: HashMap<u32, u64> = HashMap::new();
+        for &(s, _) in &edges {
+            *deg.entry(s).or_default() += 1;
+        }
+        let max = *deg.values().max().unwrap();
+        let mean = edges.len() as f64 / 10_000.0;
+        // The hub must be orders of magnitude above the mean, as in the
+        // Twitter graph the paper cites.
+        assert!(max as f64 > 100.0 * mean, "max {max} vs mean {mean}");
+        // And vertex 0 (highest Zipf weight) should be the hub.
+        let hub = deg.iter().max_by_key(|&(_, &d)| d).map(|(&v, _)| v).unwrap();
+        assert!(hub < 5, "hub should be one of the head vertices, got {hub}");
+    }
+
+    #[test]
+    fn expansion_rounds_have_requested_shape() {
+        let rounds = expansion_rounds(1000, 5, 2_000, 0.9, 42);
+        assert_eq!(rounds.len(), 5);
+        assert!(rounds.iter().all(|b| b.len() == 2_000));
+        // Distinct rounds differ (different derived seeds).
+        assert_ne!(rounds[0], rounds[1]);
+    }
+
+    #[test]
+    fn zipf_alpha_zero_is_uniformish() {
+        let edges = zipf_edges(1000, 50_000, 0.0, 5);
+        let mut deg = vec![0u32; 1000];
+        for &(s, _) in &edges {
+            deg[s as usize] += 1;
+        }
+        let max = *deg.iter().max().unwrap() as f64;
+        let mean = 50.0;
+        assert!(max < 3.0 * mean, "α=0 should be near uniform (max {max})");
+    }
+}

@@ -1,0 +1,356 @@
+//! The dynamic edge-list graph store.
+//!
+//! Each vertex owns one device allocation holding its edge list as an
+//! array of `u64` destination ids. Lists are sized to the next power of
+//! two of their length (as the paper's graph benchmark does), growing by
+//! reallocation when full and shrinking when three quarters empty. Every
+//! grow/shrink is a `malloc` + copy + `free` against the allocator under
+//! test — which is exactly what the benchmark measures.
+//!
+//! Per-vertex updates are serialized with a spinlock, the standard
+//! device-side pattern for edge-list updaters; different vertices update
+//! fully in parallel.
+
+use gpu_sim::{DeviceAllocator, DevicePtr, LaneCtx};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Minimum edge-list capacity (entries) for a non-empty vertex.
+const MIN_CAP: u64 = 4;
+
+struct Vertex {
+    /// Device offset of the edge array, or `DevicePtr::NULL`'s raw value.
+    ptr: AtomicU64,
+    /// Number of live edges.
+    len: AtomicU32,
+    /// Capacity in entries (power of two, or 0 when unallocated).
+    cap: AtomicU32,
+    /// Spinlock guarding structural updates.
+    lock: AtomicU32,
+}
+
+impl Vertex {
+    fn new() -> Self {
+        Vertex {
+            ptr: AtomicU64::new(DevicePtr::NULL.0),
+            len: AtomicU32::new(0),
+            cap: AtomicU32::new(0),
+            lock: AtomicU32::new(0),
+        }
+    }
+}
+
+/// A guard that releases the vertex spinlock on drop.
+struct VertexGuard<'a>(&'a Vertex);
+
+impl<'a> VertexGuard<'a> {
+    fn acquire(v: &'a Vertex) -> Self {
+        while v
+            .lock
+            .compare_exchange_weak(0, 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            std::hint::spin_loop();
+        }
+        VertexGuard(v)
+    }
+}
+
+impl Drop for VertexGuard<'_> {
+    fn drop(&mut self) {
+        self.0.lock.store(0, Ordering::Release);
+    }
+}
+
+/// A dynamic graph stored as per-vertex edge lists in device memory.
+pub struct DynamicGraph<A: DeviceAllocator> {
+    alloc: A,
+    vertices: Box<[Vertex]>,
+    /// Edge insertions that failed because the allocator returned null
+    /// (how the benchmark detects allocators failing the workload).
+    failed_updates: AtomicU64,
+}
+
+impl<A: DeviceAllocator> DynamicGraph<A> {
+    /// An empty graph over `num_vertices` vertices.
+    pub fn new(num_vertices: usize, alloc: A) -> Self {
+        DynamicGraph {
+            alloc,
+            vertices: (0..num_vertices).map(|_| Vertex::new()).collect(),
+            failed_updates: AtomicU64::new(0),
+        }
+    }
+
+    /// The allocator under test.
+    pub fn allocator(&self) -> &A {
+        &self.alloc
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Updates that could not be applied due to allocation failure.
+    pub fn failed_updates(&self) -> u64 {
+        self.failed_updates.load(Ordering::Relaxed)
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: u32) -> u32 {
+        self.vertices[v as usize].len.load(Ordering::Acquire)
+    }
+
+    /// Total live edges.
+    pub fn num_edges(&self) -> u64 {
+        self.vertices.iter().map(|v| v.len.load(Ordering::Acquire) as u64).sum()
+    }
+
+    /// Bytes currently held in edge-list allocations (entries × 8, at
+    /// power-of-two capacities).
+    pub fn edge_bytes(&self) -> u64 {
+        self.vertices.iter().map(|v| v.cap.load(Ordering::Acquire) as u64 * 8).sum()
+    }
+
+    /// Read vertex `v`'s edge list back to the host.
+    pub fn edges(&self, v: u32) -> Vec<u64> {
+        let vert = &self.vertices[v as usize];
+        let _guard = VertexGuard::acquire(vert);
+        let len = vert.len.load(Ordering::Relaxed) as usize;
+        let ptr = DevicePtr(vert.ptr.load(Ordering::Relaxed));
+        let mut out = vec![0u64; len];
+        for (i, e) in out.iter_mut().enumerate() {
+            *e = self.alloc.memory().read_stamp(ptr.offset(i as u64 * 8));
+        }
+        out
+    }
+
+    /// Grow or shrink `vert`'s storage to hold `need` entries. Returns
+    /// the (possibly unchanged) data pointer, or `None` on allocation
+    /// failure. Caller holds the vertex lock.
+    fn resize_locked(&self, ctx: &LaneCtx, vert: &Vertex, need: u64) -> Option<DevicePtr> {
+        let cap = vert.cap.load(Ordering::Relaxed) as u64;
+        let old = DevicePtr(vert.ptr.load(Ordering::Relaxed));
+        let new_cap = if need == 0 {
+            0
+        } else {
+            need.next_power_of_two().max(MIN_CAP)
+        };
+        if new_cap == cap {
+            return Some(old);
+        }
+        if new_cap == 0 {
+            if !old.is_null() {
+                self.alloc.free(ctx, old);
+            }
+            vert.ptr.store(DevicePtr::NULL.0, Ordering::Relaxed);
+            vert.cap.store(0, Ordering::Relaxed);
+            return Some(DevicePtr::NULL);
+        }
+        let fresh = self.alloc.malloc(ctx, new_cap * 8);
+        if fresh.is_null() {
+            self.failed_updates.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        // Copy the surviving prefix.
+        let live = (vert.len.load(Ordering::Relaxed) as u64).min(new_cap);
+        let mut buf = vec![0u8; (live * 8) as usize];
+        if !old.is_null() && live > 0 {
+            self.alloc.memory().read_bytes(old, &mut buf);
+            self.alloc.memory().write_bytes(fresh, &buf);
+        }
+        if !old.is_null() {
+            self.alloc.free(ctx, old);
+        }
+        vert.ptr.store(fresh.0, Ordering::Relaxed);
+        vert.cap.store(new_cap as u32, Ordering::Relaxed);
+        Some(fresh)
+    }
+
+    /// Insert edge `src → dst`. Returns `false` if the allocator could
+    /// not provide storage.
+    pub fn insert_edge(&self, ctx: &LaneCtx, src: u32, dst: u64) -> bool {
+        let vert = &self.vertices[src as usize];
+        let _guard = VertexGuard::acquire(vert);
+        let len = vert.len.load(Ordering::Relaxed) as u64;
+        let cap = vert.cap.load(Ordering::Relaxed) as u64;
+        let ptr = if len == cap {
+            match self.resize_locked(ctx, vert, len + 1) {
+                Some(p) => p,
+                None => return false,
+            }
+        } else {
+            DevicePtr(vert.ptr.load(Ordering::Relaxed))
+        };
+        self.alloc.memory().write_stamp(ptr.offset(len * 8), dst);
+        vert.len.store(len as u32 + 1, Ordering::Release);
+        true
+    }
+
+    /// Delete one occurrence of edge `src → dst` (swap-remove). Returns
+    /// whether the edge existed.
+    pub fn delete_edge(&self, ctx: &LaneCtx, src: u32, dst: u64) -> bool {
+        let vert = &self.vertices[src as usize];
+        let _guard = VertexGuard::acquire(vert);
+        let len = vert.len.load(Ordering::Relaxed) as u64;
+        let ptr = DevicePtr(vert.ptr.load(Ordering::Relaxed));
+        let mem = self.alloc.memory();
+        for i in 0..len {
+            if mem.read_stamp(ptr.offset(i * 8)) == dst {
+                let last = mem.read_stamp(ptr.offset((len - 1) * 8));
+                mem.write_stamp(ptr.offset(i * 8), last);
+                vert.len.store(len as u32 - 1, Ordering::Release);
+                // Shrink at quarter occupancy (paper: lists sized to the
+                // next power of two of their length).
+                let cap = vert.cap.load(Ordering::Relaxed) as u64;
+                if len - 1 <= cap / 4 {
+                    let _ = self.resize_locked(ctx, vert, len - 1);
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Release every edge list back to the allocator.
+    pub fn destroy(&self, ctx: &LaneCtx) {
+        for vert in self.vertices.iter() {
+            let _guard = VertexGuard::acquire(vert);
+            let ptr = DevicePtr(vert.ptr.load(Ordering::Relaxed));
+            if !ptr.is_null() {
+                self.alloc.free(ctx, ptr);
+                vert.ptr.store(DevicePtr::NULL.0, Ordering::Relaxed);
+                vert.len.store(0, Ordering::Relaxed);
+                vert.cap.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use allocators::CudaHeapSim;
+    use gallatin::{Gallatin, GallatinConfig};
+    use gpu_sim::{launch, DeviceConfig, WarpCtx};
+
+    fn with_lane<R>(f: impl FnOnce(&LaneCtx) -> R) -> R {
+        let warp = WarpCtx { warp_id: 0, sm_id: 0, base_tid: 0, active: 1 };
+        f(&warp.lane(0))
+    }
+
+    #[test]
+    fn insert_and_read_edges() {
+        let g = DynamicGraph::new(8, Gallatin::new(GallatinConfig::small_test(1 << 20)));
+        with_lane(|l| {
+            for d in 0..10u64 {
+                assert!(g.insert_edge(l, 3, d * 100));
+            }
+        });
+        assert_eq!(g.degree(3), 10);
+        assert_eq!(g.edges(3), (0..10).map(|d| d * 100).collect::<Vec<_>>());
+        assert_eq!(g.num_edges(), 10);
+    }
+
+    #[test]
+    fn growth_keeps_power_of_two_capacity() {
+        let g = DynamicGraph::new(2, Gallatin::new(GallatinConfig::small_test(1 << 20)));
+        with_lane(|l| {
+            for d in 0..100u64 {
+                g.insert_edge(l, 0, d);
+            }
+        });
+        let cap = g.vertices[0].cap.load(Ordering::Relaxed);
+        assert_eq!(cap, 128);
+        assert_eq!(g.edges(0).len(), 100);
+        assert_eq!(g.edge_bytes(), 128 * 8);
+    }
+
+    #[test]
+    fn delete_swaps_and_shrinks() {
+        let g = DynamicGraph::new(1, Gallatin::new(GallatinConfig::small_test(1 << 20)));
+        with_lane(|l| {
+            for d in 0..32u64 {
+                g.insert_edge(l, 0, d);
+            }
+            assert_eq!(g.vertices[0].cap.load(Ordering::Relaxed), 32);
+            for d in 0..28u64 {
+                assert!(g.delete_edge(l, 0, d));
+            }
+            assert!(!g.delete_edge(l, 0, 999));
+            assert_eq!(g.degree(0), 4);
+            assert!(g.vertices[0].cap.load(Ordering::Relaxed) <= 8, "list must shrink");
+            let mut rest = g.edges(0);
+            rest.sort_unstable();
+            assert_eq!(rest, vec![28, 29, 30, 31]);
+        });
+    }
+
+    #[test]
+    fn concurrent_inserts_across_vertices() {
+        let g = DynamicGraph::new(64, Gallatin::new(GallatinConfig::small_test(2 << 20)));
+        launch(DeviceConfig::with_sms(8), 64 * 32, |l| {
+            let v = (l.global_tid() % 64) as u32;
+            assert!(g.insert_edge(l, v, l.global_tid()));
+        });
+        assert_eq!(g.num_edges(), 64 * 32);
+        for v in 0..64 {
+            assert_eq!(g.degree(v), 32);
+        }
+    }
+
+    #[test]
+    fn concurrent_inserts_same_vertex_serialize() {
+        let g = DynamicGraph::new(1, Gallatin::new(GallatinConfig::small_test(2 << 20)));
+        launch(DeviceConfig::with_sms(8), 500, |l| {
+            assert!(g.insert_edge(l, 0, l.global_tid()));
+        });
+        let mut edges = g.edges(0);
+        edges.sort_unstable();
+        assert_eq!(edges, (0..500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn allocation_failure_is_reported() {
+        // A heap too small for the hub vertex's growth.
+        let g = DynamicGraph::new(1, CudaHeapSim::new(4 << 10));
+        with_lane(|l| {
+            let mut inserted = 0u64;
+            for d in 0..10_000u64 {
+                if !g.insert_edge(l, 0, d) {
+                    break;
+                }
+                inserted += 1;
+            }
+            assert!(inserted < 10_000);
+            assert!(g.failed_updates() > 0);
+        });
+    }
+
+    #[test]
+    fn destroy_returns_all_memory() {
+        let alloc = Gallatin::new(GallatinConfig::small_test(1 << 20));
+        let g = DynamicGraph::new(16, alloc);
+        with_lane(|l| {
+            for v in 0..16u32 {
+                for d in 0..20u64 {
+                    g.insert_edge(l, v, d);
+                }
+            }
+            g.destroy(l);
+        });
+        assert_eq!(g.allocator().stats().reserved_bytes, 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn works_over_trait_reference() {
+        // The graph is generic over &dyn DeviceAllocator too.
+        let alloc = Gallatin::new(GallatinConfig::small_test(1 << 20));
+        let dyn_ref: &dyn gpu_sim::DeviceAllocator = &alloc;
+        let g = DynamicGraph::new(4, dyn_ref);
+        with_lane(|l| {
+            assert!(g.insert_edge(l, 0, 42));
+        });
+        assert_eq!(g.edges(0), vec![42]);
+    }
+}

@@ -1,0 +1,274 @@
+//! A flat (single-level) atomic bitset with the same claim/search API as
+//! [`crate::VebTree`].
+//!
+//! This is the ablation baseline for the vEB tree: the same leaf bitmap,
+//! but with **no summary levels** — searches scan words linearly. For a
+//! universe of `u` items a successor search is `O(u/64)` instead of the
+//! tree's near-constant walk, which is exactly the cost the paper's
+//! hierarchical design removes. The Gallatin allocator can be configured
+//! to run on either structure so the difference is measurable end to end.
+
+use crate::word::{first_set_ge, first_set_le, WORD_BITS};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A concurrent flat bitset over `{0, …, universe−1}`.
+pub struct FlatBitset {
+    universe: u64,
+    words: Box<[AtomicU64]>,
+}
+
+impl FlatBitset {
+    /// An empty set.
+    pub fn new(universe: u64) -> Self {
+        assert!(universe > 0, "universe must be non-empty");
+        let words = universe.div_ceil(WORD_BITS);
+        FlatBitset {
+            universe,
+            words: (0..words).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// A full set.
+    pub fn new_full(universe: u64) -> Self {
+        let s = Self::new(universe);
+        s.fill();
+        s
+    }
+
+    /// Universe size.
+    #[inline]
+    pub fn universe(&self) -> u64 {
+        self.universe
+    }
+
+    /// Add `x`; returns whether it was absent.
+    pub fn insert(&self, x: u64) -> bool {
+        assert!(x < self.universe);
+        let prev =
+            self.words[(x / WORD_BITS) as usize].fetch_or(1 << (x % WORD_BITS), Ordering::AcqRel);
+        prev & (1 << (x % WORD_BITS)) == 0
+    }
+
+    /// Remove `x`; returns whether it was present.
+    pub fn remove(&self, x: u64) -> bool {
+        assert!(x < self.universe);
+        let prev = self.words[(x / WORD_BITS) as usize]
+            .fetch_and(!(1 << (x % WORD_BITS)), Ordering::AcqRel);
+        prev & (1 << (x % WORD_BITS)) != 0
+    }
+
+    /// Membership test.
+    pub fn contains(&self, x: u64) -> bool {
+        assert!(x < self.universe);
+        self.words[(x / WORD_BITS) as usize].load(Ordering::Acquire) & (1 << (x % WORD_BITS))
+            != 0
+    }
+
+    /// Exclusive removal (same semantics as `VebTree::claim_exact`).
+    pub fn claim_exact(&self, x: u64) -> bool {
+        self.remove(x)
+    }
+
+    /// Minimum member ≥ `x` (linear word scan).
+    pub fn successor(&self, x: u64) -> Option<u64> {
+        if x >= self.universe {
+            return None;
+        }
+        let mut w = x / WORD_BITS;
+        let mut from = x % WORD_BITS;
+        while (w as usize) < self.words.len() {
+            let word = self.words[w as usize].load(Ordering::Acquire);
+            if let Some(b) = first_set_ge(word, from) {
+                let v = w * WORD_BITS + b;
+                return (v < self.universe).then_some(v);
+            }
+            w += 1;
+            from = 0;
+        }
+        None
+    }
+
+    /// Maximum member ≤ `x` (linear word scan, backwards).
+    pub fn predecessor(&self, x: u64) -> Option<u64> {
+        let x = x.min(self.universe - 1);
+        let mut w = (x / WORD_BITS) as i64;
+        let mut from = x % WORD_BITS;
+        while w >= 0 {
+            let word = self.words[w as usize].load(Ordering::Acquire);
+            if let Some(b) = first_set_le(word, from) {
+                return Some(w as u64 * WORD_BITS + b);
+            }
+            w -= 1;
+            from = WORD_BITS - 1;
+        }
+        None
+    }
+
+    /// Find-and-claim the first member ≥ `x`.
+    pub fn claim_first_ge(&self, mut x: u64) -> Option<u64> {
+        loop {
+            let s = self.successor(x)?;
+            if self.claim_exact(s) {
+                return Some(s);
+            }
+            x = s + 1;
+            if x >= self.universe {
+                return None;
+            }
+        }
+    }
+
+    /// Find-and-claim the last member ≤ `x`.
+    pub fn claim_last_le(&self, mut x: u64) -> Option<u64> {
+        loop {
+            let p = self.predecessor(x)?;
+            if self.claim_exact(p) {
+                return Some(p);
+            }
+            if p == 0 {
+                return None;
+            }
+            x = p - 1;
+        }
+    }
+
+    /// Claim `n` contiguous members from the back (first fit from the
+    /// end), with per-bit rollback — mirrors
+    /// `VebTree::claim_contiguous_from_back`.
+    pub fn claim_contiguous_from_back(&self, n: u64) -> Option<u64> {
+        assert!(n > 0);
+        if n > self.universe {
+            return None;
+        }
+        let mut high = self.universe - 1;
+        'outer: loop {
+            let end = self.predecessor(high)?;
+            if end + 1 < n {
+                return None;
+            }
+            let start = end + 1 - n;
+            for i in (start..=end).rev() {
+                if !self.contains(i) {
+                    if i == 0 {
+                        return None;
+                    }
+                    high = i - 1;
+                    continue 'outer;
+                }
+            }
+            let mut claimed = 0u64;
+            for i in (start..=end).rev() {
+                if self.claim_exact(i) {
+                    claimed += 1;
+                } else {
+                    break;
+                }
+            }
+            if claimed == n {
+                return Some(start);
+            }
+            for i in (end + 1 - claimed)..=end {
+                self.insert(i);
+            }
+            if end == 0 {
+                return None;
+            }
+            high = end - 1;
+        }
+    }
+
+    /// Insert a contiguous range `[x, x+n)`.
+    pub fn insert_range(&self, x: u64, n: u64) {
+        for i in x..x + n {
+            self.insert(i);
+        }
+    }
+
+    /// Exact membership count.
+    pub fn count(&self) -> u64 {
+        self.words.iter().map(|w| w.load(Ordering::Acquire).count_ones() as u64).sum()
+    }
+
+    /// Set every member. Reset-time only.
+    pub fn fill(&self) {
+        for (i, w) in self.words.iter().enumerate() {
+            let base = i as u64 * WORD_BITS;
+            let bits = (self.universe - base).min(WORD_BITS);
+            let v = if bits == WORD_BITS { u64::MAX } else { (1u64 << bits) - 1 };
+            w.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Clear every member. Reset-time only.
+    pub fn clear(&self) {
+        for w in self.words.iter() {
+            w.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parity_with_veb_on_random_ops() {
+        // The flat set must agree with the vEB tree operation for
+        // operation — it is the ablation control.
+        let flat = FlatBitset::new(5000);
+        let veb = crate::VebTree::new(5000);
+        let mut x = 12345u64;
+        for _ in 0..4000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let v = (x >> 16) % 5000;
+            match x % 5 {
+                0 => assert_eq!(flat.insert(v), veb.insert(v)),
+                1 => assert_eq!(flat.remove(v), veb.remove(v)),
+                2 => assert_eq!(flat.successor(v), veb.successor(v), "succ({v})"),
+                3 => assert_eq!(flat.predecessor(v), veb.predecessor(v), "pred({v})"),
+                _ => assert_eq!(flat.contains(v), veb.contains(v)),
+            }
+        }
+        assert_eq!(flat.count(), veb.count());
+    }
+
+    #[test]
+    fn fill_and_contiguous_claims() {
+        let s = FlatBitset::new_full(130);
+        assert_eq!(s.count(), 130);
+        assert_eq!(s.claim_contiguous_from_back(4), Some(126));
+        assert_eq!(s.claim_first_ge(0), Some(0));
+        assert_eq!(s.claim_last_le(129), Some(125));
+        s.insert_range(126, 4);
+        assert_eq!(s.count(), (130 - 2));
+        s.clear();
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn concurrent_claims_exclusive() {
+        let s = FlatBitset::new_full(4096);
+        let winners: Vec<std::sync::atomic::AtomicU32> =
+            (0..4096).map(|_| std::sync::atomic::AtomicU32::new(0)).collect();
+        std::thread::scope(|sc| {
+            for _ in 0..8 {
+                sc.spawn(|| {
+                    while let Some(v) = s.claim_first_ge(0) {
+                        winners[v as usize].fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert!(winners.iter().all(|w| w.load(Ordering::Relaxed) == 1));
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn partial_last_word_fill_is_exact() {
+        let s = FlatBitset::new_full(70);
+        assert_eq!(s.count(), 70);
+        assert_eq!(s.predecessor(69), Some(69));
+        assert_eq!(s.successor(69), Some(69));
+        assert_eq!(s.successor(70), None);
+    }
+}

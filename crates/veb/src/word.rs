@@ -1,0 +1,76 @@
+//! Bit-level helpers on 64-bit vEB node words.
+//!
+//! A node word is a bitmap over 64 children: bit `i` is set iff child `i`
+//! (or, at the leaf level, item `i`) is present. These helpers are the
+//! word-local pieces of successor/predecessor search.
+
+/// Fan-out of every vEB node: one bit per child in a 64-bit word.
+pub const WORD_BITS: u64 = 64;
+
+/// Index of the first set bit `>= from` in `word`, if any. `from` may be
+/// `64` (returns `None`).
+#[inline]
+pub fn first_set_ge(word: u64, from: u64) -> Option<u64> {
+    debug_assert!(from <= WORD_BITS);
+    if from >= WORD_BITS {
+        return None;
+    }
+    let masked = word & (u64::MAX << from);
+    if masked == 0 {
+        None
+    } else {
+        Some(masked.trailing_zeros() as u64)
+    }
+}
+
+/// Index of the last set bit `<= from` in `word`, if any.
+#[inline]
+pub fn first_set_le(word: u64, from: u64) -> Option<u64> {
+    debug_assert!(from < WORD_BITS);
+    let masked = if from == WORD_BITS - 1 { word } else { word & ((1u64 << (from + 1)) - 1) };
+    if masked == 0 {
+        None
+    } else {
+        Some(WORD_BITS - 1 - masked.leading_zeros() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ge_finds_lowest_from_position() {
+        let w = 0b1001_0100u64;
+        assert_eq!(first_set_ge(w, 0), Some(2));
+        assert_eq!(first_set_ge(w, 2), Some(2));
+        assert_eq!(first_set_ge(w, 3), Some(4));
+        assert_eq!(first_set_ge(w, 5), Some(7));
+        assert_eq!(first_set_ge(w, 8), None);
+        assert_eq!(first_set_ge(w, 64), None);
+    }
+
+    #[test]
+    fn le_finds_highest_at_or_below() {
+        let w = 0b1001_0100u64;
+        assert_eq!(first_set_le(w, 63), Some(7));
+        assert_eq!(first_set_le(w, 7), Some(7));
+        assert_eq!(first_set_le(w, 6), Some(4));
+        assert_eq!(first_set_le(w, 3), Some(2));
+        assert_eq!(first_set_le(w, 1), None);
+    }
+
+    #[test]
+    fn empty_word_has_no_bits() {
+        assert_eq!(first_set_ge(0, 0), None);
+        assert_eq!(first_set_le(0, 63), None);
+    }
+
+    #[test]
+    fn full_word_boundaries() {
+        assert_eq!(first_set_ge(u64::MAX, 63), Some(63));
+        assert_eq!(first_set_le(u64::MAX, 0), Some(0));
+        assert_eq!(first_set_ge(1 << 63, 63), Some(63));
+        assert_eq!(first_set_le(1, 0), Some(0));
+    }
+}

@@ -1,0 +1,149 @@
+//! Concurrent stress tests for the vEB tree: exclusivity of claims and
+//! eventual consistency of summaries under heavy contention.
+
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use veb::VebTree;
+
+#[test]
+fn concurrent_claims_are_exclusive() {
+    // N threads race to claim from a full tree; every item must be won by
+    // exactly one claimant.
+    let universe = 1u64 << 14;
+    let tree = VebTree::new_full(universe);
+    let winners: Vec<AtomicU64> = (0..universe).map(|_| AtomicU64::new(0)).collect();
+
+    (0..universe).into_par_iter().for_each(|_| {
+        if let Some(x) = tree.claim_first_ge(0) {
+            winners[x as usize].fetch_add(1, Ordering::Relaxed);
+        }
+    });
+
+    assert!(tree.is_empty());
+    for (i, w) in winners.iter().enumerate() {
+        assert_eq!(w.load(Ordering::Relaxed), 1, "item {i} claimed wrong number of times");
+    }
+}
+
+#[test]
+fn concurrent_insert_remove_storm_converges() {
+    // Threads hammer disjoint-and-overlapping ranges with inserts and
+    // removes; afterwards the leaf truth must match a replayed model and
+    // summaries must be repaired.
+    let universe = 1u64 << 12;
+    let tree = VebTree::new(universe);
+
+    // Phase 1: every item inserted and removed many times, ending with
+    // inserts of even items only.
+    (0..universe).into_par_iter().for_each(|x| {
+        for _ in 0..20 {
+            tree.insert(x);
+            tree.remove(x);
+        }
+        if x % 2 == 0 {
+            tree.insert(x);
+        }
+    });
+
+    assert_eq!(tree.count(), universe / 2);
+    for x in 0..universe {
+        assert_eq!(tree.contains(x), x % 2 == 0, "item {x}");
+    }
+    // Successor over the quiescent tree must enumerate the evens.
+    let mut cur = 0;
+    let mut seen = 0;
+    while let Some(s) = tree.successor(cur) {
+        assert_eq!(s % 2, 0);
+        seen += 1;
+        cur = s + 1;
+    }
+    assert_eq!(seen, universe / 2);
+}
+
+#[test]
+fn claim_and_reinsert_churn_preserves_count() {
+    // Segment-tree usage pattern: threads claim an item, "use" it, insert
+    // it back. Total membership must be conserved.
+    let universe = 4096u64;
+    let tree = VebTree::new_full(universe);
+
+    (0..32u64).into_par_iter().for_each(|_| {
+        for _ in 0..2_000 {
+            if let Some(x) = tree.claim_first_ge(0) {
+                tree.insert(x);
+            }
+        }
+    });
+
+    assert_eq!(tree.count(), universe);
+    for x in 0..universe {
+        assert!(tree.contains(x));
+    }
+}
+
+#[test]
+fn contended_claims_front_and_back_partition_universe() {
+    // Half the threads claim from the front, half claim contiguous pairs
+    // from the back; claims must never overlap.
+    let universe = 1u64 << 12;
+    let tree = VebTree::new_full(universe);
+    let owned: Vec<AtomicU64> = (0..universe).map(|_| AtomicU64::new(0)).collect();
+
+    (0..256u64).into_par_iter().for_each(|i| {
+        if i % 2 == 0 {
+            for _ in 0..4 {
+                if let Some(x) = tree.claim_first_ge(0) {
+                    owned[x as usize].fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        } else {
+            for _ in 0..2 {
+                if let Some(s) = tree.claim_contiguous_from_back(2) {
+                    owned[s as usize].fetch_add(1, Ordering::Relaxed);
+                    owned[s as usize + 1].fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    });
+
+    for (i, w) in owned.iter().enumerate() {
+        assert!(w.load(Ordering::Relaxed) <= 1, "item {i} multiply claimed");
+    }
+    let claimed: u64 = owned.iter().map(|w| w.load(Ordering::Relaxed)).sum();
+    assert_eq!(tree.count(), universe - claimed);
+}
+
+#[test]
+fn successor_under_concurrent_mutation_stays_in_bounds() {
+    // Searches racing with mutations must never return out-of-universe or
+    // crash; values returned must have been members at some point.
+    let universe = 1u64 << 10;
+    let tree = VebTree::new(universe);
+    for x in (0..universe).step_by(3) {
+        tree.insert(x);
+    }
+
+    rayon::scope(|s| {
+        s.spawn(|_| {
+            for round in 0..50 {
+                for x in 0..universe {
+                    if (x + round) % 2 == 0 {
+                        tree.insert(x);
+                    } else {
+                        tree.remove(x);
+                    }
+                }
+            }
+        });
+        s.spawn(|_| {
+            for _ in 0..20_000 {
+                if let Some(v) = tree.successor(17) {
+                    assert!(v < universe && v >= 17);
+                }
+                if let Some(v) = tree.predecessor(universe - 17) {
+                    assert!(v <= universe - 17);
+                }
+            }
+        });
+    });
+}

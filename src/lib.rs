@@ -1,0 +1,32 @@
+//! # gallatin-repro
+//!
+//! Meta-package of the Gallatin (PPoPP 2024) reproduction workspace: it
+//! hosts the runnable examples (`examples/`) and the cross-crate
+//! integration tests (`tests/`), and re-exports the workspace crates for
+//! convenience.
+//!
+//! The interesting code lives in the member crates:
+//!
+//! * [`gpu_sim`] — the SIMT execution substrate (warps, device memory,
+//!   cooperative groups, the `DeviceAllocator` trait);
+//! * [`veb`] — the concurrent van Emde Boas tree;
+//! * [`gallatin`] — the Gallatin allocator itself;
+//! * [`allocators`] — the survey baselines (CUDA heap, Ouroboros, RegEff,
+//!   ScatterAlloc, XMalloc);
+//! * [`graph`] — the dynamic edge-list graph workload.
+//!
+//! See README.md for a tour and DESIGN.md for the reproduction plan.
+
+pub use allocators;
+pub use gallatin;
+pub use gpu_sim;
+pub use graph;
+pub use veb;
+
+/// Convenience prelude for examples and tests.
+pub mod prelude {
+    pub use gallatin::{Gallatin, GallatinConfig};
+    pub use gpu_sim::{
+        launch, launch_warps, DeviceAllocator, DeviceConfig, DevicePtr, LaneCtx, WarpCtx,
+    };
+}

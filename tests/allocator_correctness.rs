@@ -1,0 +1,179 @@
+//! Cross-crate integration: every allocator in the benchmark roster must
+//! satisfy the core correctness contract the survey harness assumes —
+//! live allocations never overlap, payloads survive until freed, resets
+//! restore capacity, exhaustion fails cleanly.
+
+use allocators::all_baselines;
+use gallatin::{Gallatin, GallatinConfig};
+use gpu_sim::{launch_warps, DeviceAllocator, DeviceConfig, DevicePtr};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const HEAP: u64 = 64 << 20;
+
+fn roster() -> Vec<Arc<dyn DeviceAllocator>> {
+    let mut v: Vec<Arc<dyn DeviceAllocator>> =
+        vec![Arc::new(Gallatin::new(GallatinConfig { heap_bytes: HEAP, ..Default::default() }))];
+    v.extend(all_baselines(HEAP));
+    v
+}
+
+/// Allocate / stamp / verify / free across many warps; stamp corruption
+/// would prove overlapping live allocations.
+fn storm(a: &dyn DeviceAllocator, threads: u64, size_for: impl Fn(u64) -> u64 + Sync) {
+    let corrupt = AtomicU64::new(0);
+    launch_warps(DeviceConfig::with_sms(16), threads, |warp| {
+        let n = warp.active as usize;
+        let sizes: Vec<Option<u64>> = (0..n)
+            .map(|l| {
+                let s = size_for(warp.base_tid + l as u64);
+                a.supports_size(s).then_some(s)
+            })
+            .collect();
+        let mut ptrs = vec![DevicePtr::NULL; n];
+        a.warp_malloc(warp, &sizes, &mut ptrs);
+        for (l, p) in ptrs.iter().enumerate() {
+            if !p.is_null() {
+                a.memory().write_stamp(*p, warp.base_tid + l as u64);
+            }
+        }
+        for (l, p) in ptrs.iter().enumerate() {
+            if !p.is_null() && a.memory().read_stamp(*p) != warp.base_tid + l as u64 {
+                corrupt.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        a.warp_free(warp, &ptrs);
+    });
+    assert_eq!(corrupt.load(Ordering::Relaxed), 0, "{}: overlapping allocations", a.name());
+}
+
+#[test]
+fn no_overlap_uniform_16b() {
+    for a in roster() {
+        if !a.is_managing() {
+            continue; // RegEff-AW double-allocates by design
+        }
+        storm(a.as_ref(), 4096, |_| 16);
+    }
+}
+
+#[test]
+fn no_overlap_mixed_sizes() {
+    for a in roster() {
+        if !a.is_managing() {
+            continue;
+        }
+        storm(a.as_ref(), 4096, |tid| 16 << (tid % 9));
+    }
+}
+
+#[test]
+fn repeated_rounds_with_reset() {
+    for a in roster() {
+        if !a.is_managing() {
+            continue;
+        }
+        for _ in 0..3 {
+            storm(a.as_ref(), 2048, |tid| 16 << (tid % 5));
+            a.reset();
+        }
+    }
+}
+
+#[test]
+fn exhaustion_returns_null_cleanly() {
+    // A deliberately tiny heap; over-subscription must produce NULLs,
+    // never panics or overlaps.
+    let small: Vec<Arc<dyn DeviceAllocator>> = {
+        let mut v: Vec<Arc<dyn DeviceAllocator>> = vec![Arc::new(Gallatin::new(
+            GallatinConfig { heap_bytes: 32 << 20, ..Default::default() },
+        ))];
+        v.extend(all_baselines(32 << 20));
+        v
+    };
+    for a in small {
+        if !a.is_managing() {
+            continue;
+        }
+        let failed = AtomicU64::new(0);
+        let got = AtomicU64::new(0);
+        launch_warps(DeviceConfig::with_sms(16), 16 * 1024, |warp| {
+            let n = warp.active as usize;
+            let sizes = vec![Some(4096u64); n];
+            let mut ptrs = vec![DevicePtr::NULL; n];
+            if !a.supports_size(4096) {
+                return;
+            }
+            a.warp_malloc(warp, &sizes, &mut ptrs);
+            for p in &ptrs {
+                if p.is_null() {
+                    failed.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    got.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            // Keep the memory: drive toward exhaustion.
+        });
+        // 16K × 4 KB = 64 MB demand against ≤32 MB heap: failures must
+        // occur for every managing allocator.
+        if a.supports_size(4096) {
+            assert!(
+                failed.load(Ordering::Relaxed) > 0,
+                "{}: expected exhaustion failures",
+                a.name()
+            );
+            assert!(got.load(Ordering::Relaxed) > 0, "{}: nothing allocated", a.name());
+        }
+        a.reset();
+    }
+}
+
+#[test]
+fn free_makes_memory_reusable() {
+    for a in roster() {
+        if !a.is_managing() {
+            continue;
+        }
+        // Two full rounds WITHOUT reset: the second round can only
+        // succeed if frees actually recycle (the paper's full-reuse
+        // criterion; P-series Ouroboros satisfies it for same-size).
+        for round in 0..2 {
+            let failed = AtomicU64::new(0);
+            launch_warps(DeviceConfig::with_sms(16), 2048, |warp| {
+                let n = warp.active as usize;
+                let sizes = vec![Some(256u64); n];
+                let mut ptrs = vec![DevicePtr::NULL; n];
+                a.warp_malloc(warp, &sizes, &mut ptrs);
+                for p in &ptrs {
+                    if p.is_null() {
+                        failed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                a.warp_free(warp, &ptrs);
+            });
+            assert_eq!(
+                failed.load(Ordering::Relaxed),
+                0,
+                "{}: failures in round {round}",
+                a.name()
+            );
+        }
+        a.reset();
+    }
+}
+
+#[test]
+fn stats_reserved_returns_to_zero() {
+    for a in roster() {
+        if !a.is_managing() {
+            continue;
+        }
+        storm(a.as_ref(), 1024, |tid| 16 << (tid % 4));
+        assert_eq!(
+            a.stats().reserved_bytes,
+            0,
+            "{}: reserved bytes leaked after full free",
+            a.name()
+        );
+    }
+}

@@ -1,0 +1,179 @@
+//! Integration tests for Gallatin's three pipelines interacting: slices,
+//! whole blocks, and multi-segment allocations sharing one heap, plus
+//! segment reclamation and cross-class reuse.
+
+use gallatin::{Gallatin, GallatinConfig};
+use gpu_sim::{launch, launch_warps, DeviceAllocator, DeviceConfig, DevicePtr, WarpCtx};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+fn host_lane_call<R>(f: impl FnOnce(&gpu_sim::LaneCtx) -> R) -> R {
+    let warp = WarpCtx { warp_id: 0, sm_id: 0, base_tid: 0, active: 1 };
+    f(&warp.lane(0))
+}
+
+#[test]
+fn all_three_pipelines_share_one_heap() {
+    // Default geometry: 16 MB segments, slices 16..4096, blocks 64K..16M.
+    let g = Gallatin::new(GallatinConfig { heap_bytes: 256 << 20, ..Default::default() });
+    host_lane_call(|l| {
+        let slice = g.malloc(l, 100); // slice pipeline (rounds to 128)
+        let block = g.malloc(l, 100 << 10); // block pipeline (128 KB block)
+        let large = g.malloc(l, 40 << 20); // 3 segments from the back
+        assert!(!slice.is_null() && !block.is_null() && !large.is_null());
+
+        // Small from the front, large from the back of the heap.
+        assert!(slice.0 < 32 << 20);
+        assert!(large.0 >= (256 - 48) << 20);
+
+        // All three payloads are live and disjoint.
+        g.memory().write_stamp(slice, 1);
+        g.memory().write_stamp(block, 2);
+        g.memory().write_stamp(large, 3);
+        assert_eq!(g.memory().read_stamp(slice), 1);
+        assert_eq!(g.memory().read_stamp(block), 2);
+        assert_eq!(g.memory().read_stamp(large), 3);
+
+        g.free(l, slice);
+        g.free(l, block);
+        g.free(l, large);
+        assert_eq!(g.stats().reserved_bytes, 0);
+    });
+}
+
+#[test]
+fn segments_recycle_across_classes() {
+    // Small heap: 4 segments. Fill with one class, free, then fill with
+    // another class — the same segments must be reformatted.
+    let g = Gallatin::new(GallatinConfig::small_test(256 << 10));
+    host_lane_call(|l| {
+        let mut ptrs = Vec::new();
+        loop {
+            let p = g.malloc(l, 16);
+            if p.is_null() {
+                break;
+            }
+            ptrs.push(p);
+        }
+        assert!(!ptrs.is_empty());
+        for p in ptrs.drain(..) {
+            g.free(l, p);
+        }
+        assert_eq!(g.free_segments(), 4, "all segments reclaimed");
+        // Now the other extreme: whole-heap allocation.
+        let big = g.malloc(l, 256 << 10);
+        assert!(!big.is_null(), "reformat-to-large failed");
+        g.free(l, big);
+    });
+}
+
+#[test]
+fn concurrent_mixed_pipeline_storm() {
+    let g = Gallatin::new(GallatinConfig { heap_bytes: 256 << 20, ..Default::default() });
+    let corrupt = AtomicU64::new(0);
+    launch_warps(DeviceConfig::with_sms(16), 2048, |warp| {
+        for lane in warp.lanes() {
+            let l = warp.lane(lane);
+            let tid = l.global_tid();
+            let size = match tid % 7 {
+                0..=3 => 16 << (tid % 9),   // slices
+                4 | 5 => 64 << 10,          // whole blocks
+                _ => 17 << 20,              // 2 segments
+            };
+            let p = g.malloc(&l, size);
+            if p.is_null() {
+                continue; // transient exhaustion on the large path is ok
+            }
+            g.memory().write_stamp(p, tid ^ 0x5eed);
+            if g.memory().read_stamp(p) != tid ^ 0x5eed {
+                corrupt.fetch_add(1, Ordering::Relaxed);
+            }
+            g.free(&l, p);
+        }
+    });
+    assert_eq!(corrupt.load(Ordering::Relaxed), 0);
+    assert_eq!(g.stats().reserved_bytes, 0);
+}
+
+#[test]
+fn slice_blocks_fully_recycle_under_churn() {
+    // Repeatedly allocate and free entire blocks' worth of slices; the
+    // allocator must sustain this indefinitely within a small heap.
+    let g = Gallatin::new(GallatinConfig::small_test(128 << 10)); // 2 segments
+    let spb = g.geometry().slices_per_block;
+    for _round in 0..50 {
+        let ptrs = Mutex::new(Vec::new());
+        let failed = AtomicU64::new(0);
+        launch(DeviceConfig::with_sms(4), spb, |l| {
+            let p = g.malloc(l, 16);
+            if p.is_null() {
+                failed.fetch_add(1, Ordering::Relaxed);
+            } else {
+                ptrs.lock().unwrap().push(p.0);
+            }
+        });
+        assert_eq!(failed.load(Ordering::Relaxed), 0, "churn exhausted the heap");
+        let v = ptrs.into_inner().unwrap();
+        launch(DeviceConfig::with_sms(4), v.len() as u64, |l| {
+            g.free(l, DevicePtr(v[l.global_tid() as usize]));
+        });
+    }
+    assert_eq!(g.stats().reserved_bytes, 0);
+}
+
+#[test]
+fn interleaved_large_and_small_never_overlap() {
+    let g = Gallatin::new(GallatinConfig { heap_bytes: 128 << 20, ..Default::default() });
+    // One task churns multi-segment allocations; others churn slices.
+    let corrupt = AtomicU64::new(0);
+    launch_warps(DeviceConfig::with_sms(8), 512, |warp| {
+        for lane in warp.lanes() {
+            let l = warp.lane(lane);
+            let tid = l.global_tid();
+            if tid % 64 == 0 {
+                let p = g.malloc(&l, 20 << 20); // 2 segments
+                if !p.is_null() {
+                    g.memory().write_stamp(p, tid);
+                    g.memory().write_stamp(p.offset((20 << 20) - 8), tid);
+                    if g.memory().read_stamp(p) != tid {
+                        corrupt.fetch_add(1, Ordering::Relaxed);
+                    }
+                    g.free(&l, p);
+                }
+            } else {
+                for _ in 0..20 {
+                    let p = g.malloc(&l, 64);
+                    if !p.is_null() {
+                        g.memory().write_stamp(p, tid);
+                        if g.memory().read_stamp(p) != tid {
+                            corrupt.fetch_add(1, Ordering::Relaxed);
+                        }
+                        g.free(&l, p);
+                    }
+                }
+            }
+        }
+    });
+    assert_eq!(corrupt.load(Ordering::Relaxed), 0);
+}
+
+#[test]
+fn geometry_inverse_mapping_on_live_allocations() {
+    // Every returned pointer must map back to the segment/block/slice it
+    // came from — the invariant `free` relies on (paper §5).
+    let g = Gallatin::new(GallatinConfig::small_test(1 << 20));
+    let geo = *g.geometry();
+    host_lane_call(|l| {
+        for size in [16u64, 32, 64, 128, 256] {
+            let p = g.malloc(l, size);
+            assert!(!p.is_null());
+            let class = geo.slice_class(size).unwrap();
+            let seg = geo.segment_of(p.0);
+            let block = geo.block_of(p.0, class);
+            let slice = geo.slice_of(p.0, class);
+            assert_eq!(geo.offset_of(seg, block, slice, class), p.0);
+            assert_eq!(p.0 % geo.slice_size(class), 0, "slice alignment");
+            g.free(l, p);
+        }
+    });
+}
