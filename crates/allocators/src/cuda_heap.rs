@@ -60,9 +60,9 @@ impl FirstFitHeap {
 
     /// First-fit allocation; the size header lives in `mem`.
     pub fn malloc(&self, mem: &DeviceMemory, size: u64, metrics: &Metrics) -> DevicePtr {
-        if size == 0 {
-            return DevicePtr::NULL;
-        }
+        // Zero-size requests take the minimum granule (the
+        // `DeviceAllocator::malloc` contract).
+        let size = size.max(1);
         let need = crate::util::align_up(size, 8) + HEADER;
         metrics.count_lock();
         let mut free = self.free.lock();
@@ -191,10 +191,7 @@ impl DeviceAllocator for CudaHeapSim {
     }
 
     fn stats(&self) -> AllocStats {
-        AllocStats {
-            heap_bytes: self.mem.len() as u64,
-            reserved_bytes: self.heap.reserved_bytes(),
-        }
+        AllocStats { heap_bytes: self.mem.len() as u64, reserved_bytes: self.heap.reserved_bytes() }
     }
 }
 
@@ -237,9 +234,14 @@ mod tests {
     }
 
     #[test]
-    fn zero_size_fails() {
+    fn zero_size_allocates_minimum_granule() {
         let h = CudaHeapSim::new(1 << 12);
-        assert!(h.raw_malloc(0).is_null());
+        let a = h.raw_malloc(0);
+        let b = h.raw_malloc(0);
+        assert!(!a.is_null() && !b.is_null());
+        assert_ne!(a.0, b.0, "zero-size allocations must be unique");
+        h.raw_free(a);
+        h.raw_free(b);
     }
 
     #[test]

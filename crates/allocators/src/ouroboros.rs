@@ -190,9 +190,7 @@ impl Ouroboros {
             kind,
             queue_kind,
             name: format!("Ouroboros-{series}-{q}"),
-            page_queues: (0..NUM_CLASSES)
-                .map(|c| Queue::new(queue_kind, max_pages >> c))
-                .collect(),
+            page_queues: (0..NUM_CLASSES).map(|c| Queue::new(queue_kind, max_pages >> c)).collect(),
             active: (0..NUM_CLASSES).map(|_| AtomicU64::new(0)).collect(),
             chunk_queue: Queue::new(queue_kind, num_chunks as usize),
             next_chunk: AtomicU64::new(0),
@@ -334,10 +332,9 @@ impl DeviceAllocator for Ouroboros {
     }
 
     fn malloc(&self, _ctx: &LaneCtx, size: u64) -> DevicePtr {
-        if size == 0 {
-            self.metrics.count_malloc(false);
-            return DevicePtr::NULL;
-        }
+        // Zero-size requests take the minimum granule (the
+        // `DeviceAllocator::malloc` contract).
+        let size = size.max(1);
         let ptr = if size <= CHUNK_BYTES {
             self.native_malloc(size)
         } else {
@@ -371,8 +368,7 @@ impl DeviceAllocator for Ouroboros {
             self.fallback.free(&self.mem, ptr, &self.metrics);
         } else {
             let chunk = ptr.0 / CHUNK_BYTES;
-            let class =
-                self.chunk_meta[chunk as usize].class.load(Ordering::Acquire) as usize;
+            let class = self.chunk_meta[chunk as usize].class.load(Ordering::Acquire) as usize;
             self.reserved.fetch_sub(class_size(class, MIN_PAGE), Ordering::Relaxed);
             self.native_free(ptr);
         }
@@ -529,12 +525,8 @@ mod tests {
 
     #[test]
     fn large_requests_use_capped_fallback() {
-        let a = Ouroboros::with_reserve(
-            1 << 20,
-            OuroborosKind::Chunk,
-            QueueKind::Static,
-            128 << 10,
-        );
+        let a =
+            Ouroboros::with_reserve(1 << 20, OuroborosKind::Chunk, QueueKind::Static, 128 << 10);
         with_lane(|l| {
             assert_eq!(a.max_native_size(), 8192);
             let big = a.malloc(l, 64 << 10);

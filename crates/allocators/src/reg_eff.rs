@@ -193,7 +193,9 @@ impl RegEff {
             if state == LOCKED {
                 // A claimer is mid-split; the window is two stores, so
                 // wait it out rather than hopping the stale extent.
-                std::hint::spin_loop();
+                // (Preemption point: under deterministic scheduling the
+                // mid-split claimer may be parked and must get the turn.)
+                gpu_sim::spin_hint();
                 traveled += 1;
                 if traveled > budget {
                     return DevicePtr::NULL;
@@ -255,10 +257,7 @@ impl RegEff {
         let (state, mut size) = unpack(header);
         assert_eq!(state, USED, "free of non-allocated pointer at {}", ptr.0);
         self.reserved.fetch_sub(size + HEADER, Ordering::Relaxed);
-        let r = self
-            .bounds
-            .partition_point(|&b| b <= pos)
-            .saturating_sub(1);
+        let r = self.bounds.partition_point(|&b| b <= pos).saturating_sub(1);
         let hi = self.bounds[r + 1];
         if self.variant.coalesces() {
             // Fused: absorb following free chunks (bounded walk).
@@ -299,11 +298,9 @@ impl DeviceAllocator for RegEff {
     }
 
     fn malloc(&self, ctx: &LaneCtx, size: u64) -> DevicePtr {
-        if size == 0 {
-            self.metrics.count_malloc(false);
-            return DevicePtr::NULL;
-        }
-        let need = align_up(size, 8);
+        // Zero-size requests take the minimum granule (the
+        // `DeviceAllocator::malloc` contract).
+        let need = align_up(size.max(1), 8);
         let ptr = match self.variant {
             RegEffVariant::AW => {
                 // One atomicAdd, wrapping; never fails, never manages.
@@ -368,7 +365,7 @@ impl DeviceAllocator for RegEff {
     }
 
     fn supports_size(&self, size: u64) -> bool {
-        size > 0 && size <= self.max_native_size()
+        size <= self.max_native_size()
     }
 
     fn is_managing(&self) -> bool {
@@ -434,7 +431,7 @@ mod tests {
             let p = a.malloc(l, 32);
             assert!(!p.is_null());
             a.free(l, p); // no-op
-            // AW never runs out: it wraps.
+                          // AW never runs out: it wraps.
             for _ in 0..10_000 {
                 assert!(!a.malloc(l, 512).is_null());
             }

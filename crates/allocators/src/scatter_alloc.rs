@@ -149,10 +149,12 @@ impl DeviceAllocator for ScatterAlloc {
     }
 
     fn malloc(&self, ctx: &LaneCtx, size: u64) -> DevicePtr {
-        if size == 0 || size > PAGE_SIZE {
+        if size > PAGE_SIZE {
             self.metrics.count_malloc(false);
             return DevicePtr::NULL;
         }
+        // size == 0 rounds up to MIN_CHUNK here: zero-size requests take
+        // the minimum granule (the `DeviceAllocator::malloc` contract).
         let chunk = size.next_power_of_two().max(MIN_CHUNK);
         let chunks_per_page = PAGE_SIZE / chunk;
         let base_hash = splitmix(ctx.warp.warp_id ^ (chunk << 40));
@@ -217,8 +219,8 @@ impl DeviceAllocator for ScatterAlloc {
         let chunk = meta.chunk_size.load(Ordering::Acquire) as u64;
         assert!(chunk >= MIN_CHUNK, "free into an undedicated page");
         let slot = (ptr.0 % PAGE_SIZE) / chunk;
-        let prev = meta.bitmap[(slot / 64) as usize]
-            .fetch_and(!(1 << (slot % 64)), Ordering::AcqRel);
+        let prev =
+            meta.bitmap[(slot / 64) as usize].fetch_and(!(1 << (slot % 64)), Ordering::AcqRel);
         self.metrics.count_rmw();
         assert!(prev & (1 << (slot % 64)) != 0, "double free of chunk {slot} in page {page}");
         meta.count.fetch_sub(1, Ordering::AcqRel);
@@ -247,7 +249,7 @@ impl DeviceAllocator for ScatterAlloc {
     }
 
     fn supports_size(&self, size: u64) -> bool {
-        size > 0 && size <= PAGE_SIZE
+        size <= PAGE_SIZE
     }
 
     fn metrics(&self) -> Option<&Metrics> {
@@ -299,9 +301,13 @@ mod tests {
         with_lane(|l| {
             assert!(!a.malloc(l, PAGE_SIZE).is_null());
             assert!(a.malloc(l, PAGE_SIZE + 1).is_null());
-            assert!(a.malloc(l, 0).is_null());
+            // Zero-size requests succeed with a minimum-chunk allocation.
+            let z = a.malloc(l, 0);
+            assert!(!z.is_null());
+            a.free(l, z);
         });
         assert!(a.supports_size(8192));
+        assert!(a.supports_size(0));
         assert!(!a.supports_size(PAGE_SIZE + 1));
     }
 

@@ -56,8 +56,7 @@ impl OffsetStack {
         loop {
             link(off, head & OFF_MASK);
             let new = Self::pack((head >> 48).wrapping_add(1), off);
-            match self.head.compare_exchange_weak(head, new, Ordering::AcqRel, Ordering::Acquire)
-            {
+            match self.head.compare_exchange_weak(head, new, Ordering::AcqRel, Ordering::Acquire) {
                 Ok(_) => return,
                 Err(h) => head = h,
             }
@@ -74,8 +73,7 @@ impl OffsetStack {
             }
             let succ = next(off) & OFF_MASK;
             let new = Self::pack((head >> 48).wrapping_add(1), succ);
-            match self.head.compare_exchange_weak(head, new, Ordering::AcqRel, Ordering::Acquire)
-            {
+            match self.head.compare_exchange_weak(head, new, Ordering::AcqRel, Ordering::Acquire) {
                 Ok(_) => return Some(off),
                 Err(h) => head = h,
             }

@@ -61,9 +61,7 @@ impl XMalloc {
             + 1) as usize;
         XMalloc {
             mem: DeviceMemory::new(heap_bytes as usize),
-            tier1: (0..classes)
-                .map(|_| std::array::from_fn(|_| OffsetStack::new()))
-                .collect(),
+            tier1: (0..classes).map(|_| std::array::from_fn(|_| OffsetStack::new())).collect(),
             stacks: (0..classes).map(|_| OffsetStack::new()).collect(),
             bump: AtomicU64::new(0),
             reserved: AtomicU64::new(0),
@@ -120,8 +118,7 @@ impl XMalloc {
     /// `sizes[i]` are the per-lane byte counts; returns per-lane pointers.
     fn combined_malloc(&self, warp_hash: u64, sizes: &[u64]) -> Vec<DevicePtr> {
         debug_assert!(!sizes.is_empty());
-        let lane_spans: Vec<u64> =
-            sizes.iter().map(|&s| LANE_HEADER + align_up(s, 16)).collect();
+        let lane_spans: Vec<u64> = sizes.iter().map(|&s| LANE_HEADER + align_up(s, 16)).collect();
         let payload: u64 = lane_spans.iter().sum();
         let combined = COMBINED_HEADER + payload;
         let Some((base, class)) = self.get_combined(warp_hash, combined) else {
@@ -159,10 +156,8 @@ impl DeviceAllocator for XMalloc {
     }
 
     fn malloc(&self, _ctx: &LaneCtx, size: u64) -> DevicePtr {
-        if size == 0 {
-            self.metrics.count_malloc(false);
-            return DevicePtr::NULL;
-        }
+        // Zero-size requests are valid (the `DeviceAllocator::malloc`
+        // contract): the lane header alone makes the pointer unique.
         self.combined_malloc(_ctx.warp.warp_id, &[size])[0]
     }
 
@@ -191,10 +186,7 @@ impl DeviceAllocator for XMalloc {
     /// one combined allocation.
     fn warp_malloc(&self, warp: &WarpCtx, sizes: &[Option<u64>], out: &mut [DevicePtr]) {
         debug_assert_eq!(sizes.len(), warp.active as usize);
-        let lanes: Vec<usize> = warp
-            .lanes()
-            .filter(|&l| sizes[l].is_some_and(|s| s > 0))
-            .collect();
+        let lanes: Vec<usize> = warp.lanes().filter(|&l| sizes[l].is_some()).collect();
         for p in out.iter_mut() {
             *p = DevicePtr::NULL;
         }
@@ -261,8 +253,7 @@ mod tests {
         a.warp_malloc(&warp, &sizes, &mut out);
         assert!(out.iter().all(|p| !p.is_null()));
         // All eight live in one combined region: same recorded base.
-        let bases: Vec<u64> =
-            out.iter().map(|p| a.mem.load_u64(p.0 - LANE_HEADER)).collect();
+        let bases: Vec<u64> = out.iter().map(|p| a.mem.load_u64(p.0 - LANE_HEADER)).collect();
         assert!(bases.windows(2).all(|w| w[0] == w[1]));
         // Payloads are disjoint.
         for w in out.windows(2) {
@@ -310,11 +301,17 @@ mod tests {
     }
 
     #[test]
-    fn zero_and_oversize_fail() {
+    fn zero_allocates_and_oversize_fails() {
         let a = XMalloc::new(1 << 16);
         let warp = warp_of(1);
         let l = warp.lane(0);
-        assert!(a.malloc(&l, 0).is_null());
+        // Zero-size requests succeed with a unique lane slot.
+        let x = a.malloc(&l, 0);
+        let y = a.malloc(&l, 0);
+        assert!(!x.is_null() && !y.is_null());
+        assert_ne!(x.0, y.0);
+        a.free(&l, x);
+        a.free(&l, y);
         assert!(a.malloc(&l, 1 << 20).is_null());
     }
 

@@ -4,7 +4,7 @@
 //! (`tests/allocator_model.rs` at the workspace root).
 
 use allocators::all_baselines;
-use gpu_sim::{DeviceAllocator, DevicePtr, WarpCtx};
+use gpu_sim::{launch_warps, DeviceAllocator, DeviceConfig, DevicePtr, WarpCtx};
 use proptest::prelude::*;
 
 const HEAP: u64 = 8 << 20;
@@ -103,5 +103,92 @@ proptest! {
     #[test]
     fn scatter_xmalloc_contract(ops in prop::collection::vec(op_strategy(), 1..200)) {
         run_contract(|n| n == "ScatterAlloc" || n == "XMalloc", &ops)?;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent contract: the same malloc/stamp/verify/free discipline run by
+// many warps at once, under both execution modes. The deterministic runs use
+// a small fixed seed set; a failing seed reproduces with
+// `GALLATIN_SCHED_SEED=<seed>` (see TESTING.md).
+// ---------------------------------------------------------------------------
+
+const CONCURRENT_THREADS: u64 = 256;
+const ROUNDS: u64 = 4;
+const SEEDS: [u64; 3] = [1, 7, 42];
+
+/// Run the concurrent contract kernel on `a` under `cfg`: every lane does
+/// [`ROUNDS`] iterations of warp-coalesced malloc → stamp → verify → free,
+/// sizes drawn deterministically from the menu (filtered through
+/// `supports_size` so chunk-limited baselines skip what they cannot serve).
+/// Afterwards the allocator must report zero reserved bytes and pass its
+/// own invariant check.
+fn run_concurrent_contract(a: &dyn DeviceAllocator, cfg: DeviceConfig) {
+    launch_warps(cfg, CONCURRENT_THREADS, |warp| {
+        let n = warp.active as usize;
+        let mut ptrs = vec![DevicePtr::NULL; n];
+        for round in 0..ROUNDS {
+            // Per-(warp, lane, round) size choice is a pure function, so a
+            // replayed schedule re-issues the identical request sequence.
+            let sizes: Vec<Option<u64>> = (0..n)
+                .map(|lane| {
+                    let idx = (warp.warp_id * 31 + lane as u64 * 7 + round * 13) % 10;
+                    let size = menu(idx as u8);
+                    a.supports_size(size).then_some(size)
+                })
+                .collect();
+            a.warp_malloc(warp, &sizes, &mut ptrs);
+            let stamp_of = |lane: usize| (round << 32) | (warp.base_tid + lane as u64 + 1);
+            for lane in 0..n {
+                if !ptrs[lane].is_null() {
+                    a.memory().write_stamp(ptrs[lane], stamp_of(lane));
+                }
+            }
+            // Every stamp must survive until the free: a clobber means two
+            // live allocations overlap.
+            for lane in 0..n {
+                if !ptrs[lane].is_null() {
+                    assert_eq!(
+                        a.memory().read_stamp(ptrs[lane]),
+                        stamp_of(lane),
+                        "{}: stamp clobbered (overlap)",
+                        a.name()
+                    );
+                }
+            }
+            a.warp_free(warp, &ptrs);
+        }
+    });
+    assert_eq!(a.stats().reserved_bytes, 0, "{}: leak after concurrent contract", a.name());
+    if let Err(e) = a.check_invariants() {
+        panic!("{}: invariant violation after concurrent contract:\n{e}", a.name());
+    }
+}
+
+/// Every baseline survives the concurrent contract under the free-running
+/// rayon pool.
+#[test]
+fn concurrent_contract_pool_mode() {
+    for a in all_baselines(HEAP) {
+        if !a.is_managing() {
+            continue;
+        }
+        run_concurrent_contract(a.as_ref(), DeviceConfig::with_sms(4));
+    }
+}
+
+/// Every baseline survives the concurrent contract under the deterministic
+/// scheduler for each seed in the fixed set, resetting between seeds so
+/// each schedule starts from a pristine heap.
+#[test]
+fn concurrent_contract_deterministic_seeds() {
+    for a in all_baselines(HEAP) {
+        if !a.is_managing() {
+            continue;
+        }
+        for seed in SEEDS {
+            run_concurrent_contract(a.as_ref(), DeviceConfig::with_sms(4).seeded(seed));
+            a.reset();
+        }
     }
 }

@@ -12,20 +12,16 @@ fn bench_veb(c: &mut Criterion) {
     group.sample_size(20);
     for universe in [4096u64, 262_144, 16_777_216] {
         group.throughput(Throughput::Elements(10_000));
-        group.bench_with_input(
-            BenchmarkId::new("insert_remove", universe),
-            &universe,
-            |b, &u| {
-                let t = VebTree::new(u);
-                b.iter(|| {
-                    for i in 0..10_000u64 {
-                        let x = (i * 2_654_435_761) % u;
-                        t.insert(x);
-                        t.remove(x);
-                    }
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("insert_remove", universe), &universe, |b, &u| {
+            let t = VebTree::new(u);
+            b.iter(|| {
+                for i in 0..10_000u64 {
+                    let x = (i * 2_654_435_761) % u;
+                    t.insert(x);
+                    t.remove(x);
+                }
+            });
+        });
         group.bench_with_input(BenchmarkId::new("successor", universe), &universe, |b, &u| {
             let t = VebTree::new(u);
             for i in (0..u).step_by((u / 1024).max(1) as usize) {
@@ -42,20 +38,16 @@ fn bench_veb(c: &mut Criterion) {
                 acc
             });
         });
-        group.bench_with_input(
-            BenchmarkId::new("claim_reinsert", universe),
-            &universe,
-            |b, &u| {
-                let t = VebTree::new_full(u);
-                b.iter(|| {
-                    for _ in 0..10_000 {
-                        if let Some(x) = t.claim_first_ge(0) {
-                            t.insert(x);
-                        }
+        group.bench_with_input(BenchmarkId::new("claim_reinsert", universe), &universe, |b, &u| {
+            let t = VebTree::new_full(u);
+            b.iter(|| {
+                for _ in 0..10_000 {
+                    if let Some(x) = t.claim_first_ge(0) {
+                        t.insert(x);
                     }
-                });
-            },
-        );
+                }
+            });
+        });
     }
     group.finish();
 

@@ -24,8 +24,7 @@ pub fn run_fragmentation(cfg: &HarnessConfig) {
     for_each_allocator(cfg.heap_bytes, cfg.num_sms, |ai, a| {
         for (mi, mixed) in [false, true].into_iter().enumerate() {
             for (si, &size) in FRAG_SIZES.iter().enumerate() {
-                let spec =
-                    if mixed { SizeSpec::MixedUpTo(size) } else { SizeSpec::Fixed(size) };
+                let spec = if mixed { SizeSpec::MixedUpTo(size) } else { SizeSpec::Fixed(size) };
                 if !a.supports_size(size) || a.heap_bytes() < cfg.threads * size {
                     continue;
                 }

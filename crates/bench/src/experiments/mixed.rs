@@ -25,14 +25,8 @@ pub fn run_mixed(cfg: &HarnessConfig) {
             if !a.supports_size(upper) || a.heap_bytes() < cfg.threads * upper {
                 continue;
             }
-            let m = measure(
-                a,
-                cfg.device(),
-                cfg.threads,
-                SizeSpec::MixedUpTo(upper),
-                cfg.runs,
-                false,
-            );
+            let m =
+                measure(a, cfg.device(), cfg.threads, SizeSpec::MixedUpTo(upper), cfg.runs, false);
             let suffix = if m.corrupt > 0 {
                 "!"
             } else if m.failed > 0 {

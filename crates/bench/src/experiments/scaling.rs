@@ -31,8 +31,7 @@ pub fn run_scaling(cfg: &HarnessConfig) {
                 if !a.supports_size(size) || a.heap_bytes() < threads * size {
                     continue;
                 }
-                let m =
-                    measure(a, cfg.device(), threads, SizeSpec::Fixed(size), cfg.runs, false);
+                let m = measure(a, cfg.device(), threads, SizeSpec::Fixed(size), cfg.runs, false);
                 let suffix = if m.corrupt > 0 {
                     "!"
                 } else if m.failed > 0 {

@@ -28,8 +28,7 @@ pub fn run_single(cfg: &HarnessConfig) {
             if !a.supports_size(size) || a.heap_bytes() < cfg.threads * size {
                 continue;
             }
-            let m =
-                measure(a, cfg.device(), cfg.threads, SizeSpec::Fixed(size), cfg.runs, false);
+            let m = measure(a, cfg.device(), cfg.threads, SizeSpec::Fixed(size), cfg.runs, false);
             let suffix = if m.corrupt > 0 {
                 "!"
             } else if m.failed > 0 {
@@ -92,8 +91,7 @@ pub fn run_warmup(cfg: &HarnessConfig) {
             }
             let cold =
                 measure(a, cfg.device(), cfg.threads, SizeSpec::Fixed(size), cfg.runs, false);
-            let warm =
-                measure(a, cfg.device(), cfg.threads, SizeSpec::Fixed(size), cfg.runs, true);
+            let warm = measure(a, cfg.device(), cfg.threads, SizeSpec::Fixed(size), cfg.runs, true);
             row.push(fmt_ms(cold.median_alloc_ms()));
             row.push(if warm.failed > 0 {
                 // P-series style: cannot serve repeated rounds without

@@ -27,11 +27,7 @@ const TIME_BUDGET: Duration = Duration::from_secs(15);
 
 /// Allocate batches of `size` until failure or time-out; returns the
 /// success count and whether the budget expired first.
-fn fill_until_oom(
-    a: &dyn gpu_sim::DeviceAllocator,
-    cfg: &HarnessConfig,
-    size: u64,
-) -> (u64, bool) {
+fn fill_until_oom(a: &dyn gpu_sim::DeviceAllocator, cfg: &HarnessConfig, size: u64) -> (u64, bool) {
     a.reset();
     let succeeded = AtomicU64::new(0);
     let cap = a.heap_bytes() / size + BATCH; // safety stop
@@ -86,10 +82,8 @@ pub fn run_utilization(cfg: &HarnessConfig) {
     // Second table: utilization charged with any CUDA-heap reserve the
     // allocator keeps besides its main pool (the paper's §6.11 footnote:
     // counting the 500 MB reserve puts Ouroboros below Gallatin).
-    let mut adj_tab = Table::new(
-        "Fig 6c (adjusted) — utilization counting the CUDA-heap reserve",
-        &hdr_refs,
-    );
+    let mut adj_tab =
+        Table::new("Fig 6c (adjusted) — utilization counting the CUDA-heap reserve", &hdr_refs);
 
     // grid[size_idx][alloc_idx] = (cell, adjusted cell)
     let mut grid =
@@ -104,19 +98,12 @@ pub fn run_utilization(cfg: &HarnessConfig) {
             let (got, timed_out) = fill_until_oom(a.as_ref(), cfg, size);
             let theoretical = a.heap_bytes() / SizeSpec::Fixed(size).size_for(0).max(1);
             let util = got as f64 / theoretical as f64;
-            let cell = if timed_out {
-                format!("{} t/o", fmt_pct(util))
-            } else {
-                fmt_pct(util)
-            };
+            let cell = if timed_out { format!("{} t/o", fmt_pct(util)) } else { fmt_pct(util) };
             // The reserve-adjusted figure: Ouroboros keeps a quarter of
             // its arena (cap 500 MB) as CUDA fallback; for others the two
             // figures coincide because the whole arena is the allocator.
-            let extra = if name.starts_with("Ouroboros") {
-                (a.heap_bytes() / 4).min(500 << 20)
-            } else {
-                0
-            };
+            let extra =
+                if name.starts_with("Ouroboros") { (a.heap_bytes() / 4).min(500 << 20) } else { 0 };
             let adj_util = got as f64 / ((a.heap_bytes() + extra) / size) as f64;
             grid[si][ai] = (cell, fmt_pct(adj_util));
             a.reset();

@@ -23,8 +23,7 @@ pub fn run_variance(cfg: &HarnessConfig) {
             if !a.supports_size(size) || a.heap_bytes() < cfg.threads * size {
                 continue;
             }
-            let m =
-                measure(a, cfg.device(), cfg.threads, SizeSpec::Fixed(size), cfg.runs, false);
+            let m = measure(a, cfg.device(), cfg.threads, SizeSpec::Fixed(size), cfg.runs, false);
             grid[si][ai] =
                 (format!("{:.5}", m.alloc_variance()), format!("{:.5}", m.free_variance()));
         }
@@ -33,10 +32,7 @@ pub fn run_variance(cfg: &HarnessConfig) {
     let mut headers = vec!["size B", "op"];
     headers.extend(names.iter().copied());
     let mut tab = Table::new(
-        format!(
-            "§6.8 — latency variance across {} runs, {} threads (ms²)",
-            cfg.runs, cfg.threads
-        ),
+        format!("§6.8 — latency variance across {} runs, {} threads (ms²)", cfg.runs, cfg.threads),
         &headers,
     );
     for (si, &size) in VARIANCE_SIZES.iter().enumerate() {

@@ -7,11 +7,7 @@ use std::sync::Arc;
 
 /// Gallatin configured for the harness's heap and SM count.
 pub fn gallatin(heap_bytes: u64, num_sms: u32) -> Gallatin {
-    Gallatin::new(GallatinConfig {
-        heap_bytes,
-        num_sms,
-        ..GallatinConfig::default()
-    })
+    Gallatin::new(GallatinConfig { heap_bytes, num_sms, ..GallatinConfig::default() })
 }
 
 /// The full roster: Gallatin first, then every survey baseline, in the
@@ -80,8 +76,11 @@ pub fn expansion_roster(heap_bytes: u64, num_sms: u32) -> Vec<Arc<dyn DeviceAllo
         .into_iter()
         .map(|a| -> Arc<dyn DeviceAllocator> {
             if a.name().starts_with("Ouroboros-") {
-                let kind =
-                    if a.name().contains("-C-") { OuroborosKind::Chunk } else { OuroborosKind::Page };
+                let kind = if a.name().contains("-C-") {
+                    OuroborosKind::Chunk
+                } else {
+                    OuroborosKind::Page
+                };
                 let queue = if a.name().ends_with("-VA") {
                     QueueKind::VirtArray
                 } else if a.name().ends_with("-VL") {

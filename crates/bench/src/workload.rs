@@ -78,8 +78,7 @@ pub fn run_alloc_free(
     sizes: SizeSpec,
     validate: bool,
 ) -> RunResult {
-    let ptrs: Vec<AtomicU64> =
-        (0..threads).map(|_| AtomicU64::new(DevicePtr::NULL.0)).collect();
+    let ptrs: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(DevicePtr::NULL.0)).collect();
     let failed = AtomicU64::new(0);
     let corrupt = AtomicU64::new(0);
     let min_addr = AtomicU64::new(u64::MAX);
@@ -263,14 +262,8 @@ mod tests {
     #[test]
     fn protocol_runs_clean_on_gallatin() {
         let a = gallatin(64 << 20, 8);
-        let m = measure(
-            &a,
-            gpu_sim::DeviceConfig::with_sms(8),
-            2048,
-            SizeSpec::Fixed(64),
-            3,
-            false,
-        );
+        let m =
+            measure(&a, gpu_sim::DeviceConfig::with_sms(8), 2048, SizeSpec::Fixed(64), 3, false);
         assert_eq!(m.alloc_ms.len(), 3);
         assert_eq!(m.failed, 0, "no failures expected");
         assert_eq!(m.corrupt, 0, "no overlapping allocations");

@@ -22,9 +22,7 @@ impl BlockBuffer {
     /// A buffer with `slots` slots, all empty.
     pub fn new(slots: u32) -> Self {
         assert!(slots > 0);
-        BlockBuffer {
-            slots: (0..slots).map(|_| AtomicU64::new(EMPTY_SLOT)).collect(),
-        }
+        BlockBuffer { slots: (0..slots).map(|_| AtomicU64::new(EMPTY_SLOT)).collect() }
     }
 
     /// Number of slots each class gets: `num_sms >> class`, floored at
@@ -70,9 +68,7 @@ impl BlockBuffer {
     /// thread that took the block's last slice). Returns whether this
     /// thread performed the swap.
     pub fn try_replace(&self, sm_id: u32, old: BlockHandle, new: BlockHandle) -> bool {
-        self.slot(sm_id)
-            .compare_exchange(old.0, new.0, Ordering::AcqRel, Ordering::Acquire)
-            .is_ok()
+        self.slot(sm_id).compare_exchange(old.0, new.0, Ordering::AcqRel, Ordering::Acquire).is_ok()
     }
 
     /// Clear `old` out of the slot (used when no replacement block could

@@ -94,10 +94,14 @@ impl GallatinConfig {
     /// Panics with a descriptive message on any inconsistent combination.
     pub fn geometry(&self) -> Geometry {
         assert!(self.segment_bytes.is_power_of_two(), "segment_bytes must be a power of two");
-        assert!(self.min_slice.is_power_of_two() && self.min_slice >= 8,
-            "min_slice must be a power of two ≥ 8");
-        assert!(self.max_slice.is_power_of_two() && self.max_slice >= self.min_slice,
-            "max_slice must be a power of two ≥ min_slice");
+        assert!(
+            self.min_slice.is_power_of_two() && self.min_slice >= 8,
+            "min_slice must be a power of two ≥ 8"
+        );
+        assert!(
+            self.max_slice.is_power_of_two() && self.max_slice >= self.min_slice,
+            "max_slice must be a power of two ≥ min_slice"
+        );
         assert!(self.slices_per_block.is_power_of_two(), "slices_per_block must be a power of two");
         assert!(
             self.max_slice * self.slices_per_block <= self.segment_bytes,
@@ -106,7 +110,8 @@ impl GallatinConfig {
             self.segment_bytes
         );
         assert!(
-            self.heap_bytes >= self.segment_bytes && self.heap_bytes.is_multiple_of(self.segment_bytes),
+            self.heap_bytes >= self.segment_bytes
+                && self.heap_bytes.is_multiple_of(self.segment_bytes),
             "heap_bytes must be a positive multiple of segment_bytes"
         );
         assert!(self.num_sms > 0 && self.min_buffer_slots > 0);
@@ -308,10 +313,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "largest block")]
     fn oversized_block_rejected() {
-        let cfg = GallatinConfig {
-            max_slice: 8192,
-            ..GallatinConfig::default()
-        };
+        let cfg = GallatinConfig { max_slice: 8192, ..GallatinConfig::default() };
         cfg.geometry();
     }
 

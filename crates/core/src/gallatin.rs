@@ -17,8 +17,8 @@
 
 use crate::buffer::BlockBuffer;
 use crate::config::{GallatinConfig, Geometry};
-use crate::table::{BlockHandle, MemoryTable, LARGE_BASE, LARGE_BODY, TREE_FREE};
 use crate::index::SegmentIndex;
+use crate::table::{BlockHandle, MemoryTable, LARGE_BASE, LARGE_BODY, TREE_FREE};
 use gpu_sim::{AllocStats, DeviceAllocator, DeviceMemory, DevicePtr, LaneCtx, Metrics, WarpCtx};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -80,6 +80,14 @@ impl Gallatin {
         self.segment_tree.count()
     }
 
+    /// Raw access to the memory table, for tests and diagnostic tools
+    /// (e.g. corrupting a `tree_id` to exercise [`Self::check_invariants`]).
+    /// Not part of the allocation API.
+    #[doc(hidden)]
+    pub fn table(&self) -> &MemoryTable {
+        &self.table
+    }
+
     /// Release the block-buffer *wavefront*: every block cached in a
     /// per-SM buffer slot that has served no live slices is returned to
     /// its segment's ring (and the segment to the segment tree when that
@@ -119,8 +127,7 @@ impl Gallatin {
                     let spb = self.geo.slices_per_block;
                     meta.malloc_ctr[block as usize].store(spb as u32, Ordering::Relaxed);
                     let credit = (spb - served) as u32;
-                    let prev =
-                        meta.free_ctr[block as usize].fetch_add(credit, Ordering::AcqRel);
+                    let prev = meta.free_ctr[block as usize].fetch_add(credit, Ordering::AcqRel);
                     if (prev + credit) as u64 == spb {
                         // All live slices were freed between our loads:
                         // recycle now.
@@ -133,6 +140,248 @@ impl Gallatin {
             }
         }
         reclaimed
+    }
+
+    // ==================================================================
+    // Invariant checking (host-side diagnostics)
+    // ==================================================================
+
+    /// Walk the segment tree, block trees, memory table, and per-SM block
+    /// buffers and verify the cross-structure invariants of paper §4–5:
+    ///
+    /// 1. each segment has exactly one owner — `tree_id` is `TREE_FREE`
+    ///    iff the segment is in the segment tree, and a segment in a block
+    ///    tree is formatted for exactly that class;
+    /// 2. freed segments are drained — a `TREE_FREE` segment's ring holds
+    ///    every block of its previous format, with no live slices and no
+    ///    whole-block bits outstanding;
+    /// 3. every block of a formatted segment is accounted for exactly
+    ///    once: waiting in the ring, handed out wholesale, cached in a
+    ///    per-SM buffer, or carrying live slices;
+    /// 4. every buffered block belongs to a segment whose `tree_id`
+    ///    matches the buffer's class;
+    /// 5. the `reserved` counter equals the byte total implied by live
+    ///    slices, whole blocks, and large allocations.
+    ///
+    /// Like [`Gallatin::trim`], this must only run while the allocator is
+    /// quiescent (a host-side maintenance point between kernels). All
+    /// violations are collected before returning, so one corruption
+    /// reports its full blast radius in a single `Err`.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        use std::collections::{HashMap, HashSet};
+        let geo = &self.geo;
+        let spb = geo.slices_per_block;
+        let mut errors: Vec<String> = Vec::new();
+
+        // Per-SM buffers (invariant 4), collecting each segment's cached
+        // blocks for the ownership accounting below. `current(i)` for
+        // i < num_slots visits each slot exactly once (identity under the
+        // modular SM mapping).
+        let mut buffered: HashMap<u64, HashSet<u64>> = HashMap::new();
+        for (class, buffer) in self.buffers.iter().enumerate() {
+            for i in 0..buffer.num_slots() {
+                let Some(handle) = buffer.current(i) else { continue };
+                let seg = handle.segment(geo.max_blocks);
+                let block = handle.block(geo.max_blocks);
+                if seg >= geo.num_segments || block >= geo.blocks_per_segment(class) {
+                    errors.push(format!(
+                        "buffer[class {class}] slot {i} holds out-of-range block {seg}/{block}"
+                    ));
+                    continue;
+                }
+                let id = self.table.seg(seg).ldcv_tree_id();
+                if id != class as u32 {
+                    errors.push(format!(
+                        "buffer[class {class}] slot {i} caches block {block} of segment \
+                         {seg}, whose tree_id is {id}"
+                    ));
+                }
+                if !buffered.entry(seg).or_default().insert(block) {
+                    errors.push(format!("block {seg}/{block} is cached in two buffer slots"));
+                }
+            }
+        }
+
+        let empty = HashSet::new();
+        let mut computed_reserved: u64 = 0;
+        // LARGE_BODY segments still owed to the most recent large head.
+        let mut expect_body = 0u64;
+        for seg in 0..geo.num_segments {
+            let meta = self.table.seg(seg);
+            let id = meta.ldcv_tree_id();
+            let in_seg_tree = self.segment_tree.contains(seg);
+            for (c, tree) in self.block_trees.iter().enumerate() {
+                if tree.contains(seg) && id != c as u32 {
+                    errors.push(format!(
+                        "segment {seg} is in block tree {c} but its tree_id is {id}"
+                    ));
+                }
+            }
+            if id == LARGE_BODY {
+                if expect_body == 0 {
+                    errors.push(format!(
+                        "segment {seg} is marked LARGE_BODY with no preceding large head"
+                    ));
+                } else {
+                    expect_body -= 1;
+                }
+                if in_seg_tree {
+                    errors.push(format!("large-body segment {seg} is also in the segment tree"));
+                }
+                continue;
+            }
+            if expect_body > 0 {
+                errors.push(format!(
+                    "segment {seg} (tree_id {id}) interrupts a large allocation still owed \
+                     {expect_body} body segment(s)"
+                ));
+                expect_body = 0;
+            }
+            if id == TREE_FREE {
+                if !in_seg_tree {
+                    errors.push(format!(
+                        "segment {seg} is TREE_FREE but missing from the segment tree"
+                    ));
+                }
+                // Invariant 2: drained, with nothing outstanding.
+                let prev_blocks = meta.cur_blocks.load(Ordering::Acquire) as u64;
+                if meta.ring.len() != prev_blocks {
+                    errors.push(format!(
+                        "free segment {seg} is not drained: ring holds {} of {prev_blocks} \
+                         blocks",
+                        meta.ring.len()
+                    ));
+                }
+                for b in 0..prev_blocks {
+                    let m = meta.malloc_ctr[b as usize].load(Ordering::Acquire) as u64;
+                    let f = meta.free_ctr[b as usize].load(Ordering::Acquire) as u64;
+                    if m.min(spb) != f {
+                        errors.push(format!(
+                            "free segment {seg} block {b} has live slices \
+                             (malloc_ctr {m}, free_ctr {f})"
+                        ));
+                    }
+                    if meta.is_whole_block(b) {
+                        errors.push(format!(
+                            "free segment {seg} block {b} still has its whole-block bit set"
+                        ));
+                    }
+                }
+                continue;
+            }
+            if (id as usize) < geo.num_classes {
+                let class = id as usize;
+                if in_seg_tree {
+                    errors.push(format!(
+                        "segment {seg} is formatted for class {class} but is also in the \
+                         segment tree (simultaneously free and formatted)"
+                    ));
+                }
+                let nblocks = geo.blocks_per_segment(class);
+                let cur = meta.cur_blocks.load(Ordering::Acquire) as u64;
+                if cur != nblocks {
+                    errors.push(format!(
+                        "segment {seg} (class {class}): cur_blocks is {cur}, format implies \
+                         {nblocks}"
+                    ));
+                }
+                let ring = meta.ring.snapshot();
+                if ring.len() as u64 != meta.ring.len() {
+                    errors.push(format!(
+                        "segment {seg} ring occupancy counter ({}) disagrees with its \
+                         contents ({})",
+                        meta.ring.len(),
+                        ring.len()
+                    ));
+                }
+                let mut in_ring = vec![false; nblocks as usize];
+                for &b in &ring {
+                    if b >= nblocks {
+                        errors.push(format!(
+                            "segment {seg} ring holds out-of-range block {b} (class {class} \
+                             has {nblocks} blocks)"
+                        ));
+                    } else if std::mem::replace(&mut in_ring[b as usize], true) {
+                        errors.push(format!("segment {seg} ring holds block {b} twice"));
+                    }
+                }
+                let cached_set = buffered.get(&seg).unwrap_or(&empty);
+                for b in 0..nblocks {
+                    let m = meta.malloc_ctr[b as usize].load(Ordering::Acquire) as u64;
+                    let f = meta.free_ctr[b as usize].load(Ordering::Acquire) as u64;
+                    let served = m.min(spb);
+                    if f > served {
+                        errors.push(format!(
+                            "segment {seg} block {b}: free counter {f} exceeds served \
+                             slices {served} (double free)"
+                        ));
+                        continue;
+                    }
+                    let live = served - f;
+                    let whole = meta.is_whole_block(b);
+                    let ringed = in_ring[b as usize];
+                    let cached = cached_set.contains(&b);
+                    // Invariant 3: exactly one owner per block.
+                    if ringed && (whole || cached || live > 0) {
+                        errors.push(format!(
+                            "segment {seg} block {b} is in the ring but also in use \
+                             (whole={whole}, buffered={cached}, live slices={live})"
+                        ));
+                    }
+                    if whole && (cached || live > 0) {
+                        errors.push(format!(
+                            "segment {seg} block {b} is wholesale but also \
+                             buffered={cached} / live slices={live}"
+                        ));
+                    }
+                    if !ringed && !whole && !cached && live == 0 {
+                        errors.push(format!(
+                            "segment {seg} block {b} is unaccounted for: not in the ring, \
+                             not wholesale, not buffered, and has no live slices"
+                        ));
+                    }
+                    computed_reserved +=
+                        if whole { geo.block_size(class) } else { live * geo.slice_size(class) };
+                }
+                continue;
+            }
+            if id >= LARGE_BASE {
+                let n = (id - LARGE_BASE) as u64;
+                if n == 0 || seg + n > geo.num_segments {
+                    errors.push(format!(
+                        "segment {seg} heads a large allocation with invalid span {n}"
+                    ));
+                } else {
+                    expect_body = n - 1;
+                    computed_reserved += n * geo.segment_bytes;
+                }
+                if in_seg_tree {
+                    errors.push(format!("large-head segment {seg} is also in the segment tree"));
+                }
+                continue;
+            }
+            errors.push(format!("segment {seg} has invalid tree_id {id}"));
+        }
+        if expect_body > 0 {
+            errors.push(format!(
+                "large allocation at the end of the heap is missing {expect_body} body \
+                 segment(s)"
+            ));
+        }
+
+        // Invariant 5: the reserved counter matches the table.
+        let reserved = self.reserved.load(Ordering::Acquire);
+        if computed_reserved != reserved {
+            errors.push(format!(
+                "reserved accounting mismatch: counter says {reserved} bytes, table \
+                 implies {computed_reserved}"
+            ));
+        }
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors.join("\n"))
+        }
     }
 
     // ==================================================================
@@ -197,7 +446,13 @@ impl Gallatin {
             // Algorithm 2's staleness check: the segment may have been
             // reclaimed and reformatted since we found it.
             if meta.ldcv_tree_id() != class as u32 {
-                meta.ring.push(block);
+                // push reports "full" transiently when it wraps onto a
+                // cell whose popper is between its ticket CAS and its
+                // sequence store; dropping the block would leak it, so
+                // retry until that popper publishes.
+                while !meta.ring.push(block) {
+                    gpu_sim::spin_hint();
+                }
                 self.metrics.count_cas(false);
                 continue;
             }
@@ -212,9 +467,13 @@ impl Gallatin {
         let seg = handle.segment(self.geo.max_blocks);
         let block = handle.block(self.geo.max_blocks);
         let meta = self.table.seg(seg);
-        meta.ring.push(block);
+        // Retry transient fullness (in-flight pop on the wrapped-onto
+        // cell): a dropped return here would leak the block.
+        while !meta.ring.push(block) {
+            gpu_sim::spin_hint();
+        }
         self.metrics.count_rmw();
-        let nblocks = self.geo.blocks_per_segment(class) ;
+        let nblocks = self.geo.blocks_per_segment(class);
         if meta.ring.len() == nblocks {
             self.try_reclaim_segment(seg, class, nblocks);
         } else {
@@ -332,7 +591,9 @@ impl Gallatin {
             } else if next < lanes.len() {
                 // Overshot a block someone else must replace; yield so the
                 // replacer can finish, then retry with the fresh block.
-                std::hint::spin_loop();
+                // (spin_hint also hands the turn back under deterministic
+                // scheduling — the replacer may be a parked warp.)
+                gpu_sim::spin_hint();
             }
         }
         next
@@ -353,8 +614,7 @@ impl Gallatin {
         let prev = meta.free_ctr[block as usize].fetch_add(n, Ordering::AcqRel);
         self.metrics.count_rmw();
         self.metrics.count_coalesced(n.saturating_sub(1) as u64);
-        self.reserved
-            .fetch_sub(n as u64 * self.geo.slice_size(class), Ordering::Relaxed);
+        self.reserved.fetch_sub(n as u64 * self.geo.slice_size(class), Ordering::Relaxed);
         if prev as u64 + n as u64 == spb {
             // Every slice allocated and returned: recycle the block.
             // Exclusive here (only one free observes the last count), and
@@ -397,10 +657,13 @@ impl Gallatin {
     }
 
     fn malloc_routed(&self, sm_id: u32, size: u64) -> DevicePtr {
-        if size == 0 || size > self.geo.heap_bytes {
+        if size > self.geo.heap_bytes {
             self.metrics.count_malloc(false);
             return DevicePtr::NULL;
         }
+        // Zero-size requests are served as the minimum slice (see the
+        // `DeviceAllocator::malloc` contract).
+        let size = size.max(1);
         let ptr = if let Some(class) = self.geo.slice_class(size) {
             let mut out = DevicePtr::NULL;
             self.slice_malloc_group(sm_id, class, &[0u32], |_, p| out = p);
@@ -425,12 +688,11 @@ impl Gallatin {
             let class = id as usize;
             let block = self.geo.block_of(off, class);
             let is_block_start = self.geo.slice_of(off, class) == 0;
-            if is_block_start && meta.is_whole_block(block)
-                && meta.clear_whole_block(block) {
-                    self.reserved.fetch_sub(self.geo.block_size(class), Ordering::Relaxed);
-                    self.free_block(BlockHandle::new(seg, block, self.geo.max_blocks), class);
-                    return;
-                }
+            if is_block_start && meta.is_whole_block(block) && meta.clear_whole_block(block) {
+                self.reserved.fetch_sub(self.geo.block_size(class), Ordering::Relaxed);
+                self.free_block(BlockHandle::new(seg, block, self.geo.max_blocks), class);
+                return;
+            }
             self.slice_free(seg, class, off);
         } else if id == LARGE_BODY {
             panic!("free of interior pointer into a large allocation (segment {seg})");
@@ -487,10 +749,8 @@ impl DeviceAllocator for Gallatin {
                 let class = id as usize;
                 let block = self.geo.block_of(off, class);
                 let is_block_start = self.geo.slice_of(off, class) == 0;
-                if is_block_start && meta.is_whole_block(block) && meta.clear_whole_block(block)
-                {
-                    self.reserved
-                        .fetch_sub(self.geo.block_size(class), Ordering::Relaxed);
+                if is_block_start && meta.is_whole_block(block) && meta.clear_whole_block(block) {
+                    self.reserved.fetch_sub(self.geo.block_size(class), Ordering::Relaxed);
                     self.free_block(BlockHandle::new(seg, block, self.geo.max_blocks), class);
                     continue;
                 }
@@ -508,8 +768,7 @@ impl DeviceAllocator for Gallatin {
                 panic!("free of interior pointer into a large allocation (segment {seg})");
             } else if id >= LARGE_BASE && id != TREE_FREE {
                 if let Some(n) = self.table.unmark_large(seg) {
-                    self.reserved
-                        .fetch_sub(n * self.geo.segment_bytes, Ordering::Relaxed);
+                    self.reserved.fetch_sub(n * self.geo.segment_bytes, Ordering::Relaxed);
                     self.segment_tree.insert_range(seg, n);
                 }
             } else {
@@ -537,7 +796,8 @@ impl DeviceAllocator for Gallatin {
         // Fixed-size scratch keeps this path allocation-free.
         let mut keys = [None::<usize>; gpu_sim::WARP_SIZE];
         for lane in warp.lanes() {
-            keys[lane] = sizes[lane].and_then(|sz| self.geo.slice_class(sz));
+            // max(1): zero-size requests coalesce into the smallest class.
+            keys[lane] = sizes[lane].and_then(|sz| self.geo.slice_class(sz.max(1)));
         }
         let mut lanes_buf = [0u32; gpu_sim::WARP_SIZE];
         for class in 0..self.geo.num_classes {
@@ -598,6 +858,10 @@ impl DeviceAllocator for Gallatin {
         Some(&self.metrics)
     }
 
+    fn check_invariants(&self) -> Result<(), String> {
+        Gallatin::check_invariants(self)
+    }
+
     fn stats(&self) -> AllocStats {
         AllocStats {
             heap_bytes: self.geo.heap_bytes,
@@ -641,11 +905,19 @@ mod tests {
     }
 
     #[test]
-    fn size_zero_and_oversize_fail_cleanly() {
+    fn size_zero_allocates_and_oversize_fails_cleanly() {
         let g = tiny();
         with_lane(|l| {
-            assert!(g.malloc(l, 0).is_null());
+            // malloc(0) returns a valid unique pointer (the contract in
+            // `DeviceAllocator::malloc`): it is a minimum-slice request.
+            let a = g.malloc(l, 0);
+            let b = g.malloc(l, 0);
+            assert!(!a.is_null() && !b.is_null());
+            assert_ne!(a.0, b.0, "zero-size allocations must be unique");
+            g.free(l, a);
+            g.free(l, b);
             assert!(g.malloc(l, g.heap_bytes() + 1).is_null());
+            g.check_invariants().unwrap();
         });
     }
 
@@ -737,11 +1009,13 @@ mod tests {
     fn payload_stamps_survive() {
         let g = tiny();
         with_lane(|l| {
-            let ptrs: Vec<_> = (0..200).map(|i| {
-                let p = g.malloc(l, 64);
-                g.memory().write_stamp(p, 0xabc0 + i);
-                p
-            }).collect();
+            let ptrs: Vec<_> = (0..200)
+                .map(|i| {
+                    let p = g.malloc(l, 64);
+                    g.memory().write_stamp(p, 0xabc0 + i);
+                    p
+                })
+                .collect();
             for (i, &p) in ptrs.iter().enumerate() {
                 assert_eq!(g.memory().read_stamp(p), 0xabc0 + i as u64);
                 g.free(l, p);
@@ -797,8 +1071,8 @@ mod tests {
             Some(16),
             Some(256),
             None,
-            Some(1024),          // block path
-            Some((2 * 64) << 10),  // large path (2 segments)
+            Some(1024),           // block path
+            Some((2 * 64) << 10), // large path (2 segments)
             Some(16),
             Some(32),
         ];
@@ -844,6 +1118,70 @@ mod tests {
             }
         });
         assert_eq!(g.stats().reserved_bytes, 0);
+        g.check_invariants().expect("invariants violated after storm");
+    }
+
+    #[test]
+    fn invariants_hold_through_the_allocation_lifecycle() {
+        let g = tiny();
+        g.check_invariants().expect("fresh allocator");
+        with_lane(|l| {
+            // Live allocations across all three pipelines.
+            let slices: Vec<_> = (0..10).map(|i| g.malloc(l, 16 << (i % 5))).collect();
+            let block = g.malloc(l, 1024);
+            let large = g.malloc(l, 2 * (64 << 10));
+            g.check_invariants().expect("live allocations");
+            for &p in &slices {
+                g.free(l, p);
+            }
+            g.free(l, block);
+            g.free(l, large);
+            g.check_invariants().expect("after frees");
+        });
+        g.trim();
+        g.check_invariants().expect("after trim");
+        g.reset();
+        g.check_invariants().expect("after reset");
+    }
+
+    #[test]
+    fn invariant_checker_flags_stale_tree_id() {
+        let g = tiny();
+        // Corrupt the table: claim a free segment's tree_id without
+        // removing it from the segment tree or formatting it.
+        g.table.seg(15).tree_id.store(0, Ordering::SeqCst);
+        let err = g.check_invariants().unwrap_err();
+        assert!(err.contains("segment 15"), "unexpected report: {err}");
+        assert!(err.contains("simultaneously free and formatted"), "unexpected report: {err}");
+    }
+
+    #[test]
+    fn invariant_checker_flags_vanished_block() {
+        let g = tiny();
+        with_lane(|l| {
+            let p = g.malloc(l, 16);
+            g.free(l, p);
+        });
+        g.check_invariants().expect("healthy before corruption");
+        // Steal a block out of the slice segment's ring and drop it.
+        let seg = 0;
+        g.table.seg(seg).ring.pop().unwrap();
+        let err = g.check_invariants().unwrap_err();
+        assert!(err.contains("unaccounted"), "unexpected report: {err}");
+    }
+
+    #[test]
+    fn invariant_checker_flags_reserved_drift() {
+        let g = tiny();
+        with_lane(|l| {
+            let p = g.malloc(l, 16);
+            g.reserved.fetch_add(1, Ordering::Relaxed);
+            let err = g.check_invariants().unwrap_err();
+            assert!(err.contains("reserved accounting mismatch"), "unexpected report: {err}");
+            g.reserved.fetch_sub(1, Ordering::Relaxed);
+            g.free(l, p);
+            g.check_invariants().expect("healthy after undoing the drift");
+        });
     }
 
     #[test]

@@ -60,6 +60,15 @@ impl SegmentIndex {
         }
     }
 
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, x: u64) -> bool {
+        match self {
+            SegmentIndex::Veb(t) => t.contains(x),
+            SegmentIndex::Flat(s) => s.contains(x),
+        }
+    }
+
     /// Minimum member ≥ `x`.
     #[inline]
     pub fn successor(&self, x: u64) -> Option<u64> {
@@ -133,6 +142,8 @@ mod tests {
             assert_eq!(s.claim_first_ge(0), Some(0));
             assert_eq!(s.successor(0), Some(1));
             assert_eq!(s.claim_contiguous_from_back(3), Some(197));
+            assert!(!s.contains(197));
+            assert!(s.contains(196));
             assert!(!s.claim_exact(197));
             s.insert_range(197, 3);
             assert!(s.claim_exact(197));

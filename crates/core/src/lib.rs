@@ -39,8 +39,8 @@
 mod buffer;
 mod config;
 mod gallatin;
-mod index;
 pub mod global;
+mod index;
 mod ring;
 mod table;
 

@@ -135,6 +135,24 @@ impl BlockRing {
         }
     }
 
+    /// The ids currently enqueued, front to back.
+    ///
+    /// Only meaningful while the ring is quiescent (no concurrent
+    /// push/pop): used by the invariant checker, which runs between
+    /// kernels. Cells with an in-flight operation are skipped.
+    pub fn snapshot(&self) -> Vec<u64> {
+        let deq = self.dequeue_pos.load(Ordering::Acquire);
+        let enq = self.enqueue_pos.load(Ordering::Acquire);
+        let mut out = Vec::with_capacity((enq - deq) as usize);
+        for pos in deq..enq {
+            let cell = &self.cells[(pos & self.mask) as usize];
+            if cell.seq.load(Ordering::Acquire) == pos + 1 {
+                out.push(cell.value.load(Ordering::Acquire));
+            }
+        }
+        out
+    }
+
     /// Reinitialize to hold exactly the ids `0..count`, in order.
     ///
     /// **Not thread-safe**: callers must hold exclusive ownership of the
@@ -215,6 +233,17 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_reflects_contents_without_consuming() {
+        let r = BlockRing::new(8);
+        r.reset_full(5);
+        r.pop();
+        r.push(0);
+        assert_eq!(r.snapshot(), vec![1, 2, 3, 4, 0]);
+        assert_eq!(r.len(), 5, "snapshot must not consume");
+        assert_eq!(r.pop(), Some(1));
+    }
+
+    #[test]
     fn capacity_rounds_to_power_of_two() {
         assert_eq!(BlockRing::new(5).capacity(), 8);
         assert_eq!(BlockRing::new(256).capacity(), 256);
@@ -242,7 +271,12 @@ mod tests {
                     for _ in 0..10_000 {
                         if let Some(v) = r.pop() {
                             assert!(v < 256);
-                            assert!(r.push(v));
+                            // A push that wraps onto a cell whose pop is
+                            // still in flight reports "full" transiently;
+                            // retry until the cell's sequence is published.
+                            while !r.push(v) {
+                                std::hint::spin_loop();
+                            }
                         }
                     }
                 });
@@ -274,18 +308,16 @@ mod tests {
                 });
             }
             for _ in 0..4 {
-                s.spawn(move || {
-                    loop {
-                        if r.pop().is_some() {
-                            let n = consumed.fetch_add(1, Ordering::Relaxed) + 1;
-                            if n >= produced {
-                                break;
-                            }
-                        } else if consumed.load(Ordering::Relaxed) >= produced {
+                s.spawn(move || loop {
+                    if r.pop().is_some() {
+                        let n = consumed.fetch_add(1, Ordering::Relaxed) + 1;
+                        if n >= produced {
                             break;
-                        } else {
-                            std::hint::spin_loop();
                         }
+                    } else if consumed.load(Ordering::Relaxed) >= produced {
+                        break;
+                    } else {
+                        std::hint::spin_loop();
                     }
                 });
             }

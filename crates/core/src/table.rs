@@ -133,8 +133,7 @@ impl SegmentMeta {
     /// Whether `block` is currently handed out wholesale.
     #[inline]
     pub fn is_whole_block(&self, block: u64) -> bool {
-        self.whole_block[(block / 64) as usize].load(Ordering::Acquire) & (1 << (block % 64))
-            != 0
+        self.whole_block[(block / 64) as usize].load(Ordering::Acquire) & (1 << (block % 64)) != 0
     }
 }
 
@@ -179,7 +178,10 @@ impl MemoryTable {
         let prev_blocks = meta.cur_blocks.load(Ordering::Acquire) as u64;
         let mut spins = 0u64;
         while meta.ring.len() < prev_blocks {
-            std::hint::spin_loop();
+            // spin_hint keeps the straggler schedulable under the
+            // deterministic coordinator (it may be a parked warp that
+            // still has to push its block home).
+            gpu_sim::spin_hint();
             spins += 1;
             if spins > 1 << 26 {
                 panic!("segment {seg} drain stalled: straggler never returned its block");
@@ -219,10 +221,7 @@ impl MemoryTable {
         }
         let n = (id - LARGE_BASE) as u64;
         // Exclusive release: only one freer may transition head → FREE.
-        if meta
-            .tree_id
-            .compare_exchange(id, TREE_FREE, Ordering::SeqCst, Ordering::SeqCst)
-            .is_err()
+        if meta.tree_id.compare_exchange(id, TREE_FREE, Ordering::SeqCst, Ordering::SeqCst).is_err()
         {
             return None;
         }

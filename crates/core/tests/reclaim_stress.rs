@@ -6,11 +6,17 @@
 //! begins) while other threads are still popping blocks from its ring
 //! and while further threads immediately demand segments of a *different*
 //! class (reformat pressure). Any protocol hole shows up as a double
-//! allocation (caught by payload stamps) or a lost segment (caught by
-//! capacity accounting).
+//! allocation (caught by payload stamps), a lost segment (caught by
+//! capacity accounting), or a cross-structure inconsistency (caught by
+//! `Gallatin::check_invariants`).
+//!
+//! Beyond the free-running pool runs, `explore_schedules` sweeps the
+//! same churn under the deterministic scheduler across a fixed seed
+//! range; a failure reports the first bad seed, reproducible with
+//! `GALLATIN_SCHED_SEED=<seed>` (see TESTING.md).
 
-use gallatin::{Gallatin, GallatinConfig};
-use gpu_sim::{launch_warps, DeviceAllocator, DeviceConfig, DevicePtr};
+use gallatin::{Gallatin, GallatinConfig, TREE_FREE};
+use gpu_sim::{explore_schedules, launch_warps, DeviceAllocator, DeviceConfig, DevicePtr};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Tiny heap = constant segment churn: every warp's allocations span
@@ -50,9 +56,11 @@ fn alternating_class_churn_reclaims_and_reformats() {
     });
     assert_eq!(corrupt.load(Ordering::Relaxed), 0, "double allocation during churn");
     assert_eq!(g.stats().reserved_bytes, 0);
+    g.check_invariants().expect("invariants violated after churn");
     // No segment may be lost: after a reset everything is claimable.
     g.reset();
     assert_eq!(g.free_segments(), 4);
+    g.check_invariants().expect("invariants violated after reset");
 }
 
 #[test]
@@ -97,6 +105,7 @@ fn block_pop_racing_reclaim_never_double_serves() {
     });
     assert_eq!(corrupt.load(Ordering::Relaxed), 0);
     assert_eq!(g.stats().reserved_bytes, 0);
+    g.check_invariants().expect("invariants violated after pop/reclaim race");
 }
 
 #[test]
@@ -134,6 +143,7 @@ fn large_allocation_racing_segment_reclaim() {
     });
     assert_eq!(corrupt.load(Ordering::Relaxed), 0);
     assert_eq!(g.stats().reserved_bytes, 0);
+    g.check_invariants().expect("invariants violated after large/reclaim race");
 }
 
 #[test]
@@ -158,5 +168,143 @@ fn flat_scan_backend_survives_the_same_churn() {
         }
     });
     assert_eq!(corrupt.load(Ordering::Relaxed), 0);
+    assert_eq!(g.stats().reserved_bytes, 0);
+    g.check_invariants().expect("invariants violated after flat-scan churn");
+}
+
+// =====================================================================
+// Deterministic-schedule coverage
+// =====================================================================
+
+/// The reclaim churn as a deterministic scenario: one full mixed-class
+/// run (slice, whole-block, and 2-segment large allocations) under the
+/// seeded scheduler, panicking on any contract violation so
+/// `explore_schedules` can attribute it to its seed.
+fn churn_scenario(seed: u64) {
+    let g = Gallatin::new(GallatinConfig::small_test(512 << 10)); // 8 segments
+    let corrupt = AtomicU64::new(0);
+    launch_warps(DeviceConfig::with_sms(4).seeded(seed), 64, |warp| {
+        let l = warp.lane(0);
+        for round in 0..6u64 {
+            match (warp.warp_id + round) % 3 {
+                0 => {
+                    // Slice churn across classes.
+                    let mut ptrs = [DevicePtr::NULL; 8];
+                    for (i, slot) in ptrs.iter_mut().enumerate() {
+                        *slot = g.malloc(&l, 16 << ((round + i as u64) % 5));
+                        if !slot.is_null() {
+                            g.memory().write_stamp(*slot, round * 100 + i as u64);
+                        }
+                    }
+                    for (i, p) in ptrs.iter().enumerate() {
+                        if !p.is_null() {
+                            if g.memory().read_stamp(*p) != round * 100 + i as u64 {
+                                corrupt.fetch_add(1, Ordering::Relaxed);
+                            }
+                            g.free(&l, *p);
+                        }
+                    }
+                }
+                1 => {
+                    // Whole-block path (pops from rings, racing reclaim).
+                    let p = g.malloc(&l, 1024);
+                    if !p.is_null() {
+                        g.memory().write_stamp(p, warp.warp_id ^ round);
+                        if g.memory().read_stamp(p) != warp.warp_id ^ round {
+                            corrupt.fetch_add(1, Ordering::Relaxed);
+                        }
+                        g.free(&l, p);
+                    }
+                }
+                _ => {
+                    // 2-segment large allocation from the back.
+                    let p = g.malloc(&l, 128 << 10);
+                    if !p.is_null() {
+                        g.memory().write_stamp(p, warp.warp_id);
+                        if g.memory().read_stamp(p) != warp.warp_id {
+                            corrupt.fetch_add(1, Ordering::Relaxed);
+                        }
+                        g.free(&l, p);
+                    }
+                }
+            }
+        }
+    });
+    assert_eq!(corrupt.load(Ordering::Relaxed), 0, "double allocation under seed {seed}");
+    assert_eq!(g.stats().reserved_bytes, 0, "leak under seed {seed}");
+    if let Err(e) = g.check_invariants() {
+        panic!("invariants violated under seed {seed}:\n{e}");
+    }
+}
+
+/// Sweep the churn scenario across 64 deterministic schedules. A failing
+/// interleaving reports its seed and reproduces exactly with
+/// `GALLATIN_SCHED_SEED=<seed> cargo test -p gallatin reclaim`.
+#[test]
+fn deterministic_schedule_sweep_survives_reclaim_churn() {
+    match explore_schedules(0..64, churn_scenario) {
+        Ok(ran) => assert!(ran >= 1, "sweep must run at least one schedule"),
+        Err(failure) => panic!("{failure}"),
+    }
+}
+
+/// The acceptance property of the deterministic mode: the same seed
+/// replays the identical interleaving, so two runs agree on *every*
+/// metrics counter (including schedule-sensitive ones like CAS
+/// failures) and on the final heap state.
+#[test]
+fn same_seed_replays_identical_metrics_and_outcome() {
+    fn run(seed: u64) -> (gpu_sim::metrics::MetricsSnapshot, u64, u64) {
+        let g = Gallatin::new(GallatinConfig::small_test(256 << 10));
+        launch_warps(DeviceConfig::with_sms(4).seeded(seed), 96, |warp| {
+            let l = warp.lane(0);
+            for round in 0..8u64 {
+                let p = g.malloc(&l, 16 << ((warp.warp_id + round) % 5));
+                if !p.is_null() {
+                    g.free(&l, p);
+                }
+            }
+        });
+        g.check_invariants().expect("invariants violated");
+        (g.metrics().unwrap().snapshot(), g.stats().reserved_bytes, g.free_segments())
+    }
+    let a = run(0xA11C);
+    let b = run(0xA11C);
+    assert_eq!(a, b, "identical seed must replay the identical schedule");
+}
+
+// =====================================================================
+// Invariant-checker negative coverage
+// =====================================================================
+
+/// A deliberately-stale memory-table entry — the exact shape of bug the
+/// `ldcv` staleness check defends against (a segment recycled while a
+/// reader still believes its old `tree_id`) — must be caught by
+/// `check_invariants`.
+#[test]
+fn invariant_checker_catches_stale_table_entry() {
+    let g = Gallatin::new(churn_config());
+    let warp = gpu_sim::WarpCtx { warp_id: 0, sm_id: 0, base_tid: 0, active: 1 };
+    let lane = warp.lane(0);
+    let p = g.malloc(&lane, 16);
+    assert!(!p.is_null());
+    g.check_invariants().expect("healthy heap must pass");
+
+    // Simulate the stale transition: the formatted segment's table entry
+    // reverts to TREE_FREE while a slice is still live and its blocks
+    // are still owned by the class pipeline.
+    let seg = g.geometry().segment_of(p.0);
+    let true_id = g.table().seg(seg).tree_id.swap(TREE_FREE, Ordering::SeqCst);
+    let err = g.check_invariants().expect_err("stale table entry must be flagged");
+    assert!(err.contains(&format!("segment {seg}")), "error must name the stale segment: {err}");
+    assert!(
+        err.contains("TREE_FREE but missing from the segment tree"),
+        "error must identify the free/formatted contradiction: {err}"
+    );
+
+    // Restoring the true id heals the heap.
+    g.table().seg(seg).tree_id.store(true_id, Ordering::SeqCst);
+    g.check_invariants().expect("restored heap must pass");
+    g.free(&lane, p);
     assert_eq!(g.stats().reserved_bytes, 0);
 }

@@ -42,6 +42,14 @@ pub trait DeviceAllocator: Send + Sync {
 
     /// Allocate `size` bytes from device code. Returns
     /// [`DevicePtr::NULL`] when the request cannot be satisfied.
+    ///
+    /// **Zero-size requests are valid**: `malloc(0)` behaves exactly like
+    /// a one-byte request — it returns a unique, freeable pointer
+    /// (occupying the allocator's minimum granule), matching CUDA device
+    /// `malloc`. NULL therefore always means exhaustion or an unsupported
+    /// size, never "you asked for nothing". Every allocator in the
+    /// workspace implements this by clamping the request to one byte at
+    /// its entry point.
     fn malloc(&self, ctx: &LaneCtx, size: u64) -> DevicePtr;
 
     /// Return an allocation obtained from [`DeviceAllocator::malloc`].
@@ -83,8 +91,9 @@ pub trait DeviceAllocator: Send + Sync {
     /// Whether a request of `size` bytes is supported *by design* (e.g.
     /// Ouroboros natively supports nothing above its 8192-byte chunk and
     /// services bigger requests only through its CUDA-heap fallback).
+    /// Zero is always supported (see [`DeviceAllocator::malloc`]).
     fn supports_size(&self, size: u64) -> bool {
-        size > 0 && size <= self.heap_bytes()
+        size <= self.heap_bytes()
     }
 
     /// The largest request the native (non-fallback) pipeline serves.
@@ -102,6 +111,17 @@ pub trait DeviceAllocator: Send + Sync {
     /// Instrumentation counters, if the allocator keeps them.
     fn metrics(&self) -> Option<&Metrics> {
         None
+    }
+
+    /// Verify the allocator's internal cross-structure invariants,
+    /// returning every violation found. Must only be called while the
+    /// allocator is quiescent (no kernel live) — like
+    /// [`DeviceAllocator::reset`], it is a host-side maintenance point.
+    /// Allocators without introspection pass vacuously; tests call this
+    /// after every concurrency scenario so a silent corruption (leaked
+    /// block, stale table entry, bad accounting) fails loudly.
+    fn check_invariants(&self) -> Result<(), String> {
+        Ok(())
     }
 
     /// Occupancy statistics.
@@ -148,6 +168,9 @@ impl<T: DeviceAllocator + ?Sized> DeviceAllocator for &T {
     }
     fn metrics(&self) -> Option<&Metrics> {
         (**self).metrics()
+    }
+    fn check_invariants(&self) -> Result<(), String> {
+        (**self).check_invariants()
     }
     fn stats(&self) -> AllocStats {
         (**self).stats()
@@ -248,6 +271,7 @@ mod tests {
         assert!(dyn_ref.is_managing());
         assert!(dyn_ref.metrics().is_none());
         assert!(dyn_ref.supports_size(8));
-        assert!(!dyn_ref.supports_size(0));
+        assert!(dyn_ref.supports_size(0), "zero-size requests are part of the contract");
+        assert!(!dyn_ref.supports_size(dyn_ref.heap_bytes() + 1));
     }
 }

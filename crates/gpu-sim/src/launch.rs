@@ -12,8 +12,25 @@
 //! fills a GPU in the steady state and gives Gallatin's per-SM block
 //! buffers the intended access pattern.
 
+use crate::sched;
 use crate::warp::{LaneCtx, WarpCtx, WARP_SIZE};
 use rayon::prelude::*;
+
+/// How a launch's warps are executed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Warps run concurrently on the work-stealing CPU thread pool;
+    /// interleavings are real races and depend on OS timing. This is
+    /// the throughput mode and the default.
+    Pool,
+    /// Warps run serialized under the deterministic coordinator
+    /// ([`crate::sched`]), context-switching only at preemption points,
+    /// with the interleaving fully determined by `seed`.
+    Deterministic {
+        /// Schedule seed: same seed ⇒ identical interleaving.
+        seed: u64,
+    },
+}
 
 /// Static description of the simulated device.
 #[derive(Clone, Copy, Debug)]
@@ -22,11 +39,13 @@ pub struct DeviceConfig {
     /// describes the block-buffer sizing with a 128-SM example; 128 is the
     /// default here and everything is configurable.
     pub num_sms: u32,
+    /// Warp execution mode (free-running pool vs deterministic replay).
+    pub mode: ExecMode,
 }
 
 impl Default for DeviceConfig {
     fn default() -> Self {
-        DeviceConfig { num_sms: 128 }
+        DeviceConfig { num_sms: 128, mode: ExecMode::Pool }
     }
 }
 
@@ -34,7 +53,20 @@ impl DeviceConfig {
     /// A device with the given SM count.
     pub fn with_sms(num_sms: u32) -> Self {
         assert!(num_sms > 0, "device needs at least one SM");
-        DeviceConfig { num_sms }
+        DeviceConfig { num_sms, mode: ExecMode::Pool }
+    }
+
+    /// A device whose launches replay the deterministic schedule drawn
+    /// from `seed` (see [`crate::sched`]). Same seed ⇒ same
+    /// interleaving ⇒ identical metrics and outcome.
+    pub fn deterministic(seed: u64) -> Self {
+        DeviceConfig { mode: ExecMode::Deterministic { seed }, ..Default::default() }
+    }
+
+    /// This configuration with the deterministic mode enabled.
+    pub fn seeded(mut self, seed: u64) -> Self {
+        self.mode = ExecMode::Deterministic { seed };
+        self
     }
 }
 
@@ -62,17 +94,17 @@ where
         return;
     }
     let n_warps = total_threads.div_ceil(WARP_SIZE as u64);
-    (0..n_warps).into_par_iter().for_each(|warp_id| {
+    let run_warp = |warp_id: u64| {
         let base_tid = warp_id * WARP_SIZE as u64;
         let active = (total_threads - base_tid).min(WARP_SIZE as u64) as u32;
-        let warp = WarpCtx {
-            warp_id,
-            sm_id: (warp_id % cfg.num_sms as u64) as u32,
-            base_tid,
-            active,
-        };
+        let warp =
+            WarpCtx { warp_id, sm_id: (warp_id % cfg.num_sms as u64) as u32, base_tid, active };
         kernel(&warp);
-    });
+    };
+    match cfg.mode {
+        ExecMode::Pool => (0..n_warps).into_par_iter().for_each(run_warp),
+        ExecMode::Deterministic { seed } => sched::run_tasks(seed, n_warps, run_warp),
+    }
 }
 
 /// Launch `total_threads` logical threads with a per-thread kernel.

@@ -27,6 +27,9 @@
 //!   warp-collective entry points that make coalescing expressible.
 //! * [`metrics`] — cheap relaxed counters (atomic instructions issued, CAS
 //!   retries, …) used by the ablation benchmarks.
+//! * [`sched`] — deterministic scheduling: launches run serialized with
+//!   seeded context switches at every atomic/collective, so concurrency
+//!   bugs replay from a one-line seed instead of depending on OS timing.
 //!
 //! ## What the simulation preserves, and what it does not
 //!
@@ -48,10 +51,15 @@ pub mod alloc_api;
 pub mod launch;
 pub mod mem;
 pub mod metrics;
+pub mod sched;
 pub mod warp;
 
 pub use alloc_api::{AllocStats, DeviceAllocator};
-pub use launch::{launch, launch_warps, DeviceConfig};
+pub use launch::{launch, launch_warps, DeviceConfig, ExecMode};
 pub use mem::{DeviceMemory, DevicePtr};
 pub use metrics::Metrics;
+pub use sched::{
+    explore_schedules, preempt_point, spin_hint, with_hooks, PreemptPoint, ScheduleFailure,
+    SimHooks,
+};
 pub use warp::{LaneCtx, WarpCtx, WARP_SIZE};

@@ -87,9 +87,7 @@ impl DeviceMemory {
         let layout = Layout::from_size_align(len, ARENA_ALIGN).expect("arena layout");
         // SAFETY: layout has non-zero size.
         let raw = unsafe { alloc_zeroed(layout) };
-        let Some(base) = NonNull::new(raw) else {
-            handle_alloc_error(layout)
-        };
+        let Some(base) = NonNull::new(raw) else { handle_alloc_error(layout) };
         DeviceMemory { base, len }
     }
 
@@ -156,8 +154,13 @@ impl DeviceMemory {
     /// Acquire load of a u32, modeling the CUDA `ld.cv` ("load, cache
     /// volatile") intrinsic Gallatin uses to re-read possibly-stale global
     /// metadata (paper Algorithm 2).
+    ///
+    /// Scheduler preemption point: the whole point of `ld.cv` is that
+    /// the value may have changed under the reader, so the deterministic
+    /// scheduler gets a chance to interleave a writer right before it.
     #[inline]
     pub fn ldcv_u32(&self, off: u64) -> u32 {
+        crate::sched::preempt_point(crate::sched::PreemptPoint::VolatileLoad);
         self.atomic_u32(off).load(Ordering::Acquire)
     }
 

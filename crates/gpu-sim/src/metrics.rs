@@ -5,7 +5,16 @@
 //! conventional allocator issues one per thread. Every allocator in this
 //! workspace owns a [`Metrics`] and bumps it on its contended operations;
 //! counts are relaxed (they are statistics, not synchronization).
+//!
+//! The counting sites double as the scheduler's *preemption points*: a
+//! `count_rmw`/`count_cas`/`count_lock` call marks "this thread just
+//! touched contended shared state", which is exactly where interleavings
+//! matter, so each forwards to [`crate::sched::preempt_point`]. Under
+//! the free-running pool mode that is a no-op; under
+//! `ExecMode::Deterministic` it yields the warp's turn to the
+//! coordinator (see [`crate::sched`]).
 
+use crate::sched::{preempt_point, PreemptPoint};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Relaxed operation counters for one allocator instance.
@@ -38,25 +47,30 @@ impl Metrics {
         Self::default()
     }
 
-    /// Record one atomic RMW on shared metadata.
+    /// Record one atomic RMW on shared metadata. Preemption point.
     #[inline]
     pub fn count_rmw(&self) {
         self.atomic_rmw.fetch_add(1, Ordering::Relaxed);
+        preempt_point(PreemptPoint::Rmw);
     }
 
-    /// Record one CAS attempt and whether it succeeded.
+    /// Record one CAS attempt and whether it succeeded. Preemption point.
     #[inline]
     pub fn count_cas(&self, success: bool) {
         self.cas_attempts.fetch_add(1, Ordering::Relaxed);
         if !success {
             self.cas_failures.fetch_add(1, Ordering::Relaxed);
         }
+        preempt_point(PreemptPoint::Cas);
     }
 
-    /// Record one lock acquisition.
+    /// Record one lock acquisition. Preemption point — and therefore
+    /// must be called *before* acquiring (never while holding) the lock,
+    /// or the deterministic scheduler can park the holder.
     #[inline]
     pub fn count_lock(&self) {
         self.lock_acquires.fetch_add(1, Ordering::Relaxed);
+        preempt_point(PreemptPoint::Lock);
     }
 
     /// Record `followers` requests served by another lane's atomic.
@@ -172,7 +186,8 @@ mod tests {
     fn rmw_per_malloc_handles_zero() {
         let s = MetricsSnapshot::default();
         assert_eq!(s.rmw_per_malloc(), 0.0);
-        let s = MetricsSnapshot { atomic_rmw: 10, cas_attempts: 2, mallocs: 4, ..Default::default() };
+        let s =
+            MetricsSnapshot { atomic_rmw: 10, cas_attempts: 2, mallocs: 4, ..Default::default() };
         assert_eq!(s.rmw_per_malloc(), 3.0);
     }
 

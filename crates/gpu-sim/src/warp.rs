@@ -14,6 +14,8 @@
 //! hardware semantics: from inside the warp, the collective is a
 //! synchronous, all-lanes-visible primitive.
 
+use crate::sched::{preempt_point, PreemptPoint};
+
 /// Number of lanes in a warp, fixed at the CUDA value.
 pub const WARP_SIZE: usize = 32;
 
@@ -51,9 +53,13 @@ impl WarpCtx {
     /// `__ballot_sync`: a bitmask of active lanes whose predicate is true.
     ///
     /// `preds` must have one entry per active lane.
+    ///
+    /// Like the hardware instruction this is a warp-synchronizing
+    /// operation, so it is a scheduler preemption point.
     #[inline]
     pub fn ballot(&self, preds: &[bool]) -> u32 {
         debug_assert_eq!(preds.len(), self.active as usize);
+        preempt_point(PreemptPoint::Collective);
         let mut mask = 0u32;
         for (lane, &p) in preds.iter().enumerate() {
             if p {
@@ -90,6 +96,8 @@ impl WarpCtx {
     /// lanes in a coalesced group.
     pub fn coalesce_by<K: Eq + Copy>(&self, keys: &[Option<K>]) -> Vec<(K, u32)> {
         debug_assert_eq!(keys.len(), self.active as usize);
+        // Group formation synchronizes the warp: preemption point.
+        preempt_point(PreemptPoint::Collective);
         let mut groups: Vec<(K, u32)> = Vec::new();
         for (lane, key) in keys.iter().enumerate() {
             let Some(k) = key else { continue };

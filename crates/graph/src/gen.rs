@@ -20,9 +20,7 @@ pub type EdgeBatch = Vec<(u32, u64)>;
 pub fn uniform_edges(num_vertices: u32, num_edges: usize, seed: u64) -> EdgeBatch {
     assert!(num_vertices > 0);
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..num_edges)
-        .map(|_| (rng.gen_range(0..num_vertices), rng.gen::<u64>() >> 16))
-        .collect()
+    (0..num_edges).map(|_| (rng.gen_range(0..num_vertices), rng.gen::<u64>() >> 16)).collect()
 }
 
 /// A sampler for a Zipf(α) distribution over `0..n` built from the
@@ -61,9 +59,7 @@ impl Distribution<u32> for Zipf {
 pub fn zipf_edges(num_vertices: u32, num_edges: usize, alpha: f64, seed: u64) -> EdgeBatch {
     let zipf = Zipf::new(num_vertices, alpha);
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..num_edges)
-        .map(|_| (zipf.sample(&mut rng), rng.gen::<u64>() >> 16))
-        .collect()
+    (0..num_edges).map(|_| (zipf.sample(&mut rng), rng.gen::<u64>() >> 16)).collect()
 }
 
 /// The expansion schedule (§6.12's expansion tests): a sequence of
@@ -93,8 +89,7 @@ mod tests {
         let edges = uniform_edges(100, 10_000, 7);
         assert_eq!(edges.len(), 10_000);
         assert!(edges.iter().all(|&(s, _)| s < 100));
-        let distinct: std::collections::HashSet<u32> =
-            edges.iter().map(|&(s, _)| s).collect();
+        let distinct: std::collections::HashSet<u32> = edges.iter().map(|&(s, _)| s).collect();
         assert!(distinct.len() > 90, "uniform stream should touch most vertices");
     }
 

@@ -44,11 +44,7 @@ struct VertexGuard<'a>(&'a Vertex);
 
 impl<'a> VertexGuard<'a> {
     fn acquire(v: &'a Vertex) -> Self {
-        while v
-            .lock
-            .compare_exchange_weak(0, 1, Ordering::Acquire, Ordering::Relaxed)
-            .is_err()
-        {
+        while v.lock.compare_exchange_weak(0, 1, Ordering::Acquire, Ordering::Relaxed).is_err() {
             std::hint::spin_loop();
         }
         VertexGuard(v)
@@ -130,11 +126,7 @@ impl<A: DeviceAllocator> DynamicGraph<A> {
     fn resize_locked(&self, ctx: &LaneCtx, vert: &Vertex, need: u64) -> Option<DevicePtr> {
         let cap = vert.cap.load(Ordering::Relaxed) as u64;
         let old = DevicePtr(vert.ptr.load(Ordering::Relaxed));
-        let new_cap = if need == 0 {
-            0
-        } else {
-            need.next_power_of_two().max(MIN_CAP)
-        };
+        let new_cap = if need == 0 { 0 } else { need.next_power_of_two().max(MIN_CAP) };
         if new_cap == cap {
             return Some(old);
         }

@@ -1,0 +1,116 @@
+//! Offline stand-in for the `crossbeam` crate (see the workspace
+//! `Cargo.toml` for why external dependencies are vendored as shims).
+//!
+//! Only `crossbeam::queue::{ArrayQueue, SegQueue}` are used by this
+//! workspace (the Ouroboros baseline's chunk queues). The shims keep the
+//! exact API and linearizable semantics but back the queues with a
+//! `std::sync::Mutex<VecDeque>` instead of lock-free arrays — fine for a
+//! correctness simulator, where queue throughput is not what is being
+//! measured. Neither type yields to the deterministic scheduler while
+//! the internal lock is held, so they behave as single atomic steps.
+
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::{Mutex, PoisonError};
+
+    /// Bounded MPMC queue with `crossbeam::queue::ArrayQueue`'s API.
+    pub struct ArrayQueue<T> {
+        cap: usize,
+        items: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> ArrayQueue<T> {
+        pub fn new(cap: usize) -> Self {
+            assert!(cap > 0, "capacity must be non-zero");
+            ArrayQueue { cap, items: Mutex::new(VecDeque::with_capacity(cap)) }
+        }
+
+        /// Push; returns the value back if the queue is full.
+        pub fn push(&self, value: T) -> Result<(), T> {
+            let mut q = self.items.lock().unwrap_or_else(PoisonError::into_inner);
+            if q.len() == self.cap {
+                Err(value)
+            } else {
+                q.push_back(value);
+                Ok(())
+            }
+        }
+
+        pub fn pop(&self) -> Option<T> {
+            self.items.lock().unwrap_or_else(PoisonError::into_inner).pop_front()
+        }
+
+        pub fn len(&self) -> usize {
+            self.items.lock().unwrap_or_else(PoisonError::into_inner).len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        pub fn capacity(&self) -> usize {
+            self.cap
+        }
+    }
+
+    /// Unbounded MPMC queue with `crossbeam::queue::SegQueue`'s API.
+    pub struct SegQueue<T> {
+        items: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        pub fn new() -> Self {
+            SegQueue { items: Mutex::new(VecDeque::new()) }
+        }
+
+        pub fn push(&self, value: T) {
+            self.items.lock().unwrap_or_else(PoisonError::into_inner).push_back(value);
+        }
+
+        pub fn pop(&self) -> Option<T> {
+            self.items.lock().unwrap_or_else(PoisonError::into_inner).pop_front()
+        }
+
+        pub fn len(&self) -> usize {
+            self.items.lock().unwrap_or_else(PoisonError::into_inner).len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Default for SegQueue<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::queue::{ArrayQueue, SegQueue};
+
+    #[test]
+    fn array_queue_bounded_fifo() {
+        let q = ArrayQueue::new(2);
+        assert!(q.push(1).is_ok());
+        assert!(q.push(2).is_ok());
+        assert_eq!(q.push(3), Err(3));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn seg_queue_unbounded_fifo() {
+        let q = SegQueue::new();
+        for i in 0..100 {
+            q.push(i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.pop(), None);
+    }
+}

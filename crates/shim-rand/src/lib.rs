@@ -1,0 +1,184 @@
+//! Offline stand-in for the `rand` crate (see the workspace
+//! `Cargo.toml` for why external dependencies are vendored as shims).
+//!
+//! Mirrors the rand 0.8 surface the workspace uses: `Rng` (`gen`,
+//! `gen_range`, `gen_bool`), `SeedableRng::seed_from_u64`,
+//! `rngs::StdRng`, and `distributions::Distribution`. The generator is
+//! SplitMix64 — not the real StdRng stream, which only matters for
+//! byte-identical reproduction of sequences generated elsewhere;
+//! everything in-repo just needs a seeded, well-mixed stream.
+
+/// Core RNG interface. Generic methods stay callable through
+/// `R: Rng + ?Sized` receivers (as `Distribution::sample` requires)
+/// because dispatch runs through the [`Generable`] / [`SampleRange`]
+/// helper traits rather than `Self`.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    fn gen<T: Generable>(&mut self) -> T {
+        T::generate(self)
+    }
+
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0, 1]");
+        self.gen::<f64>() < p
+    }
+}
+
+/// Seeding interface; only the `seed_from_u64` entry point is used.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types producible from a raw 64-bit stream (the shim's analogue of
+/// sampling from rand's `Standard` distribution).
+pub trait Generable {
+    fn generate<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Generable for u64 {
+    fn generate<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Generable for u32 {
+    fn generate<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Generable for u8 {
+    fn generate<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Generable for bool {
+    fn generate<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Generable for f64 {
+    /// Uniform in [0, 1) with 53 random mantissa bits.
+    fn generate<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges usable with `gen_range`.
+pub trait SampleRange<T> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! uniform_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end - self.start) as u64;
+                // Multiply-shift bounded sampling (Lemire); the tiny
+                // modulo bias of `% span` would also be fine here, but
+                // this is branch-free and unbiased enough for tests.
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                self.start + hi as $t
+            }
+        }
+
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range in gen_range");
+                let span = (end - start) as u64 + 1;
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                start + hi as $t
+            }
+        }
+    )*};
+}
+
+uniform_int_range!(u8, u16, u32, u64, usize);
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Seeded 64-bit generator (SplitMix64 under the hood).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+}
+
+pub mod distributions {
+    use super::Rng;
+
+    /// Types that can be sampled with an external RNG.
+    pub trait Distribution<T> {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: u64 = rng.gen_range(10..20);
+            assert!((10..20).contains(&x));
+            let y: u8 = rng.gen_range(0..4u8);
+            assert!(y < 4);
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.1)).count();
+        assert!((500..2000).contains(&hits), "p=0.1 gave {hits}/10000");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn f64_samples_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

@@ -22,10 +22,7 @@ impl FlatBitset {
     pub fn new(universe: u64) -> Self {
         assert!(universe > 0, "universe must be non-empty");
         let words = universe.div_ceil(WORD_BITS);
-        FlatBitset {
-            universe,
-            words: (0..words).map(|_| AtomicU64::new(0)).collect(),
-        }
+        FlatBitset { universe, words: (0..words).map(|_| AtomicU64::new(0)).collect() }
     }
 
     /// A full set.
@@ -60,8 +57,7 @@ impl FlatBitset {
     /// Membership test.
     pub fn contains(&self, x: u64) -> bool {
         assert!(x < self.universe);
-        self.words[(x / WORD_BITS) as usize].load(Ordering::Acquire) & (1 << (x % WORD_BITS))
-            != 0
+        self.words[(x / WORD_BITS) as usize].load(Ordering::Acquire) & (1 << (x % WORD_BITS)) != 0
     }
 
     /// Exclusive removal (same semantics as `VebTree::claim_exact`).

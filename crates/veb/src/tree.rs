@@ -38,7 +38,8 @@ impl VebTree {
         let mut width = universe;
         loop {
             let words = width.div_ceil(WORD_BITS);
-            levels.push((0..words).map(|_| AtomicU64::new(0)).collect::<Vec<_>>().into_boxed_slice());
+            levels
+                .push((0..words).map(|_| AtomicU64::new(0)).collect::<Vec<_>>().into_boxed_slice());
             if words == 1 {
                 break;
             }
@@ -124,8 +125,7 @@ impl VebTree {
         for level in 1..self.levels.len() {
             let bit = word_idx % WORD_BITS;
             word_idx /= WORD_BITS;
-            let prev =
-                self.levels[level][word_idx as usize].fetch_or(1 << bit, Ordering::AcqRel);
+            let prev = self.levels[level][word_idx as usize].fetch_or(1 << bit, Ordering::AcqRel);
             if prev & (1 << bit) != 0 {
                 // Already marked; ancestors must be marked too (or a
                 // racing remove will fix them up — see propagate_clear).
@@ -251,8 +251,7 @@ impl VebTree {
                 if level >= self.levels.len() {
                     return None;
                 }
-                let word =
-                    self.levels[level][(idx / WORD_BITS) as usize].load(Ordering::Acquire);
+                let word = self.levels[level][(idx / WORD_BITS) as usize].load(Ordering::Acquire);
                 if let Some(b) = first_set_ge(word, (idx % WORD_BITS) + 1) {
                     // Descend from (level, word (idx/64), bit b).
                     let mut child = (idx / WORD_BITS) * WORD_BITS + b;
@@ -276,8 +275,8 @@ impl VebTree {
                                     return None;
                                 }
                                 word_idx = next_item / WORD_BITS;
-                                let leaf = self.levels[0][word_idx as usize]
-                                    .load(Ordering::Acquire);
+                                let leaf =
+                                    self.levels[0][word_idx as usize].load(Ordering::Acquire);
                                 if let Some(b) = first_set_ge(leaf, 0) {
                                     return Some(word_idx * WORD_BITS + b);
                                 }
@@ -310,8 +309,7 @@ impl VebTree {
                 if level >= self.levels.len() {
                     return None;
                 }
-                let word =
-                    self.levels[level][(idx / WORD_BITS) as usize].load(Ordering::Acquire);
+                let word = self.levels[level][(idx / WORD_BITS) as usize].load(Ordering::Acquire);
                 let within = idx % WORD_BITS;
                 let found = if within == 0 { None } else { first_set_le(word, within - 1) };
                 if let Some(b) = found {
@@ -336,11 +334,9 @@ impl VebTree {
                                 }
                                 let prev_item = first_item - 1;
                                 word_idx = prev_item / WORD_BITS;
-                                let leaf = self.levels[0][word_idx as usize]
-                                    .load(Ordering::Acquire);
-                                if let Some(b) =
-                                    first_set_le(leaf, prev_item % WORD_BITS)
-                                {
+                                let leaf =
+                                    self.levels[0][word_idx as usize].load(Ordering::Acquire);
+                                if let Some(b) = first_set_le(leaf, prev_item % WORD_BITS) {
                                     return Some(word_idx * WORD_BITS + b);
                                 }
                                 continue 'restart;
@@ -462,10 +458,7 @@ impl VebTree {
 
     /// Exact number of members (linear scan of leaves; test/metric use).
     pub fn count(&self) -> u64 {
-        self.levels[0]
-            .iter()
-            .map(|w| w.load(Ordering::Acquire).count_ones() as u64)
-            .sum()
+        self.levels[0].iter().map(|w| w.load(Ordering::Acquire).count_ones() as u64).sum()
     }
 
     /// Whether the set is empty (leaf scan; exact).
@@ -522,8 +515,7 @@ impl VebTree {
                         }
                         continue;
                     }
-                    let child_nonempty =
-                        self.levels[li - 1][child].load(Ordering::Acquire) != 0;
+                    let child_nonempty = self.levels[li - 1][child].load(Ordering::Acquire) != 0;
                     let bit_set = v & (1 << bit) != 0;
                     if child_nonempty != bit_set {
                         return Err(format!(

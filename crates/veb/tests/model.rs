@@ -54,11 +54,7 @@ fn run_model(universe: u64, ops: Vec<Op>) {
                 assert_eq!(tree.successor(x), model_successor(&model, x), "successor({x})");
             }
             Op::Predecessor(x) => {
-                assert_eq!(
-                    tree.predecessor(x),
-                    model_predecessor(&model, x),
-                    "predecessor({x})"
-                );
+                assert_eq!(tree.predecessor(x), model_predecessor(&model, x), "predecessor({x})");
             }
             Op::ClaimFirstGe(x) => {
                 let expect = model_successor(&model, x);

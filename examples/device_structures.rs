@@ -44,8 +44,7 @@ impl DeviceStack {
         loop {
             mem.write_stamp(node, head & OFF_MASK);
             let new = ((head >> 48).wrapping_add(1) << 48) | node.0;
-            match self.head.compare_exchange_weak(head, new, Ordering::AcqRel, Ordering::Acquire)
-            {
+            match self.head.compare_exchange_weak(head, new, Ordering::AcqRel, Ordering::Acquire) {
                 Ok(_) => return true,
                 Err(h) => head = h,
             }
@@ -62,8 +61,7 @@ impl DeviceStack {
             }
             let next = mem.read_stamp(DevicePtr(off));
             let new = ((head >> 48).wrapping_add(1) << 48) | (next & OFF_MASK);
-            match self.head.compare_exchange_weak(head, new, Ordering::AcqRel, Ordering::Acquire)
-            {
+            match self.head.compare_exchange_weak(head, new, Ordering::AcqRel, Ordering::Acquire) {
                 Ok(_) => {
                     let value = mem.read_stamp(DevicePtr(off + 8));
                     global_free(ctx, DevicePtr(off));

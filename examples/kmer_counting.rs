@@ -67,8 +67,7 @@ impl<'a> DeviceHashTable<'a> {
                 return true;
             }
             if cur == EMPTY {
-                match key_word.compare_exchange(EMPTY, kmer, Ordering::AcqRel, Ordering::Acquire)
-                {
+                match key_word.compare_exchange(EMPTY, kmer, Ordering::AcqRel, Ordering::Acquire) {
                     Ok(_) => {
                         self.live.fetch_add(1, Ordering::Relaxed);
                         mem.atomic_u64(key_off + 8).fetch_add(1, Ordering::Relaxed);

@@ -13,10 +13,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 fn main() {
     // One 256 MiB heap, managed entirely by Gallatin.
-    let alloc = Gallatin::new(GallatinConfig {
-        heap_bytes: 256 << 20,
-        ..GallatinConfig::default()
-    });
+    let alloc =
+        Gallatin::new(GallatinConfig { heap_bytes: 256 << 20, ..GallatinConfig::default() });
     let device = DeviceConfig::default();
     let threads: u64 = 100_000;
 
@@ -46,7 +44,11 @@ fn main() {
     let elapsed = t0.elapsed();
 
     let m = alloc.metrics().unwrap().snapshot();
-    println!("allocated+verified+freed {} objects in {:.2?}", served.load(Ordering::Relaxed), elapsed);
+    println!(
+        "allocated+verified+freed {} objects in {:.2?}",
+        served.load(Ordering::Relaxed),
+        elapsed
+    );
     println!(
         "atomics per malloc: {:.3} (requests coalesced: {})",
         m.rmw_per_malloc(),

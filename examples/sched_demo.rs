@@ -1,0 +1,58 @@
+//! Demonstration of the deterministic scheduler surface: seed replay,
+//! schedule sweeps, and zero-size allocation semantics, all through the
+//! public crate APIs.
+
+use gallatin::{Gallatin, GallatinConfig};
+use gpu_sim::{explore_schedules, launch_warps, DeviceAllocator, DeviceConfig, WarpCtx};
+
+fn churn(seed: u64) -> (gpu_sim::metrics::MetricsSnapshot, u64) {
+    let g = Gallatin::new(GallatinConfig::small_test(256 << 10));
+    launch_warps(DeviceConfig::with_sms(4).seeded(seed), 96, |warp| {
+        let l = warp.lane(0);
+        for round in 0..8u64 {
+            let p = g.malloc(&l, 16 << ((warp.warp_id + round) % 5));
+            if !p.is_null() {
+                g.free(&l, p);
+            }
+        }
+    });
+    g.check_invariants().expect("invariants");
+    (g.metrics().unwrap().snapshot(), g.stats().reserved_bytes)
+}
+
+fn main() {
+    // 1. Same seed → identical counters; different seed → (usually) not.
+    let a = churn(7);
+    let b = churn(7);
+    let c = churn(8);
+    println!("seed 7 run 1: cas={} cas_failed={}", a.0.cas_attempts, a.0.cas_failures);
+    println!("seed 7 run 2: cas={} cas_failed={}", b.0.cas_attempts, b.0.cas_failures);
+    println!("seed 8 run 1: cas={} cas_failed={}", c.0.cas_attempts, c.0.cas_failures);
+    println!("same-seed replay identical: {}", a == b);
+
+    // 2. Schedule sweep: report the first failing seed of a buggy
+    // scenario. The panic trace on stderr is expected — it is the
+    // injected bug being caught and attributed to its seed.
+    println!("sweeping a scenario with an injected bug...");
+    let result = explore_schedules(0..16, |seed| {
+        churn(seed);
+        assert!(seed % 5 != 3, "injected failure at seed {seed}");
+    });
+    match result {
+        Ok(n) => println!("sweep: all {n} schedules passed"),
+        Err(f) => println!("sweep: {f}"),
+    }
+
+    // 3. Zero-size malloc returns unique, freeable pointers.
+    let g = Gallatin::new(GallatinConfig::small_test(1 << 20));
+    let warp = WarpCtx { warp_id: 0, sm_id: 0, base_tid: 0, active: 1 };
+    let l = warp.lane(0);
+    let p = g.malloc(&l, 0);
+    let q = g.malloc(&l, 0);
+    println!("malloc(0) twice: {:?} {:?} (unique: {})", p, q, p.0 != q.0);
+    g.free(&l, p);
+    g.free(&l, q);
+    println!("reserved after frees: {}", g.stats().reserved_bytes);
+    g.check_invariants().expect("invariants");
+    println!("invariant check: ok");
+}

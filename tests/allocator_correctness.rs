@@ -45,6 +45,9 @@ fn storm(a: &dyn DeviceAllocator, threads: u64, size_for: impl Fn(u64) -> u64 + 
         a.warp_free(warp, &ptrs);
     });
     assert_eq!(corrupt.load(Ordering::Relaxed), 0, "{}: overlapping allocations", a.name());
+    if let Err(e) = a.check_invariants() {
+        panic!("{}: invariant violation after storm:\n{e}", a.name());
+    }
 }
 
 #[test]
@@ -85,9 +88,10 @@ fn exhaustion_returns_null_cleanly() {
     // A deliberately tiny heap; over-subscription must produce NULLs,
     // never panics or overlaps.
     let small: Vec<Arc<dyn DeviceAllocator>> = {
-        let mut v: Vec<Arc<dyn DeviceAllocator>> = vec![Arc::new(Gallatin::new(
-            GallatinConfig { heap_bytes: 32 << 20, ..Default::default() },
-        ))];
+        let mut v: Vec<Arc<dyn DeviceAllocator>> = vec![Arc::new(Gallatin::new(GallatinConfig {
+            heap_bytes: 32 << 20,
+            ..Default::default()
+        }))];
         v.extend(all_baselines(32 << 20));
         v
     };
@@ -125,6 +129,9 @@ fn exhaustion_returns_null_cleanly() {
             assert!(got.load(Ordering::Relaxed) > 0, "{}: nothing allocated", a.name());
         }
         a.reset();
+        if let Err(e) = a.check_invariants() {
+            panic!("{}: invariant violation after exhaustion + reset:\n{e}", a.name());
+        }
     }
 }
 
@@ -157,6 +164,9 @@ fn free_makes_memory_reusable() {
                 "{}: failures in round {round}",
                 a.name()
             );
+        }
+        if let Err(e) = a.check_invariants() {
+            panic!("{}: invariant violation after reuse rounds:\n{e}", a.name());
         }
         a.reset();
     }

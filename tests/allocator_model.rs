@@ -17,28 +17,28 @@ enum Op {
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u8..12).prop_map(Op::Malloc),
-        (0u16..1024).prop_map(Op::Free),
-    ]
+    prop_oneof![(0u8..13).prop_map(Op::Malloc), (0u16..1024).prop_map(Op::Free),]
 }
 
 /// The size menu spans all three pipelines of the small-test geometry
-/// (64 KB segments, 16–256 B slices, 1–16 KB blocks, multi-segment).
+/// (64 KB segments, 16–256 B slices, 1–16 KB blocks, multi-segment),
+/// plus the zero-size edge case (a valid minimum-slice request per the
+/// `DeviceAllocator::malloc` contract).
 fn menu(idx: u8) -> u64 {
     match idx {
-        0 => 1,
-        1 => 16,
-        2 => 17,
-        3 => 100,
-        4 => 256,          // largest slice
-        5 => 257,          // smallest block class
-        6 => 1024,         // one block
-        7 => 5000,         // mid block
-        8 => 16 << 10,     // largest block / rounding edge
-        9 => (16 << 10) + 1,
-        10 => 64 << 10,    // exactly one segment
-        11 => 100 << 10,   // two segments
+        0 => 0,
+        1 => 1,
+        2 => 16,
+        3 => 17,
+        4 => 100,
+        5 => 256,      // largest slice
+        6 => 257,      // smallest block class
+        7 => 1024,     // one block
+        8 => 5000,     // mid block
+        9 => 16 << 10, // largest block / rounding edge
+        10 => (16 << 10) + 1,
+        11 => 64 << 10,  // exactly one segment
+        12 => 100 << 10, // two segments
         _ => unreachable!(),
     }
 }
@@ -46,6 +46,7 @@ fn menu(idx: u8) -> u64 {
 /// Internal footprint upper bound for overlap checking: what the
 /// allocator may reserve for a request (its size-class rounding).
 fn rounded(size: u64, geo: &gallatin::Geometry) -> u64 {
+    let size = size.max(1); // zero-size requests take a minimum slice
     if let Some(c) = geo.slice_class(size) {
         geo.slice_size(c)
     } else if let Some(c) = geo.block_class(size) {
@@ -113,6 +114,7 @@ proptest! {
             g.free(&lane, DevicePtr(off));
         }
         prop_assert_eq!(g.stats().reserved_bytes, 0);
+        g.check_invariants().map_err(TestCaseError::fail)?;
         let wavefront = geo.num_classes as u64 * geo.segment_bytes;
         let p = g.malloc(&lane, g.heap_bytes() - wavefront);
         prop_assert!(!p.is_null(), "heap minus wavefront must be allocatable after drain");
@@ -121,10 +123,12 @@ proptest! {
         g.reset();
         let p = g.malloc(&lane, g.heap_bytes());
         prop_assert!(!p.is_null(), "whole heap must be allocatable after reset");
+        g.free(&lane, p);
+        g.check_invariants().map_err(TestCaseError::fail)?;
     }
 
     #[test]
-    fn payloads_never_alias(ops in prop::collection::vec((0u8..12, any::<bool>()), 1..200)) {
+    fn payloads_never_alias(ops in prop::collection::vec((0u8..13, any::<bool>()), 1..200)) {
         // Write a unique stamp into every live allocation after each
         // operation batch; a clobbered stamp means aliasing.
         let g = Gallatin::new(GallatinConfig::small_test(1 << 20));
@@ -152,5 +156,25 @@ proptest! {
         for (p, _) in live {
             g.free(&lane, p);
         }
+        g.check_invariants().map_err(TestCaseError::fail)?;
     }
+}
+
+/// The recorded proptest regression (`ops = [Malloc(0)]`) promoted to an
+/// explicit case, as the vendored proptest shim does not replay
+/// `*.proptest-regressions` files: a zero-size allocation returns a
+/// valid, unique, freeable pointer and leaves the heap consistent.
+#[test]
+fn regression_single_zero_size_malloc() {
+    let g = Gallatin::new(GallatinConfig::small_test(1 << 20));
+    let warp = WarpCtx { warp_id: 0, sm_id: 0, base_tid: 0, active: 1 };
+    let lane = warp.lane(0);
+    let p = g.malloc(&lane, 0);
+    let q = g.malloc(&lane, 0);
+    assert!(!p.is_null() && !q.is_null(), "malloc(0) must succeed");
+    assert_ne!(p.0, q.0, "zero-size allocations must be unique");
+    g.free(&lane, p);
+    g.free(&lane, q);
+    assert_eq!(g.stats().reserved_bytes, 0);
+    g.check_invariants().unwrap();
 }

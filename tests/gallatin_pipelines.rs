@@ -39,6 +39,7 @@ fn all_three_pipelines_share_one_heap() {
         g.free(l, large);
         assert_eq!(g.stats().reserved_bytes, 0);
     });
+    g.check_invariants().expect("invariants violated after mixed-pipeline round");
 }
 
 #[test]
@@ -65,6 +66,7 @@ fn segments_recycle_across_classes() {
         assert!(!big.is_null(), "reformat-to-large failed");
         g.free(l, big);
     });
+    g.check_invariants().expect("invariants violated after cross-class recycling");
 }
 
 #[test]
@@ -76,9 +78,9 @@ fn concurrent_mixed_pipeline_storm() {
             let l = warp.lane(lane);
             let tid = l.global_tid();
             let size = match tid % 7 {
-                0..=3 => 16 << (tid % 9),   // slices
-                4 | 5 => 64 << 10,          // whole blocks
-                _ => 17 << 20,              // 2 segments
+                0..=3 => 16 << (tid % 9), // slices
+                4 | 5 => 64 << 10,        // whole blocks
+                _ => 17 << 20,            // 2 segments
             };
             let p = g.malloc(&l, size);
             if p.is_null() {
@@ -93,6 +95,7 @@ fn concurrent_mixed_pipeline_storm() {
     });
     assert_eq!(corrupt.load(Ordering::Relaxed), 0);
     assert_eq!(g.stats().reserved_bytes, 0);
+    g.check_invariants().expect("invariants violated after mixed-pipeline storm");
 }
 
 #[test]
@@ -119,6 +122,7 @@ fn slice_blocks_fully_recycle_under_churn() {
         });
     }
     assert_eq!(g.stats().reserved_bytes, 0);
+    g.check_invariants().expect("invariants violated after slice churn");
 }
 
 #[test]
@@ -155,6 +159,7 @@ fn interleaved_large_and_small_never_overlap() {
         }
     });
     assert_eq!(corrupt.load(Ordering::Relaxed), 0);
+    g.check_invariants().expect("invariants violated after large/small interleave");
 }
 
 #[test]
@@ -176,4 +181,5 @@ fn geometry_inverse_mapping_on_live_allocations() {
             g.free(l, p);
         }
     });
+    g.check_invariants().expect("invariants violated after inverse-mapping walk");
 }

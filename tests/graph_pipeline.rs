@@ -40,6 +40,9 @@ fn graph_builds_identically_on_every_allocator() {
         }
         launch(DeviceConfig::with_sms(8), 1, |l| g.destroy(l));
         assert_eq!(a.stats().reserved_bytes, 0, "{} leaked", a.name());
+        if let Err(e) = a.check_invariants() {
+            panic!("{}: invariant violation after graph build:\n{e}", a.name());
+        }
     }
 }
 
@@ -62,6 +65,9 @@ fn insert_then_delete_restores_empty_graph() {
         });
         assert_eq!(g.num_edges(), 0, "{}", a.name());
         launch(DeviceConfig::with_sms(8), 1, |l| g.destroy(l));
+        if let Err(e) = a.check_invariants() {
+            panic!("{}: invariant violation after insert/delete cycle:\n{e}", a.name());
+        }
     }
 }
 
@@ -69,8 +75,7 @@ fn insert_then_delete_restores_empty_graph() {
 fn skewed_expansion_discriminates_reserve_limited_allocators() {
     // The paper's headline failure mode: Gallatin absorbs hub growth,
     // a small-reserve Ouroboros does not.
-    let gallatin =
-        Gallatin::new(GallatinConfig::dense(HEAP));
+    let gallatin = Gallatin::new(GallatinConfig::dense(HEAP));
     let ouroboros =
         Ouroboros::with_reserve(HEAP, OuroborosKind::Page, QueueKind::VirtArray, 1 << 20);
 
@@ -110,4 +115,5 @@ fn graph_survives_concurrent_mixed_insert_delete() {
     assert_eq!(g.num_edges(), expect);
     launch(DeviceConfig::with_sms(8), 1, |l| g.destroy(l));
     assert_eq!(a.stats().reserved_bytes, 0);
+    a.check_invariants().expect("invariants violated after mixed insert/delete");
 }
