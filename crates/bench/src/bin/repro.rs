@@ -14,6 +14,7 @@
 //!   utilization     E11 — Fig 6c utilization (OOM test)
 //!   graph           E12 — §6.12 dynamic graph phases
 //!   expansion       E13 — §6.12 graph expansion
+//!   reclaim         E15 — reclaim-protocol telemetry (attempts/aborts/bounces)
 //!   summary         §6.3-style speedup summary from the written CSVs
 //!   all             everything above, in order
 //!
@@ -43,7 +44,7 @@ fn parse_bytes(s: &str) -> Option<u64> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: repro <init|single|mixed|scaling|variance|warmup|fragmentation|utilization|graph|expansion|summary|all> [--threads N] [--runs N] [--heap BYTES] [--sms N] [--pool N] [--out DIR] [--full]");
+        eprintln!("usage: repro <init|single|mixed|scaling|variance|warmup|fragmentation|utilization|graph|expansion|reclaim|summary|all> [--threads N] [--runs N] [--heap BYTES] [--sms N] [--pool N] [--out DIR] [--full]");
         std::process::exit(2);
     }
     let cmd = args[0].clone();
@@ -107,6 +108,7 @@ fn main() {
         "utilization" => exp::run_utilization(&cfg),
         "graph" => exp::run_graph(&cfg),
         "expansion" => exp::run_graph_expansion(&cfg),
+        "reclaim" => exp::run_reclaim(&cfg),
         "summary" => exp::run_summary(&cfg.out_dir),
         "all" => {
             exp::run_init(&cfg);
@@ -119,6 +121,7 @@ fn main() {
             exp::run_utilization(&cfg);
             exp::run_graph(&cfg);
             exp::run_graph_expansion(&cfg);
+            exp::run_reclaim(&cfg);
             exp::run_summary(&cfg.out_dir);
         }
         other => {

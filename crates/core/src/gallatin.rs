@@ -18,13 +18,23 @@
 use crate::buffer::BlockBuffer;
 use crate::config::{GallatinConfig, Geometry};
 use crate::index::SegmentIndex;
-use crate::table::{BlockHandle, MemoryTable, LARGE_BASE, LARGE_BODY, TREE_FREE};
+use crate::table::{
+    BlockHandle, MemoryTable, SegmentMeta, DRAIN_SPIN_LIMIT, LARGE_BASE, LARGE_BODY, TREE_FREE,
+};
 use gpu_sim::{AllocStats, DeviceAllocator, DeviceMemory, DevicePtr, LaneCtx, Metrics, WarpCtx};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of times the slice pipeline retries a failed block refresh
 /// before declaring the heap exhausted.
 const SLICE_RETRIES: usize = 64;
+
+/// The active deterministic schedule seed, formatted for diagnostics.
+fn seed_diag() -> String {
+    match gpu_sim::current_sched_seed() {
+        Some(s) => s.to_string(),
+        None => "none (pool mode)".to_string(),
+    }
+}
 
 /// The Gallatin GPU memory manager.
 pub struct Gallatin {
@@ -78,6 +88,25 @@ impl Gallatin {
     /// Number of segments currently free (diagnostics / tests).
     pub fn free_segments(&self) -> u64 {
         self.segment_tree.count()
+    }
+
+    /// Bytes reserved by live allocations, saturated against wrap.
+    ///
+    /// The `reserved` counter is adjusted with unpaired Relaxed
+    /// `fetch_add`/`fetch_sub` on the malloc and free paths, so a reader
+    /// racing those updates can observe the subtraction before the
+    /// matching addition and see the counter momentarily below zero —
+    /// which as a `u64` reads as ~2^64. Stats must never surface that
+    /// absurdity, so a wrapped reading reports 0. (The transient is
+    /// read-side only: the adds and subs themselves always pair off, and
+    /// [`Self::check_invariants`] verifies the settled value exactly.)
+    pub fn reserved_bytes(&self) -> u64 {
+        let raw = self.reserved.load(Ordering::Relaxed);
+        if (raw as i64) < 0 {
+            0
+        } else {
+            raw
+        }
     }
 
     /// Raw access to the memory table, for tests and diagnostic tools
@@ -252,6 +281,14 @@ impl Gallatin {
                         meta.ring.len()
                     ));
                 }
+                let snap = meta.ring.snapshot();
+                if snap.skipped > 0 {
+                    errors.push(format!(
+                        "free segment {seg} ring has {} unpublished cell(s) at a quiescent \
+                         point (torn push, or phantom occupancy masking a vanished block)",
+                        snap.skipped
+                    ));
+                }
                 for b in 0..prev_blocks {
                     let m = meta.malloc_ctr[b as usize].load(Ordering::Acquire) as u64;
                     let f = meta.free_ctr[b as usize].load(Ordering::Acquire) as u64;
@@ -285,17 +322,28 @@ impl Gallatin {
                          {nblocks}"
                     ));
                 }
-                let ring = meta.ring.snapshot();
-                if ring.len() as u64 != meta.ring.len() {
+                let snap = meta.ring.snapshot();
+                // Skipped cells are an error, not a tolerance: the
+                // allocator is quiescent here, so every ticket must be
+                // published — a hole can mask a vanished block.
+                if snap.skipped > 0 {
                     errors.push(format!(
-                        "segment {seg} ring occupancy counter ({}) disagrees with its \
-                         contents ({})",
+                        "segment {seg} ring has {} unpublished cell(s) at a quiescent point \
+                         (torn push, or phantom occupancy masking a vanished block)",
+                        snap.skipped
+                    ));
+                }
+                if snap.ids.len() as u64 + snap.skipped != meta.ring.len() {
+                    errors.push(format!(
+                        "segment {seg} ring occupancy drift: derived occupancy {} vs {} \
+                         published + {} unpublished cell(s)",
                         meta.ring.len(),
-                        ring.len()
+                        snap.ids.len(),
+                        snap.skipped
                     ));
                 }
                 let mut in_ring = vec![false; nblocks as usize];
-                for &b in &ring {
+                for &b in &snap.ids {
                     if b >= nblocks {
                         errors.push(format!(
                             "segment {seg} ring holds out-of-range block {b} (class {class} \
@@ -369,11 +417,14 @@ impl Gallatin {
             ));
         }
 
-        // Invariant 5: the reserved counter matches the table.
+        // Invariant 5: the reserved counter matches the table. Checked on
+        // the raw counter, not the saturating accessor — a wrapped value
+        // is itself the violation being reported.
         let reserved = self.reserved.load(Ordering::Acquire);
         if computed_reserved != reserved {
+            let wrapped = if (reserved as i64) < 0 { " (wrapped below zero)" } else { "" };
             errors.push(format!(
-                "reserved accounting mismatch: counter says {reserved} bytes, table \
+                "reserved accounting mismatch: counter says {reserved} bytes{wrapped}, table \
                  implies {computed_reserved}"
             ));
         }
@@ -397,7 +448,8 @@ impl Gallatin {
             return false;
         };
         self.metrics.count_cas(true);
-        self.table.format_segment(seg, class);
+        let drain_spins = self.table.format_segment(seg, class);
+        self.metrics.count_drain_spins(drain_spins);
         // Broadcast availability: insert into the block tree last, so any
         // thread that finds the segment sees a fully formatted state.
         self.block_trees[class].insert(seg);
@@ -446,18 +498,40 @@ impl Gallatin {
             // Algorithm 2's staleness check: the segment may have been
             // reclaimed and reformatted since we found it.
             if meta.ldcv_tree_id() != class as u32 {
-                // push reports "full" transiently when it wraps onto a
-                // cell whose popper is between its ticket CAS and its
-                // sequence store; dropping the block would leak it, so
-                // retry until that popper publishes.
-                while !meta.ring.push(block) {
-                    gpu_sim::spin_hint();
-                }
+                // Route the block home (the straggler bounce the reclaim
+                // protocol's drain waits for) and retry elsewhere.
+                self.push_home(meta, seg, block);
+                self.metrics.count_straggler_bounce();
                 self.metrics.count_cas(false);
                 continue;
             }
             return Some(BlockHandle::new(seg, block, self.geo.max_blocks));
         }
+    }
+
+    /// Push `block` home to `seg`'s ring, riding out transient fullness:
+    /// `push` reports "full" while the popper of the wrapped-onto cell is
+    /// between its ticket CAS and its sequence store, and dropping the
+    /// block would leak it. The wait is bounded — a push that can never
+    /// land means a block was duplicated or the ring was torn, so after
+    /// [`DRAIN_SPIN_LIMIT`] spins this panics with replay diagnostics
+    /// instead of hanging silently.
+    fn push_home(&self, meta: &SegmentMeta, seg: u64, block: u64) {
+        let mut spins = 0u64;
+        while !meta.ring.push(block) {
+            gpu_sim::spin_hint();
+            spins += 1;
+            if spins > DRAIN_SPIN_LIMIT {
+                panic!(
+                    "segment {seg}: block {block} cannot be pushed home after {spins} spins \
+                     (ring occupancy {}, {} push(es) in flight, sched seed {})",
+                    meta.ring.len(),
+                    meta.ring.pushes_in_flight(),
+                    seed_diag(),
+                );
+            }
+        }
+        self.metrics.count_rmw();
     }
 
     /// Return a block to its segment's ring and restore the segment's
@@ -467,12 +541,7 @@ impl Gallatin {
         let seg = handle.segment(self.geo.max_blocks);
         let block = handle.block(self.geo.max_blocks);
         let meta = self.table.seg(seg);
-        // Retry transient fullness (in-flight pop on the wrapped-onto
-        // cell): a dropped return here would leak the block.
-        while !meta.ring.push(block) {
-            gpu_sim::spin_hint();
-        }
-        self.metrics.count_rmw();
+        self.push_home(meta, seg, block);
         let nblocks = self.geo.blocks_per_segment(class);
         if meta.ring.len() == nblocks {
             self.try_reclaim_segment(seg, class, nblocks);
@@ -482,28 +551,39 @@ impl Gallatin {
         }
     }
 
-    /// Attempt the class→free transition described in `crate::table`.
+    /// Attempt the class→free transition — the two-phase verify described
+    /// in `crate::table`'s module docs.
     fn try_reclaim_segment(&self, seg: u64, class: usize, nblocks: u64) {
-        // Step 1: make the segment unreachable for new block requests.
+        // Phase 1 (claim-unreachable): remove the segment from its block
+        // tree so no new block request can find it.
         if !self.block_trees[class].claim_exact(seg) {
             // Not present: either a popper deactivated it (it will be
             // re-inserted by the next free) or another reclaimer owns it.
             return;
         }
+        self.metrics.count_reclaim_attempt();
         let meta = self.table.seg(seg);
-        // Step 2: publish FREE so in-window poppers fail their ldcv check
-        // and push their block back.
+        // ...and publish FREE so any popper already inside Algorithm 2
+        // fails its ldcv staleness re-check and pushes its block back.
         meta.tree_id.store(TREE_FREE, Ordering::SeqCst);
-        // Step 3: re-verify fullness. A popper that slipped in before the
-        // publish has already decremented the ring length.
+        // Phase 2 (quiesce-check): derived occupancy equal to the block
+        // count proves every block is home *and* every push is published
+        // — a popper that slipped in before the FREE store has already
+        // passed its ticket CAS and lowered len(), so one observation
+        // suffices; no second scan or wait is needed.
         if meta.ring.len() != nblocks {
-            // Undo: the segment stays formatted.
+            // Abort rather than wait: the in-window popper legitimately
+            // owns its block (its ldcv predates our publish) and will
+            // re-trigger reclaim when it frees. The segment stays
+            // formatted.
+            self.metrics.count_reclaim_abort();
             meta.tree_id.store(class as u32, Ordering::SeqCst);
             self.block_trees[class].insert(seg);
             return;
         }
-        // The ring is full and the id is FREE: any late straggler will
-        // push back before the next format's drain completes.
+        // Publish: the ring is full and the id is FREE; any late
+        // straggler bounces off the ldcv check and the next format's
+        // bounded drain covers the push-back.
         self.segment_tree.insert(seg);
     }
 
@@ -863,10 +943,7 @@ impl DeviceAllocator for Gallatin {
     }
 
     fn stats(&self) -> AllocStats {
-        AllocStats {
-            heap_bytes: self.geo.heap_bytes,
-            reserved_bytes: self.reserved.load(Ordering::Relaxed),
-        }
+        AllocStats { heap_bytes: self.geo.heap_bytes, reserved_bytes: self.reserved_bytes() }
     }
 }
 
@@ -1182,6 +1259,42 @@ mod tests {
             g.free(l, p);
             g.check_invariants().expect("healthy after undoing the drift");
         });
+    }
+
+    #[test]
+    fn reserved_stat_never_reports_a_wrapped_value() {
+        let g = tiny();
+        // Simulate the read-side transient: a free's fetch_sub observed
+        // before the matching malloc's fetch_add drives the raw counter
+        // below zero (~2^64 as a u64).
+        g.reserved.fetch_sub(4096, Ordering::Relaxed);
+        assert_eq!(g.stats().reserved_bytes, 0, "wrapped counter must saturate to 0");
+        assert_eq!(g.reserved_bytes(), 0);
+        g.reserved.fetch_add(4096, Ordering::Relaxed);
+        assert_eq!(g.stats().reserved_bytes, 0);
+        // Ordinary values pass through untouched.
+        with_lane(|l| {
+            let p = g.malloc(l, 16);
+            assert!(g.stats().reserved_bytes > 0);
+            g.free(l, p);
+            assert_eq!(g.stats().reserved_bytes, 0);
+        });
+        g.check_invariants().expect("healthy after the transient was undone");
+    }
+
+    #[test]
+    fn invariant_checker_rejects_phantom_occupancy() {
+        let g = tiny();
+        with_lane(|l| {
+            let p = g.malloc(l, 16);
+            g.free(l, p);
+        });
+        g.check_invariants().expect("healthy before injection");
+        // Inject occupancy drift: a ticket with no published block, the
+        // footprint the retired side-counter design could produce.
+        g.table.seg(0).ring.debug_inject_phantom_push();
+        let err = g.check_invariants().unwrap_err();
+        assert!(err.contains("unpublished cell"), "unexpected report: {err}");
     }
 
     #[test]

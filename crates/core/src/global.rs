@@ -63,6 +63,16 @@ pub fn global_free(ctx: &LaneCtx, alloc: DevicePtr) {
     global_allocator().free(ctx, alloc)
 }
 
+/// Run [`Gallatin::check_invariants`] on the global instance — the
+/// host-side maintenance check, callable between launches the way
+/// `cudaDeviceSynchronize` + a verifier kernel would be on the GPU.
+///
+/// # Panics
+/// Panics if the global allocator has not been initialized.
+pub fn global_check_invariants() -> Result<(), String> {
+    global_allocator().check_invariants()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,5 +101,6 @@ mod tests {
         });
         assert_eq!(ok.load(Ordering::Relaxed), 10_000);
         assert_eq!(global_allocator().stats().reserved_bytes, 0);
+        global_check_invariants().expect("global heap consistent after the storm");
     }
 }

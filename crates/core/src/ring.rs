@@ -11,29 +11,73 @@
 //! ticket counter plus one store in the common case. Capacity is fixed at
 //! construction (`max_blocks`, 256 in the paper's configuration).
 //!
-//! A separate `len` counter is maintained (relaxed increments/decrements
-//! around the queue ops) because Gallatin's segment-reclamation protocol
-//! needs a "ring is full again" observation: a segment may only be
-//! recycled once every popped block has been pushed back (see
-//! `crate::table`).
+//! ## Occupancy
+//!
+//! Gallatin's segment-reclamation protocol needs a "ring is full again"
+//! observation: a segment may only be recycled once every popped block has
+//! been pushed back (see `crate::table`). Occupancy is therefore **derived
+//! from the ticket counters**, never kept in a side counter:
+//!
+//! ```text
+//! len() = (enqueue_pos - dequeue_pos) - pushes_in_flight
+//! ```
+//!
+//! * `dequeue_pos` advances at a pop's CAS win — the instant the block
+//!   leaves home — so a block held by a straggler is *never* counted;
+//! * `enqueue_pos` advances at a push's CAS win, *before* the cell is
+//!   published, so `push_in_flight` (incremented before the ticket CAS,
+//!   decremented after the cell's value and sequence stores) compensates:
+//!   a push is only counted once its cell is fully published.
+//!
+//! Consequently `len()` can transiently *under*-report (which only delays
+//! reclamation) but can never over-report or wrap: `len() == n` is a
+//! proof that `n` blocks are home with their cells fully published and no
+//! ring mutation in flight on them. An earlier revision kept a separate
+//! `len: AtomicU64` updated *after* each queue op; a pop's `fetch_sub`
+//! racing a push's trailing `fetch_add` could then momentarily drive the
+//! counter through zero to ~2^64, spuriously satisfying every fullness
+//! check downstream. The derived form makes that interleaving
+//! unrepresentable.
+//!
+//! The pop CAS-win → cell-recycle window and the push CAS-win → publish
+//! window are the *straggler windows* of the reclamation protocol; both
+//! cross a [`gpu_sim::preempt_point`] so the deterministic scheduler (and
+//! its fault injector, see `gpu_sim::sched::FaultPlan`) can park a warp
+//! exactly there.
 
+use gpu_sim::{preempt_point, PreemptPoint};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Bounded MPMC queue of block ids with an occupancy counter.
+/// Bounded MPMC queue of block ids with derived, non-wrapping occupancy.
 pub struct BlockRing {
     cells: Box<[Cell]>,
     /// Capacity mask (capacity is a power of two).
     mask: u64,
     enqueue_pos: AtomicU64,
     dequeue_pos: AtomicU64,
-    /// Number of ids currently enqueued (may transiently lag the queue by
-    /// the width of an in-flight operation).
-    len: AtomicU64,
+    /// Pushes between their ticket CAS and their cell publish. Always
+    /// incremented *before* the CAS attempt (and rolled back on CAS
+    /// failure) so no observer can count a ticket whose cell is still
+    /// unpublished.
+    push_in_flight: AtomicU64,
 }
 
 struct Cell {
     seq: AtomicU64,
     value: AtomicU64,
+}
+
+/// A quiescent view of a ring's contents (see [`BlockRing::snapshot`]).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct RingSnapshot {
+    /// The ids of fully published cells, front to back.
+    pub ids: Vec<u64>,
+    /// Ticket positions in `[dequeue_pos, enqueue_pos)` whose cell was
+    /// *not* published (an operation in flight, or a torn/phantom ticket).
+    /// Nonzero at a quiescent point means the ring is corrupt: a hole can
+    /// mask a vanished block, so invariant checkers must treat it as an
+    /// error rather than skipping the cell.
+    pub skipped: u64,
 }
 
 impl BlockRing {
@@ -51,7 +95,7 @@ impl BlockRing {
             mask: cap - 1,
             enqueue_pos: AtomicU64::new(0),
             dequeue_pos: AtomicU64::new(0),
-            len: AtomicU64::new(0),
+            push_in_flight: AtomicU64::new(0),
         }
     }
 
@@ -61,12 +105,21 @@ impl BlockRing {
         self.mask + 1
     }
 
-    /// Current occupancy. Exact when the queue is quiescent; used by the
-    /// reclamation protocol, which tolerates transient undercounts (they
-    /// only delay reclamation, never corrupt it — see `crate::table`).
+    /// Current occupancy, derived from the ticket counters (see the
+    /// module docs). May transiently under-report while an operation is
+    /// in flight; never over-reports and never wraps. `len() == n` at any
+    /// observation point proves `n` blocks are home and fully published.
+    ///
+    /// Load order matters: `dequeue_pos` first (so the subtraction cannot
+    /// go negative — `enqueue_pos` only grows and always bounds it from
+    /// above), `push_in_flight` last (so any push whose ticket we counted
+    /// is either published or still represented in the in-flight count).
     #[inline]
     pub fn len(&self) -> u64 {
-        self.len.load(Ordering::Acquire)
+        let deq = self.dequeue_pos.load(Ordering::SeqCst);
+        let enq = self.enqueue_pos.load(Ordering::SeqCst);
+        let in_flight = self.push_in_flight.load(Ordering::SeqCst);
+        (enq - deq).saturating_sub(in_flight)
     }
 
     /// Whether the ring is empty (same caveat as [`BlockRing::len`]).
@@ -75,28 +128,49 @@ impl BlockRing {
         self.len() == 0
     }
 
+    /// Pushes currently between their ticket CAS and their cell publish.
+    /// Diagnostic for the reclaim/format paths: occupancy that is one
+    /// short with `pushes_in_flight() > 0` means a straggler is mid-push
+    /// and worth a bounded wait; occupancy short with no pushes in flight
+    /// means the block is still held elsewhere.
+    #[inline]
+    pub fn pushes_in_flight(&self) -> u64 {
+        self.push_in_flight.load(Ordering::SeqCst)
+    }
+
     /// Enqueue a block id. Returns `false` if the queue is full (only
     /// possible through misuse: a segment never holds more ids than its
-    /// block count, which is ≤ capacity).
+    /// block count, which is ≤ capacity) or if the target cell's pop is
+    /// still recycling it (transient; callers retry).
     pub fn push(&self, value: u64) -> bool {
         let mut pos = self.enqueue_pos.load(Ordering::Relaxed);
         loop {
             let cell = &self.cells[(pos & self.mask) as usize];
             let seq = cell.seq.load(Ordering::Acquire);
             if seq == pos {
+                // Announce the in-flight push *before* the ticket CAS:
+                // any observer that counts the bumped enqueue_pos must
+                // also see this increment (or the publish completed).
+                self.push_in_flight.fetch_add(1, Ordering::SeqCst);
                 match self.enqueue_pos.compare_exchange_weak(
                     pos,
                     pos + 1,
-                    Ordering::Relaxed,
+                    Ordering::SeqCst,
                     Ordering::Relaxed,
                 ) {
                     Ok(_) => {
+                        // Straggler window: ticket taken, cell not yet
+                        // published. The fault injector parks warps here.
+                        preempt_point(PreemptPoint::RingPush);
                         cell.value.store(value, Ordering::Relaxed);
                         cell.seq.store(pos + 1, Ordering::Release);
-                        self.len.fetch_add(1, Ordering::AcqRel);
+                        self.push_in_flight.fetch_sub(1, Ordering::SeqCst);
                         return true;
                     }
-                    Err(p) => pos = p,
+                    Err(p) => {
+                        self.push_in_flight.fetch_sub(1, Ordering::SeqCst);
+                        pos = p;
+                    }
                 }
             } else if seq < pos {
                 return false; // full
@@ -116,13 +190,19 @@ impl BlockRing {
                 match self.dequeue_pos.compare_exchange_weak(
                     pos,
                     pos + 1,
-                    Ordering::Relaxed,
+                    Ordering::SeqCst,
                     Ordering::Relaxed,
                 ) {
                     Ok(_) => {
                         let v = cell.value.load(Ordering::Relaxed);
+                        // Straggler window: the block left home (occupancy
+                        // already reflects it) but the cell has not been
+                        // recycled for the next lap. A warp parked here by
+                        // the fault injector holds the popped block across
+                        // whatever the other warps do next — exactly the
+                        // reclaim/reformat hazard of paper Algorithm 2.
+                        preempt_point(PreemptPoint::RingPop);
                         cell.seq.store(pos + self.mask + 1, Ordering::Release);
-                        self.len.fetch_sub(1, Ordering::AcqRel);
                         return Some(v);
                     }
                     Err(p) => pos = p,
@@ -135,29 +215,36 @@ impl BlockRing {
         }
     }
 
-    /// The ids currently enqueued, front to back.
+    /// The ring's contents plus a count of unpublished cells.
     ///
     /// Only meaningful while the ring is quiescent (no concurrent
     /// push/pop): used by the invariant checker, which runs between
-    /// kernels. Cells with an in-flight operation are skipped.
-    pub fn snapshot(&self) -> Vec<u64> {
-        let deq = self.dequeue_pos.load(Ordering::Acquire);
-        let enq = self.enqueue_pos.load(Ordering::Acquire);
-        let mut out = Vec::with_capacity((enq - deq) as usize);
+    /// kernels. At a quiescent point every ticket in
+    /// `[dequeue_pos, enqueue_pos)` must map to a published cell, so
+    /// `skipped != 0` is itself an invariant violation (a hole would
+    /// otherwise silently mask a vanished block).
+    pub fn snapshot(&self) -> RingSnapshot {
+        let deq = self.dequeue_pos.load(Ordering::SeqCst);
+        let enq = self.enqueue_pos.load(Ordering::SeqCst);
+        let mut snap = RingSnapshot { ids: Vec::with_capacity((enq - deq) as usize), skipped: 0 };
         for pos in deq..enq {
             let cell = &self.cells[(pos & self.mask) as usize];
             if cell.seq.load(Ordering::Acquire) == pos + 1 {
-                out.push(cell.value.load(Ordering::Acquire));
+                snap.ids.push(cell.value.load(Ordering::Acquire));
+            } else {
+                snap.skipped += 1;
             }
         }
-        out
+        snap
     }
 
     /// Reinitialize to hold exactly the ids `0..count`, in order.
     ///
     /// **Not thread-safe**: callers must hold exclusive ownership of the
     /// segment (Gallatin's format path claims the segment from the segment
-    /// tree and drains stragglers before calling this).
+    /// tree and drains stragglers before calling this; the drain's
+    /// `len() == prev_blocks` observation proves no push or pop is still
+    /// mutating the cells — see the module docs).
     pub fn reset_full(&self, count: u64) {
         assert!(count <= self.capacity(), "segment block count exceeds ring capacity");
         for (i, cell) in self.cells.iter().enumerate() {
@@ -169,9 +256,9 @@ impl BlockRing {
                 cell.seq.store(i, Ordering::Relaxed);
             }
         }
-        self.enqueue_pos.store(count, Ordering::Relaxed);
         self.dequeue_pos.store(0, Ordering::Relaxed);
-        self.len.store(count, Ordering::Release);
+        self.push_in_flight.store(0, Ordering::Relaxed);
+        self.enqueue_pos.store(count, Ordering::Release);
     }
 
     /// Reinitialize to empty. Same exclusivity requirement as
@@ -180,15 +267,25 @@ impl BlockRing {
         for (i, cell) in self.cells.iter().enumerate() {
             cell.seq.store(i as u64, Ordering::Relaxed);
         }
-        self.enqueue_pos.store(0, Ordering::Relaxed);
         self.dequeue_pos.store(0, Ordering::Relaxed);
-        self.len.store(0, Ordering::Release);
+        self.push_in_flight.store(0, Ordering::Relaxed);
+        self.enqueue_pos.store(0, Ordering::Release);
+    }
+
+    /// Corrupt the ring by taking an enqueue ticket without publishing a
+    /// cell — the footprint of a torn push. Test-only: negative coverage
+    /// for the invariant checker's occupancy-drift and snapshot-hole
+    /// detection.
+    #[doc(hidden)]
+    pub fn debug_inject_phantom_push(&self) {
+        self.enqueue_pos.fetch_add(1, Ordering::SeqCst);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gpu_sim::sched::{explore_schedules, run_tasks, run_tasks_faulted, FaultPlan};
     use std::collections::HashSet;
 
     #[test]
@@ -238,9 +335,21 @@ mod tests {
         r.reset_full(5);
         r.pop();
         r.push(0);
-        assert_eq!(r.snapshot(), vec![1, 2, 3, 4, 0]);
+        let snap = r.snapshot();
+        assert_eq!(snap.ids, vec![1, 2, 3, 4, 0]);
+        assert_eq!(snap.skipped, 0, "quiescent ring has no holes");
         assert_eq!(r.len(), 5, "snapshot must not consume");
         assert_eq!(r.pop(), Some(1));
+    }
+
+    #[test]
+    fn snapshot_reports_phantom_ticket_as_hole() {
+        let r = BlockRing::new(8);
+        r.reset_full(4);
+        r.debug_inject_phantom_push();
+        let snap = r.snapshot();
+        assert_eq!(snap.ids, vec![0, 1, 2, 3], "published cells still visible");
+        assert_eq!(snap.skipped, 1, "the torn ticket must be reported, not skipped");
     }
 
     #[test]
@@ -324,5 +433,79 @@ mod tests {
         });
         assert_eq!(consumed.load(Ordering::Relaxed), produced);
         assert!(r.is_empty());
+    }
+
+    /// Regression for the `len` underflow (ISSUE 2): the retired design
+    /// kept occupancy in a side `AtomicU64` updated *after* each queue op,
+    /// so on a near-empty ring a completed pop's `fetch_sub` could land
+    /// before the racing push's trailing `fetch_add` and wrap the counter
+    /// to ~2^64, spuriously passing every `len() >= n` fullness check. An
+    /// observer task here watches occupancy at every preemption point
+    /// while two workers cycle pop→push through the instrumented
+    /// straggler windows; with the derived occupancy the bound
+    /// `len() <= blocks` holds on every interleaving, while the side
+    /// counter violated it for many seeds.
+    #[test]
+    fn occupancy_never_overreports_across_schedules() {
+        let result = explore_schedules(0..64, |seed| {
+            let r = BlockRing::new(4);
+            r.reset_full(2); // near-empty: underflow territory
+            run_tasks(seed, 3, |i| {
+                if i < 2 {
+                    for _ in 0..6 {
+                        if let Some(v) = r.pop() {
+                            while !r.push(v) {
+                                gpu_sim::spin_hint();
+                            }
+                        }
+                    }
+                } else {
+                    for _ in 0..32 {
+                        let l = r.len();
+                        assert!(l <= 2, "occupancy over-reports under seed {seed}: len() = {l}");
+                        gpu_sim::spin_hint();
+                    }
+                }
+            });
+            assert_eq!(r.len(), 2, "both blocks home after quiescence (seed {seed})");
+        });
+        if let Err(failure) = result {
+            panic!("{failure}");
+        }
+    }
+
+    /// A warp parked mid-push (ticket taken, cell unpublished) must not be
+    /// counted by `len()`: the fullness observation the reclaim protocol
+    /// consumes has to wait for the publish.
+    #[test]
+    fn parked_push_is_not_counted_as_occupancy() {
+        let r = BlockRing::new(4);
+        r.reset_full(2);
+        let observed_full_early = std::sync::atomic::AtomicU64::new(0);
+        // Park the first warp crossing the push window for 8 turns.
+        run_tasks_faulted(
+            9,
+            2,
+            Some(FaultPlan::park(gpu_sim::PreemptPoint::RingPush, 1, 8)),
+            |i| {
+                if i == 0 {
+                    let v = r.pop().expect("preloaded");
+                    assert!(r.push(v));
+                } else {
+                    for _ in 0..12 {
+                        if r.len() == 2 && r.pushes_in_flight() > 0 {
+                            observed_full_early.fetch_add(1, Ordering::Relaxed);
+                        }
+                        gpu_sim::spin_hint();
+                    }
+                }
+            },
+        );
+        assert_eq!(
+            observed_full_early.load(Ordering::Relaxed),
+            0,
+            "an unpublished push must never be counted as a home block"
+        );
+        assert_eq!(r.len(), 2);
     }
 }

@@ -20,20 +20,38 @@
 //!
 //! * **Format** (free → class c): the formatter owns the segment
 //!   exclusively (it claimed the bit from the segment tree). Before
-//!   rebuilding the ring it *drains stragglers*: it spins until the ring
-//!   holds every block of the segment's previous life. A straggler is a
-//!   thread that popped a block just as the segment was being reclaimed;
-//!   Algorithm 2's `ldcv` re-check makes it push the block back, and the
-//!   drain guarantees the reformat cannot overlap that push. This closes
-//!   the ABA window between reclaim and reuse.
-//! * **Reclaim** (class c → free): triggered by the free that returns the
-//!   last block. The reclaimer first removes the segment from the block
-//!   tree (`claim_exact`, making it unreachable to new block requests),
-//!   then publishes `TREE_FREE`, then re-verifies the ring is still full.
-//!   Any thread that popped a block in the window re-reads `tree_id`
-//!   (the `ldcv` check), observes the mismatch, pushes the block back and
-//!   retries elsewhere — so a full ring at the re-verify point is stable
-//!   and the segment can be handed to the segment tree.
+//!   rebuilding the ring it *drains stragglers*: it spins until the ring's
+//!   occupancy equals the block count of the segment's previous life. A
+//!   straggler is a thread that popped a block just as the segment was
+//!   being reclaimed; Algorithm 2's `ldcv` re-check makes it push the
+//!   block back, and the drain guarantees the reformat cannot overlap
+//!   that push. This closes the ABA window between reclaim and reuse.
+//!   Because [`crate::ring::BlockRing::len`] is derived from the ring's
+//!   ticket positions minus in-flight pushes (never a racy side counter),
+//!   observing `len() == prev_blocks` proves every block is home *and*
+//!   fully published — the drain doubles as a quiescence barrier, so the
+//!   ring rebuild cannot tear an in-flight push. The drain spin is
+//!   **bounded**: if a straggler never returns its block the formatter
+//!   panics with a diagnostic naming the segment, the missing-block
+//!   count, the in-flight push count, and the deterministic schedule
+//!   seed (when one is active) so the hang replays from one line.
+//! * **Reclaim** (class c → free) is a *two-phase verify*, triggered by
+//!   the free that returns the last block:
+//!   1. **claim-unreachable** — the reclaimer removes the segment from
+//!      its block tree (`claim_exact`), so no new block request can find
+//!      it, and publishes `TREE_FREE` so any popper already inside
+//!      Algorithm 2 fails its `ldcv` staleness re-check and pushes its
+//!      block back;
+//!   2. **quiesce-check → publish** — it re-verifies that the ring's
+//!      derived occupancy still equals the block count. Exact occupancy
+//!      makes this single observation sufficient: a popper that slipped
+//!      in before the publish has already passed its ticket CAS and
+//!      lowered `len()`, so a full reading proves no block is out and no
+//!      push is unpublished. On success the segment is handed to the
+//!      segment tree; otherwise the reclaim *aborts* (restores the class
+//!      id and block-tree bit) rather than waiting — the in-window
+//!      popper legitimately owns its block and will re-trigger reclaim
+//!      when it frees.
 
 use crate::config::Geometry;
 use crate::ring::BlockRing;
@@ -48,6 +66,12 @@ pub const LARGE_BODY: u32 = u32::MAX - 1;
 /// `numBlockTrees + numSegments`; we offset from the top of the u32 range
 /// to keep the class ids dense.)
 pub const LARGE_BASE: u32 = 1 << 24;
+
+/// Upper bound on format-drain spin iterations before declaring the
+/// straggler lost and panicking with diagnostics. Sized for real stalls
+/// (tens of milliseconds of OS-scheduling noise in pool mode), far above
+/// anything a correct protocol produces.
+pub const DRAIN_SPIN_LIMIT: u64 = 1 << 26;
 
 /// A handle to one block: `(segment, block_index)` packed densely.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -167,14 +191,26 @@ impl MemoryTable {
 
     /// Format a freshly claimed segment for class `c`: drain stragglers
     /// from its previous life, rebuild the ring with the class's block
-    /// ids, zero the counters, then publish the class id.
+    /// ids, zero the counters, then publish the class id. Returns the
+    /// number of spin iterations the drain took (0 when the segment was
+    /// already quiescent), for the caller's `drain_spins` metric.
     ///
     /// The caller must exclusively own the segment (a successful
     /// `claim_exact`/`claim_first_ge` on the segment tree).
-    pub fn format_segment(&self, seg: u64, class: usize) {
+    ///
+    /// # Panics
+    ///
+    /// The drain is bounded ([`DRAIN_SPIN_LIMIT`] iterations). If a
+    /// straggler never pushes its block home — a protocol violation, not
+    /// a slow schedule — this panics with the segment id, missing-block
+    /// count, in-flight push count, and the active deterministic schedule
+    /// seed so the failure replays deterministically.
+    pub fn format_segment(&self, seg: u64, class: usize) -> u64 {
         let meta = self.seg(seg);
         debug_assert_eq!(meta.tree_id.load(Ordering::SeqCst), TREE_FREE);
         // Drain: wait until every block of the previous format is home.
+        // len() is derived occupancy, so equality also proves no push is
+        // mid-publish — the reset below cannot tear an in-flight store.
         let prev_blocks = meta.cur_blocks.load(Ordering::Acquire) as u64;
         let mut spins = 0u64;
         while meta.ring.len() < prev_blocks {
@@ -183,8 +219,18 @@ impl MemoryTable {
             // still has to push its block home).
             gpu_sim::spin_hint();
             spins += 1;
-            if spins > 1 << 26 {
-                panic!("segment {seg} drain stalled: straggler never returned its block");
+            if spins > DRAIN_SPIN_LIMIT {
+                let seed = match gpu_sim::current_sched_seed() {
+                    Some(s) => format!("{s}"),
+                    None => "none (pool mode)".to_string(),
+                };
+                panic!(
+                    "segment {seg} drain stalled after {spins} spins: \
+                     {} of {prev_blocks} block(s) never returned \
+                     ({} push(es) in flight, sched seed {seed})",
+                    prev_blocks - meta.ring.len(),
+                    meta.ring.pushes_in_flight(),
+                );
             }
         }
         let nblocks = self.geo.blocks_per_segment(class);
@@ -198,6 +244,7 @@ impl MemoryTable {
             w.store(0, Ordering::Relaxed);
         }
         meta.tree_id.store(class as u32, Ordering::SeqCst);
+        spins
     }
 
     /// Mark segments `[start, start+n)` as one large allocation. Caller

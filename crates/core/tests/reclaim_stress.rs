@@ -16,7 +16,10 @@
 //! `GALLATIN_SCHED_SEED=<seed>` (see TESTING.md).
 
 use gallatin::{Gallatin, GallatinConfig, TREE_FREE};
-use gpu_sim::{explore_schedules, launch_warps, DeviceAllocator, DeviceConfig, DevicePtr};
+use gpu_sim::{
+    explore_schedules, launch_warps, DeviceAllocator, DeviceConfig, DevicePtr, FaultPlan,
+    PreemptPoint,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Tiny heap = constant segment churn: every warp's allocations span
@@ -271,6 +274,105 @@ fn same_seed_replays_identical_metrics_and_outcome() {
     let a = run(0xA11C);
     let b = run(0xA11C);
     assert_eq!(a, b, "identical seed must replay the identical schedule");
+}
+
+// =====================================================================
+// Fault-injected straggler coverage: format-drain under contention
+// =====================================================================
+
+/// The churn scenario with a schedule fault: the warp making the `nth`
+/// pop-CAS crossing ([`PreemptPoint::RingPop`]) is parked for many turn
+/// grants, so it holds a popped block while every other warp keeps
+/// freeing blocks, reclaiming segments, and reformatting them for other
+/// classes around it. Returns the run's metrics for aggregate assertions.
+///
+/// Correctness here is the whole reclamation protocol at once: the
+/// reclaim quiesce-check must see the straggler's block as *out*
+/// (derived occupancy, not a wrappable counter) and abort; a straggler
+/// resuming onto a reclaimed/reformatted segment must be routed home by
+/// Algorithm 2's `ldcv` re-check; and a format drain overlapping the
+/// park must wait the straggler out rather than terminate early — any
+/// early termination tears the ring rebuild and shows up as a double
+/// allocation (payload stamps) or a cross-structure inconsistency
+/// (`check_invariants`).
+fn faulted_churn(seed: u64, nth: u64) -> gpu_sim::metrics::MetricsSnapshot {
+    let g = Gallatin::new(churn_config());
+    let corrupt = AtomicU64::new(0);
+    let cfg = DeviceConfig::with_sms(4).seeded(seed).with_fault(FaultPlan::park(
+        PreemptPoint::RingPop,
+        nth,
+        48,
+    ));
+    // 4 warps: even warps hammer the whole-block path (ring pops — fault
+    // candidates), odd warps churn slices across classes (reclaim and
+    // reformat pressure on the same 4 segments).
+    launch_warps(cfg, 128, |warp| {
+        let l = warp.lane(0);
+        for round in 0..6u64 {
+            if warp.warp_id % 2 == 0 {
+                let p = g.malloc(&l, 1024);
+                if !p.is_null() {
+                    g.memory().write_stamp(p, warp.warp_id * 1000 + round);
+                    if g.memory().read_stamp(p) != warp.warp_id * 1000 + round {
+                        corrupt.fetch_add(1, Ordering::Relaxed);
+                    }
+                    g.free(&l, p);
+                }
+            } else {
+                let mut ptrs = [DevicePtr::NULL; 8];
+                for (i, slot) in ptrs.iter_mut().enumerate() {
+                    *slot = g.malloc(&l, 16 << ((warp.warp_id + round + i as u64) % 5));
+                    if !slot.is_null() {
+                        g.memory().write_stamp(*slot, round * 100 + i as u64);
+                    }
+                }
+                for (i, p) in ptrs.iter().enumerate() {
+                    if !p.is_null() {
+                        if g.memory().read_stamp(*p) != round * 100 + i as u64 {
+                            corrupt.fetch_add(1, Ordering::Relaxed);
+                        }
+                        g.free(&l, *p);
+                    }
+                }
+            }
+        }
+    });
+    assert_eq!(
+        corrupt.load(Ordering::Relaxed),
+        0,
+        "double allocation under seed {seed}, fault nth {nth}"
+    );
+    assert_eq!(g.stats().reserved_bytes, 0, "leak under seed {seed}, fault nth {nth}");
+    if let Err(e) = g.check_invariants() {
+        panic!("invariants violated under seed {seed}, fault nth {nth}:\n{e}");
+    }
+    g.metrics().unwrap().snapshot()
+}
+
+/// Sweep the faulted churn across schedules × fault positions. Each run
+/// is individually checked (stamps, leak, invariants); in aggregate the
+/// sweep must actually have driven the protocol through its guarded
+/// transitions — reclaims attempted, and at least one straggler routed
+/// home by the `ldcv` re-check or one reclaim aborted at the
+/// quiesce-check. A failing combination replays exactly from its
+/// `(seed, nth)` pair.
+#[test]
+fn straggler_parked_across_reclaim_is_routed_home() {
+    let (mut attempts, mut aborts, mut bounces) = (0u64, 0u64, 0u64);
+    for seed in 0..8u64 {
+        for nth in [1u64, 3, 7, 13] {
+            let s = faulted_churn(seed, nth);
+            attempts += s.reclaim_attempts;
+            aborts += s.reclaim_aborts;
+            bounces += s.straggler_bounces;
+        }
+    }
+    assert!(attempts > 0, "sweep never attempted a reclaim — workload too tame");
+    assert!(
+        bounces > 0,
+        "sweep never bounced a straggler home: the ldcv window was never exercised \
+         ({attempts} reclaim attempts, {aborts} aborts)"
+    );
 }
 
 // =====================================================================

@@ -28,6 +28,12 @@ pub struct AllocStats {
     pub heap_bytes: u64,
     /// Bytes currently reserved by live allocations, *as accounted by the
     /// allocator* (includes internal rounding to its size classes).
+    ///
+    /// Contract: never a wrapped value. Allocators that track this with
+    /// unpaired relaxed counters (a free's subtraction can be observed
+    /// before the matching allocation's addition, momentarily driving the
+    /// raw counter below zero) must saturate the reading to 0 rather
+    /// than surface ~2^64 here.
     pub reserved_bytes: u64,
 }
 
@@ -120,6 +126,13 @@ pub trait DeviceAllocator: Send + Sync {
     /// Allocators without introspection pass vacuously; tests call this
     /// after every concurrency scenario so a silent corruption (leaked
     /// block, stale table entry, bad accounting) fails loudly.
+    ///
+    /// Quiescence is also what makes *occupancy drift* detectable: with
+    /// no operation in flight, any queue/ring whose derived occupancy
+    /// disagrees with its enumerated contents — or that reports a cell
+    /// claimed by a ticket but never published — is corrupt, not merely
+    /// mid-update, and implementations are expected to report it as an
+    /// error rather than skip over it.
     fn check_invariants(&self) -> Result<(), String> {
         Ok(())
     }

@@ -12,7 +12,7 @@
 //! fills a GPU in the steady state and gives Gallatin's per-SM block
 //! buffers the intended access pattern.
 
-use crate::sched;
+use crate::sched::{self, FaultPlan};
 use crate::warp::{LaneCtx, WarpCtx, WARP_SIZE};
 use rayon::prelude::*;
 
@@ -41,11 +41,16 @@ pub struct DeviceConfig {
     pub num_sms: u32,
     /// Warp execution mode (free-running pool vs deterministic replay).
     pub mode: ExecMode,
+    /// Injected schedule fault, honored only under
+    /// [`ExecMode::Deterministic`]: parks the warp making the plan's nth
+    /// crossing of its preemption point (see [`sched::FaultPlan`]).
+    /// Ignored in pool mode, where the OS already preempts arbitrarily.
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for DeviceConfig {
     fn default() -> Self {
-        DeviceConfig { num_sms: 128, mode: ExecMode::Pool }
+        DeviceConfig { num_sms: 128, mode: ExecMode::Pool, fault: None }
     }
 }
 
@@ -53,7 +58,7 @@ impl DeviceConfig {
     /// A device with the given SM count.
     pub fn with_sms(num_sms: u32) -> Self {
         assert!(num_sms > 0, "device needs at least one SM");
-        DeviceConfig { num_sms, mode: ExecMode::Pool }
+        DeviceConfig { num_sms, ..Default::default() }
     }
 
     /// A device whose launches replay the deterministic schedule drawn
@@ -66,6 +71,13 @@ impl DeviceConfig {
     /// This configuration with the deterministic mode enabled.
     pub fn seeded(mut self, seed: u64) -> Self {
         self.mode = ExecMode::Deterministic { seed };
+        self
+    }
+
+    /// This configuration with a schedule fault injected (deterministic
+    /// mode only; the `(seed, fault)` pair replays exactly).
+    pub fn with_fault(mut self, fault: FaultPlan) -> Self {
+        self.fault = Some(fault);
         self
     }
 }
@@ -103,7 +115,9 @@ where
     };
     match cfg.mode {
         ExecMode::Pool => (0..n_warps).into_par_iter().for_each(run_warp),
-        ExecMode::Deterministic { seed } => sched::run_tasks(seed, n_warps, run_warp),
+        ExecMode::Deterministic { seed } => {
+            sched::run_tasks_faulted(seed, n_warps, cfg.fault, run_warp)
+        }
     }
 }
 

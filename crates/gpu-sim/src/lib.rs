@@ -59,7 +59,7 @@ pub use launch::{launch, launch_warps, DeviceConfig, ExecMode};
 pub use mem::{DeviceMemory, DevicePtr};
 pub use metrics::Metrics;
 pub use sched::{
-    explore_schedules, preempt_point, spin_hint, with_hooks, PreemptPoint, ScheduleFailure,
-    SimHooks,
+    current_sched_seed, explore_schedules, preempt_point, spin_hint, with_hooks, FaultPlan,
+    PreemptPoint, ScheduleFailure, SimHooks,
 };
 pub use warp::{LaneCtx, WarpCtx, WARP_SIZE};

@@ -39,6 +39,20 @@ pub struct Metrics {
     pub frees: AtomicU64,
     /// Allocation requests that returned null (out of memory / unsupported).
     pub failed_mallocs: AtomicU64,
+    /// Segment-reclamation attempts (the class→free transition was
+    /// started: the segment was claimed out of its block tree).
+    pub reclaim_attempts: AtomicU64,
+    /// Reclamation attempts that aborted at the quiesce re-verify (a
+    /// popper slipped in before FREE was published; the segment stayed
+    /// formatted).
+    pub reclaim_aborts: AtomicU64,
+    /// Spin iterations spent in format-time straggler drains (each one is
+    /// a bounded wait for an in-flight block to come home).
+    pub drain_spins: AtomicU64,
+    /// Blocks bounced home by Algorithm 2's `ldcv` staleness re-check: a
+    /// popper found the segment reclaimed under it and pushed its block
+    /// back.
+    pub straggler_bounces: AtomicU64,
 }
 
 impl Metrics {
@@ -94,6 +108,30 @@ impl Metrics {
         self.frees.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record the start of a segment-reclamation attempt.
+    #[inline]
+    pub fn count_reclaim_attempt(&self) {
+        self.reclaim_attempts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a reclamation attempt aborted at the quiesce re-verify.
+    #[inline]
+    pub fn count_reclaim_abort(&self) {
+        self.reclaim_aborts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` spin iterations waiting out a format-time drain.
+    #[inline]
+    pub fn count_drain_spins(&self, n: u64) {
+        self.drain_spins.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record one block bounced home by the `ldcv` staleness re-check.
+    #[inline]
+    pub fn count_straggler_bounce(&self) {
+        self.straggler_bounces.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Reset all counters to zero.
     pub fn reset(&self) {
         self.atomic_rmw.store(0, Ordering::Relaxed);
@@ -104,6 +142,10 @@ impl Metrics {
         self.mallocs.store(0, Ordering::Relaxed);
         self.frees.store(0, Ordering::Relaxed);
         self.failed_mallocs.store(0, Ordering::Relaxed);
+        self.reclaim_attempts.store(0, Ordering::Relaxed);
+        self.reclaim_aborts.store(0, Ordering::Relaxed);
+        self.drain_spins.store(0, Ordering::Relaxed);
+        self.straggler_bounces.store(0, Ordering::Relaxed);
     }
 
     /// Snapshot into a plain struct for reporting.
@@ -117,6 +159,10 @@ impl Metrics {
             mallocs: self.mallocs.load(Ordering::Relaxed),
             frees: self.frees.load(Ordering::Relaxed),
             failed_mallocs: self.failed_mallocs.load(Ordering::Relaxed),
+            reclaim_attempts: self.reclaim_attempts.load(Ordering::Relaxed),
+            reclaim_aborts: self.reclaim_aborts.load(Ordering::Relaxed),
+            drain_spins: self.drain_spins.load(Ordering::Relaxed),
+            straggler_bounces: self.straggler_bounces.load(Ordering::Relaxed),
         }
     }
 }
@@ -140,6 +186,14 @@ pub struct MetricsSnapshot {
     pub frees: u64,
     /// Allocation requests that returned null.
     pub failed_mallocs: u64,
+    /// Segment-reclamation attempts started.
+    pub reclaim_attempts: u64,
+    /// Reclamation attempts aborted at the quiesce re-verify.
+    pub reclaim_aborts: u64,
+    /// Spin iterations spent in format-time straggler drains.
+    pub drain_spins: u64,
+    /// Blocks bounced home by the `ldcv` staleness re-check.
+    pub straggler_bounces: u64,
 }
 
 impl MetricsSnapshot {
@@ -169,6 +223,11 @@ mod tests {
         m.count_malloc(true);
         m.count_malloc(false);
         m.count_free();
+        m.count_reclaim_attempt();
+        m.count_reclaim_attempt();
+        m.count_reclaim_abort();
+        m.count_drain_spins(5);
+        m.count_straggler_bounce();
         let s = m.snapshot();
         assert_eq!(s.atomic_rmw, 2);
         assert_eq!(s.cas_attempts, 2);
@@ -178,6 +237,10 @@ mod tests {
         assert_eq!(s.mallocs, 2);
         assert_eq!(s.failed_mallocs, 1);
         assert_eq!(s.frees, 1);
+        assert_eq!(s.reclaim_attempts, 2);
+        assert_eq!(s.reclaim_aborts, 1);
+        assert_eq!(s.drain_spins, 5);
+        assert_eq!(s.straggler_bounces, 1);
         m.reset();
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
     }

@@ -57,6 +57,15 @@ pub enum PreemptPoint {
     VolatileLoad,
     /// One iteration of a spin-wait loop.
     Spin,
+    /// A block-ring pop between its ticket CAS win and the cell recycle:
+    /// the popped block is claimed but the popper has not yet moved on.
+    /// Parking a warp here (see [`FaultPlan`]) makes it a *straggler*
+    /// holding a block across whatever the other warps do — the exact
+    /// hazard window of the segment-reclamation protocol.
+    RingPop,
+    /// A block-ring push between its ticket CAS win and the cell publish:
+    /// the ticket is taken but the block is not yet observably home.
+    RingPush,
 }
 
 /// Execution hooks crossed at every preemption point.
@@ -72,6 +81,31 @@ pub trait SimHooks: Send + Sync {
 
 thread_local! {
     static CURRENT_HOOKS: RefCell<Option<Arc<dyn SimHooks>>> = const { RefCell::new(None) };
+    static CURRENT_SEED: RefCell<Option<u64>> = const { RefCell::new(None) };
+}
+
+/// The schedule seed of the deterministic run the current thread is part
+/// of, if any. Set for the duration of every task spawned by
+/// [`run_tasks`]; `None` on pool-mode and host threads. Diagnostic
+/// timeouts (e.g. the segment-drain bound in `gallatin-core`) include it
+/// so a stall report is immediately reproducible with
+/// `GALLATIN_SCHED_SEED=<seed>`.
+pub fn current_sched_seed() -> Option<u64> {
+    CURRENT_SEED.with(|c| *c.borrow())
+}
+
+/// Install `seed` as the current thread's schedule seed for the duration
+/// of `f` (restoring the previous value afterwards, also on panic).
+fn with_seed<R>(seed: u64, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<u64>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CURRENT_SEED.with(|c| *c.borrow_mut() = self.0);
+        }
+    }
+    let prev = CURRENT_SEED.with(|c| c.borrow_mut().replace(seed));
+    let _restore = Restore(prev);
+    f()
 }
 
 /// Install `hooks` as the current thread's [`SimHooks`] for the duration
@@ -147,35 +181,37 @@ enum TurnState {
 
 /// One task's turn-taking gate. The coordinator and the task thread
 /// hand a single logical token back and forth through `state`.
+/// `last_point` records which preemption point the task yielded at, so
+/// the coordinator's fault injector can recognize its trigger window.
 struct Gate {
-    state: Mutex<TurnState>,
+    state: Mutex<(TurnState, Option<PreemptPoint>)>,
     cv: Condvar,
 }
 
 impl Gate {
     fn new() -> Self {
-        Gate { state: Mutex::new(TurnState::Parked), cv: Condvar::new() }
+        Gate { state: Mutex::new((TurnState::Parked, None)), cv: Condvar::new() }
     }
 
     /// Coordinator side: grant the turn and block until the task yields
-    /// it back (or finishes). Returns `true` if the task finished.
-    fn grant_turn(&self) -> bool {
+    /// it back (or finishes). Returns `(finished, yield_point)`.
+    fn grant_turn(&self) -> (bool, Option<PreemptPoint>) {
         let mut st = self.state.lock().unwrap();
-        debug_assert!(matches!(*st, TurnState::Parked | TurnState::Yielded));
-        *st = TurnState::Running;
+        debug_assert!(matches!(st.0, TurnState::Parked | TurnState::Yielded));
+        st.0 = TurnState::Running;
         self.cv.notify_all();
-        while *st == TurnState::Running {
+        while st.0 == TurnState::Running {
             st = self.cv.wait(st).unwrap();
         }
-        *st == TurnState::Finished
+        (st.0 == TurnState::Finished, st.1)
     }
 
     /// Task side: give the turn back and block until granted again.
-    fn yield_turn(&self) {
+    fn yield_turn(&self, point: PreemptPoint) {
         let mut st = self.state.lock().unwrap();
-        *st = TurnState::Yielded;
+        *st = (TurnState::Yielded, Some(point));
         self.cv.notify_all();
-        while *st != TurnState::Running {
+        while st.0 != TurnState::Running {
             st = self.cv.wait(st).unwrap();
         }
     }
@@ -183,7 +219,7 @@ impl Gate {
     /// Task side: block until the coordinator grants the first turn.
     fn await_first_turn(&self) {
         let mut st = self.state.lock().unwrap();
-        while *st != TurnState::Running {
+        while st.0 != TurnState::Running {
             st = self.cv.wait(st).unwrap();
         }
     }
@@ -191,7 +227,7 @@ impl Gate {
     /// Task side: mark the task finished and wake the coordinator.
     fn finish(&self) {
         let mut st = self.state.lock().unwrap();
-        *st = TurnState::Finished;
+        st.0 = TurnState::Finished;
         self.cv.notify_all();
     }
 }
@@ -203,8 +239,43 @@ struct YieldHooks {
 }
 
 impl SimHooks for YieldHooks {
-    fn preempt(&self, _point: PreemptPoint) {
-        self.gate.yield_turn();
+    fn preempt(&self, point: PreemptPoint) {
+        self.gate.yield_turn(point);
+    }
+}
+
+/// A targeted schedule fault for [`run_tasks_faulted`]: the `nth` time
+/// any task yields at `point` (1-based, counted across all tasks), that
+/// task is *parked* — withheld from scheduling — for the next
+/// `park_turns` turn grants, forcing every other warp to run through the
+/// window the victim is frozen in.
+///
+/// This is how `explore_schedules` drives the reclamation races
+/// deterministically: park a warp at [`PreemptPoint::RingPop`] and it
+/// becomes a straggler holding a popped block across a whole
+/// reclaim + reformat cycle; park one at [`PreemptPoint::RingPush`] and
+/// its block is in the not-yet-observably-home limbo the ring's
+/// occupancy accounting must not count.
+///
+/// The injector never deadlocks the run: if the victim becomes the only
+/// runnable task, it is released early.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The preemption point whose crossings trigger the fault.
+    pub point: PreemptPoint,
+    /// Which crossing of `point` (1-based, across all tasks) parks its
+    /// task.
+    pub nth: u64,
+    /// How many turn grants the victim sits out.
+    pub park_turns: u64,
+}
+
+impl FaultPlan {
+    /// Park the task making the `nth` crossing of `point` for
+    /// `park_turns` turns.
+    pub fn park(point: PreemptPoint, nth: u64, park_turns: u64) -> Self {
+        assert!(nth >= 1, "crossings are counted from 1");
+        FaultPlan { point, nth, park_turns }
     }
 }
 
@@ -218,6 +289,19 @@ impl SimHooks for YieldHooks {
 /// task (so their threads exit their scope) and re-raises the first
 /// panic, which keeps `std::thread::scope` from aborting the process.
 pub fn run_tasks<F>(seed: u64, n_tasks: u64, task: F)
+where
+    F: Fn(u64) + Sync,
+{
+    run_tasks_faulted(seed, n_tasks, None, task)
+}
+
+/// [`run_tasks`] with an optional injected schedule fault: when `fault`
+/// is `Some`, the task making the plan's `nth` crossing of its
+/// preemption point is parked for `park_turns` turn grants (see
+/// [`FaultPlan`]). Scheduling stays fully deterministic — the fault is
+/// part of the schedule, so the same `(seed, fault)` pair replays the
+/// identical interleaving.
+pub fn run_tasks_faulted<F>(seed: u64, n_tasks: u64, fault: Option<FaultPlan>, task: F)
 where
     F: Fn(u64) + Sync,
 {
@@ -237,7 +321,7 @@ where
                 // Catch panics so the gate still reports Finished and the
                 // coordinator can unwind cleanly instead of deadlocking.
                 let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                    with_hooks(hooks, || task(i as u64))
+                    with_seed(seed, || with_hooks(hooks, || task(i as u64)))
                 }));
                 gate.finish();
                 if let Err(payload) = result {
@@ -247,14 +331,44 @@ where
         }
 
         // Runnable task list; swap-remove keeps selection O(1) and the
-        // evolution of this list is itself deterministic.
+        // evolution of this list is itself deterministic. At most one
+        // task is parked by the fault injector at a time; it rejoins
+        // after `park_turns` grants (or immediately if it is the only
+        // unfinished task left, preserving liveness).
         let mut runnable: Vec<usize> = (0..n_tasks as usize).collect();
-        while !runnable.is_empty() {
+        let mut crossings = 0u64;
+        let mut fault_armed = fault.is_some();
+        let mut parked: Option<(usize, u64)> = None;
+        while !runnable.is_empty() || parked.is_some() {
+            if runnable.is_empty() {
+                // Only the victim is left: release it or the run hangs.
+                let (idx, _) = parked.take().expect("loop invariant");
+                runnable.push(idx);
+            }
             let pick = (rng.next() % runnable.len() as u64) as usize;
             let idx = runnable[pick];
-            let finished = gates[idx].grant_turn();
+            let (finished, point) = gates[idx].grant_turn();
+            if let Some((victim, ref mut remaining)) = parked {
+                *remaining = remaining.saturating_sub(1);
+                if *remaining == 0 {
+                    runnable.push(victim);
+                    parked = None;
+                }
+            }
             if finished {
                 runnable.swap_remove(pick);
+                continue;
+            }
+            if fault_armed {
+                let plan = fault.expect("armed implies a plan");
+                if point == Some(plan.point) {
+                    crossings += 1;
+                    if crossings == plan.nth && plan.park_turns > 0 {
+                        fault_armed = false;
+                        runnable.swap_remove(pick);
+                        parked = Some((idx, plan.park_turns));
+                    }
+                }
             }
         }
     });

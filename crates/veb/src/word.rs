@@ -7,11 +7,13 @@
 /// Fan-out of every vEB node: one bit per child in a 64-bit word.
 pub const WORD_BITS: u64 = 64;
 
-/// Index of the first set bit `>= from` in `word`, if any. `from` may be
-/// `64` (returns `None`).
+/// Index of the first set bit `>= from` in `word`, if any.
+///
+/// Any `from` is accepted: `from >= 64` asks for a bit past the word and
+/// returns `None`, symmetric with [`first_set_le`]'s handling of the
+/// other boundary.
 #[inline]
 pub fn first_set_ge(word: u64, from: u64) -> Option<u64> {
-    debug_assert!(from <= WORD_BITS);
     if from >= WORD_BITS {
         return None;
     }
@@ -24,10 +26,13 @@ pub fn first_set_ge(word: u64, from: u64) -> Option<u64> {
 }
 
 /// Index of the last set bit `<= from` in `word`, if any.
+///
+/// Any `from` is accepted: `from >= 63` covers the whole word (every set
+/// bit is at or below it), symmetric with [`first_set_ge`]'s handling of
+/// the other boundary.
 #[inline]
 pub fn first_set_le(word: u64, from: u64) -> Option<u64> {
-    debug_assert!(from < WORD_BITS);
-    let masked = if from == WORD_BITS - 1 { word } else { word & ((1u64 << (from + 1)) - 1) };
+    let masked = if from >= WORD_BITS - 1 { word } else { word & ((1u64 << (from + 1)) - 1) };
     if masked == 0 {
         None
     } else {
@@ -72,5 +77,19 @@ mod tests {
         assert_eq!(first_set_le(u64::MAX, 0), Some(0));
         assert_eq!(first_set_ge(1 << 63, 63), Some(63));
         assert_eq!(first_set_le(1, 0), Some(0));
+    }
+
+    #[test]
+    fn out_of_range_from_is_symmetric() {
+        // Past-the-word `from` is valid on both sides: ge finds nothing
+        // (no bit is >= 64), le covers the whole word (every bit is <=
+        // any from >= 63).
+        for from in [64, 65, 100, u64::MAX] {
+            assert_eq!(first_set_ge(u64::MAX, from), None);
+            assert_eq!(first_set_le(u64::MAX, from), Some(63));
+            assert_eq!(first_set_ge(0, from), None);
+            assert_eq!(first_set_le(0, from), None);
+            assert_eq!(first_set_le(0b1001_0100, from), Some(7));
+        }
     }
 }
