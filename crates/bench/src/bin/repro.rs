@@ -15,6 +15,9 @@
 //!   graph           E12 — §6.12 dynamic graph phases
 //!   expansion       E13 — §6.12 graph expansion
 //!   reclaim         E15 — reclaim-protocol telemetry (attempts/aborts/bounces)
+//!   ablation        E16 — deterministic atomic-count ablation (64-seed sweep)
+//!   bench-smoke     E16 smoke subset, gated against results/BENCH_bench_smoke.json;
+//!                   exits 1 if any atomic-op count regresses past the tolerance
 //!   summary         §6.3-style speedup summary from the written CSVs
 //!   all             everything above, in order
 //!
@@ -25,6 +28,7 @@
 //!   --sms N         simulated streaming multiprocessors (default 128)
 //!   --pool N        OS worker threads (default max(8, cores))
 //!   --out DIR       CSV output directory (default results)
+//!   --json          also write machine-readable BENCH_<experiment>.json files
 //!   --full          paper-scale: 1M threads, 50 runs, 2G heap, 2^20 scaling
 //! ```
 
@@ -44,7 +48,7 @@ fn parse_bytes(s: &str) -> Option<u64> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: repro <init|single|mixed|scaling|variance|warmup|fragmentation|utilization|graph|expansion|reclaim|summary|all> [--threads N] [--runs N] [--heap BYTES] [--sms N] [--pool N] [--out DIR] [--full]");
+        eprintln!("usage: repro <init|single|mixed|scaling|variance|warmup|fragmentation|utilization|graph|expansion|reclaim|ablation|bench-smoke|summary|all> [--threads N] [--runs N] [--heap BYTES] [--sms N] [--pool N] [--out DIR] [--json] [--full]");
         std::process::exit(2);
     }
     let cmd = args[0].clone();
@@ -75,6 +79,10 @@ fn main() {
             "--out" => {
                 cfg.out_dir = args[i + 1].clone();
                 i += 2;
+            }
+            "--json" => {
+                cfg.json = true;
+                i += 1;
             }
             "--full" => {
                 cfg = cfg.clone().at_full_scale();
@@ -109,6 +117,12 @@ fn main() {
         "graph" => exp::run_graph(&cfg),
         "expansion" => exp::run_graph_expansion(&cfg),
         "reclaim" => exp::run_reclaim(&cfg),
+        "ablation" => exp::run_ablation(&cfg),
+        "bench-smoke" => {
+            if !exp::run_bench_smoke(&cfg) {
+                std::process::exit(1);
+            }
+        }
         "summary" => exp::run_summary(&cfg.out_dir),
         "all" => {
             exp::run_init(&cfg);
@@ -122,6 +136,7 @@ fn main() {
             exp::run_graph(&cfg);
             exp::run_graph_expansion(&cfg);
             exp::run_reclaim(&cfg);
+            exp::run_ablation(&cfg);
             exp::run_summary(&cfg.out_dir);
         }
         other => {

@@ -1,0 +1,368 @@
+//! E16 — deterministic atomic-count ablation for the contention diet
+//! (randomized probe starts + batched slice claims), and the
+//! `bench-smoke` CI gate built on it.
+//!
+//! Wall-clock on shared CI runners is noise, but under the
+//! deterministic scheduler ([`gpu_sim::ExecMode::Deterministic`]) the
+//! interleaving — and therefore every atomic-op counter — is an exact
+//! function of the seed. This experiment measures two things the paper's
+//! §4.3 contention argument predicts:
+//!
+//! 1. **Coalesced-group cost** — a 32-lane same-class malloc group costs
+//!    O(1) shared-metadata atomics, not O(lanes): a handful on a cold
+//!    heap (segment claim, block-tree insert, ring pop, slice claim) and
+//!    exactly **one** batched slice-claim CAS once a block is cached.
+//! 2. **Probe-start sweep** — a fixed multi-seed churn workload run with
+//!    `randomize_probe_starts` on vs off, at two sizes. 16 B exercises
+//!    the slice hot path (buffered blocks absorb almost all traffic, so
+//!    counts must not get *worse*); 1 KiB drives the block pipeline —
+//!    every malloc pops a block and segments cycle constantly — which is
+//!    exactly where §4.3 predicts hashed probe starts pay off: SMs stop
+//!    hammering bit 0 of the same trees and the CAS-attempt total drops
+//!    severalfold.
+//!
+//! All workload constants are fixed (never scaled by [`HarnessConfig`])
+//! so the emitted counts are bit-identical across hosts; that is what
+//! lets `bench-smoke` diff them against a checked-in baseline with a
+//! tight tolerance.
+
+use crate::report::{read_bench_json, write_bench_json, BenchRecord, Table};
+use crate::HarnessConfig;
+use gallatin::{Gallatin, GallatinConfig};
+use gpu_sim::{launch_warps, DeviceAllocator, DeviceConfig, DevicePtr};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Schedule seed for the single-warp group-cost part (any seed gives the
+/// same counts — one warp has nothing to interleave with).
+const GROUP_SEED: u64 = 7;
+
+/// Seeds swept in the contention part: full run covers `0..64`, the CI
+/// smoke subset `0..8` (a strict prefix, so smoke counts are a
+/// deterministic fraction of the full run's).
+const SWEEP_SEEDS_FULL: u64 = 64;
+const SWEEP_SEEDS_SMOKE: u64 = 8;
+
+/// Churn shape: warps × rounds of coalesced same-class groups. 32 warps
+/// across 8 SMs over a 16-segment heap is enough for probes to collide
+/// when everyone starts at bit 0.
+const SWEEP_WARPS: u64 = 32;
+const SWEEP_ROUNDS: u64 = 4;
+const SWEEP_SMS: u32 = 8;
+const SWEEP_HEAP: u64 = 1 << 20; // 16 × 64 KiB segments (small_test geometry)
+
+/// Sweep sizes: the slice hot path and the block-pipeline churn case.
+const SWEEP_SIZE_SLICE: u64 = 16;
+const SWEEP_SIZE_BLOCK: u64 = 1024;
+
+/// Heap for the block-churn sweep: the 1 KiB case pins one whole block
+/// per in-flight request (32 warps × 32 lanes = 1 MiB peak), so it gets
+/// twice the headroom of the slice case.
+const SWEEP_HEAP_BLOCK: u64 = 2 << 20; // 32 × 64 KiB segments
+
+/// Allowed relative growth of any gated counter before `bench-smoke`
+/// fails the build (the counts are deterministic, so this headroom only
+/// absorbs deliberate small reworks, not noise).
+const SMOKE_TOLERANCE: f64 = 0.10;
+
+fn tiny_gallatin(randomize: bool) -> Gallatin {
+    tiny_gallatin_sized(randomize, SWEEP_HEAP)
+}
+
+fn tiny_gallatin_sized(randomize: bool, heap: u64) -> Gallatin {
+    Gallatin::new(GallatinConfig {
+        randomize_probe_starts: randomize,
+        ..GallatinConfig::small_test(heap)
+    })
+}
+
+/// Part 1: shared-metadata atomics for one coalesced 32-lane group, on a
+/// cold heap and again once the SM's block buffer is warm. Returns
+/// `(fresh, steady)` where each is `atomic_rmw + cas_attempts` deltas.
+fn group_cost() -> (u64, u64) {
+    let g = tiny_gallatin(true);
+    let device = DeviceConfig::with_sms(SWEEP_SMS).seeded(GROUP_SEED);
+    let fresh = AtomicU64::new(0);
+    let steady = AtomicU64::new(0);
+    launch_warps(device, 32, |warp| {
+        let sizes = vec![Some(16u64); 32];
+        let mut out = vec![DevicePtr::NULL; 32];
+        let spent = |m: &gpu_sim::Metrics| {
+            let s = m.snapshot();
+            s.atomic_rmw + s.cas_attempts
+        };
+        let m = g.metrics().expect("gallatin keeps metrics");
+        let before = spent(m);
+        g.warp_malloc(warp, &sizes, &mut out);
+        fresh.store(spent(m) - before, Ordering::Relaxed);
+        assert!(out.iter().all(|p| !p.is_null()), "cold group must be served");
+        // The block now sits in the SM's buffer with spare capacity
+        // (32 of 64 slices taken); a second, 16-lane group (the other
+        // lanes sit out with `None`) must collapse to the single
+        // batched claim.
+        let mut sizes2 = vec![Some(16u64); 16];
+        sizes2.resize(32, None);
+        let mut out2 = vec![DevicePtr::NULL; 32];
+        let before = spent(m);
+        g.warp_malloc(warp, &sizes2, &mut out2);
+        steady.store(spent(m) - before, Ordering::Relaxed);
+        assert!(out2[..16].iter().all(|p| !p.is_null()), "warm group must be served");
+        g.warp_free(warp, &out);
+        g.warp_free(warp, &out2);
+    });
+    g.check_invariants().expect("invariants after group-cost probe");
+    (fresh.load(Ordering::Relaxed), steady.load(Ordering::Relaxed))
+}
+
+/// Totals from one churn sweep.
+struct SweepTotals {
+    cas_attempts: u64,
+    cas_failures: u64,
+    atomic_rmw: u64,
+    ms: f64,
+}
+
+/// Part 2: the fixed churn workload over `seeds` deterministic
+/// schedules, with probe-start randomization on or off.
+fn sweep(randomize: bool, seeds: u64, size: u64) -> SweepTotals {
+    let mut tot = SweepTotals { cas_attempts: 0, cas_failures: 0, atomic_rmw: 0, ms: 0.0 };
+    let heap = if size > 256 { SWEEP_HEAP_BLOCK } else { SWEEP_HEAP };
+    for seed in 0..seeds {
+        let g = tiny_gallatin_sized(randomize, heap);
+        let device = DeviceConfig::with_sms(SWEEP_SMS).seeded(seed);
+        let t0 = Instant::now();
+        launch_warps(device, SWEEP_WARPS * 32, |warp| {
+            let sizes = vec![Some(size); warp.active as usize];
+            let mut out = vec![DevicePtr::NULL; warp.active as usize];
+            for _ in 0..SWEEP_ROUNDS {
+                g.warp_malloc(warp, &sizes, &mut out);
+                assert!(
+                    out.iter().all(|p| !p.is_null()),
+                    "sweep heap must never run out (capacity ≫ working set)"
+                );
+                g.warp_free(warp, &out);
+            }
+        });
+        tot.ms += t0.elapsed().as_secs_f64() * 1e3;
+        g.check_invariants().expect("invariants after churn sweep");
+        assert_eq!(g.stats().reserved_bytes, 0, "sweep leaked");
+        let m = g.metrics().expect("gallatin keeps metrics").snapshot();
+        tot.cas_attempts += m.cas_attempts;
+        tot.cas_failures += m.cas_failures;
+        tot.atomic_rmw += m.atomic_rmw;
+    }
+    tot
+}
+
+/// Build the full record set at the given sweep width.
+fn records(experiment: &str, seeds: u64) -> Vec<BenchRecord> {
+    let (fresh, steady) = group_cost();
+    assert_eq!(steady, 1, "steady-state coalesced group must cost exactly one atomic");
+    let rec = |case: &str, extra: Vec<(String, String)>, ms: f64, counts: Vec<(String, u64)>| {
+        let mut params = vec![("case".to_string(), case.to_string())];
+        params.extend(extra);
+        BenchRecord {
+            experiment: experiment.to_string(),
+            allocator: "Gallatin".to_string(),
+            params,
+            median_ms: ms,
+            counts,
+        }
+    };
+    let mut out = vec![rec(
+        "group-cost",
+        vec![("lanes".into(), "32".into())],
+        f64::NAN,
+        vec![("fresh_group_atomics".into(), fresh), ("steady_group_atomics".into(), steady)],
+    )];
+    for size in [SWEEP_SIZE_SLICE, SWEEP_SIZE_BLOCK] {
+        for (label, randomize) in [("on", true), ("off", false)] {
+            let t = sweep(randomize, seeds, size);
+            out.push(rec(
+                "sweep",
+                vec![
+                    ("size".into(), size.to_string()),
+                    ("randomize_probe_starts".into(), label.into()),
+                    ("seeds".into(), seeds.to_string()),
+                ],
+                t.ms,
+                vec![
+                    ("cas_attempts".into(), t.cas_attempts),
+                    ("cas_failures".into(), t.cas_failures),
+                    ("atomic_rmw".into(), t.atomic_rmw),
+                ],
+            ));
+        }
+    }
+    out
+}
+
+fn emit(cfg: &HarnessConfig, experiment: &str, recs: &[BenchRecord]) {
+    let mut tab = Table::new(
+        format!("E16 — deterministic atomic-count ablation ({experiment})"),
+        &["case", "params", "cas attempts", "cas failures", "atomic rmw", "note"],
+    );
+    for r in recs {
+        let get = |k: &str| {
+            r.counts
+                .iter()
+                .find(|(n, _)| n == k)
+                .map(|(_, v)| v.to_string())
+                .unwrap_or_else(|| "-".to_string())
+        };
+        let params: Vec<String> =
+            r.params.iter().skip(1).map(|(k, v)| format!("{k}={v}")).collect();
+        let note = if r.params[0].1 == "group-cost" {
+            format!("fresh={} steady={}", get("fresh_group_atomics"), get("steady_group_atomics"))
+        } else {
+            String::new()
+        };
+        tab.row(vec![
+            r.params[0].1.clone(),
+            params.join(" "),
+            get("cas_attempts"),
+            get("cas_failures"),
+            get("atomic_rmw"),
+            note,
+        ]);
+    }
+    tab.emit(&cfg.out_dir, &format!("e16_{}", experiment.replace('-', "_")));
+    match write_bench_json(&cfg.out_dir, experiment, recs) {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(e) => eprintln!("warning: could not write BENCH_{experiment}.json: {e}"),
+    }
+}
+
+/// Run the full ablation (64-seed sweep) and emit table + CSV + JSON.
+pub fn run_ablation(cfg: &HarnessConfig) {
+    let recs = records("ablation", SWEEP_SEEDS_FULL);
+    emit(cfg, "ablation", &recs);
+    let find = |rand: &str, k: &str| {
+        recs.iter()
+            .find(|r| {
+                r.params.iter().any(|(pk, pv)| pk == "size" && pv == "1024")
+                    && r.params.iter().any(|(pk, pv)| pk == "randomize_probe_starts" && pv == rand)
+            })
+            .and_then(|r| r.counts.iter().find(|(n, _)| n == k))
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    println!(
+        "randomized probe starts (1 KiB block churn): cas attempts {} → {}, rmw {} → {} (off → on)",
+        find("off", "cas_attempts"),
+        find("on", "cas_attempts"),
+        find("off", "atomic_rmw"),
+        find("on", "atomic_rmw"),
+    );
+}
+
+/// Run the CI smoke subset and gate it against the checked-in baseline.
+///
+/// Reads `results/BENCH_bench_smoke.json` (committed to the repo) before
+/// writing the current counts to `<out_dir>/BENCH_bench_smoke.json`, then
+/// fails — returns `false` — if any gated counter grew more than
+/// the smoke tolerance (10%) over baseline. Refreshing the baseline is just
+/// running `repro bench-smoke` with the default `--out results` and
+/// committing the rewritten file (see EXPERIMENTS.md).
+pub fn run_bench_smoke(cfg: &HarnessConfig) -> bool {
+    let baseline_path = Path::new("results").join("BENCH_bench_smoke.json");
+    let baseline = read_bench_json(&baseline_path);
+    let recs = records("bench_smoke", SWEEP_SEEDS_SMOKE);
+    emit(cfg, "bench_smoke", &recs);
+    let baseline = match baseline {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!(
+                "bench-smoke: no usable baseline ({e}); run `repro bench-smoke` with \
+                 --out results and commit results/BENCH_bench_smoke.json"
+            );
+            return false;
+        }
+    };
+    let mut ok = true;
+    for cur in &recs {
+        let Some(base) = baseline.iter().find(|b| b.key() == cur.key()) else {
+            eprintln!(
+                "bench-smoke: baseline has no record {} — refresh results/BENCH_bench_smoke.json",
+                cur.key()
+            );
+            ok = false;
+            continue;
+        };
+        for (name, cur_v) in &cur.counts {
+            let Some((_, base_v)) = base.counts.iter().find(|(n, _)| n == name) else {
+                eprintln!("bench-smoke: baseline {} lacks counter {name} — refresh it", cur.key());
+                ok = false;
+                continue;
+            };
+            let limit = (*base_v as f64 * (1.0 + SMOKE_TOLERANCE)).ceil() as u64;
+            if *cur_v > limit {
+                eprintln!(
+                    "bench-smoke: REGRESSION {} {name}: {cur_v} > {base_v} (+{:.0}% allowed)",
+                    cur.key(),
+                    SMOKE_TOLERANCE * 100.0
+                );
+                ok = false;
+            } else if *cur_v < *base_v {
+                println!(
+                    "bench-smoke: improvement {} {name}: {cur_v} < {base_v} — consider \
+                     refreshing the baseline",
+                    cur.key()
+                );
+            }
+        }
+    }
+    if ok {
+        println!(
+            "bench-smoke: all atomic-op counts within {:.0}% of baseline",
+            SMOKE_TOLERANCE * 100.0
+        );
+    }
+    ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_cost_is_o1_and_deterministic() {
+        let (fresh, steady) = group_cost();
+        assert!(fresh <= 6, "cold 32-lane group cost {fresh} atomics");
+        assert_eq!(steady, 1, "warm group must be the single batched claim");
+        assert_eq!((fresh, steady), group_cost(), "counts must replay exactly");
+    }
+
+    #[test]
+    fn randomization_does_not_increase_slice_cas_traffic() {
+        let on = sweep(true, 4, SWEEP_SIZE_SLICE);
+        let off = sweep(false, 4, SWEEP_SIZE_SLICE);
+        assert!(
+            on.cas_attempts <= off.cas_attempts,
+            "randomized probes must not add CAS traffic: on={} off={}",
+            on.cas_attempts,
+            off.cas_attempts
+        );
+        // Deterministic: a second run of the same sweep is bit-identical.
+        let on2 = sweep(true, 4, SWEEP_SIZE_SLICE);
+        assert_eq!(on.cas_attempts, on2.cas_attempts);
+        assert_eq!(on.cas_failures, on2.cas_failures);
+        assert_eq!(on.atomic_rmw, on2.atomic_rmw);
+    }
+
+    #[test]
+    fn randomization_cuts_block_churn_cas_traffic() {
+        // Block-pipeline churn: every malloc pops a block, so the tree
+        // probes dominate — the case §4.3's randomization targets. The
+        // drop is severalfold; assert a conservative strict reduction.
+        let on = sweep(true, 4, SWEEP_SIZE_BLOCK);
+        let off = sweep(false, 4, SWEEP_SIZE_BLOCK);
+        assert!(
+            on.cas_attempts < off.cas_attempts,
+            "hashed probe starts must reduce block-churn CAS attempts: on={} off={}",
+            on.cas_attempts,
+            off.cas_attempts
+        );
+    }
+}

@@ -8,7 +8,7 @@
 //! Allocators are constructed one at a time (`for_each_allocator`) so
 //! only one heap is resident at once.
 
-use crate::report::{fmt_ms, Table};
+use crate::report::{counts_delta, fmt_ms, write_bench_json, BenchRecord, Table};
 use crate::roster::{for_each_allocator, roster_names};
 use crate::workload::{measure, SizeSpec};
 use crate::HarnessConfig;
@@ -22,13 +22,31 @@ pub fn run_single(cfg: &HarnessConfig) {
     // grid[size_idx][alloc_idx] = (alloc cell, free cell)
     let mut grid =
         vec![vec![("n/a".to_string(), "n/a".to_string()); names.len()]; SINGLE_SIZES.len()];
+    let mut records: Vec<BenchRecord> = Vec::new();
 
     for_each_allocator(cfg.heap_bytes, cfg.num_sms, |ai, a| {
         for (si, &size) in SINGLE_SIZES.iter().enumerate() {
             if !a.supports_size(size) || a.heap_bytes() < cfg.threads * size {
                 continue;
             }
+            let before = a.metrics().map(|m| m.snapshot());
             let m = measure(a, cfg.device(), cfg.threads, SizeSpec::Fixed(size), cfg.runs, false);
+            if cfg.json {
+                records.push(BenchRecord {
+                    experiment: "single".to_string(),
+                    allocator: a.name().to_string(),
+                    params: vec![
+                        ("size".to_string(), size.to_string()),
+                        ("threads".to_string(), cfg.threads.to_string()),
+                        ("runs".to_string(), cfg.runs.to_string()),
+                    ],
+                    median_ms: m.median_alloc_ms(),
+                    counts: match (&before, a.metrics().map(|m| m.snapshot())) {
+                        (Some(b), Some(after)) => counts_delta(b, &after),
+                        _ => Vec::new(),
+                    },
+                });
+            }
             let suffix = if m.corrupt > 0 {
                 "!"
             } else if m.failed > 0 {
@@ -42,6 +60,13 @@ pub fn run_single(cfg: &HarnessConfig) {
             );
         }
     });
+
+    if cfg.json {
+        match write_bench_json(&cfg.out_dir, "single", &records) {
+            Ok(p) => println!("wrote {}", p.display()),
+            Err(e) => eprintln!("warning: could not write BENCH_single.json: {e}"),
+        }
+    }
 
     let mut headers = vec!["size B"];
     headers.extend(names.iter().copied());

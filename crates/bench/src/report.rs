@@ -1,8 +1,13 @@
-//! Table and CSV output for the harness.
+//! Table, CSV, and JSON output for the harness.
+//!
+//! The JSON side is hand-rolled (the workspace deliberately carries no
+//! serde): [`BenchRecord`] is the one schema every machine-readable
+//! result uses, written as `BENCH_<experiment>.json` next to the CSVs
+//! and read back by the `bench-smoke` CI gate.
 
 use std::fs;
 use std::io::Write;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// A simple aligned-column table printed to stdout and mirrored to CSV.
 pub struct Table {
@@ -74,6 +79,399 @@ impl Table {
     }
 }
 
+/// One machine-readable measurement: the schema behind every
+/// `BENCH_<experiment>.json` file.
+///
+/// `params` identifies the configuration cell (sizes, seeds, knob
+/// settings); `counts` carries the scheduling-independent atomic-op
+/// telemetry ([`gpu_sim::metrics::MetricsSnapshot`]) that the `bench-smoke` gate
+/// compares, because wall-clock on shared CI runners is noise but
+/// deterministic-schedule atomic counts are exact.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchRecord {
+    /// Experiment name (matches the file's `BENCH_<experiment>` stem).
+    pub experiment: String,
+    /// Allocator under test (roster display name).
+    pub allocator: String,
+    /// Configuration-cell parameters, in a stable order.
+    pub params: Vec<(String, String)>,
+    /// Median wall time of the measured kernel, milliseconds (NaN ⇒
+    /// written as `null`: wall time is informational, never gated).
+    pub median_ms: f64,
+    /// Atomic-op and telemetry counters, in a stable order.
+    pub counts: Vec<(String, u64)>,
+}
+
+impl BenchRecord {
+    /// The key the smoke gate matches records on: allocator plus the
+    /// rendered parameter list.
+    pub fn key(&self) -> String {
+        let params: Vec<String> = self.params.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        format!("{}[{}]", self.allocator, params.join(","))
+    }
+}
+
+/// Escape a string for a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render records as the `BENCH_<experiment>.json` document.
+pub fn render_bench_json(experiment: &str, records: &[BenchRecord]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"gallatin-bench-v1\",\n");
+    out.push_str(&format!("  \"experiment\": \"{}\",\n", json_escape(experiment)));
+    out.push_str("  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"experiment\": \"{}\",\n", json_escape(&r.experiment)));
+        out.push_str(&format!("      \"allocator\": \"{}\",\n", json_escape(&r.allocator)));
+        out.push_str("      \"params\": {");
+        let params: Vec<String> = r
+            .params
+            .iter()
+            .map(|(k, v)| format!("\"{}\": \"{}\"", json_escape(k), json_escape(v)))
+            .collect();
+        out.push_str(&params.join(", "));
+        out.push_str("},\n");
+        if r.median_ms.is_finite() {
+            out.push_str(&format!("      \"median_ms\": {:.6},\n", r.median_ms));
+        } else {
+            out.push_str("      \"median_ms\": null,\n");
+        }
+        out.push_str("      \"counts\": {");
+        let counts: Vec<String> =
+            r.counts.iter().map(|(k, v)| format!("\"{}\": {}", json_escape(k), v)).collect();
+        out.push_str(&counts.join(", "));
+        out.push_str("}\n");
+        out.push_str(if i + 1 == records.len() { "    }\n" } else { "    },\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Write `<out_dir>/BENCH_<experiment>.json`; returns the path written.
+pub fn write_bench_json(
+    out_dir: &str,
+    experiment: &str,
+    records: &[BenchRecord],
+) -> std::io::Result<PathBuf> {
+    fs::create_dir_all(out_dir)?;
+    let path = Path::new(out_dir).join(format!("BENCH_{experiment}.json"));
+    fs::write(&path, render_bench_json(experiment, records))?;
+    Ok(path)
+}
+
+/// Read a `BENCH_<experiment>.json` file back into records.
+pub fn read_bench_json(path: &Path) -> Result<Vec<BenchRecord>, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let doc = json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let records = doc
+        .get("records")
+        .and_then(json::Value::as_array)
+        .ok_or_else(|| format!("{}: no \"records\" array", path.display()))?;
+    records
+        .iter()
+        .map(|r| {
+            let s = |k: &str| {
+                r.get(k)
+                    .and_then(json::Value::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("record missing string \"{k}\""))
+            };
+            let pairs = |k: &str| -> Result<Vec<(String, json::Value)>, String> {
+                Ok(r.get(k)
+                    .and_then(json::Value::as_object)
+                    .ok_or_else(|| format!("record missing object \"{k}\""))?
+                    .to_vec())
+            };
+            Ok(BenchRecord {
+                experiment: s("experiment")?,
+                allocator: s("allocator")?,
+                params: pairs("params")?
+                    .into_iter()
+                    .map(|(k, v)| {
+                        let v = v.as_str().ok_or_else(|| format!("param {k} not a string"))?;
+                        Ok((k, v.to_string()))
+                    })
+                    .collect::<Result<_, String>>()?,
+                median_ms: r.get("median_ms").and_then(json::Value::as_f64).unwrap_or(f64::NAN),
+                counts: pairs("counts")?
+                    .into_iter()
+                    .map(|(k, v)| {
+                        let v = v.as_f64().ok_or_else(|| format!("count {k} not a number"))?;
+                        Ok((k, v as u64))
+                    })
+                    .collect::<Result<_, String>>()?,
+            })
+        })
+        .collect()
+}
+
+/// A minimal JSON parser — just enough to read the documents
+/// [`render_bench_json`] writes (objects, arrays, strings, numbers,
+/// `true`/`false`/`null`). No dependency on external crates by design.
+pub mod json {
+    /// A parsed JSON value. Object keys keep insertion order.
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// Any JSON number (parsed as f64; bench counts fit exactly).
+        Num(f64),
+        /// A string literal.
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object, keys in document order.
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Object member lookup.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Obj(m) => m.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// The string payload, if a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The numeric payload, if a number.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        /// The element list, if an array.
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        /// The member list, if an object.
+        pub fn as_object(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Obj(m) => Some(m),
+                _ => None,
+            }
+        }
+    }
+
+    /// Parse a JSON document.
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        skip_ws(b, pos);
+        if *pos < b.len() && b[*pos] == c {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {pos}", c as char))
+        }
+    }
+
+    fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b'{') => parse_object(b, pos),
+            Some(b'[') => parse_array(b, pos),
+            Some(b'"') => Ok(Value::Str(parse_string(b, pos)?)),
+            Some(b't') => parse_lit(b, pos, "true", Value::Bool(true)),
+            Some(b'f') => parse_lit(b, pos, "false", Value::Bool(false)),
+            Some(b'n') => parse_lit(b, pos, "null", Value::Null),
+            Some(_) => parse_number(b, pos),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, String> {
+        if b[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {pos}"))
+        }
+    }
+
+    fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+            *pos += 1;
+        }
+        std::str::from_utf8(&b[start..*pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(b, pos, b'"')?;
+        let mut out = String::new();
+        while *pos < b.len() {
+            match b[*pos] {
+                b'"' => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    *pos += 1;
+                    match b.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = b
+                                .get(*pos + 1..*pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| format!("bad \\u escape at byte {pos}"))?;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            *pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {pos}")),
+                    }
+                    *pos += 1;
+                }
+                _ => {
+                    // Multi-byte UTF-8 sequences pass through verbatim.
+                    let start = *pos;
+                    while *pos < b.len() && b[*pos] != b'"' && b[*pos] != b'\\' {
+                        *pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&b[start..*pos])
+                            .map_err(|_| format!("bad utf8 at byte {start}"))?,
+                    );
+                }
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn parse_array(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(b, pos, b'[')?;
+        let mut out = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Arr(out));
+        }
+        loop {
+            out.push(parse_value(b, pos)?);
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Arr(out));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+            }
+        }
+    }
+
+    fn parse_object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(b, pos, b'{')?;
+        let mut out = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Obj(out));
+        }
+        loop {
+            skip_ws(b, pos);
+            let key = parse_string(b, pos)?;
+            expect(b, pos, b':')?;
+            out.push((key, parse_value(b, pos)?));
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Obj(out));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+            }
+        }
+    }
+}
+
+/// The telemetry counters a [`BenchRecord`] carries, extracted from a
+/// metrics snapshot in a stable order.
+pub fn counts_from(m: &gpu_sim::metrics::MetricsSnapshot) -> Vec<(String, u64)> {
+    vec![
+        ("atomic_rmw".to_string(), m.atomic_rmw),
+        ("cas_attempts".to_string(), m.cas_attempts),
+        ("cas_failures".to_string(), m.cas_failures),
+        ("lock_acquires".to_string(), m.lock_acquires),
+        ("coalesced_requests".to_string(), m.coalesced_requests),
+        ("mallocs".to_string(), m.mallocs),
+        ("frees".to_string(), m.frees),
+        ("failed_mallocs".to_string(), m.failed_mallocs),
+    ]
+}
+
+/// Counter deltas between two snapshots of the same [`gpu_sim::Metrics`]
+/// (e.g. around one measured size in a sweep), in [`counts_from`] order.
+pub fn counts_delta(
+    before: &gpu_sim::metrics::MetricsSnapshot,
+    after: &gpu_sim::metrics::MetricsSnapshot,
+) -> Vec<(String, u64)> {
+    counts_from(after)
+        .into_iter()
+        .zip(counts_from(before))
+        .map(|((k, a), (_, b))| (k, a.saturating_sub(b)))
+        .collect()
+}
+
 /// Format milliseconds with sensible precision.
 pub fn fmt_ms(ms: f64) -> String {
     if ms.is_nan() {
@@ -122,6 +520,49 @@ mod tests {
         t.write_csv(dir, "unit").unwrap();
         let content = std::fs::read_to_string(format!("{dir}/unit.csv")).unwrap();
         assert_eq!(content, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn bench_json_round_trips() {
+        let records = vec![
+            BenchRecord {
+                experiment: "ablation".into(),
+                allocator: "Gallatin".into(),
+                params: vec![("case".into(), "sweep".into()), ("seeds".into(), "8".into())],
+                median_ms: 1.5,
+                counts: vec![("cas_attempts".into(), 1234), ("atomic_rmw".into(), 56)],
+            },
+            BenchRecord {
+                experiment: "ablation".into(),
+                allocator: "Gallatin".into(),
+                params: vec![("case".into(), "group \"quoted\"".into())],
+                median_ms: f64::NAN, // rendered as null, read back as NaN
+                counts: vec![],
+            },
+        ];
+        let dir = std::env::temp_dir().join("gallatin-bench-json-test");
+        let path = write_bench_json(dir.to_str().unwrap(), "ablation", &records).unwrap();
+        assert!(path.ends_with("BENCH_ablation.json"));
+        let back = read_bench_json(&path).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0], records[0]);
+        assert_eq!(back[1].params[0].1, "group \"quoted\"");
+        assert!(back[1].median_ms.is_nan());
+        assert_eq!(back[0].key(), "Gallatin[case=sweep,seeds=8]");
+    }
+
+    #[test]
+    fn json_parser_handles_the_grammar() {
+        use super::json::{parse, Value};
+        let v = parse(r#"{"a": [1, 2.5, -3e2], "b": {"c": true, "d": null}, "e": "x"}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(v.get("a").unwrap().as_array().unwrap()[2].as_f64(), Some(-300.0));
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("b").unwrap().get("d"), Some(&Value::Null));
+        assert_eq!(v.get("e").unwrap().as_str(), Some("x"));
+        assert!(parse("{\"a\": 1} trailing").is_err());
+        assert!(parse("{\"a\"").is_err());
+        assert!(parse("[1,]").is_err());
     }
 
     #[test]

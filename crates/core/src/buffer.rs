@@ -6,12 +6,37 @@
 //! many, with a floor (4 in the paper) to bound contention on big classes.
 //! On the paper's A40 example with 128 SMs: 128 slots for 16 B, 64 for
 //! 32 B, 32 for 64 B, and so on.
+//!
+//! A slot holds an [`Entry`] — the block handle *plus the recycle
+//! generation it was installed under* (see
+//! [`SegmentMeta::claim_slices`](crate::table::SegmentMeta::claim_slices)).
+//! CAS-ing full entries rather than bare handles closes the slot-ABA
+//! window: a designated replacer whose block was recycled and
+//! re-installed while it fetched the replacement holds the old
+//! generation, so its swap fails instead of evicting the live entry.
 
 use crate::table::BlockHandle;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// A buffered block: the handle and the claim-word generation it was
+/// installed under.
+pub type Entry = (BlockHandle, u32);
+
 /// Sentinel for an unoccupied buffer slot.
 pub const EMPTY_SLOT: u64 = BlockHandle::NULL_RAW;
+
+/// Bit position of the generation within a packed slot word; handles
+/// (segment × block indexes) stay far below 2^48 for any real geometry.
+const SLOT_GEN_SHIFT: u32 = 48;
+
+fn pack((block, gen): Entry) -> u64 {
+    debug_assert_eq!(block.0 >> SLOT_GEN_SHIFT, 0, "block handle overflows the slot packing");
+    ((gen as u64 & 0xFFFF) << SLOT_GEN_SHIFT) | block.0
+}
+
+fn unpack(v: u64) -> Entry {
+    (BlockHandle(v & ((1 << SLOT_GEN_SHIFT) - 1)), (v >> SLOT_GEN_SHIFT) as u32)
+}
 
 /// The block buffer of one slice class.
 pub struct BlockBuffer {
@@ -43,39 +68,42 @@ impl BlockBuffer {
         &self.slots[(sm_id as usize) % self.slots.len()]
     }
 
-    /// Load the block currently cached for `sm_id`, if any.
+    /// Load the entry currently cached for `sm_id`, if any.
     #[inline]
-    pub fn current(&self, sm_id: u32) -> Option<BlockHandle> {
+    pub fn current(&self, sm_id: u32) -> Option<Entry> {
         let v = self.slot(sm_id).load(Ordering::Acquire);
-        (v != EMPTY_SLOT).then_some(BlockHandle(v))
+        (v != EMPTY_SLOT).then(|| unpack(v))
     }
 
-    /// Install `block` into an empty slot. Returns `Err(current)` with the
-    /// block some other thread installed first.
-    pub fn try_install(&self, sm_id: u32, block: BlockHandle) -> Result<(), BlockHandle> {
+    /// Install `entry` into an empty slot. Returns `Err(current)` with
+    /// the entry some other thread installed first.
+    pub fn try_install(&self, sm_id: u32, entry: Entry) -> Result<(), Entry> {
         match self.slot(sm_id).compare_exchange(
             EMPTY_SLOT,
-            block.0,
+            pack(entry),
             Ordering::AcqRel,
             Ordering::Acquire,
         ) {
             Ok(_) => Ok(()),
-            Err(cur) => Err(BlockHandle(cur)),
+            Err(cur) => Err(unpack(cur)),
         }
     }
 
     /// Replace `old` with `new` (the exhausted-block swap done by the
     /// thread that took the block's last slice). Returns whether this
-    /// thread performed the swap.
-    pub fn try_replace(&self, sm_id: u32, old: BlockHandle, new: BlockHandle) -> bool {
-        self.slot(sm_id).compare_exchange(old.0, new.0, Ordering::AcqRel, Ordering::Acquire).is_ok()
+    /// thread performed the swap; a stale `old` — same block, earlier
+    /// generation — fails.
+    pub fn try_replace(&self, sm_id: u32, old: Entry, new: Entry) -> bool {
+        self.slot(sm_id)
+            .compare_exchange(pack(old), pack(new), Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
     }
 
     /// Clear `old` out of the slot (used when no replacement block could
     /// be obtained). Returns whether this thread performed the clear.
-    pub fn try_clear(&self, sm_id: u32, old: BlockHandle) -> bool {
+    pub fn try_clear(&self, sm_id: u32, old: Entry) -> bool {
         self.slot(sm_id)
-            .compare_exchange(old.0, EMPTY_SLOT, Ordering::AcqRel, Ordering::Acquire)
+            .compare_exchange(pack(old), EMPTY_SLOT, Ordering::AcqRel, Ordering::Acquire)
             .is_ok()
     }
 
@@ -86,7 +114,7 @@ impl BlockBuffer {
         for s in self.slots.iter() {
             let v = s.swap(EMPTY_SLOT, Ordering::AcqRel);
             if v != EMPTY_SLOT {
-                out.push(BlockHandle(v));
+                out.push(unpack(v).0);
             }
         }
         out
@@ -111,37 +139,40 @@ mod tests {
     fn install_then_current() {
         let b = BlockBuffer::new(4);
         assert!(b.current(0).is_none());
-        assert!(b.try_install(0, BlockHandle(42)).is_ok());
-        assert_eq!(b.current(0), Some(BlockHandle(42)));
+        assert!(b.try_install(0, (BlockHandle(42), 3)).is_ok());
+        assert_eq!(b.current(0), Some((BlockHandle(42), 3)));
         // Same slot via modular SM mapping.
-        assert_eq!(b.current(4), Some(BlockHandle(42)));
+        assert_eq!(b.current(4), Some((BlockHandle(42), 3)));
         // Competing install loses and learns the winner.
-        assert_eq!(b.try_install(0, BlockHandle(7)), Err(BlockHandle(42)));
+        assert_eq!(b.try_install(0, (BlockHandle(7), 0)), Err((BlockHandle(42), 3)));
     }
 
     #[test]
-    fn replace_requires_expected_value() {
+    fn replace_requires_expected_entry() {
         let b = BlockBuffer::new(2);
-        b.try_install(1, BlockHandle(10)).unwrap();
-        assert!(!b.try_replace(1, BlockHandle(11), BlockHandle(12)));
-        assert!(b.try_replace(1, BlockHandle(10), BlockHandle(12)));
-        assert_eq!(b.current(1), Some(BlockHandle(12)));
+        b.try_install(1, (BlockHandle(10), 5)).unwrap();
+        assert!(!b.try_replace(1, (BlockHandle(11), 5), (BlockHandle(12), 0)));
+        // Right block, stale generation: the slot-ABA guard rejects it.
+        assert!(!b.try_replace(1, (BlockHandle(10), 4), (BlockHandle(12), 0)));
+        assert!(b.try_replace(1, (BlockHandle(10), 5), (BlockHandle(12), 0)));
+        assert_eq!(b.current(1), Some((BlockHandle(12), 0)));
     }
 
     #[test]
     fn clear_empties_slot() {
         let b = BlockBuffer::new(1);
-        b.try_install(0, BlockHandle(5)).unwrap();
-        assert!(b.try_clear(0, BlockHandle(5)));
+        b.try_install(0, (BlockHandle(5), 1)).unwrap();
+        assert!(!b.try_clear(0, (BlockHandle(5), 0)), "stale generation must not clear");
+        assert!(b.try_clear(0, (BlockHandle(5), 1)));
         assert!(b.current(0).is_none());
-        assert!(!b.try_clear(0, BlockHandle(5)));
+        assert!(!b.try_clear(0, (BlockHandle(5), 1)));
     }
 
     #[test]
     fn drain_collects_all_cached_blocks() {
         let b = BlockBuffer::new(3);
-        b.try_install(0, BlockHandle(1)).unwrap();
-        b.try_install(2, BlockHandle(3)).unwrap();
+        b.try_install(0, (BlockHandle(1), 7)).unwrap();
+        b.try_install(2, (BlockHandle(3), 0)).unwrap();
         let mut drained = b.drain();
         drained.sort_by_key(|h| h.0);
         assert_eq!(drained, vec![BlockHandle(1), BlockHandle(3)]);

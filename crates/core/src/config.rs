@@ -34,6 +34,14 @@ pub struct GallatinConfig {
     /// Search structure backing the segment and block indexes: the
     /// paper's vEB tree, or a flat linear-scan bitmap for ablations.
     pub search: crate::index::SearchStructure,
+    /// Start segment- and block-tree probes at an SM-hashed position
+    /// instead of index 0 (the paper's block-selection randomization,
+    /// §4.3), so concurrent SMs fan out across different tree words
+    /// instead of CAS-hammering the front. The hash maps SM 0 to start
+    /// 0, so single-SM workloads keep the legacy front-first placement.
+    /// Wraparound search preserves the "find any free" contract either
+    /// way. Default: on. Turn off to ablate (see EXPERIMENTS.md).
+    pub randomize_probe_starts: bool,
 }
 
 impl Default for GallatinConfig {
@@ -49,6 +57,7 @@ impl Default for GallatinConfig {
             num_sms: 128,
             min_buffer_slots: 4,
             search: crate::index::SearchStructure::Veb,
+            randomize_probe_starts: true,
         }
     }
 }
@@ -70,6 +79,7 @@ impl GallatinConfig {
             num_sms: 128,
             min_buffer_slots: 4,
             search: crate::index::SearchStructure::Veb,
+            randomize_probe_starts: true,
         }
     }
 
@@ -85,6 +95,7 @@ impl GallatinConfig {
             num_sms: 8,
             min_buffer_slots: 2,
             search: crate::index::SearchStructure::Veb,
+            randomize_probe_starts: true,
         }
     }
 
@@ -103,6 +114,12 @@ impl GallatinConfig {
             "max_slice must be a power of two ≥ min_slice"
         );
         assert!(self.slices_per_block.is_power_of_two(), "slices_per_block must be a power of two");
+        assert!(
+            self.slices_per_block <= crate::table::SLICE_COUNT_MASK as u64,
+            "slices_per_block ({}) must fit the claim word's count field (≤ {})",
+            self.slices_per_block,
+            crate::table::SLICE_COUNT_MASK
+        );
         assert!(
             self.max_slice * self.slices_per_block <= self.segment_bytes,
             "largest block ({} B) exceeds segment ({} B)",

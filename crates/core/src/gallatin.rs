@@ -3,7 +3,7 @@
 //! Allocation routes by size (paper Figure 3, smallest pipeline first):
 //!
 //! * `size ≤ max_slice` (4096 B default) → **slice** pipeline: coalesce
-//!   same-class requests in the warp, one `fetch_add` on the cached
+//!   same-class requests in the warp, one batched claim on the cached
 //!   block's malloc counter serves the whole group (Algorithm 3);
 //! * `max_slice < size ≤ segment` → **block** pipeline: pop a whole block
 //!   of the smallest sufficient class (Algorithm 2);
@@ -19,7 +19,8 @@ use crate::buffer::BlockBuffer;
 use crate::config::{GallatinConfig, Geometry};
 use crate::index::SegmentIndex;
 use crate::table::{
-    BlockHandle, MemoryTable, SegmentMeta, DRAIN_SPIN_LIMIT, LARGE_BASE, LARGE_BODY, TREE_FREE,
+    BlockHandle, MemoryTable, SegmentMeta, DRAIN_SPIN_LIMIT, LARGE_BASE, LARGE_BODY,
+    SLICE_COUNT_MASK, TREE_FREE,
 };
 use gpu_sim::{AllocStats, DeviceAllocator, DeviceMemory, DevicePtr, LaneCtx, Metrics, WarpCtx};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -49,6 +50,9 @@ pub struct Gallatin {
     table: MemoryTable,
     buffers: Vec<BlockBuffer>,
     metrics: Metrics,
+    /// Start tree probes at an SM-hashed position (paper §4.3); see
+    /// [`GallatinConfig::randomize_probe_starts`].
+    randomize_probes: bool,
     /// Bytes reserved by live allocations (internal accounting, includes
     /// size-class rounding).
     reserved: AtomicU64,
@@ -76,8 +80,27 @@ impl Gallatin {
             table,
             buffers,
             metrics: Metrics::new(),
+            randomize_probes: cfg.randomize_probe_starts,
             reserved: AtomicU64::new(0),
         }
+    }
+
+    /// Start position for a tree probe over `universe` ids by `sm_id`.
+    ///
+    /// A Fibonacci multiplicative hash of the SM id, scaled onto the
+    /// universe: concurrent SMs begin their successor scans ~uniformly
+    /// spread across the tree's words instead of all reading — and then
+    /// CAS-hammering — bit 0 (the paper's block-selection randomization,
+    /// §4.3). SM 0 maps to 0, so single-SM workloads keep the legacy
+    /// front-first placement; wraparound search preserves the "find any
+    /// free" contract for everyone else. Identity, not time or an RNG:
+    /// deterministic-mode replays stay bit-identical.
+    #[inline]
+    fn probe_hint(&self, sm_id: u32, universe: u64) -> u64 {
+        if !self.randomize_probes {
+            return 0;
+        }
+        (((sm_id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) * universe) >> 32
     }
 
     /// The derived geometry.
@@ -139,28 +162,31 @@ impl Gallatin {
                 let seg = handle.segment(self.geo.max_blocks);
                 let block = handle.block(self.geo.max_blocks);
                 let meta = self.table.seg(seg);
-                let served = meta.malloc_ctr[block as usize].load(Ordering::Acquire) as u64;
+                let word = meta.claim_word(block);
+                let served = (word & SLICE_COUNT_MASK) as u64;
                 let freed = meta.free_ctr[block as usize].load(Ordering::Acquire) as u64;
                 if served == freed {
                     // No live slices: safe to recycle wholesale.
-                    meta.malloc_ctr[block as usize].store(0, Ordering::Relaxed);
+                    meta.retire_claim_word(block);
                     meta.free_ctr[block as usize].store(0, Ordering::Release);
                     self.free_block(handle, class);
                     reclaimed += 1;
                 } else {
                     // Live slices: *retire* the block — mark it exhausted
-                    // and credit the never-served slices as freed, so the
-                    // ordinary free path recycles it once the live slices
-                    // come back. (Re-buffering it instead could strand it
-                    // if the slot is taken, leaking the block.)
+                    // (count saturated, generation preserved) and credit
+                    // the never-served slices as freed, so the ordinary
+                    // free path recycles it once the live slices come
+                    // back. (Re-buffering it instead could strand it if
+                    // the slot is taken, leaking the block.)
                     let spb = self.geo.slices_per_block;
-                    meta.malloc_ctr[block as usize].store(spb as u32, Ordering::Relaxed);
+                    meta.malloc_ctr[block as usize]
+                        .store((word & !SLICE_COUNT_MASK) | spb as u32, Ordering::Relaxed);
                     let credit = (spb - served) as u32;
                     let prev = meta.free_ctr[block as usize].fetch_add(credit, Ordering::AcqRel);
                     if (prev + credit) as u64 == spb {
                         // All live slices were freed between our loads:
                         // recycle now.
-                        meta.malloc_ctr[block as usize].store(0, Ordering::Relaxed);
+                        meta.retire_claim_word(block);
                         meta.free_ctr[block as usize].store(0, Ordering::Release);
                         self.free_block(handle, class);
                         reclaimed += 1;
@@ -209,7 +235,7 @@ impl Gallatin {
         let mut buffered: HashMap<u64, HashSet<u64>> = HashMap::new();
         for (class, buffer) in self.buffers.iter().enumerate() {
             for i in 0..buffer.num_slots() {
-                let Some(handle) = buffer.current(i) else { continue };
+                let Some((handle, _gen)) = buffer.current(i) else { continue };
                 let seg = handle.segment(geo.max_blocks);
                 let block = handle.block(geo.max_blocks);
                 if seg >= geo.num_segments || block >= geo.blocks_per_segment(class) {
@@ -290,7 +316,7 @@ impl Gallatin {
                     ));
                 }
                 for b in 0..prev_blocks {
-                    let m = meta.malloc_ctr[b as usize].load(Ordering::Acquire) as u64;
+                    let m = (meta.claim_word(b) & SLICE_COUNT_MASK) as u64;
                     let f = meta.free_ctr[b as usize].load(Ordering::Acquire) as u64;
                     if m.min(spb) != f {
                         errors.push(format!(
@@ -355,7 +381,7 @@ impl Gallatin {
                 }
                 let cached_set = buffered.get(&seg).unwrap_or(&empty);
                 for b in 0..nblocks {
-                    let m = meta.malloc_ctr[b as usize].load(Ordering::Acquire) as u64;
+                    let m = (meta.claim_word(b) & SLICE_COUNT_MASK) as u64;
                     let f = meta.free_ctr[b as usize].load(Ordering::Acquire) as u64;
                     let served = m.min(spb);
                     if f > served {
@@ -439,15 +465,53 @@ impl Gallatin {
     // Segment pipeline (Algorithm 1)
     // ==================================================================
 
-    /// Claim one segment from the *front* of the segment tree, format it
-    /// for `class`, and attach it to that block tree. Returns `false` when
-    /// no segment is free.
-    fn get_segment(&self, class: usize) -> bool {
-        // successor(0) + claim, retried inside claim_first_ge.
-        let Some(seg) = self.segment_tree.claim_first_ge(0) else {
+    /// Claim one free segment, probing from `sm_id`'s hashed start with
+    /// wraparound. Every claim attempt — won or lost — is surfaced to the
+    /// metrics, so the E14 ablation prices exactly the CAS traffic the
+    /// randomized starts remove.
+    fn claim_segment_front(&self, sm_id: u32) -> Option<u64> {
+        let universe = self.geo.num_segments;
+        let hint = self.probe_hint(sm_id, universe);
+        let mut x = hint;
+        // With a zero hint the first pass already covers the whole
+        // universe, so there is nothing to wrap back for.
+        let mut wrapped = hint == 0;
+        loop {
+            match self.segment_tree.successor(x) {
+                Some(s) => {
+                    let won = self.segment_tree.claim_exact(s);
+                    self.metrics.count_cas(won);
+                    if won {
+                        return Some(s);
+                    }
+                    // Lost the race for s; resume the scan just past it.
+                    x = s + 1;
+                }
+                None => {
+                    if wrapped {
+                        return None;
+                    }
+                    wrapped = true;
+                    x = 0;
+                }
+            }
+            if x >= universe {
+                if wrapped {
+                    return None;
+                }
+                wrapped = true;
+                x = 0;
+            }
+        }
+    }
+
+    /// Claim one segment from the segment tree (probing from `sm_id`'s
+    /// start hint), format it for `class`, and attach it to that block
+    /// tree. Returns `false` when no segment is free.
+    fn get_segment(&self, class: usize, sm_id: u32) -> bool {
+        let Some(seg) = self.claim_segment_front(sm_id) else {
             return false;
         };
-        self.metrics.count_cas(true);
         let drain_spins = self.table.format_segment(seg, class);
         self.metrics.count_drain_spins(drain_spins);
         // Broadcast availability: insert into the block tree last, so any
@@ -469,16 +533,18 @@ impl Gallatin {
     // Block pipeline (Algorithm 2)
     // ==================================================================
 
-    /// Pop a block of `class` from some formatted segment, pulling a new
-    /// segment from the segment tree when none has blocks available.
-    fn get_block(&self, class: usize) -> Option<BlockHandle> {
+    /// Pop a block of `class` from some formatted segment (probing the
+    /// block tree from `sm_id`'s start hint), pulling a new segment from
+    /// the segment tree when none has blocks available.
+    fn get_block(&self, class: usize, sm_id: u32) -> Option<BlockHandle> {
+        let hint = self.probe_hint(sm_id, self.geo.num_segments);
         loop {
-            let Some(seg) = self.block_trees[class].successor(0) else {
+            let Some(seg) = self.block_trees[class].find_first_from(hint) else {
                 // No formatted segment with availability; grab a new one.
-                if !self.get_segment(class) {
+                if !self.get_segment(class, sm_id) {
                     // One more scan: a concurrent thread may have attached
                     // a segment between our search and the failed claim.
-                    self.block_trees[class].successor(0)?;
+                    self.block_trees[class].find_first_from(hint)?;
                 }
                 continue;
             };
@@ -591,14 +657,26 @@ impl Gallatin {
     // Slice pipeline (Algorithm 3)
     // ==================================================================
 
+    /// The current recycle generation of `handle`'s claim word — captured
+    /// when a block enters a buffer so later claims and buffer swaps can
+    /// detect that the block was recycled in between (see
+    /// [`SegmentMeta::claim_slices`] and [`crate::buffer`]).
+    fn block_gen(&self, handle: BlockHandle) -> u32 {
+        let seg = handle.segment(self.geo.max_blocks);
+        let block = handle.block(self.geo.max_blocks);
+        self.table.seg(seg).slice_gen(block)
+    }
+
     /// Allocate one slice of `class` per lane in `lanes` (a coalesced
     /// group), writing results through `assign`. Returns the number of
     /// lanes served (a prefix of `lanes`); the rest hit heap exhaustion.
     ///
-    /// The group leader's single `fetch_add(count)` on the cached block's
-    /// malloc counter serves every lane; lanes that overshoot the block
-    /// retry after the last-slice taker swaps a fresh block into the
-    /// buffer. Allocation-free: this is the hot path.
+    /// The group leader's single batched claim on the cached block's
+    /// malloc counter ([`SegmentMeta::claim_slices`]) reserves slices for
+    /// every lane in one successful RMW — one atomic per group, not per
+    /// lane; lanes that did not fit the block retry after the last-slice
+    /// taker swaps a fresh block into the buffer. Allocation-free: this
+    /// is the hot path.
     fn slice_malloc_group(
         &self,
         sm_id: u32,
@@ -615,13 +693,14 @@ impl Gallatin {
             if attempts > SLICE_RETRIES {
                 break; // heap exhausted for this class
             }
-            let handle = match buffer.current(sm_id) {
-                Some(h) => h,
+            let entry = match buffer.current(sm_id) {
+                Some(e) => e,
                 None => {
                     // Leader fetches a block and installs it.
-                    let Some(new) = self.get_block(class) else { break };
-                    match buffer.try_install(sm_id, new) {
-                        Ok(()) => new,
+                    let Some(new) = self.get_block(class, sm_id) else { break };
+                    let fresh = (new, self.block_gen(new));
+                    match buffer.try_install(sm_id, fresh) {
+                        Ok(()) => fresh,
                         Err(winner) => {
                             // Someone beat us; return ours and use theirs.
                             self.free_block(new, class);
@@ -630,48 +709,54 @@ impl Gallatin {
                     }
                 }
             };
+            let (handle, gen) = entry;
             let seg = handle.segment(self.geo.max_blocks);
             let block = handle.block(self.geo.max_blocks);
             let meta = self.table.seg(seg);
-            let count = (lanes.len() - next) as u32;
-            let base = meta.malloc_ctr[block as usize].fetch_add(count, Ordering::AcqRel);
-            self.metrics.count_rmw();
-            self.metrics.count_coalesced(count.saturating_sub(1) as u64);
-
-            let mut served = 0u64;
-            let mut took_last = false;
-            for (rank, lane) in lanes[next..].iter().enumerate() {
-                let idx = base as u64 + rank as u64;
-                if idx < spb {
+            let want = (lanes.len() - next) as u32;
+            let (base, take) = meta.claim_slices(block, want, spb, gen, &self.metrics);
+            if take > 0 {
+                // One successful RMW served `take` lanes: the leader's
+                // atomic plus `take − 1` piggybacked followers.
+                self.metrics.count_coalesced((take - 1) as u64);
+                for (rank, lane) in lanes[next..next + take as usize].iter().enumerate() {
+                    let idx = base as u64 + rank as u64;
                     let off = self.geo.offset_of(seg, block, idx, class);
                     assign(*lane, DevicePtr(off));
-                    served += 1;
-                    if idx == spb - 1 {
-                        took_last = true;
-                    }
                 }
+                next += take as usize;
+                self.reserved
+                    .fetch_add(take as u64 * self.geo.slice_size(class), Ordering::Relaxed);
             }
-            next += served as usize;
-            self.reserved.fetch_add(served * self.geo.slice_size(class), Ordering::Relaxed);
 
-            if took_last {
+            if (base, take) == (0, 0) {
+                // Generation mismatch: the cached entry went stale (the
+                // block was recycled out from under us). Evict it if it is
+                // still in the slot, then retry with whatever is current.
+                buffer.try_clear(sm_id, entry);
+                continue;
+            }
+
+            if (base + take) as u64 == spb && take > 0 {
                 // This group took the block's final slice: it is the
                 // designated replacer (paper §4.3). Swap in a fresh block,
                 // or clear the slot on exhaustion so others can retry.
-                match self.get_block(class) {
+                match self.get_block(class, sm_id) {
                     Some(new) => {
-                        if !buffer.try_replace(sm_id, handle, new) {
+                        let fresh = (new, self.block_gen(new));
+                        if !buffer.try_replace(sm_id, entry, fresh) {
                             self.free_block(new, class);
                         }
                     }
                     None => {
-                        buffer.try_clear(sm_id, handle);
+                        buffer.try_clear(sm_id, entry);
                     }
                 }
             } else if next < lanes.len() {
-                // Overshot a block someone else must replace; yield so the
-                // replacer can finish, then retry with the fresh block.
-                // (spin_hint also hands the turn back under deterministic
+                // Found the block exhausted (or only partly served): the
+                // designated replacer owns the swap; yield so it can
+                // finish, then retry with the fresh block. (spin_hint
+                // also hands the turn back under deterministic
                 // scheduling — the replacer may be a parked warp.)
                 gpu_sim::spin_hint();
             }
@@ -697,11 +782,13 @@ impl Gallatin {
         self.reserved.fetch_sub(n as u64 * self.geo.slice_size(class), Ordering::Relaxed);
         if prev as u64 + n as u64 == spb {
             // Every slice allocated and returned: recycle the block.
-            // Exclusive here (only one free observes the last count), and
-            // the block is guaranteed out of the buffer because its last
-            // slice could only be freed after the taker of that slice
-            // finished its malloc — which performed the buffer swap.
-            meta.malloc_ctr[block as usize].store(0, Ordering::Relaxed);
+            // Exclusive here (only one free observes the last count).
+            // Bumping the claim word's generation invalidates any stale
+            // buffer entry and in-flight claim that still references this
+            // incarnation of the block — without it, a claimant that read
+            // the handle before the recycle could land slices on the
+            // recycled counter (the slice-pipeline ABA).
+            meta.retire_claim_word(block);
             meta.free_ctr[block as usize].store(0, Ordering::Release);
             self.free_block(BlockHandle::new(seg, block, self.geo.max_blocks), class);
         }
@@ -712,8 +799,8 @@ impl Gallatin {
     // ==================================================================
 
     /// Allocate a whole block (mid-size requests).
-    fn block_malloc(&self, class: usize) -> DevicePtr {
-        let Some(handle) = self.get_block(class) else {
+    fn block_malloc(&self, class: usize, sm_id: u32) -> DevicePtr {
+        let Some(handle) = self.get_block(class, sm_id) else {
             return DevicePtr::NULL;
         };
         let seg = handle.segment(self.geo.max_blocks);
@@ -749,7 +836,7 @@ impl Gallatin {
             self.slice_malloc_group(sm_id, class, &[0u32], |_, p| out = p);
             out
         } else if let Some(class) = self.geo.block_class(size) {
-            self.block_malloc(class)
+            self.block_malloc(class, sm_id)
         } else {
             self.large_malloc(size)
         };
@@ -1106,6 +1193,7 @@ mod tests {
         let warp = WarpCtx { warp_id: 0, sm_id: 0, base_tid: 0, active: 32 };
         let sizes = vec![Some(16u64); 32];
         let mut out = vec![DevicePtr::NULL; 32];
+        let before = g.metrics().unwrap().snapshot();
         g.warp_malloc(&warp, &sizes, &mut out);
         let mut offs: Vec<u64> = out.iter().map(|p| p.0).collect();
         assert!(out.iter().all(|p| !p.is_null()));
@@ -1115,7 +1203,106 @@ mod tests {
         // Coalescing: 31 of the 32 requests piggybacked on the leader.
         let m = g.metrics().unwrap().snapshot();
         assert_eq!(m.coalesced_requests, 31);
+        // Atomic budget, like the free-side twin: 32 mallocs including a
+        // cold start (segment claim, format, block-tree insert, ring
+        // pop, slice claim) stay a handful of atomics, not ~32.
+        let atomics = (m.atomic_rmw + m.cas_attempts) - (before.atomic_rmw + before.cas_attempts);
+        assert!(atomics <= 6, "mallocs not coalesced: {atomics} atomics for 32 requests");
         g.warp_free(&warp, &out);
+    }
+
+    #[test]
+    fn warp_malloc_coalesces_steady_state_group_to_one_atomic() {
+        // The malloc-side twin of `warp_free_coalesces_same_block`,
+        // asserting the paper's O(1) headline exactly: once a block is
+        // cached, a coalesced 32-lane same-class group costs ONE atomic
+        // RMW on shared metadata (the batched slice claim).
+        let g = tiny();
+        let warp = WarpCtx { warp_id: 0, sm_id: 0, base_tid: 0, active: 16 };
+        // Warm-up: 16 slices install a block (64 slices) in SM 0's slot.
+        let sizes = vec![Some(16u64); 16];
+        let mut warm = vec![DevicePtr::NULL; 16];
+        g.warp_malloc(&warp, &sizes, &mut warm);
+        assert!(warm.iter().all(|p| !p.is_null()));
+        // Measured group: 32 more slices fit the cached block (16+32<64),
+        // so no block fetch and no last-slice replacement can hide cost.
+        let full = WarpCtx { warp_id: 0, sm_id: 0, base_tid: 0, active: 32 };
+        let sizes = vec![Some(16u64); 32];
+        let mut out = vec![DevicePtr::NULL; 32];
+        let before = g.metrics().unwrap().snapshot();
+        g.warp_malloc(&full, &sizes, &mut out);
+        let after = g.metrics().unwrap().snapshot();
+        assert!(out.iter().all(|p| !p.is_null()));
+        let atomics =
+            (after.atomic_rmw + after.cas_attempts) - (before.atomic_rmw + before.cas_attempts);
+        assert_eq!(atomics, 1, "a steady-state coalesced group must cost exactly one RMW");
+        assert_eq!(after.coalesced_requests - before.coalesced_requests, 31);
+        g.warp_free(&full, &out);
+        g.warp_free(&warp, &warm);
+        assert_eq!(g.stats().reserved_bytes, 0);
+    }
+
+    #[test]
+    fn probe_hints_spread_sms_and_knob_restores_legacy_order() {
+        // Randomized probe starts (default on): SM 0 keeps the legacy
+        // front-first placement, other SMs start their segment probes at
+        // hashed positions so concurrent warps do not all claim bit 0.
+        // SM 1 allocates first, so its segment claim cannot piggyback on
+        // a segment another SM already activated.
+        let g = tiny(); // 16 segments
+        let w0 = WarpCtx { warp_id: 0, sm_id: 0, base_tid: 0, active: 1 };
+        let w1 = WarpCtx { warp_id: 1, sm_id: 1, base_tid: 32, active: 1 };
+        let b = g.malloc(&w1.lane(0), 16);
+        assert_ne!(g.geometry().segment_of(b.0), 0, "SM 1 probes from its hashed start");
+        // SM 0 joins the already-active segment instead of claiming a
+        // fresh one: wraparound still finds "any free".
+        let a = g.malloc(&w0.lane(0), 16);
+        assert_eq!(g.geometry().segment_of(a.0), g.geometry().segment_of(b.0));
+        g.free(&w0.lane(0), a);
+        g.free(&w1.lane(0), b);
+        g.check_invariants().expect("invariants hold with randomized probes");
+
+        // Knob off: every SM scans from the front, as the seed did.
+        let legacy = Gallatin::new(GallatinConfig {
+            randomize_probe_starts: false,
+            ..GallatinConfig::small_test(1 << 20)
+        });
+        let c = legacy.malloc(&w1.lane(0), 16);
+        assert_eq!(legacy.geometry().segment_of(c.0), 0, "knob off restores front-first order");
+        legacy.free(&w1.lane(0), c);
+        legacy.check_invariants().expect("invariants hold with the knob off");
+    }
+
+    #[test]
+    fn batched_claim_never_overshoots_the_block_counter() {
+        // The bounded CAS claim must clamp to the block's remaining
+        // capacity: a group larger than what is left takes the remainder
+        // (and the last-slice duty), never pushing malloc_ctr past spb.
+        let g = tiny(); // spb = 64
+        let warp = WarpCtx { warp_id: 0, sm_id: 0, base_tid: 0, active: 32 };
+        let sizes = vec![Some(16u64); 32];
+        let mut out = vec![DevicePtr::NULL; 32];
+        // 3 warps × 32 = 96 slices: the first block (64) is exhausted
+        // mid-group and a second is installed.
+        let mut all = Vec::new();
+        for _ in 0..3 {
+            g.warp_malloc(&warp, &sizes, &mut out);
+            assert!(out.iter().all(|p| !p.is_null()));
+            all.extend(out.iter().copied());
+        }
+        let spb = g.geometry().slices_per_block as u32;
+        for seg in 0..g.geometry().num_segments {
+            let meta = g.table().seg(seg);
+            for b in 0..g.geometry().max_blocks {
+                let m = meta.claim_word(b) & SLICE_COUNT_MASK;
+                assert!(m <= spb, "segment {seg} block {b}: claim count {m} overshot {spb}");
+            }
+        }
+        g.warp_free(&warp, &all[..32]);
+        g.warp_free(&warp, &all[32..64]);
+        g.warp_free(&warp, &all[64..]);
+        assert_eq!(g.stats().reserved_bytes, 0);
+        g.check_invariants().expect("invariants after exhausting blocks mid-group");
     }
 
     #[test]

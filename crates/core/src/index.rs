@@ -87,6 +87,25 @@ impl SegmentIndex {
         }
     }
 
+    /// Minimum member ≥ `start`, wrapping to the front when nothing lies
+    /// at or above the hint (probe-start randomization, paper §4.3).
+    #[inline]
+    pub fn find_first_from(&self, start: u64) -> Option<u64> {
+        match self {
+            SegmentIndex::Veb(t) => t.find_first_from(start),
+            SegmentIndex::Flat(s) => s.find_first_from(start),
+        }
+    }
+
+    /// Find-and-claim scanning from `start` with wraparound.
+    #[inline]
+    pub fn claim_first_from(&self, start: u64) -> Option<u64> {
+        match self {
+            SegmentIndex::Veb(t) => t.claim_first_from(start),
+            SegmentIndex::Flat(s) => s.claim_first_from(start),
+        }
+    }
+
     /// Claim `n` contiguous members scanning from the back.
     #[inline]
     pub fn claim_contiguous_from_back(&self, n: u64) -> Option<u64> {
@@ -141,6 +160,12 @@ mod tests {
             assert_eq!(s.count(), 200);
             assert_eq!(s.claim_first_ge(0), Some(0));
             assert_eq!(s.successor(0), Some(1));
+            assert_eq!(s.find_first_from(199), Some(199));
+            assert_eq!(s.claim_first_from(199), Some(199));
+            assert_eq!(s.find_first_from(199), Some(1)); // wraps
+            assert_eq!(s.claim_first_from(199), Some(1)); // wraps
+            s.insert(199);
+            s.insert(1);
             assert_eq!(s.claim_contiguous_from_back(3), Some(197));
             assert!(!s.contains(197));
             assert!(s.contains(196));

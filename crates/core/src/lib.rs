@@ -49,4 +49,7 @@ pub use config::{GallatinConfig, Geometry};
 pub use gallatin::Gallatin;
 pub use index::{SearchStructure, SegmentIndex};
 pub use ring::BlockRing;
-pub use table::{BlockHandle, MemoryTable, SegmentMeta, LARGE_BASE, LARGE_BODY, TREE_FREE};
+pub use table::{
+    BlockHandle, MemoryTable, SegmentMeta, DRAIN_SPIN_LIMIT, LARGE_BASE, LARGE_BODY,
+    SLICE_COUNT_MASK, SLICE_GEN_SHIFT, TREE_FREE,
+};

@@ -113,11 +113,22 @@ pub struct SegmentMeta {
     /// One bit per block: set while the block is handed out wholesale
     /// (block-level allocation) rather than sliced.
     pub whole_block: Box<[AtomicU64]>,
-    /// Per-block slice malloc counters.
+    /// Per-block slice *claim words*: recycle generation in the high
+    /// bits, served-slice count in the low [`SLICE_GEN_SHIFT`] bits (see
+    /// [`SegmentMeta::claim_slices`] for why the count alone is not
+    /// enough).
     pub malloc_ctr: Box<[AtomicU32]>,
     /// Per-block slice free counters.
     pub free_ctr: Box<[AtomicU32]>,
 }
+
+/// Bit position of the recycle generation within a block's claim word;
+/// the low bits below it hold the served-slice count, so
+/// `slices_per_block` must fit in them (validated by the geometry).
+pub const SLICE_GEN_SHIFT: u32 = 16;
+
+/// Mask extracting the served-slice count from a claim word.
+pub const SLICE_COUNT_MASK: u32 = (1 << SLICE_GEN_SHIFT) - 1;
 
 impl SegmentMeta {
     fn new(max_blocks: u64) -> Self {
@@ -137,6 +148,87 @@ impl SegmentMeta {
     #[inline]
     pub fn ldcv_tree_id(&self) -> u32 {
         self.tree_id.load(Ordering::SeqCst)
+    }
+
+    /// Load `block`'s claim word (generation + served count).
+    #[inline]
+    pub fn claim_word(&self, block: u64) -> u32 {
+        self.malloc_ctr[block as usize].load(Ordering::Acquire)
+    }
+
+    /// The recycle generation `block` is currently in.
+    #[inline]
+    pub fn slice_gen(&self, block: u64) -> u32 {
+        self.claim_word(block) >> SLICE_GEN_SHIFT
+    }
+
+    /// Advance `block`'s claim word to the next generation with a zero
+    /// count. Called by whoever exclusively owns the block's recycle
+    /// transition (the freer of the last slice, a trim, a reformat); the
+    /// bump is what makes any claim still in flight against the old
+    /// generation fail instead of landing on the recycled block.
+    #[inline]
+    pub fn retire_claim_word(&self, block: u64) {
+        let ctr = &self.malloc_ctr[block as usize];
+        let gen = ctr.load(Ordering::Acquire) >> SLICE_GEN_SHIFT;
+        ctr.store(gen.wrapping_add(1) << SLICE_GEN_SHIFT, Ordering::Release);
+    }
+
+    /// Reserve up to `want` slices of `block` for one coalesced group
+    /// with a single bounded CAS loop (Algorithm 3): one successful RMW
+    /// claims the whole group's slices, and the claim is clamped to the
+    /// block's remaining capacity so the count never overshoots `spb` —
+    /// it is always an exact tally of slices handed out.
+    ///
+    /// The claim only lands while the block is still in generation
+    /// `gen` — the generation under which the caller read the block out
+    /// of its per-SM buffer slot. Without that check a claimant that
+    /// stalls between reading the slot and CAS-ing the counter can land
+    /// its claim on a block that was meanwhile fully freed, recycled
+    /// (count reset), pushed to the ring, and even re-installed
+    /// elsewhere — reserving slices from a block it does not own and
+    /// wrecking the ring/buffer ownership invariants. A generation
+    /// mismatch returns `(0, 0)`: the caller re-reads its buffer slot
+    /// and retries against whatever lives there now. (16 generation
+    /// bits wrap only after 65,536 recycles of one block *while* a
+    /// claimant is stalled — not a window a bounded kernel can hold
+    /// open.)
+    ///
+    /// Returns `(base, taken)`; `taken == 0` with an up-to-date
+    /// generation means the block is exhausted and its designated
+    /// replacer (the taker of the last slice) is swapping in a fresh
+    /// one. Each CAS attempt is recorded on `metrics`, which doubles as
+    /// the deterministic scheduler's preemption point.
+    pub fn claim_slices(
+        &self,
+        block: u64,
+        want: u32,
+        spb: u64,
+        gen: u32,
+        metrics: &gpu_sim::Metrics,
+    ) -> (u32, u32) {
+        let ctr = &self.malloc_ctr[block as usize];
+        let mut cur = ctr.load(Ordering::Acquire);
+        loop {
+            if cur >> SLICE_GEN_SHIFT != gen {
+                return (0, 0); // stale handle: the block was recycled
+            }
+            let count = cur & SLICE_COUNT_MASK;
+            let take = want.min((spb as u32).saturating_sub(count));
+            if take == 0 {
+                return (count, 0);
+            }
+            match ctr.compare_exchange(cur, cur + take, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => {
+                    metrics.count_cas(true);
+                    return (count, take);
+                }
+                Err(actual) => {
+                    metrics.count_cas(false);
+                    cur = actual;
+                }
+            }
+        }
     }
 
     /// Mark `block` as handed out wholesale (block-level allocation).
@@ -237,7 +329,10 @@ impl MemoryTable {
         meta.ring.reset_full(nblocks);
         meta.cur_blocks.store(nblocks as u32, Ordering::Release);
         for b in 0..nblocks as usize {
-            meta.malloc_ctr[b].store(0, Ordering::Relaxed);
+            // Zero the count but advance the generation: a claimant
+            // stalled on a handle from before the reclaim must not land
+            // on the reformatted block.
+            meta.retire_claim_word(b as u64);
             meta.free_ctr[b].store(0, Ordering::Relaxed);
         }
         for w in meta.whole_block.iter() {

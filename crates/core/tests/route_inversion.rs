@@ -34,6 +34,7 @@ fn config_strategy() -> impl Strategy<Value = GallatinConfig> {
                 num_sms: 2,
                 min_buffer_slots: 1,
                 search: if flat { SearchStructure::FlatScan } else { SearchStructure::Veb },
+                randomize_probe_starts: true,
             }
         },
     )

@@ -12,6 +12,7 @@
 //! fills a GPU in the steady state and gives Gallatin's per-SM block
 //! buffers the intended access pattern.
 
+use crate::metrics::with_metrics_stripe;
 use crate::sched::{self, FaultPlan};
 use crate::warp::{LaneCtx, WarpCtx, WARP_SIZE};
 use rayon::prelude::*;
@@ -111,7 +112,10 @@ where
         let active = (total_threads - base_tid).min(WARP_SIZE as u64) as u32;
         let warp =
             WarpCtx { warp_id, sm_id: (warp_id % cfg.num_sms as u64) as u32, base_tid, active };
-        kernel(&warp);
+        // Metric bumps made by this warp land in its SM's counter
+        // stripe (see `metrics`): telemetry writes then contend only
+        // within an SM, like the per-SM block buffers they instrument.
+        with_metrics_stripe(warp.sm_id, || kernel(&warp));
     };
     match cfg.mode {
         ExecMode::Pool => (0..n_warps).into_par_iter().for_each(run_warp),

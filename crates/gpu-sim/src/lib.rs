@@ -18,7 +18,7 @@
 //!   cooperative-groups collectives the paper relies on
 //!   (`coalesced_threads`, ballot, broadcast, exclusive scan, leader
 //!   election).
-//! * [`launch`] — grid launches: N logical threads are split into warps
+//! * [`mod@launch`] — grid launches: N logical threads are split into warps
 //!   and executed by a work-stealing CPU thread pool. Streaming
 //!   multiprocessor (SM) ids are assigned to warps so per-SM structures
 //!   (Gallatin's block buffers) behave as on hardware.
@@ -57,7 +57,7 @@ pub mod warp;
 pub use alloc_api::{AllocStats, DeviceAllocator};
 pub use launch::{launch, launch_warps, DeviceConfig, ExecMode};
 pub use mem::{DeviceMemory, DevicePtr};
-pub use metrics::Metrics;
+pub use metrics::{with_metrics_stripe, Metrics};
 pub use sched::{
     current_sched_seed, explore_schedules, preempt_point, spin_hint, with_hooks, FaultPlan,
     PreemptPoint, ScheduleFailure, SimHooks,

@@ -6,6 +6,18 @@
 //! workspace owns a [`Metrics`] and bumps it on its contended operations;
 //! counts are relaxed (they are statistics, not synchronization).
 //!
+//! The counters are *striped*: each SM writes to its own
+//! cache-line-padded cell group (stripe chosen by SM id, mirroring the
+//! per-SM block buffers in `core`), and [`Metrics::snapshot`] aggregates
+//! across stripes on read. A single global `AtomicU64` per counter would
+//! itself be the most contended object in the simulator — every lane of
+//! every allocator bumps it on every operation — and would perturb the
+//! very scaling curves the harness exists to measure. The stripe in
+//! effect for a thread is set by the launch machinery
+//! ([`with_metrics_stripe`]); threads outside a launch (host-side setup,
+//! unit tests) fall back to stripe 0, which is correct because every
+//! accessor sums all stripes.
+//!
 //! The counting sites double as the scheduler's *preemption points*: a
 //! `count_rmw`/`count_cas`/`count_lock` call marks "this thread just
 //! touched contended shared state", which is exactly where interleavings
@@ -15,65 +27,128 @@
 //! coordinator (see [`crate::sched`]).
 
 use crate::sched::{preempt_point, PreemptPoint};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Relaxed operation counters for one allocator instance.
-#[derive(Default, Debug)]
+/// Number of counter stripes. A power of two so the SM id maps to a
+/// stripe with a mask; 16 stripes keep the struct at 2 KiB while cutting
+/// worst-case writer contention per cell by the device's SM count / 16.
+const STRIPES: usize = 16;
+
+thread_local! {
+    /// Stripe index the current thread's bumps land in. Installed per
+    /// warp by the launch machinery; 0 for host threads.
+    static CURRENT_STRIPE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Run `f` with this thread's metric bumps attributed to the stripe for
+/// `sm_id`. Used by `launch_warps` so each warp writes the cell group of
+/// its SM; restores the previous stripe on exit (also on unwind, so a
+/// panicking kernel does not leak its stripe into the harness thread).
+pub fn with_metrics_stripe<R>(sm_id: u32, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CURRENT_STRIPE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = CURRENT_STRIPE.with(|c| {
+        let prev = c.get();
+        c.set(sm_id as usize & (STRIPES - 1));
+        Restore(prev)
+    });
+    f()
+}
+
+/// One stripe's counter cells, padded to two cache lines so stripes
+/// never share a line (12 × 8 = 96 bytes of counters, aligned up to
+/// 128). Counters of the *same* stripe may share a line — by
+/// construction they are only bumped by warps of the same SMs.
+#[repr(align(128))]
+#[derive(Debug, Default)]
+struct Stripe {
+    atomic_rmw: AtomicU64,
+    cas_attempts: AtomicU64,
+    cas_failures: AtomicU64,
+    lock_acquires: AtomicU64,
+    coalesced_requests: AtomicU64,
+    mallocs: AtomicU64,
+    frees: AtomicU64,
+    failed_mallocs: AtomicU64,
+    reclaim_attempts: AtomicU64,
+    reclaim_aborts: AtomicU64,
+    drain_spins: AtomicU64,
+    straggler_bounces: AtomicU64,
+}
+
+impl Stripe {
+    /// Every cell of this stripe. `reset` iterates this list, so a
+    /// counter added to the struct but forgotten here fails the
+    /// `counters_accumulate_and_reset` round-trip test immediately —
+    /// there is no way for reset coverage to silently drift.
+    fn cells(&self) -> [&AtomicU64; 12] {
+        [
+            &self.atomic_rmw,
+            &self.cas_attempts,
+            &self.cas_failures,
+            &self.lock_acquires,
+            &self.coalesced_requests,
+            &self.mallocs,
+            &self.frees,
+            &self.failed_mallocs,
+            &self.reclaim_attempts,
+            &self.reclaim_aborts,
+            &self.drain_spins,
+            &self.straggler_bounces,
+        ]
+    }
+}
+
+/// Relaxed operation counters for one allocator instance, striped by SM.
+#[derive(Debug)]
 pub struct Metrics {
-    /// Atomic read-modify-write instructions issued on shared metadata
-    /// (fetch_add, swap, or, and — the GPU `atomicAdd`/`atomicOr`/... set).
-    pub atomic_rmw: AtomicU64,
-    /// Compare-and-swap attempts (successful or not).
-    pub cas_attempts: AtomicU64,
-    /// CAS attempts that failed and were retried.
-    pub cas_failures: AtomicU64,
-    /// Times a lock was taken (only nonzero for lock-based baselines,
-    /// e.g. the CUDA-heap model).
-    pub lock_acquires: AtomicU64,
-    /// Requests that were satisfied as part of a coalesced group led by
-    /// another lane (i.e. without issuing their own atomic).
-    pub coalesced_requests: AtomicU64,
-    /// Allocation requests observed.
-    pub mallocs: AtomicU64,
-    /// Free requests observed.
-    pub frees: AtomicU64,
-    /// Allocation requests that returned null (out of memory / unsupported).
-    pub failed_mallocs: AtomicU64,
-    /// Segment-reclamation attempts (the class→free transition was
-    /// started: the segment was claimed out of its block tree).
-    pub reclaim_attempts: AtomicU64,
-    /// Reclamation attempts that aborted at the quiesce re-verify (a
-    /// popper slipped in before FREE was published; the segment stayed
-    /// formatted).
-    pub reclaim_aborts: AtomicU64,
-    /// Spin iterations spent in format-time straggler drains (each one is
-    /// a bounded wait for an in-flight block to come home).
-    pub drain_spins: AtomicU64,
-    /// Blocks bounced home by Algorithm 2's `ldcv` staleness re-check: a
-    /// popper found the segment reclaimed under it and pushed its block
-    /// back.
-    pub straggler_bounces: AtomicU64,
+    stripes: [Stripe; STRIPES],
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Metrics {
-    /// New zeroed counter set.
+    /// New zeroed counter set. The only constructor; `Default`
+    /// delegates here.
     pub fn new() -> Self {
-        Self::default()
+        Metrics { stripes: std::array::from_fn(|_| Stripe::default()) }
+    }
+
+    /// The stripe the current thread writes to.
+    #[inline]
+    fn stripe(&self) -> &Stripe {
+        &self.stripes[CURRENT_STRIPE.with(|c| c.get())]
+    }
+
+    /// Sum one cell across all stripes.
+    #[inline]
+    fn sum(&self, cell: impl Fn(&Stripe) -> &AtomicU64) -> u64 {
+        self.stripes.iter().map(|s| cell(s).load(Ordering::Relaxed)).sum()
     }
 
     /// Record one atomic RMW on shared metadata. Preemption point.
     #[inline]
     pub fn count_rmw(&self) {
-        self.atomic_rmw.fetch_add(1, Ordering::Relaxed);
+        self.stripe().atomic_rmw.fetch_add(1, Ordering::Relaxed);
         preempt_point(PreemptPoint::Rmw);
     }
 
     /// Record one CAS attempt and whether it succeeded. Preemption point.
     #[inline]
     pub fn count_cas(&self, success: bool) {
-        self.cas_attempts.fetch_add(1, Ordering::Relaxed);
+        let stripe = self.stripe();
+        stripe.cas_attempts.fetch_add(1, Ordering::Relaxed);
         if !success {
-            self.cas_failures.fetch_add(1, Ordering::Relaxed);
+            stripe.cas_failures.fetch_add(1, Ordering::Relaxed);
         }
         preempt_point(PreemptPoint::Cas);
     }
@@ -83,86 +158,81 @@ impl Metrics {
     /// or the deterministic scheduler can park the holder.
     #[inline]
     pub fn count_lock(&self) {
-        self.lock_acquires.fetch_add(1, Ordering::Relaxed);
+        self.stripe().lock_acquires.fetch_add(1, Ordering::Relaxed);
         preempt_point(PreemptPoint::Lock);
     }
 
     /// Record `followers` requests served by another lane's atomic.
     #[inline]
     pub fn count_coalesced(&self, followers: u64) {
-        self.coalesced_requests.fetch_add(followers, Ordering::Relaxed);
+        self.stripe().coalesced_requests.fetch_add(followers, Ordering::Relaxed);
     }
 
     /// Record one allocation request and whether it succeeded.
     #[inline]
     pub fn count_malloc(&self, ok: bool) {
-        self.mallocs.fetch_add(1, Ordering::Relaxed);
+        let stripe = self.stripe();
+        stripe.mallocs.fetch_add(1, Ordering::Relaxed);
         if !ok {
-            self.failed_mallocs.fetch_add(1, Ordering::Relaxed);
+            stripe.failed_mallocs.fetch_add(1, Ordering::Relaxed);
         }
     }
 
     /// Record one free request.
     #[inline]
     pub fn count_free(&self) {
-        self.frees.fetch_add(1, Ordering::Relaxed);
+        self.stripe().frees.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record the start of a segment-reclamation attempt.
     #[inline]
     pub fn count_reclaim_attempt(&self) {
-        self.reclaim_attempts.fetch_add(1, Ordering::Relaxed);
+        self.stripe().reclaim_attempts.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record a reclamation attempt aborted at the quiesce re-verify.
     #[inline]
     pub fn count_reclaim_abort(&self) {
-        self.reclaim_aborts.fetch_add(1, Ordering::Relaxed);
+        self.stripe().reclaim_aborts.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record `n` spin iterations waiting out a format-time drain.
     #[inline]
     pub fn count_drain_spins(&self, n: u64) {
-        self.drain_spins.fetch_add(n, Ordering::Relaxed);
+        self.stripe().drain_spins.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Record one block bounced home by the `ldcv` staleness re-check.
     #[inline]
     pub fn count_straggler_bounce(&self) {
-        self.straggler_bounces.fetch_add(1, Ordering::Relaxed);
+        self.stripe().straggler_bounces.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Reset all counters to zero.
+    /// Reset all counters in all stripes to zero.
     pub fn reset(&self) {
-        self.atomic_rmw.store(0, Ordering::Relaxed);
-        self.cas_attempts.store(0, Ordering::Relaxed);
-        self.cas_failures.store(0, Ordering::Relaxed);
-        self.lock_acquires.store(0, Ordering::Relaxed);
-        self.coalesced_requests.store(0, Ordering::Relaxed);
-        self.mallocs.store(0, Ordering::Relaxed);
-        self.frees.store(0, Ordering::Relaxed);
-        self.failed_mallocs.store(0, Ordering::Relaxed);
-        self.reclaim_attempts.store(0, Ordering::Relaxed);
-        self.reclaim_aborts.store(0, Ordering::Relaxed);
-        self.drain_spins.store(0, Ordering::Relaxed);
-        self.straggler_bounces.store(0, Ordering::Relaxed);
+        for stripe in &self.stripes {
+            for cell in stripe.cells() {
+                cell.store(0, Ordering::Relaxed);
+            }
+        }
     }
 
-    /// Snapshot into a plain struct for reporting.
+    /// Snapshot into a plain struct for reporting: each counter is the
+    /// sum of its cell across all stripes.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
-            atomic_rmw: self.atomic_rmw.load(Ordering::Relaxed),
-            cas_attempts: self.cas_attempts.load(Ordering::Relaxed),
-            cas_failures: self.cas_failures.load(Ordering::Relaxed),
-            lock_acquires: self.lock_acquires.load(Ordering::Relaxed),
-            coalesced_requests: self.coalesced_requests.load(Ordering::Relaxed),
-            mallocs: self.mallocs.load(Ordering::Relaxed),
-            frees: self.frees.load(Ordering::Relaxed),
-            failed_mallocs: self.failed_mallocs.load(Ordering::Relaxed),
-            reclaim_attempts: self.reclaim_attempts.load(Ordering::Relaxed),
-            reclaim_aborts: self.reclaim_aborts.load(Ordering::Relaxed),
-            drain_spins: self.drain_spins.load(Ordering::Relaxed),
-            straggler_bounces: self.straggler_bounces.load(Ordering::Relaxed),
+            atomic_rmw: self.sum(|s| &s.atomic_rmw),
+            cas_attempts: self.sum(|s| &s.cas_attempts),
+            cas_failures: self.sum(|s| &s.cas_failures),
+            lock_acquires: self.sum(|s| &s.lock_acquires),
+            coalesced_requests: self.sum(|s| &s.coalesced_requests),
+            mallocs: self.sum(|s| &s.mallocs),
+            frees: self.sum(|s| &s.frees),
+            failed_mallocs: self.sum(|s| &s.failed_mallocs),
+            reclaim_attempts: self.sum(|s| &s.reclaim_attempts),
+            reclaim_aborts: self.sum(|s| &s.reclaim_aborts),
+            drain_spins: self.sum(|s| &s.drain_spins),
+            straggler_bounces: self.sum(|s| &s.straggler_bounces),
         }
     }
 }
@@ -267,5 +337,50 @@ mod tests {
             }
         });
         assert_eq!(m.snapshot().atomic_rmw, 40_000);
+    }
+
+    #[test]
+    fn bumps_from_distinct_stripes_aggregate() {
+        // Concurrent bumps attributed to different SMs land in different
+        // stripes; the snapshot must sum them all. Covers the mixed case
+        // (striped writers + an unstriped host thread) and a reset of
+        // every stripe, not just stripe 0.
+        let m = Metrics::new();
+        std::thread::scope(|s| {
+            for sm in 0..32u32 {
+                let m = &m;
+                s.spawn(move || {
+                    with_metrics_stripe(sm, || {
+                        for _ in 0..1_000 {
+                            m.count_rmw();
+                        }
+                        m.count_cas(sm % 2 == 0);
+                        m.count_malloc(true);
+                    });
+                });
+            }
+        });
+        m.count_free(); // host thread, stripe 0
+        let s = m.snapshot();
+        assert_eq!(s.atomic_rmw, 32_000);
+        assert_eq!(s.cas_attempts, 32);
+        assert_eq!(s.cas_failures, 16);
+        assert_eq!(s.mallocs, 32);
+        assert_eq!(s.frees, 1);
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn stripe_is_restored_on_exit() {
+        let m = Metrics::new();
+        with_metrics_stripe(7, || {
+            with_metrics_stripe(3, || m.count_rmw());
+            m.count_rmw();
+        });
+        m.count_rmw();
+        // All three bumps are visible regardless of which stripe each
+        // landed in.
+        assert_eq!(m.snapshot().atomic_rmw, 3);
     }
 }

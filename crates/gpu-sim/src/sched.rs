@@ -1,7 +1,7 @@
 //! Deterministic warp scheduling: replayable interleavings for
 //! concurrency testing.
 //!
-//! The pool mode in [`crate::launch`] runs warps on a work-stealing
+//! The pool mode in [`mod@crate::launch`] runs warps on a work-stealing
 //! thread pool, so racy interleavings depend on OS timing and cannot be
 //! reproduced. This module provides the alternative execution engine
 //! behind `ExecMode::Deterministic`: all warps of a launch run under one

@@ -9,7 +9,7 @@
 //! result is distributed with broadcast + exclusive scan.
 //!
 //! The simulator executes a warp as a unit (one closure invocation per
-//! warp; see [`crate::launch`]), so the collectives here have exact lane
+//! warp; see [`mod@crate::launch`]), so the collectives here have exact lane
 //! visibility and are implemented as plain slice operations. That matches
 //! hardware semantics: from inside the warp, the collective is a
 //! synchronous, all-lanes-visible primitive.

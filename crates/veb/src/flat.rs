@@ -84,6 +84,16 @@ impl FlatBitset {
         None
     }
 
+    /// Minimum member ≥ `start`, wrapping to the front when nothing lies
+    /// at or above it — same contract as `VebTree::find_first_from`.
+    pub fn find_first_from(&self, start: u64) -> Option<u64> {
+        match self.successor(start) {
+            Some(s) => Some(s),
+            None if start == 0 => None,
+            None => self.successor(0),
+        }
+    }
+
     /// Maximum member ≤ `x` (linear word scan, backwards).
     pub fn predecessor(&self, x: u64) -> Option<u64> {
         let x = x.min(self.universe - 1);
@@ -111,6 +121,19 @@ impl FlatBitset {
             if x >= self.universe {
                 return None;
             }
+        }
+    }
+
+    /// Find-and-claim scanning from `start` with wraparound — same
+    /// contract as `VebTree::claim_first_from`.
+    pub fn claim_first_from(&self, start: u64) -> Option<u64> {
+        if let Some(s) = self.claim_first_ge(start) {
+            return Some(s);
+        }
+        if start == 0 {
+            None
+        } else {
+            self.claim_first_ge(0)
         }
     }
 
@@ -217,11 +240,12 @@ mod tests {
         for _ in 0..4000 {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
             let v = (x >> 16) % 5000;
-            match x % 5 {
+            match x % 6 {
                 0 => assert_eq!(flat.insert(v), veb.insert(v)),
                 1 => assert_eq!(flat.remove(v), veb.remove(v)),
                 2 => assert_eq!(flat.successor(v), veb.successor(v), "succ({v})"),
                 3 => assert_eq!(flat.predecessor(v), veb.predecessor(v), "pred({v})"),
+                4 => assert_eq!(flat.find_first_from(v), veb.find_first_from(v), "from({v})"),
                 _ => assert_eq!(flat.contains(v), veb.contains(v)),
             }
         }

@@ -293,6 +293,25 @@ impl VebTree {
         }
     }
 
+    /// The minimum member `≥ start`, wrapping to the front of the
+    /// universe when nothing lies at or above `start`.
+    ///
+    /// This is `successor` with a *probe hint*: callers that only need
+    /// "any member" (Gallatin's segment and block queries, §4.3 of the
+    /// paper) can start the scan at an SM-hashed position so concurrent
+    /// warps fan out across different words instead of all reading —
+    /// and then CAS-hammering — bit 0. `find_first_from(0)` is exactly
+    /// `successor(0)`, so a zero hint preserves the legacy front-first
+    /// order. Returns `None` only if both halves of the wrapped scan
+    /// come up empty.
+    pub fn find_first_from(&self, start: u64) -> Option<u64> {
+        match self.successor(start) {
+            Some(s) => Some(s),
+            None if start == 0 => None,
+            None => self.successor(0),
+        }
+    }
+
     /// The maximum member `≤ x`, or `None`. `x` is clamped to the
     /// universe.
     pub fn predecessor(&self, x: u64) -> Option<u64> {
@@ -372,6 +391,25 @@ impl VebTree {
             if x >= self.universe {
                 return None;
             }
+        }
+    }
+
+    /// Find and atomically remove a member, scanning from `start` and
+    /// wrapping to the front when `[start, u)` is exhausted. The claim
+    /// analogue of [`Self::find_first_from`]: it keeps the "find any
+    /// free" contract of [`Self::claim_first_ge`]`(0)` (some member is
+    /// returned iff one stays visible for the whole call) while letting
+    /// concurrent claimants start in different words. The wrapped pass
+    /// rescans the full universe, so members that appear above `start`
+    /// after the first pass loses a race are still eligible.
+    pub fn claim_first_from(&self, start: u64) -> Option<u64> {
+        if let Some(s) = self.claim_first_ge(start) {
+            return Some(s);
+        }
+        if start == 0 {
+            None
+        } else {
+            self.claim_first_ge(0)
         }
     }
 
@@ -655,6 +693,37 @@ mod tests {
         assert_eq!(t.claim_first_ge(0), Some(20));
         assert_eq!(t.claim_first_ge(25), Some(30));
         assert_eq!(t.claim_first_ge(0), None);
+    }
+
+    #[test]
+    fn find_first_from_wraps_to_front() {
+        let t = VebTree::new(1 << 14);
+        for m in [10u64, 2000] {
+            t.insert(m);
+        }
+        assert_eq!(t.find_first_from(0), Some(10));
+        assert_eq!(t.find_first_from(10), Some(10));
+        assert_eq!(t.find_first_from(11), Some(2000));
+        // Nothing at or above the hint: wrap to the front.
+        assert_eq!(t.find_first_from(2001), Some(10));
+        assert_eq!(t.find_first_from(t.universe() - 1), Some(10));
+        assert_eq!(VebTree::new(64).find_first_from(0), None);
+        assert_eq!(VebTree::new(64).find_first_from(63), None);
+    }
+
+    #[test]
+    fn claim_first_from_wraps_and_is_exclusive() {
+        let t = VebTree::new(1 << 14);
+        for m in [10u64, 20, 2000] {
+            t.insert(m);
+        }
+        assert_eq!(t.claim_first_from(1000), Some(2000));
+        assert_eq!(t.claim_first_from(1000), Some(10)); // wrapped
+        assert_eq!(t.claim_first_from(0), Some(20));
+        assert_eq!(t.claim_first_from(0), None);
+        assert_eq!(t.claim_first_from(5000), None);
+        assert!(t.is_empty());
+        t.check_summaries().unwrap();
     }
 
     #[test]
