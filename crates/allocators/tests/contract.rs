@@ -139,17 +139,17 @@ fn run_concurrent_contract(a: &dyn DeviceAllocator, cfg: DeviceConfig) {
                 .collect();
             a.warp_malloc(warp, &sizes, &mut ptrs);
             let stamp_of = |lane: usize| (round << 32) | (warp.base_tid + lane as u64 + 1);
-            for lane in 0..n {
-                if !ptrs[lane].is_null() {
-                    a.memory().write_stamp(ptrs[lane], stamp_of(lane));
+            for (lane, p) in ptrs.iter().enumerate() {
+                if !p.is_null() {
+                    a.memory().write_stamp(*p, stamp_of(lane));
                 }
             }
             // Every stamp must survive until the free: a clobber means two
             // live allocations overlap.
-            for lane in 0..n {
-                if !ptrs[lane].is_null() {
+            for (lane, p) in ptrs.iter().enumerate() {
+                if !p.is_null() {
                     assert_eq!(
-                        a.memory().read_stamp(ptrs[lane]),
+                        a.memory().read_stamp(*p),
                         stamp_of(lane),
                         "{}: stamp clobbered (overlap)",
                         a.name()
@@ -190,5 +190,183 @@ fn concurrent_contract_deterministic_seeds() {
             run_concurrent_contract(a.as_ref(), DeviceConfig::with_sms(4).seeded(seed));
             a.reset();
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Differential sweep: the same seeded workload through every allocator
+// family — the five baselines plus Gallatin itself — with every outcome
+// reduced to a ledger. Allocators may legitimately differ in *policy*
+// (which requests they deny), but never in *contract*: the violation
+// counters must be zero for every family, which also makes them pairwise
+// equal. A failing seed replays with `GALLATIN_SCHED_SEED=<seed>`, and
+// `GALLATIN_SCHED_SEED=<seed> repro trace` captures Gallatin's side of
+// the schedule as a Chrome trace (see TESTING.md).
+// ---------------------------------------------------------------------------
+
+use gallatin::{Gallatin, GallatinConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const DIFF_THREADS: u64 = 128;
+const DIFF_ROUNDS: u64 = 3;
+const DIFF_SEEDS: u64 = 16;
+
+/// Everything observable about one allocator's run of the shared
+/// workload, reduced to counters so runs can be diffed exactly.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct OutcomeLedger {
+    /// Allocation requests issued by the workload.
+    attempted: u64,
+    /// Requests that returned a pointer.
+    served: u64,
+    /// Requests refused: unsupported size or NULL (exhaustion).
+    denied: u64,
+    /// Stamp clobbers observed — two live allocations overlapped.
+    overlaps: u64,
+    /// Pointers handed out beyond the heap end.
+    oob: u64,
+    /// Bytes still reserved after every pointer was freed.
+    leaked_bytes: u64,
+}
+
+impl OutcomeLedger {
+    /// The contract projection: counters that must be zero for every
+    /// correct allocator regardless of its allocation policy.
+    fn violations(&self) -> (u64, u64, u64) {
+        (self.overlaps, self.oob, self.leaked_bytes)
+    }
+}
+
+/// All allocator families under test, freshly constructed.
+fn families(heap: u64) -> Vec<std::sync::Arc<dyn DeviceAllocator>> {
+    let mut v: Vec<std::sync::Arc<dyn DeviceAllocator>> =
+        all_baselines(heap).into_iter().filter(|a| a.is_managing()).collect();
+    v.push(std::sync::Arc::new(Gallatin::new(GallatinConfig::small_test(heap))));
+    v
+}
+
+/// Run the shared seeded workload on `a` and reduce it to a ledger: a
+/// few rounds of warp-coalesced malloc → stamp → verify → free with
+/// sizes drawn per (seed, warp, lane, round) from the menu. Violations
+/// are *counted*, not asserted, so differing families produce
+/// comparable ledgers instead of differently-located panics.
+fn outcome_ledger(a: &dyn DeviceAllocator, seed: u64) -> OutcomeLedger {
+    let attempted = AtomicU64::new(0);
+    let served = AtomicU64::new(0);
+    let denied = AtomicU64::new(0);
+    let overlaps = AtomicU64::new(0);
+    let oob = AtomicU64::new(0);
+    launch_warps(DeviceConfig::with_sms(4).seeded(seed), DIFF_THREADS, |warp| {
+        let n = warp.active as usize;
+        let mut ptrs = vec![DevicePtr::NULL; n];
+        for round in 0..DIFF_ROUNDS {
+            let sizes: Vec<Option<u64>> = (0..n)
+                .map(|lane| {
+                    let idx = (seed * 17 + warp.warp_id * 31 + lane as u64 * 7 + round * 13) % 10;
+                    let size = menu(idx as u8);
+                    attempted.fetch_add(1, Ordering::Relaxed);
+                    if a.supports_size(size) {
+                        Some(size)
+                    } else {
+                        denied.fetch_add(1, Ordering::Relaxed);
+                        None
+                    }
+                })
+                .collect();
+            a.warp_malloc(warp, &sizes, &mut ptrs);
+            let stamp_of = |lane: usize| (round << 32) | (warp.base_tid + lane as u64 + 1);
+            for lane in 0..n {
+                match (sizes[lane], ptrs[lane]) {
+                    (Some(size), p) if !p.is_null() => {
+                        served.fetch_add(1, Ordering::Relaxed);
+                        if p.0 + size > a.heap_bytes() {
+                            oob.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            a.memory().write_stamp(p, stamp_of(lane));
+                        }
+                    }
+                    (Some(_), _) => {
+                        denied.fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {}
+                }
+            }
+            for lane in 0..n {
+                let p = ptrs[lane];
+                if !p.is_null()
+                    && p.0 + sizes[lane].unwrap_or(0) <= a.heap_bytes()
+                    && a.memory().read_stamp(p) != stamp_of(lane)
+                {
+                    overlaps.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            a.warp_free(warp, &ptrs);
+        }
+    });
+    OutcomeLedger {
+        attempted: attempted.into_inner(),
+        served: served.into_inner(),
+        denied: denied.into_inner(),
+        overlaps: overlaps.into_inner(),
+        oob: oob.into_inner(),
+        leaked_bytes: a.stats().reserved_bytes,
+    }
+}
+
+/// The 16-seed differential matrix: every family runs every seed, every
+/// ledger balances, and the violation projection is zero everywhere —
+/// checked both directly and as an explicit pairwise diff so a future
+/// nonzero names the diverging pair of families.
+#[test]
+fn differential_sweep_contract_projection_agrees_across_families() {
+    for seed in 0..DIFF_SEEDS {
+        let fams = families(HEAP);
+        let mut ledgers: Vec<(String, OutcomeLedger)> = Vec::new();
+        for a in &fams {
+            let led = outcome_ledger(a.as_ref(), seed);
+            assert_eq!(
+                led.attempted,
+                led.served + led.denied,
+                "{} seed {seed}: ledger does not balance: {led:?}",
+                a.name()
+            );
+            assert!(led.served > 0, "{} seed {seed}: workload never got served", a.name());
+            ledgers.push((a.name().to_string(), led));
+        }
+        for (name, led) in &ledgers {
+            assert_eq!(
+                led.violations(),
+                (0, 0, 0),
+                "{name} violated the contract on seed {seed} \
+                 (overlaps, oob, leaked_bytes) — replay with GALLATIN_SCHED_SEED={seed}"
+            );
+        }
+        for pair in ledgers.windows(2) {
+            assert_eq!(
+                pair[0].1.violations(),
+                pair[1].1.violations(),
+                "families {} and {} diverge on seed {seed}",
+                pair[0].0,
+                pair[1].0
+            );
+        }
+    }
+}
+
+/// Same seed, same family, fresh heap ⇒ the *entire* ledger replays
+/// identically — the differential sweep is deterministic evidence, not a
+/// flaky sample.
+#[test]
+fn differential_sweep_ledgers_replay_per_seed() {
+    for a in families(HEAP) {
+        let first = outcome_ledger(a.as_ref(), 0);
+        a.reset();
+        let second = outcome_ledger(a.as_ref(), 0);
+        assert_eq!(
+            first,
+            second,
+            "{}: seed 0 must replay to an identical ledger (GALLATIN_SCHED_SEED=0)",
+            a.name()
+        );
     }
 }

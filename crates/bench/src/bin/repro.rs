@@ -18,6 +18,8 @@
 //!   ablation        E16 — deterministic atomic-count ablation (64-seed sweep)
 //!   bench-smoke     E16 smoke subset, gated against results/BENCH_bench_smoke.json;
 //!                   exits 1 if any atomic-op count regresses past the tolerance
+//!   trace           E17 — allocation-lifecycle trace of the block-churn workload
+//!                   (Chrome trace_event JSON; seed from GALLATIN_SCHED_SEED)
 //!   summary         §6.3-style speedup summary from the written CSVs
 //!   all             everything above, in order
 //!
@@ -48,7 +50,7 @@ fn parse_bytes(s: &str) -> Option<u64> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: repro <init|single|mixed|scaling|variance|warmup|fragmentation|utilization|graph|expansion|reclaim|ablation|bench-smoke|summary|all> [--threads N] [--runs N] [--heap BYTES] [--sms N] [--pool N] [--out DIR] [--json] [--full]");
+        eprintln!("usage: repro <init|single|mixed|scaling|variance|warmup|fragmentation|utilization|graph|expansion|reclaim|ablation|bench-smoke|trace|summary|all> [--threads N] [--runs N] [--heap BYTES] [--sms N] [--pool N] [--out DIR] [--json] [--full]");
         std::process::exit(2);
     }
     let cmd = args[0].clone();
@@ -123,6 +125,7 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        "trace" => exp::run_trace(&cfg),
         "summary" => exp::run_summary(&cfg.out_dir),
         "all" => {
             exp::run_init(&cfg);
@@ -137,6 +140,7 @@ fn main() {
             exp::run_graph_expansion(&cfg);
             exp::run_reclaim(&cfg);
             exp::run_ablation(&cfg);
+            exp::run_trace(&cfg);
             exp::run_summary(&cfg.out_dir);
         }
         other => {

@@ -77,6 +77,37 @@ fn tiny_gallatin_sized(randomize: bool, heap: u64) -> Gallatin {
     })
 }
 
+/// An allocator sized for the block-churn workload (shared with E17's
+/// trace capture, which replays exactly this setup).
+pub(crate) fn block_churn_gallatin() -> Gallatin {
+    tiny_gallatin_sized(true, SWEEP_HEAP_BLOCK)
+}
+
+/// One deterministic churn launch: `SWEEP_WARPS` warps ×
+/// `SWEEP_ROUNDS` rounds of coalesced same-size malloc/free at `size`,
+/// under schedule `seed`. The sweep's unit of work, also replayed by
+/// E17's trace capture so traced counts line up with gated ones.
+pub(crate) fn churn_once(g: &Gallatin, seed: u64, size: u64) {
+    let device = DeviceConfig::with_sms(SWEEP_SMS).seeded(seed);
+    launch_warps(device, SWEEP_WARPS * 32, |warp| {
+        let sizes = vec![Some(size); warp.active as usize];
+        let mut out = vec![DevicePtr::NULL; warp.active as usize];
+        for _ in 0..SWEEP_ROUNDS {
+            g.warp_malloc(warp, &sizes, &mut out);
+            assert!(
+                out.iter().all(|p| !p.is_null()),
+                "sweep heap must never run out (capacity ≫ working set)"
+            );
+            g.warp_free(warp, &out);
+        }
+    });
+}
+
+/// The block-churn workload (1 KiB requests) for E17's trace capture.
+pub(crate) fn block_churn(g: &Gallatin, seed: u64) {
+    churn_once(g, seed, SWEEP_SIZE_BLOCK);
+}
+
 /// Part 1: shared-metadata atomics for one coalesced 32-lane group, on a
 /// cold heap and again once the SM's block buffer is warm. Returns
 /// `(fresh, steady)` where each is `atomic_rmw + cas_attempts` deltas.
@@ -130,20 +161,8 @@ fn sweep(randomize: bool, seeds: u64, size: u64) -> SweepTotals {
     let heap = if size > 256 { SWEEP_HEAP_BLOCK } else { SWEEP_HEAP };
     for seed in 0..seeds {
         let g = tiny_gallatin_sized(randomize, heap);
-        let device = DeviceConfig::with_sms(SWEEP_SMS).seeded(seed);
         let t0 = Instant::now();
-        launch_warps(device, SWEEP_WARPS * 32, |warp| {
-            let sizes = vec![Some(size); warp.active as usize];
-            let mut out = vec![DevicePtr::NULL; warp.active as usize];
-            for _ in 0..SWEEP_ROUNDS {
-                g.warp_malloc(warp, &sizes, &mut out);
-                assert!(
-                    out.iter().all(|p| !p.is_null()),
-                    "sweep heap must never run out (capacity ≫ working set)"
-                );
-                g.warp_free(warp, &out);
-            }
-        });
+        churn_once(&g, seed, size);
         tot.ms += t0.elapsed().as_secs_f64() * 1e3;
         g.check_invariants().expect("invariants after churn sweep");
         assert_eq!(g.stats().reserved_bytes, 0, "sweep leaked");
@@ -257,6 +276,53 @@ pub fn run_ablation(cfg: &HarnessConfig) {
     );
 }
 
+/// Build the smoke-subset record set (the 8-seed prefix of the full
+/// sweep). Shared by `repro bench-smoke` and the tier-1 `smoke_gate`
+/// integration test, so a count regression fails `cargo test` locally,
+/// not only the CI gate.
+pub fn smoke_records() -> Vec<BenchRecord> {
+    records("bench_smoke", SWEEP_SEEDS_SMOKE)
+}
+
+/// Diff `current` smoke counts against `baseline`, applying the gate
+/// rules (any counter more than 10% over baseline fails; missing
+/// baseline records or counters fail). Returns `(failures, notes)`:
+/// empty `failures` means the gate passes, `notes` list improvements
+/// worth folding into a refreshed baseline.
+pub fn smoke_gate(current: &[BenchRecord], baseline: &[BenchRecord]) -> (Vec<String>, Vec<String>) {
+    let mut failures = Vec::new();
+    let mut notes = Vec::new();
+    for cur in current {
+        let Some(base) = baseline.iter().find(|b| b.key() == cur.key()) else {
+            failures.push(format!(
+                "baseline has no record {} — refresh results/BENCH_bench_smoke.json",
+                cur.key()
+            ));
+            continue;
+        };
+        for (name, cur_v) in &cur.counts {
+            let Some((_, base_v)) = base.counts.iter().find(|(n, _)| n == name) else {
+                failures.push(format!("baseline {} lacks counter {name} — refresh it", cur.key()));
+                continue;
+            };
+            let limit = (*base_v as f64 * (1.0 + SMOKE_TOLERANCE)).ceil() as u64;
+            if *cur_v > limit {
+                failures.push(format!(
+                    "REGRESSION {} {name}: {cur_v} > {base_v} (+{:.0}% allowed)",
+                    cur.key(),
+                    SMOKE_TOLERANCE * 100.0
+                ));
+            } else if *cur_v < *base_v {
+                notes.push(format!(
+                    "improvement {} {name}: {cur_v} < {base_v} — consider refreshing the baseline",
+                    cur.key()
+                ));
+            }
+        }
+    }
+    (failures, notes)
+}
+
 /// Run the CI smoke subset and gate it against the checked-in baseline.
 ///
 /// Reads `results/BENCH_bench_smoke.json` (committed to the repo) before
@@ -268,7 +334,7 @@ pub fn run_ablation(cfg: &HarnessConfig) {
 pub fn run_bench_smoke(cfg: &HarnessConfig) -> bool {
     let baseline_path = Path::new("results").join("BENCH_bench_smoke.json");
     let baseline = read_bench_json(&baseline_path);
-    let recs = records("bench_smoke", SWEEP_SEEDS_SMOKE);
+    let recs = smoke_records();
     emit(cfg, "bench_smoke", &recs);
     let baseline = match baseline {
         Ok(b) => b,
@@ -280,46 +346,22 @@ pub fn run_bench_smoke(cfg: &HarnessConfig) -> bool {
             return false;
         }
     };
-    let mut ok = true;
-    for cur in &recs {
-        let Some(base) = baseline.iter().find(|b| b.key() == cur.key()) else {
-            eprintln!(
-                "bench-smoke: baseline has no record {} — refresh results/BENCH_bench_smoke.json",
-                cur.key()
-            );
-            ok = false;
-            continue;
-        };
-        for (name, cur_v) in &cur.counts {
-            let Some((_, base_v)) = base.counts.iter().find(|(n, _)| n == name) else {
-                eprintln!("bench-smoke: baseline {} lacks counter {name} — refresh it", cur.key());
-                ok = false;
-                continue;
-            };
-            let limit = (*base_v as f64 * (1.0 + SMOKE_TOLERANCE)).ceil() as u64;
-            if *cur_v > limit {
-                eprintln!(
-                    "bench-smoke: REGRESSION {} {name}: {cur_v} > {base_v} (+{:.0}% allowed)",
-                    cur.key(),
-                    SMOKE_TOLERANCE * 100.0
-                );
-                ok = false;
-            } else if *cur_v < *base_v {
-                println!(
-                    "bench-smoke: improvement {} {name}: {cur_v} < {base_v} — consider \
-                     refreshing the baseline",
-                    cur.key()
-                );
-            }
-        }
+    let (failures, notes) = smoke_gate(&recs, &baseline);
+    for n in &notes {
+        println!("bench-smoke: {n}");
     }
-    if ok {
+    for f in &failures {
+        eprintln!("bench-smoke: {f}");
+    }
+    if failures.is_empty() {
         println!(
             "bench-smoke: all atomic-op counts within {:.0}% of baseline",
             SMOKE_TOLERANCE * 100.0
         );
+        true
+    } else {
+        false
     }
-    ok
 }
 
 #[cfg(test)]

@@ -54,8 +54,8 @@ pub fn run_fragmentation(cfg: &HarnessConfig) {
         let mut tab = Table::new(format!("{title}, {} allocations", cfg.threads), &headers);
         for (si, &size) in FRAG_SIZES.iter().enumerate() {
             let mut row = vec![size.to_string()];
-            for ai in 0..names.len() {
-                row.push(grid[mi][si][ai].clone());
+            for cell in grid[mi][si].iter().take(names.len()) {
+                row.push(cell.clone());
             }
             tab.row(row);
         }

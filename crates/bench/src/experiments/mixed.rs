@@ -60,9 +60,9 @@ pub fn run_mixed(cfg: &HarnessConfig) {
     for (ui, &upper) in MIXED_UPPERS.iter().enumerate() {
         let mut arow = vec![upper.to_string()];
         let mut frow = vec![upper.to_string()];
-        for ai in 0..names.len() {
-            arow.push(grid[ui][ai].0.clone());
-            frow.push(grid[ui][ai].1.clone());
+        for cell in grid[ui].iter().take(names.len()) {
+            arow.push(cell.0.clone());
+            frow.push(cell.1.clone());
         }
         alloc_tab.row(arow);
         free_tab.row(frow);

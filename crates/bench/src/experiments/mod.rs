@@ -9,6 +9,7 @@ pub mod reclaim;
 pub mod scaling;
 pub mod single;
 pub mod summary;
+pub mod trace;
 pub mod utilization;
 pub mod variance;
 
@@ -21,5 +22,6 @@ pub use reclaim::run_reclaim;
 pub use scaling::run_scaling;
 pub use single::{run_single, run_warmup};
 pub use summary::run_summary;
+pub use trace::run_trace;
 pub use utilization::run_utilization;
 pub use variance::run_variance;

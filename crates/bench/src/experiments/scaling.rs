@@ -59,9 +59,9 @@ pub fn run_scaling(cfg: &HarnessConfig) {
         for (pi, &threads) in points.iter().enumerate() {
             let mut arow = vec![threads.to_string()];
             let mut frow = vec![threads.to_string()];
-            for ai in 0..names.len() {
-                arow.push(grid[pi][ai].0.clone());
-                frow.push(grid[pi][ai].1.clone());
+            for cell in grid[pi].iter().take(names.len()) {
+                arow.push(cell.0.clone());
+                frow.push(cell.1.clone());
             }
             alloc_tab.row(arow);
             free_tab.row(frow);

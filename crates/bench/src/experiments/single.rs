@@ -87,9 +87,9 @@ pub fn run_single(cfg: &HarnessConfig) {
     for (si, &size) in SINGLE_SIZES.iter().enumerate() {
         let mut arow = vec![size.to_string()];
         let mut frow = vec![size.to_string()];
-        for ai in 0..names.len() {
-            arow.push(grid[si][ai].0.clone());
-            frow.push(grid[si][ai].1.clone());
+        for cell in grid[si].iter().take(names.len()) {
+            arow.push(cell.0.clone());
+            frow.push(cell.1.clone());
         }
         alloc_tab.row(arow);
         free_tab.row(frow);

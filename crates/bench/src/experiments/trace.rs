@@ -1,0 +1,120 @@
+//! E17 — allocation-lifecycle trace capture (`repro trace`).
+//!
+//! Replays the E16 block-churn workload under the deterministic
+//! scheduler with a [`gpu_sim::trace::TraceSink`] installed, then emits:
+//!
+//! * `<out_dir>/TRACE_block_churn.json` — Chrome `trace_event` JSON
+//!   (open in `chrome://tracing` or <https://ui.perfetto.dev>);
+//! * the lifecycle-ledger report (leaks, double frees, cross-warp free
+//!   latency, occupancy peak) and an event-count table on stdout;
+//! * with `--json`, `<out_dir>/BENCH_trace.json` carrying the event
+//!   counts in the standard [`BenchRecord`] schema.
+//!
+//! The schedule seed comes from `GALLATIN_SCHED_SEED` (default 7), which
+//! is what makes this the replay half of a failing-seed report: a test
+//! failure prints `GALLATIN_SCHED_SEED=<seed>`, and
+//! `GALLATIN_SCHED_SEED=<seed> repro trace` captures the exact
+//! interleaving that failed as a diffable artifact.
+
+use crate::report::{write_bench_json, BenchRecord, Table};
+use crate::HarnessConfig;
+use gpu_sim::sched::SCHED_SEED_ENV;
+use gpu_sim::trace::{chrome_trace_json, Ledger, TraceSink};
+use gpu_sim::DeviceAllocator;
+use std::path::Path;
+use std::sync::Arc;
+
+use super::ablation;
+
+/// Default schedule seed when `GALLATIN_SCHED_SEED` is unset.
+const DEFAULT_SEED: u64 = 7;
+
+/// Run the trace capture; see the module docs.
+pub fn run_trace(cfg: &HarnessConfig) {
+    let seed = match std::env::var(SCHED_SEED_ENV) {
+        Ok(s) => s
+            .trim()
+            .parse::<u64>()
+            .unwrap_or_else(|_| panic!("{SCHED_SEED_ENV} must be a u64, got {s:?}")),
+        Err(_) => DEFAULT_SEED,
+    };
+    println!("E17 trace: block-churn workload under {SCHED_SEED_ENV}={seed}");
+
+    let g = ablation::block_churn_gallatin();
+    let sink = Arc::new(TraceSink::new());
+    sink.set_leak_check(true);
+    let records = gpu_sim::trace::with_sink(sink.clone(), || {
+        ablation::block_churn(&g, seed);
+        // Invariants + armed leak check: a failure auto-dumps the trace
+        // before this run's own export below.
+        g.check_invariants().expect("block churn must leave the allocator healthy");
+        sink.snapshot()
+    });
+    assert_eq!(sink.dropped(), 0, "sink capacity must cover the workload");
+    assert_eq!(g.stats().reserved_bytes, 0, "block churn leaked");
+
+    // Chrome trace artifact.
+    if let Err(e) = std::fs::create_dir_all(&cfg.out_dir) {
+        eprintln!("warning: could not create {}: {e}", cfg.out_dir);
+    }
+    let trace_path = Path::new(&cfg.out_dir).join("TRACE_block_churn.json");
+    match std::fs::write(&trace_path, chrome_trace_json(&records)) {
+        Ok(()) => println!("wrote {} ({} events)", trace_path.display(), records.len()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", trace_path.display()),
+    }
+
+    // Event-count table: one row per event type, in first-seen order.
+    let mut counts: Vec<(&'static str, u64)> = Vec::new();
+    for r in &records {
+        let name = r.event.name();
+        match counts.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, c)) => *c += 1,
+            None => counts.push((name, 1)),
+        }
+    }
+    counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    let mut tab = Table::new(
+        format!("E17 — lifecycle trace, block churn (seed {seed})"),
+        &["event", "count"],
+    );
+    for (name, c) in &counts {
+        tab.row(vec![name.to_string(), c.to_string()]);
+    }
+    tab.emit(&cfg.out_dir, "e17_trace");
+
+    // Post-mortem ledger.
+    let ledger = Ledger::build(&records);
+    print!("{}", ledger.report());
+    println!(
+        "replay this capture with {SCHED_SEED_ENV}={seed} repro trace; \
+         open {} in chrome://tracing or https://ui.perfetto.dev",
+        trace_path.display()
+    );
+
+    if cfg.json {
+        let rec = BenchRecord {
+            experiment: "trace".to_string(),
+            allocator: "Gallatin".to_string(),
+            params: vec![
+                ("case".to_string(), "block-churn".to_string()),
+                ("seed".to_string(), seed.to_string()),
+            ],
+            median_ms: f64::NAN,
+            counts: {
+                let mut c: Vec<(String, u64)> = vec![
+                    ("events".to_string(), records.len() as u64),
+                    ("leaks".to_string(), ledger.live.len() as u64),
+                    ("double_frees".to_string(), ledger.double_frees.len() as u64),
+                    ("cross_warp_frees".to_string(), ledger.cross_warp_frees),
+                    ("peak_live_bytes".to_string(), ledger.peak_live_bytes),
+                ];
+                c.extend(counts.iter().map(|(n, v)| (n.to_string(), *v)));
+                c
+            },
+        };
+        match write_bench_json(&cfg.out_dir, "trace", &[rec]) {
+            Ok(p) => println!("wrote {}", p.display()),
+            Err(e) => eprintln!("warning: could not write BENCH_trace.json: {e}"),
+        }
+    }
+}

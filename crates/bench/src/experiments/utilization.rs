@@ -112,9 +112,9 @@ pub fn run_utilization(cfg: &HarnessConfig) {
     for (si, &size) in UTIL_SIZES.iter().enumerate() {
         let mut row = vec![size.to_string()];
         let mut adj_row = vec![size.to_string()];
-        for ai in 0..names.len() {
-            row.push(grid[si][ai].0.clone());
-            adj_row.push(grid[si][ai].1.clone());
+        for cell in grid[si].iter().take(names.len()) {
+            row.push(cell.0.clone());
+            adj_row.push(cell.1.clone());
         }
         tab.row(row);
         adj_tab.row(adj_row);

@@ -1,0 +1,38 @@
+//! Tier-1 promotion of the E16 bench-smoke gate: regenerate the
+//! deterministic atomic-op counts for the smoke seed subset and diff
+//! them against the committed baseline in
+//! `results/BENCH_bench_smoke.json`, inside `cargo test` instead of a
+//! separate `repro bench-smoke` invocation.
+//!
+//! The gate is pure counting — no wall-clock thresholds — so it is
+//! stable on any machine. Tracing is compiled in by default but no sink
+//! is installed here, which is exactly the configuration the acceptance
+//! criterion pins down: disabled tracing must add ZERO atomic ops to
+//! the baseline counts.
+
+use bench::experiments::ablation::{smoke_gate, smoke_records};
+use bench::report::read_bench_json;
+use std::path::Path;
+
+#[test]
+fn bench_smoke_counts_match_committed_baseline() {
+    let baseline_path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/BENCH_bench_smoke.json");
+    let baseline = read_bench_json(&baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", baseline_path.display()));
+    let current = smoke_records();
+    let (failures, notes) = smoke_gate(&current, &baseline);
+    for note in &notes {
+        eprintln!("note: {note}");
+    }
+    assert!(
+        failures.is_empty(),
+        "E16 smoke gate failed:\n  {}\n\
+         If a count grew on purpose, refresh the baseline with\n  \
+         cargo run --release -p bench --bin repro -- bench-smoke --json\n\
+         and commit results/BENCH_bench_smoke.json. To inspect the\n\
+         interleaving behind a count, capture it with\n  \
+         GALLATIN_SCHED_SEED=<seed> cargo run -p bench --bin repro -- trace",
+        failures.join("\n  ")
+    );
+}

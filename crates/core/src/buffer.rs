@@ -16,6 +16,7 @@
 //! generation, so its swap fails instead of evicting the live entry.
 
 use crate::table::BlockHandle;
+use gpu_sim::trace;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A buffered block: the handle and the claim-word generation it was
@@ -84,7 +85,13 @@ impl BlockBuffer {
             Ordering::AcqRel,
             Ordering::Acquire,
         ) {
-            Ok(_) => Ok(()),
+            Ok(_) => {
+                trace::emit(|| trace::TraceEvent::BufferInstall {
+                    slot: (sm_id as usize % self.slots.len()) as u32,
+                    block: entry.0 .0,
+                });
+                Ok(())
+            }
             Err(cur) => Err(unpack(cur)),
         }
     }
@@ -94,9 +101,18 @@ impl BlockBuffer {
     /// thread performed the swap; a stale `old` — same block, earlier
     /// generation — fails.
     pub fn try_replace(&self, sm_id: u32, old: Entry, new: Entry) -> bool {
-        self.slot(sm_id)
+        let swapped = self
+            .slot(sm_id)
             .compare_exchange(pack(old), pack(new), Ordering::AcqRel, Ordering::Acquire)
-            .is_ok()
+            .is_ok();
+        if swapped {
+            trace::emit(|| trace::TraceEvent::BufferReplace {
+                slot: (sm_id as usize % self.slots.len()) as u32,
+                old: old.0 .0,
+                new: new.0 .0,
+            });
+        }
+        swapped
     }
 
     /// Clear `old` out of the slot (used when no replacement block could

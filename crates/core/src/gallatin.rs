@@ -22,7 +22,9 @@ use crate::table::{
     BlockHandle, MemoryTable, SegmentMeta, DRAIN_SPIN_LIMIT, LARGE_BASE, LARGE_BODY,
     SLICE_COUNT_MASK, TREE_FREE,
 };
-use gpu_sim::{AllocStats, DeviceAllocator, DeviceMemory, DevicePtr, LaneCtx, Metrics, WarpCtx};
+use gpu_sim::{
+    trace, AllocStats, DeviceAllocator, DeviceMemory, DevicePtr, LaneCtx, Metrics, WarpCtx,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of times the slice pipeline retries a failed block refresh
@@ -454,9 +456,39 @@ impl Gallatin {
                  implies {computed_reserved}"
             ));
         }
+        // Lifecycle-ledger leak check: when a trace sink is installed on
+        // this (host) thread with its teardown leak check armed, any
+        // allocation the trace saw malloc'd but never freed is a
+        // violation, reported with its full provenance.
+        if trace::compiled_in() {
+            if let Some(sink) = trace::current_sink() {
+                if sink.leak_check_enabled() {
+                    let ledger = trace::Ledger::build(&sink.snapshot());
+                    for l in &ledger.live {
+                        errors.push(format!(
+                            "leaked allocation ptr {} ({} B): allocated at step {} by sm {} \
+                             warp {} lane {} and never freed",
+                            l.ptr, l.size, l.step, l.sm, l.warp, l.lane
+                        ));
+                    }
+                    for d in &ledger.double_frees {
+                        errors.push(format!(
+                            "unmatched free of ptr {} at step {} (sm {} warp {} lane {}): \
+                             double free or free of an untraced allocation",
+                            d.ptr, d.step, d.sm, d.warp, d.lane
+                        ));
+                    }
+                }
+            }
+        }
         if errors.is_empty() {
             Ok(())
         } else {
+            // Every invariant failure leaves a replayable artifact behind
+            // when a trace was being captured.
+            if let Some(path) = trace::auto_dump("invariant_failure") {
+                errors.push(format!("trace auto-dumped to {}", path.display()));
+            }
             Err(errors.join("\n"))
         }
     }
@@ -512,6 +544,7 @@ impl Gallatin {
         let Some(seg) = self.claim_segment_front(sm_id) else {
             return false;
         };
+        trace::emit(|| trace::TraceEvent::SegmentGrab { seg, class: class as u32 });
         let drain_spins = self.table.format_segment(seg, class);
         self.metrics.count_drain_spins(drain_spins);
         // Broadcast availability: insert into the block tree last, so any
@@ -628,6 +661,11 @@ impl Gallatin {
             return;
         }
         self.metrics.count_reclaim_attempt();
+        trace::emit(|| trace::TraceEvent::SegmentReclaim {
+            seg,
+            class: class as u32,
+            phase: trace::ReclaimPhase::Attempt,
+        });
         let meta = self.table.seg(seg);
         // ...and publish FREE so any popper already inside Algorithm 2
         // fails its ldcv staleness re-check and pushes its block back.
@@ -643,6 +681,19 @@ impl Gallatin {
             // re-trigger reclaim when it frees. The segment stays
             // formatted.
             self.metrics.count_reclaim_abort();
+            trace::emit(|| trace::TraceEvent::SegmentReclaim {
+                seg,
+                class: class as u32,
+                phase: trace::ReclaimPhase::Abort,
+            });
+            // Aborts are a legitimate outcome under contention; dump the
+            // trace only when explicitly asked (debugging a reclaim race).
+            if trace::compiled_in()
+                && std::env::var_os(trace::TRACE_ABORT_DUMP_ENV).is_some()
+                && trace::current_sink().is_some()
+            {
+                trace::auto_dump("reclaim_abort");
+            }
             meta.tree_id.store(class as u32, Ordering::SeqCst);
             self.block_trees[class].insert(seg);
             return;
@@ -651,6 +702,11 @@ impl Gallatin {
         // straggler bounces off the ldcv check and the next format's
         // bounded drain covers the push-back.
         self.segment_tree.insert(seg);
+        trace::emit(|| trace::TraceEvent::SegmentReclaim {
+            seg,
+            class: class as u32,
+            phase: trace::ReclaimPhase::Publish,
+        });
     }
 
     // ==================================================================
@@ -719,9 +775,18 @@ impl Gallatin {
                 // One successful RMW served `take` lanes: the leader's
                 // atomic plus `take − 1` piggybacked followers.
                 self.metrics.count_coalesced((take - 1) as u64);
+                trace::emit(|| trace::TraceEvent::CoalesceGroup {
+                    class: class as u32,
+                    lanes: take,
+                });
                 for (rank, lane) in lanes[next..next + take as usize].iter().enumerate() {
                     let idx = base as u64 + rank as u64;
                     let off = self.geo.offset_of(seg, block, idx, class);
+                    trace::emit_lane(*lane, || trace::TraceEvent::Malloc {
+                        size: self.geo.slice_size(class),
+                        tier: trace::AllocTier::Slice,
+                        ptr: off,
+                    });
                     assign(*lane, DevicePtr(off));
                 }
                 next += take as usize;
@@ -807,7 +872,13 @@ impl Gallatin {
         let block = handle.block(self.geo.max_blocks);
         self.table.seg(seg).set_whole_block(block);
         self.reserved.fetch_add(self.geo.block_size(class), Ordering::Relaxed);
-        DevicePtr(self.geo.offset_of(seg, block, 0, class))
+        let off = self.geo.offset_of(seg, block, 0, class);
+        trace::emit(|| trace::TraceEvent::Malloc {
+            size: self.geo.block_size(class),
+            tier: trace::AllocTier::Block,
+            ptr: off,
+        });
+        DevicePtr(off)
     }
 
     /// Allocate `n` contiguous segments (requests above the largest
@@ -817,7 +888,13 @@ impl Gallatin {
         match self.get_segments_back(n) {
             Some(start) => {
                 self.reserved.fetch_add(n * self.geo.segment_bytes, Ordering::Relaxed);
-                DevicePtr(start * self.geo.segment_bytes)
+                let off = start * self.geo.segment_bytes;
+                trace::emit(|| trace::TraceEvent::Malloc {
+                    size: n * self.geo.segment_bytes,
+                    tier: trace::AllocTier::Large,
+                    ptr: off,
+                });
+                DevicePtr(off)
             }
             None => DevicePtr::NULL,
         }
@@ -848,6 +925,7 @@ impl Gallatin {
         self.metrics.count_free();
         let off = ptr.0;
         assert!(off < self.geo.heap_bytes, "free of foreign pointer {off}");
+        trace::emit(|| trace::TraceEvent::Free { ptr: off });
         let seg = self.geo.segment_of(off);
         let meta = self.table.seg(seg);
         let id = meta.ldcv_tree_id();
@@ -909,6 +987,7 @@ impl DeviceAllocator for Gallatin {
             self.metrics.count_free();
             let off = ptr.0;
             assert!(off < self.geo.heap_bytes, "free of foreign pointer {off}");
+            trace::emit_lane(lane as u32, || trace::TraceEvent::Free { ptr: off });
             let seg = self.geo.segment_of(off);
             let meta = self.table.seg(seg);
             let id = meta.ldcv_tree_id();

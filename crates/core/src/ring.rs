@@ -45,7 +45,7 @@
 //! its fault injector, see `gpu_sim::sched::FaultPlan`) can park a warp
 //! exactly there.
 
-use gpu_sim::{preempt_point, PreemptPoint};
+use gpu_sim::{preempt_point, trace, PreemptPoint};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Bounded MPMC queue of block ids with derived, non-wrapping occupancy.
@@ -60,6 +60,11 @@ pub struct BlockRing {
     /// failure) so no observer can count a ticket whose cell is still
     /// unpublished.
     push_in_flight: AtomicU64,
+    /// Owner tag for trace attribution (the segment id, set once at table
+    /// construction; `u64::MAX` for standalone rings). Written before any
+    /// concurrency starts and loaded only inside trace-emit closures, so
+    /// it costs nothing when tracing is off.
+    tag: AtomicU64,
 }
 
 struct Cell {
@@ -96,7 +101,19 @@ impl BlockRing {
             enqueue_pos: AtomicU64::new(0),
             dequeue_pos: AtomicU64::new(0),
             push_in_flight: AtomicU64::new(0),
+            tag: AtomicU64::new(u64::MAX),
         }
+    }
+
+    /// Set the owner tag (segment id) stamped on this ring's trace
+    /// events. Called once at table construction, before any launch.
+    pub fn set_tag(&self, seg: u64) {
+        self.tag.store(seg, Ordering::Relaxed);
+    }
+
+    /// The owner tag (segment id), or `u64::MAX` if never set.
+    pub fn tag(&self) -> u64 {
+        self.tag.load(Ordering::Relaxed)
     }
 
     /// Capacity (power of two ≥ requested).
@@ -165,6 +182,13 @@ impl BlockRing {
                         cell.value.store(value, Ordering::Relaxed);
                         cell.seq.store(pos + 1, Ordering::Release);
                         self.push_in_flight.fetch_sub(1, Ordering::SeqCst);
+                        // Cell published: the block is home. The tag load
+                        // happens inside the closure, so with no sink this
+                        // line costs one thread-local check.
+                        trace::emit(|| trace::TraceEvent::RingPush {
+                            seg: self.tag(),
+                            block: value,
+                        });
                         return true;
                     }
                     Err(p) => {
@@ -195,6 +219,11 @@ impl BlockRing {
                 ) {
                     Ok(_) => {
                         let v = cell.value.load(Ordering::Relaxed);
+                        // The block left home at the CAS win above; stamp
+                        // the pop before entering the straggler window so
+                        // the trace orders it ahead of whatever runs while
+                        // this warp is parked.
+                        trace::emit(|| trace::TraceEvent::RingPop { seg: self.tag(), block: v });
                         // Straggler window: the block left home (occupancy
                         // already reflects it) but the cell has not been
                         // recycled for the next lap. A warp parked here by

@@ -55,6 +55,7 @@
 
 use crate::config::Geometry;
 use crate::ring::BlockRing;
+use gpu_sim::trace;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// `tree_id` value for a segment owned by the segment tree.
@@ -209,18 +210,23 @@ impl SegmentMeta {
     ) -> (u32, u32) {
         let ctr = &self.malloc_ctr[block as usize];
         let mut cur = ctr.load(Ordering::Acquire);
+        let mut attempts = 0u32;
         loop {
             if cur >> SLICE_GEN_SHIFT != gen {
+                self.emit_claim(block, attempts, gen, 0);
                 return (0, 0); // stale handle: the block was recycled
             }
             let count = cur & SLICE_COUNT_MASK;
             let take = want.min((spb as u32).saturating_sub(count));
             if take == 0 {
+                self.emit_claim(block, attempts, gen, 0);
                 return (count, 0);
             }
+            attempts += 1;
             match ctr.compare_exchange(cur, cur + take, Ordering::AcqRel, Ordering::Acquire) {
                 Ok(_) => {
                     metrics.count_cas(true);
+                    self.emit_claim(block, attempts, gen, take);
                     return (count, take);
                 }
                 Err(actual) => {
@@ -229,6 +235,19 @@ impl SegmentMeta {
                 }
             }
         }
+    }
+
+    /// Trace a resolved slice claim. The ring tag doubles as the segment
+    /// id; everything inside the closure runs only with a sink installed.
+    #[inline]
+    fn emit_claim(&self, block: u64, attempts: u32, gen: u32, taken: u32) {
+        trace::emit(|| trace::TraceEvent::ClaimCas {
+            seg: self.ring.tag(),
+            block,
+            attempts,
+            gen,
+            taken,
+        });
     }
 
     /// Mark `block` as handed out wholesale (block-level allocation).
@@ -266,6 +285,9 @@ impl MemoryTable {
             .map(|_| SegmentMeta::new(geo.max_blocks))
             .collect::<Vec<_>>()
             .into_boxed_slice();
+        for (i, meta) in segments.iter().enumerate() {
+            meta.ring.set_tag(i as u64);
+        }
         MemoryTable { geo, segments }
     }
 
@@ -339,6 +361,11 @@ impl MemoryTable {
             w.store(0, Ordering::Relaxed);
         }
         meta.tree_id.store(class as u32, Ordering::SeqCst);
+        trace::emit(|| trace::TraceEvent::SegmentReformat {
+            seg,
+            class: class as u32,
+            drain_spins: spins,
+        });
         spins
     }
 

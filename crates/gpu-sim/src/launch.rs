@@ -14,6 +14,7 @@
 
 use crate::metrics::with_metrics_stripe;
 use crate::sched::{self, FaultPlan};
+use crate::trace;
 use crate::warp::{LaneCtx, WarpCtx, WARP_SIZE};
 use rayon::prelude::*;
 
@@ -107,6 +108,9 @@ where
         return;
     }
     let n_warps = total_threads.div_ceil(WARP_SIZE as u64);
+    // The launching thread's trace sink (if any) is propagated to every
+    // warp, which runs on a pool worker with its own thread-locals.
+    let sink = trace::current_sink();
     let run_warp = |warp_id: u64| {
         let base_tid = warp_id * WARP_SIZE as u64;
         let active = (total_threads - base_tid).min(WARP_SIZE as u64) as u32;
@@ -115,7 +119,9 @@ where
         // Metric bumps made by this warp land in its SM's counter
         // stripe (see `metrics`): telemetry writes then contend only
         // within an SM, like the per-SM block buffers they instrument.
-        with_metrics_stripe(warp.sm_id, || kernel(&warp));
+        with_metrics_stripe(warp.sm_id, || {
+            trace::in_warp(sink.clone(), warp.sm_id, warp.warp_id, || kernel(&warp))
+        });
     };
     match cfg.mode {
         ExecMode::Pool => (0..n_warps).into_par_iter().for_each(run_warp),

@@ -52,6 +52,7 @@ pub mod launch;
 pub mod mem;
 pub mod metrics;
 pub mod sched;
+pub mod trace;
 pub mod warp;
 
 pub use alloc_api::{AllocStats, DeviceAllocator};
@@ -62,4 +63,5 @@ pub use sched::{
     current_sched_seed, explore_schedules, preempt_point, spin_hint, with_hooks, FaultPlan,
     PreemptPoint, ScheduleFailure, SimHooks,
 };
+pub use trace::{TraceEvent, TraceRecord, TraceSink};
 pub use warp::{LaneCtx, WarpCtx, WARP_SIZE};

@@ -387,8 +387,9 @@ impl std::fmt::Display for ScheduleFailure {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "schedule with seed {} failed (reproduce with {}={}): {}",
-            self.seed, SCHED_SEED_ENV, self.seed, self.message
+            "schedule with seed {} failed (reproduce with {}={}; capture a trace of the \
+             failing schedule with {}={} repro trace): {}",
+            self.seed, SCHED_SEED_ENV, self.seed, SCHED_SEED_ENV, self.seed, self.message
         )
     }
 }

@@ -1,0 +1,864 @@
+//! Allocation-lifecycle tracing: replayable, exportable event streams.
+//!
+//! The aggregate counters in [`crate::metrics`] say *how much* contended
+//! work an allocator did; they cannot say *in what order*. Gallatin's
+//! behaviour — and every bug class the deterministic scheduler exists to
+//! catch — is defined by the order of atomic events: segment grabs, block
+//! ring pushes/pops, batched slice-claim CAS loops, reclaim phases. This
+//! module records that order as a stream of typed [`TraceEvent`]s, each
+//! stamped with `(step, sm, warp, lane)`:
+//!
+//! * **step** — a global emission ticket (unique, monotonically drawn at
+//!   each event). Under [`crate::launch::ExecMode::Deterministic`] exactly
+//!   one warp runs at any instant, so the step order *is* the schedule
+//!   order and a fixed `GALLATIN_SCHED_SEED` reproduces a byte-identical
+//!   trace. Under pool mode steps still totally order the events, but the
+//!   order is whatever the OS raced.
+//! * **sm / warp / lane** — where the event happened, installed per warp
+//!   by the launch machinery (see [`in_warp`]); host-side emissions carry
+//!   `(0, 0)` and [`LANE_NONE`].
+//!
+//! # Cost model
+//!
+//! Recording is **off unless a sink is installed** for the current thread
+//! ([`with_sink`]); the disabled path is a single thread-local check and
+//! the event payload is built inside a closure that never runs, so
+//! tracing adds *zero* atomic operations and zero preemption points to an
+//! untraced run — schedules and the E16 atomic-count gate are unaffected.
+//! Enabled, events land in per-SM cache-line-padded stripes (mirroring
+//! [`crate::metrics`]) so tracing warps contend only within an SM. The
+//! whole subsystem can additionally be compiled out with
+//! `--no-default-features` (the `trace` feature), which turns every emit
+//! site into a literally empty inline function.
+//!
+//! # Artifacts
+//!
+//! * [`chrome_trace_json`] renders a record slice as Chrome
+//!   `trace_event` JSON (open in `chrome://tracing` or
+//!   <https://ui.perfetto.dev>): `ts` = step, `pid` = SM, `tid` = warp,
+//!   event fields in `args`.
+//! * [`Ledger`] is the post-mortem analysis: it pairs mallocs with frees
+//!   to report leaks, double frees, cross-warp free traffic, a free
+//!   latency histogram (in schedule steps), and a live-bytes timeline.
+//! * [`auto_dump`] writes the current sink's trace to
+//!   `$GALLATIN_TRACE_DIR` (default `target/traces`) with a
+//!   seed-stamped, deterministic filename — invoked by `gallatin-core`
+//!   when an invariant check fails, so every failing seed leaves a
+//!   self-contained, diffable artifact behind.
+
+use std::cell::{Cell, RefCell};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Environment variable naming the directory [`auto_dump`] writes traces
+/// to. Defaults to `target/traces` (relative to the process working
+/// directory) when unset.
+pub const TRACE_DIR_ENV: &str = "GALLATIN_TRACE_DIR";
+
+/// Environment variable that, when set (to anything), asks the allocator
+/// to [`auto_dump`] a trace whenever a segment-reclaim attempt aborts at
+/// its quiesce re-verify. Off by default: aborts are a legitimate outcome
+/// under contention, not an error, so unconditional dumping would bury
+/// the interesting traces.
+pub const TRACE_ABORT_DUMP_ENV: &str = "GALLATIN_TRACE_DUMP_ON_ABORT";
+
+/// Lane stamp for events emitted outside any particular lane (warp-level
+/// protocol steps, host-side calls).
+pub const LANE_NONE: u32 = u32::MAX;
+
+/// Number of event stripes; SM ids map onto stripes with a mask, exactly
+/// as in [`crate::metrics`].
+const STRIPES: usize = 16;
+
+/// Default per-stripe event capacity. Generous for every workload in this
+/// workspace; overflow is counted, never silently discarded (see
+/// [`TraceSink::dropped`]).
+const DEFAULT_STRIPE_CAPACITY: usize = 1 << 20;
+
+/// Which allocation pipeline served a request (paper Figure 3 routing).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllocTier {
+    /// Slice pipeline: coalesced sub-block allocations (Algorithm 3).
+    Slice,
+    /// Block pipeline: whole-block allocations (Algorithm 2).
+    Block,
+    /// Segment pipeline: multi-segment large allocations (Algorithm 1).
+    Large,
+}
+
+impl AllocTier {
+    /// Stable lowercase label used in exported traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            AllocTier::Slice => "slice",
+            AllocTier::Block => "block",
+            AllocTier::Large => "large",
+        }
+    }
+
+    /// Inverse of [`AllocTier::label`].
+    pub fn from_label(s: &str) -> Option<Self> {
+        match s {
+            "slice" => Some(AllocTier::Slice),
+            "block" => Some(AllocTier::Block),
+            "large" => Some(AllocTier::Large),
+            _ => None,
+        }
+    }
+}
+
+/// Phase of a segment-reclamation attempt (the two-phase verify described
+/// in `gallatin-core`'s table module).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReclaimPhase {
+    /// Phase 1 entered: the segment was removed from its block tree.
+    Attempt,
+    /// The quiesce re-verify failed; the segment stays formatted.
+    Abort,
+    /// The segment was handed back to the segment tree.
+    Publish,
+}
+
+impl ReclaimPhase {
+    /// Stable lowercase label used in exported traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReclaimPhase::Attempt => "attempt",
+            ReclaimPhase::Abort => "abort",
+            ReclaimPhase::Publish => "publish",
+        }
+    }
+
+    /// Inverse of [`ReclaimPhase::label`].
+    pub fn from_label(s: &str) -> Option<Self> {
+        match s {
+            "attempt" => Some(ReclaimPhase::Attempt),
+            "abort" => Some(ReclaimPhase::Abort),
+            "publish" => Some(ReclaimPhase::Publish),
+            _ => None,
+        }
+    }
+}
+
+/// One typed allocator event. Payload fields are plain integers so
+/// records are `Copy`-cheap and export losslessly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A successful allocation: `ptr` is the device offset handed out.
+    Malloc {
+        /// Bytes reserved (size-class rounded).
+        size: u64,
+        /// Which pipeline served the request.
+        tier: AllocTier,
+        /// Device offset of the allocation.
+        ptr: u64,
+    },
+    /// A free request entering the allocator.
+    Free {
+        /// Device offset being returned.
+        ptr: u64,
+    },
+    /// A segment was claimed from the segment tree for a block class.
+    SegmentGrab {
+        /// Segment id.
+        seg: u64,
+        /// Destination slice class.
+        class: u32,
+    },
+    /// A segment finished formatting (ring rebuilt, counters zeroed).
+    SegmentReformat {
+        /// Segment id.
+        seg: u64,
+        /// Class the segment now serves.
+        class: u32,
+        /// Spin iterations the straggler drain took.
+        drain_spins: u64,
+    },
+    /// A segment-reclamation attempt crossed a protocol phase.
+    SegmentReclaim {
+        /// Segment id.
+        seg: u64,
+        /// Class the segment was formatted for.
+        class: u32,
+        /// Which phase was crossed.
+        phase: ReclaimPhase,
+    },
+    /// A block was pushed home onto its segment's ring (cell published).
+    RingPush {
+        /// Segment id (the ring's tag).
+        seg: u64,
+        /// Block id pushed.
+        block: u64,
+    },
+    /// A block was popped from its segment's ring (ticket CAS won).
+    RingPop {
+        /// Segment id (the ring's tag).
+        seg: u64,
+        /// Block id popped.
+        block: u64,
+    },
+    /// A batched slice claim resolved (Algorithm 3's one-RMW group
+    /// reservation).
+    ClaimCas {
+        /// Segment id.
+        seg: u64,
+        /// Block index within the segment.
+        block: u64,
+        /// CAS attempts issued (0: resolved without a CAS — stale
+        /// generation or exhausted block).
+        attempts: u32,
+        /// Claim-word generation the caller held.
+        gen: u32,
+        /// Slices reserved (0: stale generation or block exhausted).
+        taken: u32,
+    },
+    /// A coalesced same-class group was served by one leader atomic.
+    CoalesceGroup {
+        /// Slice class.
+        class: u32,
+        /// Lanes served by the single claim.
+        lanes: u32,
+    },
+    /// A block entered an empty per-SM buffer slot.
+    BufferInstall {
+        /// Slot index within the class's buffer.
+        slot: u32,
+        /// Raw block handle installed.
+        block: u64,
+    },
+    /// An exhausted buffered block was swapped for a fresh one.
+    BufferReplace {
+        /// Slot index within the class's buffer.
+        slot: u32,
+        /// Raw block handle evicted.
+        old: u64,
+        /// Raw block handle installed.
+        new: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Stable event name used in exported traces.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::Malloc { .. } => "malloc",
+            TraceEvent::Free { .. } => "free",
+            TraceEvent::SegmentGrab { .. } => "segment_grab",
+            TraceEvent::SegmentReformat { .. } => "segment_reformat",
+            TraceEvent::SegmentReclaim { .. } => "segment_reclaim",
+            TraceEvent::RingPush { .. } => "ring_push",
+            TraceEvent::RingPop { .. } => "ring_pop",
+            TraceEvent::ClaimCas { .. } => "claim_cas",
+            TraceEvent::CoalesceGroup { .. } => "coalesce_group",
+            TraceEvent::BufferInstall { .. } => "buffer_install",
+            TraceEvent::BufferReplace { .. } => "buffer_replace",
+        }
+    }
+}
+
+/// One recorded event with its `(step, sm, warp, lane)` stamp.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Global emission ticket; totally orders the trace.
+    pub step: u64,
+    /// SM the emitting warp was resident on.
+    pub sm: u32,
+    /// Warp id of the emitter.
+    pub warp: u64,
+    /// Lane within the warp, or [`LANE_NONE`] for warp-/host-level events.
+    pub lane: u32,
+    /// The event payload.
+    pub event: TraceEvent,
+}
+
+/// One stripe's event buffer, padded so stripes never share a cache line
+/// (the mutex word and the Vec header fit well inside 128 bytes).
+#[repr(align(128))]
+struct TraceStripe {
+    buf: Mutex<Vec<TraceRecord>>,
+    dropped: AtomicU64,
+}
+
+/// A bounded, striped event sink. Install one for the current thread with
+/// [`with_sink`]; launches propagate it to every warp (see [`in_warp`]).
+pub struct TraceSink {
+    stripes: Vec<TraceStripe>,
+    step: AtomicU64,
+    capacity: usize,
+    leak_check: AtomicBool,
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceSink {
+    /// A sink with the default per-stripe capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_STRIPE_CAPACITY)
+    }
+
+    /// A sink holding at most `per_stripe` records per stripe; overflow
+    /// increments the drop counter instead of growing without bound.
+    pub fn with_capacity(per_stripe: usize) -> Self {
+        assert!(per_stripe > 0);
+        TraceSink {
+            stripes: (0..STRIPES)
+                .map(|_| TraceStripe { buf: Mutex::new(Vec::new()), dropped: AtomicU64::new(0) })
+                .collect(),
+            step: AtomicU64::new(0),
+            capacity: per_stripe,
+            leak_check: AtomicBool::new(false),
+        }
+    }
+
+    /// Arm the teardown leak check: with this set, the allocator's
+    /// invariant checker treats any allocation still live in the ledger
+    /// as a violation (see `Gallatin::check_invariants`). Arm it only at
+    /// a point where every allocation is expected to have been freed.
+    pub fn set_leak_check(&self, on: bool) {
+        self.leak_check.store(on, Ordering::Release);
+    }
+
+    /// Whether the teardown leak check is armed.
+    pub fn leak_check_enabled(&self) -> bool {
+        self.leak_check.load(Ordering::Acquire)
+    }
+
+    /// Record one event with the given stamp. Draws the next step ticket;
+    /// called by [`emit_lane`] — instrumented code does not use this
+    /// directly.
+    pub fn record(&self, sm: u32, warp: u64, lane: u32, event: TraceEvent) {
+        let step = self.step.fetch_add(1, Ordering::Relaxed);
+        let stripe = &self.stripes[sm as usize & (STRIPES - 1)];
+        let mut buf = stripe.buf.lock().unwrap();
+        if buf.len() < self.capacity {
+            buf.push(TraceRecord { step, sm, warp, lane, event });
+        } else {
+            stripe.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Events dropped to the capacity bound, across all stripes. A
+    /// nonzero value means the trace is a prefix, not the full run —
+    /// analyses should refuse or warn.
+    pub fn dropped(&self) -> u64 {
+        self.stripes.iter().map(|s| s.dropped.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Records currently held, across all stripes.
+    pub fn len(&self) -> usize {
+        self.stripes.iter().map(|s| s.buf.lock().unwrap().len()).sum()
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Merge all stripes into one stream ordered by step. Steps are
+    /// unique (one ticket per event), so the order — and any export built
+    /// from it — is independent of stripe layout and deterministic
+    /// whenever the emission order was.
+    pub fn snapshot(&self) -> Vec<TraceRecord> {
+        let mut out: Vec<TraceRecord> = Vec::with_capacity(self.len());
+        for s in &self.stripes {
+            out.extend(s.buf.lock().unwrap().iter().copied());
+        }
+        out.sort_by_key(|r| r.step);
+        out
+    }
+
+    /// Discard all records and drop counts; the step counter keeps
+    /// advancing so step values never repeat within one sink.
+    pub fn clear(&self) {
+        for s in &self.stripes {
+            s.buf.lock().unwrap().clear();
+            s.dropped.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+thread_local! {
+    /// Sink receiving this thread's emissions; `None` (the default) makes
+    /// every emit a no-op.
+    static CURRENT_SINK: RefCell<Option<Arc<TraceSink>>> = const { RefCell::new(None) };
+    /// `(sm, warp)` stamp for this thread's emissions. Installed per warp
+    /// by the launch machinery; `(0, 0)` on host threads.
+    static CURRENT_CTX: Cell<(u32, u64)> = const { Cell::new((0, 0)) };
+}
+
+/// Install `sink` as the current thread's trace sink for the duration of
+/// `f` (restoring the previous sink afterwards, also on panic). Launches
+/// started inside `f` propagate the sink to every warp they run.
+pub fn with_sink<R>(sink: Arc<TraceSink>, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Arc<TraceSink>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CURRENT_SINK.with(|c| *c.borrow_mut() = self.0.take());
+        }
+    }
+    let prev = CURRENT_SINK.with(|c| c.borrow_mut().replace(sink));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// The sink installed for the current thread, if any.
+pub fn current_sink() -> Option<Arc<TraceSink>> {
+    CURRENT_SINK.with(|c| c.borrow().clone())
+}
+
+/// Whether tracing support is compiled in (the `trace` feature, on by
+/// default). When `false`, emits are no-ops and sinks never fill, so
+/// downstream trace-driven diagnostics (ledger leak checks, auto-dumps)
+/// should be skipped rather than reporting from an empty trace.
+pub const fn compiled_in() -> bool {
+    cfg!(feature = "trace")
+}
+
+/// Run `f` with `sink` (when present) and the `(sm, warp)` stamp
+/// installed for the current thread — the launch machinery wraps each
+/// warp's kernel invocation in this so emissions are attributed to the
+/// warp that made them. With no sink the call is just `f()`.
+pub fn in_warp<R>(sink: Option<Arc<TraceSink>>, sm: u32, warp: u64, f: impl FnOnce() -> R) -> R {
+    let Some(sink) = sink else { return f() };
+    struct Restore((u32, u64));
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CURRENT_CTX.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = CURRENT_CTX.with(|c| {
+        let prev = c.get();
+        c.set((sm, warp));
+        Restore(prev)
+    });
+    with_sink(sink, f)
+}
+
+/// Emit an event from the current thread, attributed to `lane`. The
+/// closure builds the payload only when a sink is installed: the disabled
+/// path is one thread-local check — no atomics, no allocation, and no
+/// preemption point, so tracing can never perturb a schedule.
+#[inline]
+pub fn emit_lane(lane: u32, event: impl FnOnce() -> TraceEvent) {
+    #[cfg(feature = "trace")]
+    CURRENT_SINK.with(|c| {
+        // Clone out of the RefCell so a re-entrant borrow (e.g. an
+        // analysis pass emitting while iterating) cannot alias.
+        let sink = c.borrow().clone();
+        if let Some(sink) = sink {
+            let (sm, warp) = CURRENT_CTX.with(|ctx| ctx.get());
+            sink.record(sm, warp, lane, event());
+        }
+    });
+    #[cfg(not(feature = "trace"))]
+    let _ = (lane, event);
+}
+
+/// [`emit_lane`] for warp-level (or host-side) events with no specific
+/// lane.
+#[inline]
+pub fn emit(event: impl FnOnce() -> TraceEvent) {
+    emit_lane(LANE_NONE, event);
+}
+
+// =====================================================================
+// Chrome trace_event export
+// =====================================================================
+
+/// Render records as Chrome `trace_event` JSON (the "JSON Array Format"
+/// wrapped in an object), loadable by `chrome://tracing` and Perfetto:
+/// instant events with `ts` = step, `pid` = SM, `tid` = warp, and the
+/// typed payload (plus the lane) in `args`.
+///
+/// The rendering is a pure function of the record list — same records,
+/// same bytes — which is what makes "byte-identical trace under a fixed
+/// seed" a testable property.
+pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
+    let mut out = String::with_capacity(128 * records.len() + 64);
+    out.push_str("{\"displayTimeUnit\": \"ns\", \"traceEvents\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "{{\"name\": \"{}\", \"ph\": \"i\", \"s\": \"t\", \"ts\": {}, \"pid\": {}, \
+             \"tid\": {}, \"args\": {{{}}}}}",
+            r.event.name(),
+            r.step,
+            r.sm,
+            r.warp,
+            event_args(r)
+        ));
+        out.push_str(if i + 1 == records.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// The `args` object body for one record: the lane first, then the
+/// event's payload fields in declaration order.
+fn event_args(r: &TraceRecord) -> String {
+    let lane = format!("\"lane\": {}", r.lane);
+    let rest = match r.event {
+        TraceEvent::Malloc { size, tier, ptr } => {
+            format!("\"size\": {size}, \"tier\": \"{}\", \"ptr\": {ptr}", tier.label())
+        }
+        TraceEvent::Free { ptr } => format!("\"ptr\": {ptr}"),
+        TraceEvent::SegmentGrab { seg, class } => format!("\"seg\": {seg}, \"class\": {class}"),
+        TraceEvent::SegmentReformat { seg, class, drain_spins } => {
+            format!("\"seg\": {seg}, \"class\": {class}, \"drain_spins\": {drain_spins}")
+        }
+        TraceEvent::SegmentReclaim { seg, class, phase } => {
+            format!("\"seg\": {seg}, \"class\": {class}, \"phase\": \"{}\"", phase.label())
+        }
+        TraceEvent::RingPush { seg, block } => format!("\"seg\": {seg}, \"block\": {block}"),
+        TraceEvent::RingPop { seg, block } => format!("\"seg\": {seg}, \"block\": {block}"),
+        TraceEvent::ClaimCas { seg, block, attempts, gen, taken } => format!(
+            "\"seg\": {seg}, \"block\": {block}, \"attempts\": {attempts}, \"gen\": {gen}, \
+             \"taken\": {taken}"
+        ),
+        TraceEvent::CoalesceGroup { class, lanes } => {
+            format!("\"class\": {class}, \"lanes\": {lanes}")
+        }
+        TraceEvent::BufferInstall { slot, block } => {
+            format!("\"slot\": {slot}, \"block\": {block}")
+        }
+        TraceEvent::BufferReplace { slot, old, new } => {
+            format!("\"slot\": {slot}, \"old\": {old}, \"new\": {new}")
+        }
+    };
+    format!("{lane}, {rest}")
+}
+
+// =====================================================================
+// Lifecycle ledger
+// =====================================================================
+
+/// An allocation that was never freed, as seen by the [`Ledger`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LiveAlloc {
+    /// Device offset of the allocation.
+    pub ptr: u64,
+    /// Bytes reserved.
+    pub size: u64,
+    /// Step of the originating `Malloc` event.
+    pub step: u64,
+    /// SM that allocated it.
+    pub sm: u32,
+    /// Warp that allocated it.
+    pub warp: u64,
+    /// Lane that allocated it (or [`LANE_NONE`]).
+    pub lane: u32,
+}
+
+/// A `Free` event with no matching live allocation: a double free, or a
+/// free of a pointer the trace never saw allocated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FreeAnomaly {
+    /// Device offset freed.
+    pub ptr: u64,
+    /// Step of the offending `Free` event.
+    pub step: u64,
+    /// SM that issued it.
+    pub sm: u32,
+    /// Warp that issued it.
+    pub warp: u64,
+    /// Lane that issued it (or [`LANE_NONE`]).
+    pub lane: u32,
+}
+
+/// Number of log₂ buckets in the free-latency histogram (bucket `i`
+/// counts frees whose malloc→free step delta `d` has `⌊log₂(d+1)⌋ = i`,
+/// with the last bucket absorbing the tail).
+pub const LATENCY_BUCKETS: usize = 32;
+
+/// Post-mortem lifecycle analysis of a trace: malloc/free pairing, leak
+/// and double-free detection, cross-warp free traffic, free latency in
+/// schedule steps, and a live-bytes (occupancy) timeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Ledger {
+    /// Allocations still live at the end of the trace — leaks, if the
+    /// trace covers the full lifetime of the workload.
+    pub live: Vec<LiveAlloc>,
+    /// Frees with no live allocation to pair with.
+    pub double_frees: Vec<FreeAnomaly>,
+    /// Total `Malloc` events seen.
+    pub mallocs: u64,
+    /// Total `Free` events seen.
+    pub frees: u64,
+    /// Frees issued by a different warp than the one that allocated.
+    pub cross_warp_frees: u64,
+    /// Free latency histogram: bucket `i` counts paired frees with
+    /// `⌊log₂(steps + 1)⌋ = i` between malloc and free.
+    pub latency_hist: [u64; LATENCY_BUCKETS],
+    /// `(step, live_bytes)` after every malloc/free, in step order — the
+    /// occupancy timeline a fragmentation analysis plots.
+    pub timeline: Vec<(u64, u64)>,
+    /// Maximum of the timeline.
+    pub peak_live_bytes: u64,
+}
+
+impl Ledger {
+    /// Build the ledger from a step-ordered record slice (as returned by
+    /// [`TraceSink::snapshot`]). Non-lifecycle events are ignored.
+    pub fn build(records: &[TraceRecord]) -> Ledger {
+        use std::collections::HashMap;
+        // Insertion-ordered live list + index map: reports come out in
+        // allocation order, never hash order, keeping output diffable.
+        let mut live: Vec<Option<LiveAlloc>> = Vec::new();
+        let mut by_ptr: HashMap<u64, usize> = HashMap::new();
+        let mut ledger = Ledger {
+            live: Vec::new(),
+            double_frees: Vec::new(),
+            mallocs: 0,
+            frees: 0,
+            cross_warp_frees: 0,
+            latency_hist: [0; LATENCY_BUCKETS],
+            timeline: Vec::new(),
+            peak_live_bytes: 0,
+        };
+        let mut live_bytes = 0u64;
+        for r in records {
+            match r.event {
+                TraceEvent::Malloc { size, ptr, .. } => {
+                    ledger.mallocs += 1;
+                    let alloc =
+                        LiveAlloc { ptr, size, step: r.step, sm: r.sm, warp: r.warp, lane: r.lane };
+                    // A ptr re-allocated while the ledger thinks it is
+                    // live means its free was lost (or the allocator
+                    // handed the region out twice); keep the newer
+                    // incarnation live, the older one stays leaked.
+                    by_ptr.insert(ptr, live.len());
+                    live.push(Some(alloc));
+                    live_bytes += size;
+                }
+                TraceEvent::Free { ptr } => {
+                    ledger.frees += 1;
+                    match by_ptr.remove(&ptr).and_then(|i| live[i].take()) {
+                        Some(alloc) => {
+                            live_bytes = live_bytes.saturating_sub(alloc.size);
+                            if alloc.warp != r.warp {
+                                ledger.cross_warp_frees += 1;
+                            }
+                            let delta = r.step - alloc.step;
+                            let bucket = (u64::BITS - (delta + 1).leading_zeros() - 1) as usize;
+                            ledger.latency_hist[bucket.min(LATENCY_BUCKETS - 1)] += 1;
+                        }
+                        None => ledger.double_frees.push(FreeAnomaly {
+                            ptr,
+                            step: r.step,
+                            sm: r.sm,
+                            warp: r.warp,
+                            lane: r.lane,
+                        }),
+                    }
+                }
+                _ => continue,
+            }
+            ledger.peak_live_bytes = ledger.peak_live_bytes.max(live_bytes);
+            ledger.timeline.push((r.step, live_bytes));
+        }
+        ledger.live = live.into_iter().flatten().collect();
+        ledger
+    }
+
+    /// Human-readable summary; deterministic for a deterministic trace.
+    pub fn report(&self) -> String {
+        let mut out = format!(
+            "lifecycle ledger: {} malloc(s), {} free(s), {} live at end, peak {} bytes live\n",
+            self.mallocs,
+            self.frees,
+            self.live.len(),
+            self.peak_live_bytes
+        );
+        for l in &self.live {
+            out.push_str(&format!(
+                "  leak: ptr {} ({} B) allocated at step {} (sm {} warp {} lane {})\n",
+                l.ptr, l.size, l.step, l.sm, l.warp, l.lane
+            ));
+        }
+        for d in &self.double_frees {
+            out.push_str(&format!(
+                "  double free: ptr {} at step {} (sm {} warp {} lane {})\n",
+                d.ptr, d.step, d.sm, d.warp, d.lane
+            ));
+        }
+        let paired = self.frees - self.double_frees.len() as u64;
+        out.push_str(&format!("  cross-warp frees: {} of {paired}\n", self.cross_warp_frees));
+        out.push_str("  free latency (log2 step buckets): ");
+        let last = self.latency_hist.iter().rposition(|&c| c > 0).map(|i| i + 1).unwrap_or(0);
+        if last == 0 {
+            out.push_str("(no paired frees)");
+        } else {
+            let cells: Vec<String> = self.latency_hist[..last]
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{i}:{c}"))
+                .collect();
+            out.push_str(&cells.join(" "));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+// =====================================================================
+// Auto-dump
+// =====================================================================
+
+/// Write the current thread's sink as a Chrome trace to
+/// `$GALLATIN_TRACE_DIR` (default `target/traces`), named
+/// `trace_<label>_seed_<seed>.json` (seed from the active deterministic
+/// schedule, `none` in pool mode) so reruns of the same failing seed
+/// overwrite rather than accumulate. Returns the path written, or `None`
+/// when no sink is installed or the write failed (diagnostics must never
+/// turn into a second failure).
+pub fn auto_dump(label: &str) -> Option<PathBuf> {
+    let sink = current_sink()?;
+    let records = sink.snapshot();
+    let dir = std::env::var(TRACE_DIR_ENV).unwrap_or_else(|_| "target/traces".to_string());
+    let seed = match crate::sched::current_sched_seed() {
+        Some(s) => s.to_string(),
+        None => "none".to_string(),
+    };
+    let path = PathBuf::from(dir).join(format!("trace_{label}_seed_{seed}.json"));
+    std::fs::create_dir_all(path.parent()?).ok()?;
+    std::fs::write(&path, chrome_trace_json(&records)).ok()?;
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(step: u64, warp: u64, event: TraceEvent) -> TraceRecord {
+        TraceRecord { step, sm: 0, warp, lane: 0, event }
+    }
+
+    #[test]
+    fn emit_without_sink_is_a_noop_and_builds_no_payload() {
+        let built = std::cell::Cell::new(false);
+        emit(|| {
+            built.set(true);
+            TraceEvent::Free { ptr: 1 }
+        });
+        assert!(!built.get(), "payload closure must not run without a sink");
+    }
+
+    // Exercises the live emit path, which compiles to nothing without
+    // the `trace` feature.
+    #[cfg(feature = "trace")]
+    #[test]
+    fn sink_records_in_step_order_across_stripes() {
+        let sink = Arc::new(TraceSink::new());
+        with_sink(sink.clone(), || {
+            for i in 0..20u64 {
+                // Rotate the SM stamp so records land in many stripes.
+                in_warp(current_sink(), (i % 5) as u32, i, || {
+                    emit_lane(i as u32, || TraceEvent::Free { ptr: i });
+                });
+            }
+        });
+        let snap = sink.snapshot();
+        assert_eq!(snap.len(), 20);
+        for (i, r) in snap.iter().enumerate() {
+            assert_eq!(r.step, i as u64, "snapshot must be step-ordered");
+            assert_eq!(r.event, TraceEvent::Free { ptr: i as u64 });
+            assert_eq!(r.sm, (i % 5) as u32);
+        }
+        // Outside with_sink, emission stops.
+        emit(|| TraceEvent::Free { ptr: 99 });
+        assert_eq!(sink.len(), 20);
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn capacity_overflow_is_counted_not_silent() {
+        let sink = Arc::new(TraceSink::with_capacity(4));
+        with_sink(sink.clone(), || {
+            for i in 0..10u64 {
+                emit(|| TraceEvent::Free { ptr: i });
+            }
+        });
+        assert_eq!(sink.len(), 4, "one stripe (sm 0), capacity 4");
+        assert_eq!(sink.dropped(), 6);
+        sink.clear();
+        assert!(sink.is_empty());
+        assert_eq!(sink.dropped(), 0);
+    }
+
+    #[test]
+    fn ledger_pairs_mallocs_with_frees() {
+        let m = |step, warp, ptr, size| {
+            rec(step, warp, TraceEvent::Malloc { size, tier: AllocTier::Slice, ptr })
+        };
+        let records = vec![
+            m(0, 0, 100, 16),
+            m(1, 0, 200, 16),
+            m(2, 1, 300, 64),
+            rec(3, 0, TraceEvent::Free { ptr: 100 }), // same warp, delta 3
+            rec(4, 2, TraceEvent::Free { ptr: 300 }), // cross warp
+            rec(5, 0, TraceEvent::Free { ptr: 100 }), // double free
+        ];
+        let ledger = Ledger::build(&records);
+        assert_eq!(ledger.mallocs, 3);
+        assert_eq!(ledger.frees, 3);
+        assert_eq!(ledger.live.len(), 1, "ptr 200 leaks");
+        assert_eq!(ledger.live[0].ptr, 200);
+        assert_eq!(ledger.live[0].step, 1);
+        assert_eq!(ledger.double_frees.len(), 1);
+        assert_eq!(ledger.double_frees[0].ptr, 100);
+        assert_eq!(ledger.cross_warp_frees, 1);
+        assert_eq!(ledger.peak_live_bytes, 96);
+        assert_eq!(ledger.timeline.last(), Some(&(5, 16)));
+        assert_eq!(ledger.latency_hist.iter().sum::<u64>(), 2);
+        let report = ledger.report();
+        assert!(report.contains("leak: ptr 200"), "report: {report}");
+        assert!(report.contains("double free: ptr 100"), "report: {report}");
+    }
+
+    #[test]
+    fn chrome_export_is_deterministic_and_structured() {
+        let records = vec![
+            rec(0, 0, TraceEvent::Malloc { size: 16, tier: AllocTier::Slice, ptr: 64 }),
+            rec(1, 0, TraceEvent::ClaimCas { seg: 0, block: 1, attempts: 1, gen: 2, taken: 3 }),
+            rec(2, 1, TraceEvent::SegmentReclaim { seg: 4, class: 0, phase: ReclaimPhase::Abort }),
+        ];
+        let a = chrome_trace_json(&records);
+        let b = chrome_trace_json(&records);
+        assert_eq!(a, b, "export must be a pure function of the records");
+        assert!(a.contains("\"traceEvents\""));
+        assert!(a.contains("\"name\": \"malloc\""));
+        assert!(a.contains("\"tier\": \"slice\""));
+        assert!(a.contains("\"phase\": \"abort\""));
+        assert!(a.contains("\"ts\": 1"));
+        // Crude structural check: brackets balance.
+        let balance = |open: char, close: char| {
+            a.chars().filter(|&c| c == open).count() == a.chars().filter(|&c| c == close).count()
+        };
+        assert!(balance('{', '}') && balance('[', ']'));
+        assert!(chrome_trace_json(&[]).contains("\"traceEvents\": [\n]"));
+    }
+
+    #[test]
+    fn labels_roundtrip() {
+        for t in [AllocTier::Slice, AllocTier::Block, AllocTier::Large] {
+            assert_eq!(AllocTier::from_label(t.label()), Some(t));
+        }
+        for p in [ReclaimPhase::Attempt, ReclaimPhase::Abort, ReclaimPhase::Publish] {
+            assert_eq!(ReclaimPhase::from_label(p.label()), Some(p));
+        }
+        assert_eq!(AllocTier::from_label("bogus"), None);
+        assert_eq!(ReclaimPhase::from_label("bogus"), None);
+    }
+
+    #[test]
+    fn leak_check_flag_toggles() {
+        let sink = TraceSink::new();
+        assert!(!sink.leak_check_enabled());
+        sink.set_leak_check(true);
+        assert!(sink.leak_check_enabled());
+    }
+}

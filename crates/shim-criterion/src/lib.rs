@@ -12,14 +12,9 @@
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 
+#[derive(Default)]
 pub struct Criterion {
     _private: (),
-}
-
-impl Default for Criterion {
-    fn default() -> Self {
-        Criterion { _private: () }
-    }
 }
 
 impl Criterion {
