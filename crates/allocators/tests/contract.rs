@@ -204,7 +204,7 @@ fn concurrent_contract_deterministic_seeds() {
 // the schedule as a Chrome trace (see TESTING.md).
 // ---------------------------------------------------------------------------
 
-use gallatin::{Gallatin, GallatinConfig};
+use gallatin::{Gallatin, GallatinConfig, GallatinPool};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 const DIFF_THREADS: u64 = 128;
@@ -242,6 +242,10 @@ fn families(heap: u64) -> Vec<std::sync::Arc<dyn DeviceAllocator>> {
     let mut v: Vec<std::sync::Arc<dyn DeviceAllocator>> =
         all_baselines(heap).into_iter().filter(|a| a.is_managing()).collect();
     v.push(std::sync::Arc::new(Gallatin::new(GallatinConfig::small_test(heap))));
+    // The sharded pool over the same total heap: two instances of half
+    // the budget each, so its ledger is directly comparable to the
+    // single-instance families.
+    v.push(std::sync::Arc::new(GallatinPool::new(2, GallatinConfig::small_test(heap / 2))));
     v
 }
 

@@ -42,24 +42,24 @@ const GROUP_SEED: u64 = 7;
 /// smoke subset `0..8` (a strict prefix, so smoke counts are a
 /// deterministic fraction of the full run's).
 const SWEEP_SEEDS_FULL: u64 = 64;
-const SWEEP_SEEDS_SMOKE: u64 = 8;
+pub(crate) const SWEEP_SEEDS_SMOKE: u64 = 8;
 
 /// Churn shape: warps × rounds of coalesced same-class groups. 32 warps
 /// across 8 SMs over a 16-segment heap is enough for probes to collide
 /// when everyone starts at bit 0.
-const SWEEP_WARPS: u64 = 32;
-const SWEEP_ROUNDS: u64 = 4;
-const SWEEP_SMS: u32 = 8;
+pub(crate) const SWEEP_WARPS: u64 = 32;
+pub(crate) const SWEEP_ROUNDS: u64 = 4;
+pub(crate) const SWEEP_SMS: u32 = 8;
 const SWEEP_HEAP: u64 = 1 << 20; // 16 × 64 KiB segments (small_test geometry)
 
 /// Sweep sizes: the slice hot path and the block-pipeline churn case.
 const SWEEP_SIZE_SLICE: u64 = 16;
-const SWEEP_SIZE_BLOCK: u64 = 1024;
+pub(crate) const SWEEP_SIZE_BLOCK: u64 = 1024;
 
 /// Heap for the block-churn sweep: the 1 KiB case pins one whole block
 /// per in-flight request (32 warps × 32 lanes = 1 MiB peak), so it gets
 /// twice the headroom of the slice case.
-const SWEEP_HEAP_BLOCK: u64 = 2 << 20; // 32 × 64 KiB segments
+pub(crate) const SWEEP_HEAP_BLOCK: u64 = 2 << 20; // 32 × 64 KiB segments
 
 /// Allowed relative growth of any gated counter before `bench-smoke`
 /// fails the build (the counts are deterministic, so this headroom only
@@ -77,17 +77,24 @@ fn tiny_gallatin_sized(randomize: bool, heap: u64) -> Gallatin {
     })
 }
 
+/// The block-churn allocator configuration (per instance, when the E18
+/// pool experiment shards it).
+pub(crate) fn block_churn_config() -> GallatinConfig {
+    GallatinConfig { randomize_probe_starts: true, ..GallatinConfig::small_test(SWEEP_HEAP_BLOCK) }
+}
+
 /// An allocator sized for the block-churn workload (shared with E17's
 /// trace capture, which replays exactly this setup).
 pub(crate) fn block_churn_gallatin() -> Gallatin {
-    tiny_gallatin_sized(true, SWEEP_HEAP_BLOCK)
+    Gallatin::new(block_churn_config())
 }
 
 /// One deterministic churn launch: `SWEEP_WARPS` warps ×
 /// `SWEEP_ROUNDS` rounds of coalesced same-size malloc/free at `size`,
 /// under schedule `seed`. The sweep's unit of work, also replayed by
-/// E17's trace capture so traced counts line up with gated ones.
-pub(crate) fn churn_once(g: &Gallatin, seed: u64, size: u64) {
+/// E17's trace capture and sharded by E18's pool scaling, so traced and
+/// pooled counts line up with gated ones.
+pub(crate) fn churn_once<A: DeviceAllocator + ?Sized>(g: &A, seed: u64, size: u64) {
     let device = DeviceConfig::with_sms(SWEEP_SMS).seeded(seed);
     launch_warps(device, SWEEP_WARPS * 32, |warp| {
         let sizes = vec![Some(size); warp.active as usize];
@@ -277,11 +284,13 @@ pub fn run_ablation(cfg: &HarnessConfig) {
 }
 
 /// Build the smoke-subset record set (the 8-seed prefix of the full
-/// sweep). Shared by `repro bench-smoke` and the tier-1 `smoke_gate`
-/// integration test, so a count regression fails `cargo test` locally,
-/// not only the CI gate.
+/// sweep, plus the 2-instance pool churn from E18). Shared by
+/// `repro bench-smoke` and the tier-1 `smoke_gate` integration test, so
+/// a count regression fails `cargo test` locally, not only the CI gate.
 pub fn smoke_records() -> Vec<BenchRecord> {
-    records("bench_smoke", SWEEP_SEEDS_SMOKE)
+    let mut recs = records("bench_smoke", SWEEP_SEEDS_SMOKE);
+    recs.extend(super::pool::pool_smoke_records("bench_smoke"));
+    recs
 }
 
 /// Diff `current` smoke counts against `baseline`, applying the gate

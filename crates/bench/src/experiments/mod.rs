@@ -5,6 +5,7 @@ pub mod fragmentation;
 pub mod graph_bench;
 pub mod init_bench;
 pub mod mixed;
+pub mod pool;
 pub mod reclaim;
 pub mod scaling;
 pub mod single;
@@ -18,6 +19,7 @@ pub use fragmentation::run_fragmentation;
 pub use graph_bench::{run_graph, run_graph_expansion};
 pub use init_bench::run_init;
 pub use mixed::run_mixed;
+pub use pool::run_pool;
 pub use reclaim::run_reclaim;
 pub use scaling::run_scaling;
 pub use single::{run_single, run_warmup};

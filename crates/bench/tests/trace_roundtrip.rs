@@ -56,20 +56,37 @@ fn event_strategy() -> impl Strategy<Value = TraceEvent> {
     ]
 }
 
+/// Pool instance ids, weighted toward 0 so both exporter branches run:
+/// instance 0 is *omitted* from the JSON (single-instance traces stay
+/// byte-identical to the pre-pool format) and must decode back as the
+/// default.
+fn instance_strategy() -> impl Strategy<Value = u32> {
+    prop_oneof![Just(0u32), 1..B32]
+}
+
 fn record_strategy() -> impl Strategy<Value = TraceRecord> {
-    (0..B32, 0..B, 0u32..33, event_strategy()).prop_map(|(sm, warp, lane, event)| TraceRecord {
-        step: 0, // assigned from the index below, like the real sink's ticket
-        sm,
-        warp,
-        lane: if lane == 32 { LANE_NONE } else { lane },
-        event,
-    })
+    (0..B32, 0..B, 0u32..33, instance_strategy(), event_strategy()).prop_map(
+        |(sm, warp, lane, instance, event)| TraceRecord {
+            step: 0, // assigned from the index below, like the real sink's ticket
+            sm,
+            warp,
+            lane: if lane == 32 { LANE_NONE } else { lane },
+            instance,
+            event,
+        },
+    )
 }
 
 fn field(args: &Value, key: &str) -> u64 {
     args.get(key)
         .and_then(Value::as_f64)
         .unwrap_or_else(|| panic!("args missing numeric {key}: {args:?}")) as u64
+}
+
+/// An optional numeric field the exporter elides at its default (the
+/// pool instance id).
+fn opt_field(args: &Value, key: &str, default: u64) -> u64 {
+    args.get(key).and_then(Value::as_f64).map(|v| v as u64).unwrap_or(default)
 }
 
 fn label<'v>(args: &'v Value, key: &str) -> &'v str {
@@ -133,6 +150,7 @@ fn decode(entry: &Value) -> TraceRecord {
         sm: field(entry, "pid") as u32,
         warp: field(entry, "tid"),
         lane: field(args, "lane") as u32,
+        instance: opt_field(args, "instance", 0) as u32,
         event,
     }
 }

@@ -1,56 +1,45 @@
-//! The Gallatin allocator: segment, block, and slice pipelines.
+//! The Gallatin allocator: a thin composition of the three tier modules.
 //!
 //! Allocation routes by size (paper Figure 3, smallest pipeline first):
 //!
-//! * `size ≤ max_slice` (4096 B default) → **slice** pipeline: coalesce
-//!   same-class requests in the warp, one batched claim on the cached
-//!   block's malloc counter serves the whole group (Algorithm 3);
-//! * `max_slice < size ≤ segment` → **block** pipeline: pop a whole block
-//!   of the smallest sufficient class (Algorithm 2);
-//! * `size > segment` → **segment** pipeline: claim contiguous segments
-//!   from the *back* of the segment tree (Algorithm 1's multi-segment
-//!   branch).
+//! * `size ≤ max_slice` (4096 B default) → **slice** pipeline
+//!   ([`crate::tiers::SliceTier`]): coalesce same-class requests in the
+//!   warp, one batched claim on the cached block's malloc counter serves
+//!   the whole group (Algorithm 3);
+//! * `max_slice < size ≤ segment` → **block** pipeline
+//!   ([`crate::tiers::BlockTier`]): pop a whole block of the smallest
+//!   sufficient class (Algorithm 2);
+//! * `size > segment` → **segment** pipeline
+//!   ([`crate::tiers::SegmentTier`]): claim contiguous segments from the
+//!   *back* of the segment tree (Algorithm 1's multi-segment branch).
 //!
 //! Frees invert the mapping from the pointer offset alone (Algorithm 4):
 //! divide by the segment size for the segment id, read its `tree_id`,
 //! then route to the slice, block, or segment return path.
+//!
+//! This file owns only the glue: size routing, the warp-collective entry
+//! points, and the shared state ([`TierCtx`]) the tiers borrow per call.
+//! The protocols live in [`crate::tiers`].
 
-use crate::buffer::BlockBuffer;
 use crate::config::{GallatinConfig, Geometry};
-use crate::index::SegmentIndex;
-use crate::table::{
-    BlockHandle, MemoryTable, SegmentMeta, DRAIN_SPIN_LIMIT, LARGE_BASE, LARGE_BODY,
-    SLICE_COUNT_MASK, TREE_FREE,
-};
+use crate::table::{BlockHandle, MemoryTable, LARGE_BASE, LARGE_BODY, TREE_FREE};
+use crate::tiers::{BlockTier, SegmentTier, SliceTier, TierCtx};
 use gpu_sim::{
     trace, AllocStats, DeviceAllocator, DeviceMemory, DevicePtr, LaneCtx, Metrics, WarpCtx,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Number of times the slice pipeline retries a failed block refresh
-/// before declaring the heap exhausted.
-const SLICE_RETRIES: usize = 64;
-
-/// The active deterministic schedule seed, formatted for diagnostics.
-fn seed_diag() -> String {
-    match gpu_sim::current_sched_seed() {
-        Some(s) => s.to_string(),
-        None => "none (pool mode)".to_string(),
-    }
-}
-
 /// The Gallatin GPU memory manager.
 pub struct Gallatin {
     geo: Geometry,
     mem: DeviceMemory,
-    /// One bit per free segment; allocations claim from the front,
-    /// multi-segment allocations from the back (§4.1).
-    segment_tree: SegmentIndex,
-    /// One tree per slice class; a set bit means "this segment is
-    /// formatted for the class and has blocks available" (§4.2).
-    block_trees: Vec<SegmentIndex>,
+    /// Segment tree, claim/reclaim/trim (Algorithm 1).
+    segments: SegmentTier,
+    /// Per-class block trees and per-SM buffers (Algorithm 2).
+    blocks: BlockTier,
+    /// Generation-tagged claim words and coalesced claims (Algorithm 3).
+    slices: SliceTier,
     table: MemoryTable,
-    buffers: Vec<BlockBuffer>,
     metrics: Metrics,
     /// Start tree probes at an SM-hashed position (paper §4.3); see
     /// [`GallatinConfig::randomize_probe_starts`].
@@ -60,49 +49,93 @@ pub struct Gallatin {
     reserved: AtomicU64,
 }
 
+/// Append lifecycle-ledger violations (leaks and unmatched frees seen by
+/// the host thread's trace sink, when its teardown leak check is armed)
+/// to `errors`, each with full provenance. Shared by the single-instance
+/// and pool invariant checks: the ledger pairs per `(instance, ptr)`, so
+/// one pass covers every instance whose events the sink captured.
+pub(crate) fn ledger_errors(errors: &mut Vec<String>) {
+    if !trace::compiled_in() {
+        return;
+    }
+    let Some(sink) = trace::current_sink() else { return };
+    if !sink.leak_check_enabled() {
+        return;
+    }
+    let ledger = trace::Ledger::build(&sink.snapshot());
+    let inst = |i: u32| if i == 0 { String::new() } else { format!(" instance {i}") };
+    for l in &ledger.live {
+        errors.push(format!(
+            "leaked allocation ptr {} ({} B): allocated at step {} by sm {} \
+             warp {} lane {}{} and never freed",
+            l.ptr,
+            l.size,
+            l.step,
+            l.sm,
+            l.warp,
+            l.lane,
+            inst(l.instance)
+        ));
+    }
+    for d in &ledger.double_frees {
+        errors.push(format!(
+            "unmatched free of ptr {} at step {} (sm {} warp {} lane {}{}): \
+             double free or free of an untraced allocation",
+            d.ptr,
+            d.step,
+            d.sm,
+            d.warp,
+            d.lane,
+            inst(d.instance)
+        ));
+    }
+}
+
 impl Gallatin {
     /// Build and initialize an allocator over a fresh arena.
     pub fn new(cfg: GallatinConfig) -> Self {
+        let bytes = cfg.geometry().heap_bytes as usize;
+        Self::with_memory(cfg, DeviceMemory::new(bytes))
+    }
+
+    /// Build an allocator over caller-provided device memory — the seam
+    /// [`crate::pool::GallatinPool`] uses to bind each instance to a
+    /// disjoint partition of one arena ([`DeviceMemory::split`]). Device
+    /// pointers stay *local* (offsets from the partition's base).
+    pub fn with_memory(cfg: GallatinConfig, mem: DeviceMemory) -> Self {
         let geo = cfg.geometry();
-        let mem = DeviceMemory::new(geo.heap_bytes as usize);
-        let segment_tree = SegmentIndex::new_full(cfg.search, geo.num_segments);
-        let block_trees =
-            (0..geo.num_classes).map(|_| SegmentIndex::new(cfg.search, geo.num_segments)).collect();
+        assert!(
+            mem.len() as u64 >= geo.heap_bytes,
+            "device memory of {} bytes cannot back a {}-byte heap",
+            mem.len(),
+            geo.heap_bytes
+        );
+        let segments = SegmentTier::new(cfg.search, geo.num_segments);
+        let blocks = BlockTier::new(&cfg, geo.num_segments, geo.num_classes);
         let table = MemoryTable::new(geo);
-        let buffers = (0..geo.num_classes)
-            .map(|c| {
-                BlockBuffer::new(BlockBuffer::slots_for_class(cfg.num_sms, c, cfg.min_buffer_slots))
-            })
-            .collect();
         Gallatin {
             geo,
             mem,
-            segment_tree,
-            block_trees,
+            segments,
+            blocks,
+            slices: SliceTier,
             table,
-            buffers,
             metrics: Metrics::new(),
             randomize_probes: cfg.randomize_probe_starts,
             reserved: AtomicU64::new(0),
         }
     }
 
-    /// Start position for a tree probe over `universe` ids by `sm_id`.
-    ///
-    /// A Fibonacci multiplicative hash of the SM id, scaled onto the
-    /// universe: concurrent SMs begin their successor scans ~uniformly
-    /// spread across the tree's words instead of all reading — and then
-    /// CAS-hammering — bit 0 (the paper's block-selection randomization,
-    /// §4.3). SM 0 maps to 0, so single-SM workloads keep the legacy
-    /// front-first placement; wraparound search preserves the "find any
-    /// free" contract for everyone else. Identity, not time or an RNG:
-    /// deterministic-mode replays stay bit-identical.
+    /// The borrowed view of shared state every tier call operates through.
     #[inline]
-    fn probe_hint(&self, sm_id: u32, universe: u64) -> u64 {
-        if !self.randomize_probes {
-            return 0;
+    fn ctx(&self) -> TierCtx<'_> {
+        TierCtx {
+            geo: &self.geo,
+            table: &self.table,
+            metrics: &self.metrics,
+            reserved: &self.reserved,
+            randomize_probes: self.randomize_probes,
         }
-        (((sm_id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) * universe) >> 32
     }
 
     /// The derived geometry.
@@ -112,7 +145,7 @@ impl Gallatin {
 
     /// Number of segments currently free (diagnostics / tests).
     pub fn free_segments(&self) -> u64 {
-        self.segment_tree.count()
+        self.segments.tree.count()
     }
 
     /// Bytes reserved by live allocations, saturated against wrap.
@@ -142,66 +175,42 @@ impl Gallatin {
         &self.table
     }
 
-    /// Release the block-buffer *wavefront*: every block cached in a
-    /// per-SM buffer slot that has served no live slices is returned to
-    /// its segment's ring (and the segment to the segment tree when that
-    /// empties it).
-    ///
-    /// The paper attributes Gallatin's utilization gap to exactly these
-    /// always-populated buffers (§6.11: "as all allocation sizes start
-    /// with some blocks live, allocating from only one size will leave
-    /// the initialized blocks from other sizes untouched"). `trim` is the
-    /// corresponding maintenance hook: an application at a memory
-    /// high-water mark can call it between kernels to recover the
-    /// wavefront. Blocks with live slices stay cached.
-    ///
+    /// Release the block-buffer *wavefront*; see
+    /// `SegmentTier::trim` for the protocol and the §6.11 motivation.
     /// Must not run concurrently with allocation (host-side maintenance
     /// point, like a stream synchronization on the GPU).
     pub fn trim(&self) -> u64 {
-        let mut reclaimed = 0;
-        for (class, buffer) in self.buffers.iter().enumerate() {
-            for handle in buffer.drain() {
-                let seg = handle.segment(self.geo.max_blocks);
-                let block = handle.block(self.geo.max_blocks);
-                let meta = self.table.seg(seg);
-                let word = meta.claim_word(block);
-                let served = (word & SLICE_COUNT_MASK) as u64;
-                let freed = meta.free_ctr[block as usize].load(Ordering::Acquire) as u64;
-                if served == freed {
-                    // No live slices: safe to recycle wholesale.
-                    meta.retire_claim_word(block);
-                    meta.free_ctr[block as usize].store(0, Ordering::Release);
-                    self.free_block(handle, class);
-                    reclaimed += 1;
-                } else {
-                    // Live slices: *retire* the block — mark it exhausted
-                    // (count saturated, generation preserved) and credit
-                    // the never-served slices as freed, so the ordinary
-                    // free path recycles it once the live slices come
-                    // back. (Re-buffering it instead could strand it if
-                    // the slot is taken, leaking the block.)
-                    let spb = self.geo.slices_per_block;
-                    meta.malloc_ctr[block as usize]
-                        .store((word & !SLICE_COUNT_MASK) | spb as u32, Ordering::Relaxed);
-                    let credit = (spb - served) as u32;
-                    let prev = meta.free_ctr[block as usize].fetch_add(credit, Ordering::AcqRel);
-                    if (prev + credit) as u64 == spb {
-                        // All live slices were freed between our loads:
-                        // recycle now.
-                        meta.retire_claim_word(block);
-                        meta.free_ctr[block as usize].store(0, Ordering::Release);
-                        self.free_block(handle, class);
-                        reclaimed += 1;
-                    }
-                }
-            }
-        }
-        reclaimed
+        self.segments.trim(&self.ctx(), &self.blocks)
     }
 
     // ==================================================================
     // Invariant checking (host-side diagnostics)
     // ==================================================================
+
+    /// The structural share of [`Self::check_invariants`]: every tier's
+    /// table/tree/buffer cross-checks plus the reserved-counter audit,
+    /// without the trace-ledger pass or the auto-dump (the pool runs
+    /// those once across all instances).
+    pub(crate) fn structural_errors(&self) -> Vec<String> {
+        let ctx = self.ctx();
+        let mut errors: Vec<String> = Vec::new();
+        // Invariant 4 first: collects each segment's cached blocks for
+        // the per-block ownership accounting in the walk.
+        let buffered = self.blocks.check_buffers(&ctx, &mut errors);
+        let computed_reserved = self.segments.check(&ctx, &self.blocks, &buffered, &mut errors);
+        // Invariant 5: the reserved counter matches the table. Checked on
+        // the raw counter, not the saturating accessor — a wrapped value
+        // is itself the violation being reported.
+        let reserved = self.reserved.load(Ordering::Acquire);
+        if computed_reserved != reserved {
+            let wrapped = if (reserved as i64) < 0 { " (wrapped below zero)" } else { "" };
+            errors.push(format!(
+                "reserved accounting mismatch: counter says {reserved} bytes{wrapped}, table \
+                 implies {computed_reserved}"
+            ));
+        }
+        errors
+    }
 
     /// Walk the segment tree, block trees, memory table, and per-SM block
     /// buffers and verify the cross-structure invariants of paper §4–5:
@@ -220,267 +229,23 @@ impl Gallatin {
     /// 5. the `reserved` counter equals the byte total implied by live
     ///    slices, whole blocks, and large allocations.
     ///
+    /// Each tier checks its own share: invariant 4 in
+    /// `BlockTier::check_buffers`, 1/2 and the segment walk in
+    /// `SegmentTier::check`, per-block ownership and the double-free
+    /// audit in `BlockTier::check_formatted` /
+    /// `SliceTier::check_block`.
+    ///
     /// Like [`Gallatin::trim`], this must only run while the allocator is
     /// quiescent (a host-side maintenance point between kernels). All
     /// violations are collected before returning, so one corruption
     /// reports its full blast radius in a single `Err`.
     pub fn check_invariants(&self) -> Result<(), String> {
-        use std::collections::{HashMap, HashSet};
-        let geo = &self.geo;
-        let spb = geo.slices_per_block;
-        let mut errors: Vec<String> = Vec::new();
-
-        // Per-SM buffers (invariant 4), collecting each segment's cached
-        // blocks for the ownership accounting below. `current(i)` for
-        // i < num_slots visits each slot exactly once (identity under the
-        // modular SM mapping).
-        let mut buffered: HashMap<u64, HashSet<u64>> = HashMap::new();
-        for (class, buffer) in self.buffers.iter().enumerate() {
-            for i in 0..buffer.num_slots() {
-                let Some((handle, _gen)) = buffer.current(i) else { continue };
-                let seg = handle.segment(geo.max_blocks);
-                let block = handle.block(geo.max_blocks);
-                if seg >= geo.num_segments || block >= geo.blocks_per_segment(class) {
-                    errors.push(format!(
-                        "buffer[class {class}] slot {i} holds out-of-range block {seg}/{block}"
-                    ));
-                    continue;
-                }
-                let id = self.table.seg(seg).ldcv_tree_id();
-                if id != class as u32 {
-                    errors.push(format!(
-                        "buffer[class {class}] slot {i} caches block {block} of segment \
-                         {seg}, whose tree_id is {id}"
-                    ));
-                }
-                if !buffered.entry(seg).or_default().insert(block) {
-                    errors.push(format!("block {seg}/{block} is cached in two buffer slots"));
-                }
-            }
-        }
-
-        let empty = HashSet::new();
-        let mut computed_reserved: u64 = 0;
-        // LARGE_BODY segments still owed to the most recent large head.
-        let mut expect_body = 0u64;
-        for seg in 0..geo.num_segments {
-            let meta = self.table.seg(seg);
-            let id = meta.ldcv_tree_id();
-            let in_seg_tree = self.segment_tree.contains(seg);
-            for (c, tree) in self.block_trees.iter().enumerate() {
-                if tree.contains(seg) && id != c as u32 {
-                    errors.push(format!(
-                        "segment {seg} is in block tree {c} but its tree_id is {id}"
-                    ));
-                }
-            }
-            if id == LARGE_BODY {
-                if expect_body == 0 {
-                    errors.push(format!(
-                        "segment {seg} is marked LARGE_BODY with no preceding large head"
-                    ));
-                } else {
-                    expect_body -= 1;
-                }
-                if in_seg_tree {
-                    errors.push(format!("large-body segment {seg} is also in the segment tree"));
-                }
-                continue;
-            }
-            if expect_body > 0 {
-                errors.push(format!(
-                    "segment {seg} (tree_id {id}) interrupts a large allocation still owed \
-                     {expect_body} body segment(s)"
-                ));
-                expect_body = 0;
-            }
-            if id == TREE_FREE {
-                if !in_seg_tree {
-                    errors.push(format!(
-                        "segment {seg} is TREE_FREE but missing from the segment tree"
-                    ));
-                }
-                // Invariant 2: drained, with nothing outstanding.
-                let prev_blocks = meta.cur_blocks.load(Ordering::Acquire) as u64;
-                if meta.ring.len() != prev_blocks {
-                    errors.push(format!(
-                        "free segment {seg} is not drained: ring holds {} of {prev_blocks} \
-                         blocks",
-                        meta.ring.len()
-                    ));
-                }
-                let snap = meta.ring.snapshot();
-                if snap.skipped > 0 {
-                    errors.push(format!(
-                        "free segment {seg} ring has {} unpublished cell(s) at a quiescent \
-                         point (torn push, or phantom occupancy masking a vanished block)",
-                        snap.skipped
-                    ));
-                }
-                for b in 0..prev_blocks {
-                    let m = (meta.claim_word(b) & SLICE_COUNT_MASK) as u64;
-                    let f = meta.free_ctr[b as usize].load(Ordering::Acquire) as u64;
-                    if m.min(spb) != f {
-                        errors.push(format!(
-                            "free segment {seg} block {b} has live slices \
-                             (malloc_ctr {m}, free_ctr {f})"
-                        ));
-                    }
-                    if meta.is_whole_block(b) {
-                        errors.push(format!(
-                            "free segment {seg} block {b} still has its whole-block bit set"
-                        ));
-                    }
-                }
-                continue;
-            }
-            if (id as usize) < geo.num_classes {
-                let class = id as usize;
-                if in_seg_tree {
-                    errors.push(format!(
-                        "segment {seg} is formatted for class {class} but is also in the \
-                         segment tree (simultaneously free and formatted)"
-                    ));
-                }
-                let nblocks = geo.blocks_per_segment(class);
-                let cur = meta.cur_blocks.load(Ordering::Acquire) as u64;
-                if cur != nblocks {
-                    errors.push(format!(
-                        "segment {seg} (class {class}): cur_blocks is {cur}, format implies \
-                         {nblocks}"
-                    ));
-                }
-                let snap = meta.ring.snapshot();
-                // Skipped cells are an error, not a tolerance: the
-                // allocator is quiescent here, so every ticket must be
-                // published — a hole can mask a vanished block.
-                if snap.skipped > 0 {
-                    errors.push(format!(
-                        "segment {seg} ring has {} unpublished cell(s) at a quiescent point \
-                         (torn push, or phantom occupancy masking a vanished block)",
-                        snap.skipped
-                    ));
-                }
-                if snap.ids.len() as u64 + snap.skipped != meta.ring.len() {
-                    errors.push(format!(
-                        "segment {seg} ring occupancy drift: derived occupancy {} vs {} \
-                         published + {} unpublished cell(s)",
-                        meta.ring.len(),
-                        snap.ids.len(),
-                        snap.skipped
-                    ));
-                }
-                let mut in_ring = vec![false; nblocks as usize];
-                for &b in &snap.ids {
-                    if b >= nblocks {
-                        errors.push(format!(
-                            "segment {seg} ring holds out-of-range block {b} (class {class} \
-                             has {nblocks} blocks)"
-                        ));
-                    } else if std::mem::replace(&mut in_ring[b as usize], true) {
-                        errors.push(format!("segment {seg} ring holds block {b} twice"));
-                    }
-                }
-                let cached_set = buffered.get(&seg).unwrap_or(&empty);
-                for b in 0..nblocks {
-                    let m = (meta.claim_word(b) & SLICE_COUNT_MASK) as u64;
-                    let f = meta.free_ctr[b as usize].load(Ordering::Acquire) as u64;
-                    let served = m.min(spb);
-                    if f > served {
-                        errors.push(format!(
-                            "segment {seg} block {b}: free counter {f} exceeds served \
-                             slices {served} (double free)"
-                        ));
-                        continue;
-                    }
-                    let live = served - f;
-                    let whole = meta.is_whole_block(b);
-                    let ringed = in_ring[b as usize];
-                    let cached = cached_set.contains(&b);
-                    // Invariant 3: exactly one owner per block.
-                    if ringed && (whole || cached || live > 0) {
-                        errors.push(format!(
-                            "segment {seg} block {b} is in the ring but also in use \
-                             (whole={whole}, buffered={cached}, live slices={live})"
-                        ));
-                    }
-                    if whole && (cached || live > 0) {
-                        errors.push(format!(
-                            "segment {seg} block {b} is wholesale but also \
-                             buffered={cached} / live slices={live}"
-                        ));
-                    }
-                    if !ringed && !whole && !cached && live == 0 {
-                        errors.push(format!(
-                            "segment {seg} block {b} is unaccounted for: not in the ring, \
-                             not wholesale, not buffered, and has no live slices"
-                        ));
-                    }
-                    computed_reserved +=
-                        if whole { geo.block_size(class) } else { live * geo.slice_size(class) };
-                }
-                continue;
-            }
-            if id >= LARGE_BASE {
-                let n = (id - LARGE_BASE) as u64;
-                if n == 0 || seg + n > geo.num_segments {
-                    errors.push(format!(
-                        "segment {seg} heads a large allocation with invalid span {n}"
-                    ));
-                } else {
-                    expect_body = n - 1;
-                    computed_reserved += n * geo.segment_bytes;
-                }
-                if in_seg_tree {
-                    errors.push(format!("large-head segment {seg} is also in the segment tree"));
-                }
-                continue;
-            }
-            errors.push(format!("segment {seg} has invalid tree_id {id}"));
-        }
-        if expect_body > 0 {
-            errors.push(format!(
-                "large allocation at the end of the heap is missing {expect_body} body \
-                 segment(s)"
-            ));
-        }
-
-        // Invariant 5: the reserved counter matches the table. Checked on
-        // the raw counter, not the saturating accessor — a wrapped value
-        // is itself the violation being reported.
-        let reserved = self.reserved.load(Ordering::Acquire);
-        if computed_reserved != reserved {
-            let wrapped = if (reserved as i64) < 0 { " (wrapped below zero)" } else { "" };
-            errors.push(format!(
-                "reserved accounting mismatch: counter says {reserved} bytes{wrapped}, table \
-                 implies {computed_reserved}"
-            ));
-        }
+        let mut errors = self.structural_errors();
         // Lifecycle-ledger leak check: when a trace sink is installed on
         // this (host) thread with its teardown leak check armed, any
         // allocation the trace saw malloc'd but never freed is a
         // violation, reported with its full provenance.
-        if trace::compiled_in() {
-            if let Some(sink) = trace::current_sink() {
-                if sink.leak_check_enabled() {
-                    let ledger = trace::Ledger::build(&sink.snapshot());
-                    for l in &ledger.live {
-                        errors.push(format!(
-                            "leaked allocation ptr {} ({} B): allocated at step {} by sm {} \
-                             warp {} lane {} and never freed",
-                            l.ptr, l.size, l.step, l.sm, l.warp, l.lane
-                        ));
-                    }
-                    for d in &ledger.double_frees {
-                        errors.push(format!(
-                            "unmatched free of ptr {} at step {} (sm {} warp {} lane {}): \
-                             double free or free of an untraced allocation",
-                            d.ptr, d.step, d.sm, d.warp, d.lane
-                        ));
-                    }
-                }
-            }
-        }
+        ledger_errors(&mut errors);
         if errors.is_empty() {
             Ok(())
         } else {
@@ -494,378 +259,13 @@ impl Gallatin {
     }
 
     // ==================================================================
-    // Segment pipeline (Algorithm 1)
-    // ==================================================================
-
-    /// Claim one free segment, probing from `sm_id`'s hashed start with
-    /// wraparound. Every claim attempt — won or lost — is surfaced to the
-    /// metrics, so the E14 ablation prices exactly the CAS traffic the
-    /// randomized starts remove.
-    fn claim_segment_front(&self, sm_id: u32) -> Option<u64> {
-        let universe = self.geo.num_segments;
-        let hint = self.probe_hint(sm_id, universe);
-        let mut x = hint;
-        // With a zero hint the first pass already covers the whole
-        // universe, so there is nothing to wrap back for.
-        let mut wrapped = hint == 0;
-        loop {
-            match self.segment_tree.successor(x) {
-                Some(s) => {
-                    let won = self.segment_tree.claim_exact(s);
-                    self.metrics.count_cas(won);
-                    if won {
-                        return Some(s);
-                    }
-                    // Lost the race for s; resume the scan just past it.
-                    x = s + 1;
-                }
-                None => {
-                    if wrapped {
-                        return None;
-                    }
-                    wrapped = true;
-                    x = 0;
-                }
-            }
-            if x >= universe {
-                if wrapped {
-                    return None;
-                }
-                wrapped = true;
-                x = 0;
-            }
-        }
-    }
-
-    /// Claim one segment from the segment tree (probing from `sm_id`'s
-    /// start hint), format it for `class`, and attach it to that block
-    /// tree. Returns `false` when no segment is free.
-    fn get_segment(&self, class: usize, sm_id: u32) -> bool {
-        let Some(seg) = self.claim_segment_front(sm_id) else {
-            return false;
-        };
-        trace::emit(|| trace::TraceEvent::SegmentGrab { seg, class: class as u32 });
-        let drain_spins = self.table.format_segment(seg, class);
-        self.metrics.count_drain_spins(drain_spins);
-        // Broadcast availability: insert into the block tree last, so any
-        // thread that finds the segment sees a fully formatted state.
-        self.block_trees[class].insert(seg);
-        self.metrics.count_rmw();
-        true
-    }
-
-    /// Claim `n` contiguous segments from the *back* of the segment tree
-    /// (first fit from the end) as one large allocation.
-    fn get_segments_back(&self, n: u64) -> Option<u64> {
-        let start = self.segment_tree.claim_contiguous_from_back(n)?;
-        self.table.mark_large(start, n);
-        Some(start)
-    }
-
-    // ==================================================================
-    // Block pipeline (Algorithm 2)
-    // ==================================================================
-
-    /// Pop a block of `class` from some formatted segment (probing the
-    /// block tree from `sm_id`'s start hint), pulling a new segment from
-    /// the segment tree when none has blocks available.
-    fn get_block(&self, class: usize, sm_id: u32) -> Option<BlockHandle> {
-        let hint = self.probe_hint(sm_id, self.geo.num_segments);
-        loop {
-            let Some(seg) = self.block_trees[class].find_first_from(hint) else {
-                // No formatted segment with availability; grab a new one.
-                if !self.get_segment(class, sm_id) {
-                    // One more scan: a concurrent thread may have attached
-                    // a segment between our search and the failed claim.
-                    self.block_trees[class].find_first_from(hint)?;
-                }
-                continue;
-            };
-            let meta = self.table.seg(seg);
-            let Some(block) = meta.ring.pop() else {
-                // Ring empty: deactivate the segment so searches skip it,
-                // repairing the race where a free lands in between.
-                if self.block_trees[class].claim_exact(seg) {
-                    self.metrics.count_cas(true);
-                    if !meta.ring.is_empty() && meta.ldcv_tree_id() == class as u32 {
-                        self.block_trees[class].insert(seg);
-                    }
-                }
-                continue;
-            };
-            self.metrics.count_rmw();
-            // Algorithm 2's staleness check: the segment may have been
-            // reclaimed and reformatted since we found it.
-            if meta.ldcv_tree_id() != class as u32 {
-                // Route the block home (the straggler bounce the reclaim
-                // protocol's drain waits for) and retry elsewhere.
-                self.push_home(meta, seg, block);
-                self.metrics.count_straggler_bounce();
-                self.metrics.count_cas(false);
-                continue;
-            }
-            return Some(BlockHandle::new(seg, block, self.geo.max_blocks));
-        }
-    }
-
-    /// Push `block` home to `seg`'s ring, riding out transient fullness:
-    /// `push` reports "full" while the popper of the wrapped-onto cell is
-    /// between its ticket CAS and its sequence store, and dropping the
-    /// block would leak it. The wait is bounded — a push that can never
-    /// land means a block was duplicated or the ring was torn, so after
-    /// [`DRAIN_SPIN_LIMIT`] spins this panics with replay diagnostics
-    /// instead of hanging silently.
-    fn push_home(&self, meta: &SegmentMeta, seg: u64, block: u64) {
-        let mut spins = 0u64;
-        while !meta.ring.push(block) {
-            gpu_sim::spin_hint();
-            spins += 1;
-            if spins > DRAIN_SPIN_LIMIT {
-                panic!(
-                    "segment {seg}: block {block} cannot be pushed home after {spins} spins \
-                     (ring occupancy {}, {} push(es) in flight, sched seed {})",
-                    meta.ring.len(),
-                    meta.ring.pushes_in_flight(),
-                    seed_diag(),
-                );
-            }
-        }
-        self.metrics.count_rmw();
-    }
-
-    /// Return a block to its segment's ring and restore the segment's
-    /// block-tree visibility; reclaim the segment when every block is home
-    /// (paper §4.2 / §5).
-    fn free_block(&self, handle: BlockHandle, class: usize) {
-        let seg = handle.segment(self.geo.max_blocks);
-        let block = handle.block(self.geo.max_blocks);
-        let meta = self.table.seg(seg);
-        self.push_home(meta, seg, block);
-        let nblocks = self.geo.blocks_per_segment(class);
-        if meta.ring.len() == nblocks {
-            self.try_reclaim_segment(seg, class, nblocks);
-        } else {
-            // Ensure the segment is findable again (idempotent set-bit).
-            self.block_trees[class].insert(seg);
-        }
-    }
-
-    /// Attempt the class→free transition — the two-phase verify described
-    /// in `crate::table`'s module docs.
-    fn try_reclaim_segment(&self, seg: u64, class: usize, nblocks: u64) {
-        // Phase 1 (claim-unreachable): remove the segment from its block
-        // tree so no new block request can find it.
-        if !self.block_trees[class].claim_exact(seg) {
-            // Not present: either a popper deactivated it (it will be
-            // re-inserted by the next free) or another reclaimer owns it.
-            return;
-        }
-        self.metrics.count_reclaim_attempt();
-        trace::emit(|| trace::TraceEvent::SegmentReclaim {
-            seg,
-            class: class as u32,
-            phase: trace::ReclaimPhase::Attempt,
-        });
-        let meta = self.table.seg(seg);
-        // ...and publish FREE so any popper already inside Algorithm 2
-        // fails its ldcv staleness re-check and pushes its block back.
-        meta.tree_id.store(TREE_FREE, Ordering::SeqCst);
-        // Phase 2 (quiesce-check): derived occupancy equal to the block
-        // count proves every block is home *and* every push is published
-        // — a popper that slipped in before the FREE store has already
-        // passed its ticket CAS and lowered len(), so one observation
-        // suffices; no second scan or wait is needed.
-        if meta.ring.len() != nblocks {
-            // Abort rather than wait: the in-window popper legitimately
-            // owns its block (its ldcv predates our publish) and will
-            // re-trigger reclaim when it frees. The segment stays
-            // formatted.
-            self.metrics.count_reclaim_abort();
-            trace::emit(|| trace::TraceEvent::SegmentReclaim {
-                seg,
-                class: class as u32,
-                phase: trace::ReclaimPhase::Abort,
-            });
-            // Aborts are a legitimate outcome under contention; dump the
-            // trace only when explicitly asked (debugging a reclaim race).
-            if trace::compiled_in()
-                && std::env::var_os(trace::TRACE_ABORT_DUMP_ENV).is_some()
-                && trace::current_sink().is_some()
-            {
-                trace::auto_dump("reclaim_abort");
-            }
-            meta.tree_id.store(class as u32, Ordering::SeqCst);
-            self.block_trees[class].insert(seg);
-            return;
-        }
-        // Publish: the ring is full and the id is FREE; any late
-        // straggler bounces off the ldcv check and the next format's
-        // bounded drain covers the push-back.
-        self.segment_tree.insert(seg);
-        trace::emit(|| trace::TraceEvent::SegmentReclaim {
-            seg,
-            class: class as u32,
-            phase: trace::ReclaimPhase::Publish,
-        });
-    }
-
-    // ==================================================================
-    // Slice pipeline (Algorithm 3)
-    // ==================================================================
-
-    /// The current recycle generation of `handle`'s claim word — captured
-    /// when a block enters a buffer so later claims and buffer swaps can
-    /// detect that the block was recycled in between (see
-    /// [`SegmentMeta::claim_slices`] and [`crate::buffer`]).
-    fn block_gen(&self, handle: BlockHandle) -> u32 {
-        let seg = handle.segment(self.geo.max_blocks);
-        let block = handle.block(self.geo.max_blocks);
-        self.table.seg(seg).slice_gen(block)
-    }
-
-    /// Allocate one slice of `class` per lane in `lanes` (a coalesced
-    /// group), writing results through `assign`. Returns the number of
-    /// lanes served (a prefix of `lanes`); the rest hit heap exhaustion.
-    ///
-    /// The group leader's single batched claim on the cached block's
-    /// malloc counter ([`SegmentMeta::claim_slices`]) reserves slices for
-    /// every lane in one successful RMW — one atomic per group, not per
-    /// lane; lanes that did not fit the block retry after the last-slice
-    /// taker swaps a fresh block into the buffer. Allocation-free: this
-    /// is the hot path.
-    fn slice_malloc_group(
-        &self,
-        sm_id: u32,
-        class: usize,
-        lanes: &[u32],
-        mut assign: impl FnMut(u32, DevicePtr),
-    ) -> usize {
-        let spb = self.geo.slices_per_block;
-        let buffer = &self.buffers[class];
-        let mut next = 0usize; // lanes[..next] are served
-        let mut attempts = 0;
-        while next < lanes.len() {
-            attempts += 1;
-            if attempts > SLICE_RETRIES {
-                break; // heap exhausted for this class
-            }
-            let entry = match buffer.current(sm_id) {
-                Some(e) => e,
-                None => {
-                    // Leader fetches a block and installs it.
-                    let Some(new) = self.get_block(class, sm_id) else { break };
-                    let fresh = (new, self.block_gen(new));
-                    match buffer.try_install(sm_id, fresh) {
-                        Ok(()) => fresh,
-                        Err(winner) => {
-                            // Someone beat us; return ours and use theirs.
-                            self.free_block(new, class);
-                            winner
-                        }
-                    }
-                }
-            };
-            let (handle, gen) = entry;
-            let seg = handle.segment(self.geo.max_blocks);
-            let block = handle.block(self.geo.max_blocks);
-            let meta = self.table.seg(seg);
-            let want = (lanes.len() - next) as u32;
-            let (base, take) = meta.claim_slices(block, want, spb, gen, &self.metrics);
-            if take > 0 {
-                // One successful RMW served `take` lanes: the leader's
-                // atomic plus `take − 1` piggybacked followers.
-                self.metrics.count_coalesced((take - 1) as u64);
-                trace::emit(|| trace::TraceEvent::CoalesceGroup {
-                    class: class as u32,
-                    lanes: take,
-                });
-                for (rank, lane) in lanes[next..next + take as usize].iter().enumerate() {
-                    let idx = base as u64 + rank as u64;
-                    let off = self.geo.offset_of(seg, block, idx, class);
-                    trace::emit_lane(*lane, || trace::TraceEvent::Malloc {
-                        size: self.geo.slice_size(class),
-                        tier: trace::AllocTier::Slice,
-                        ptr: off,
-                    });
-                    assign(*lane, DevicePtr(off));
-                }
-                next += take as usize;
-                self.reserved
-                    .fetch_add(take as u64 * self.geo.slice_size(class), Ordering::Relaxed);
-            }
-
-            if (base, take) == (0, 0) {
-                // Generation mismatch: the cached entry went stale (the
-                // block was recycled out from under us). Evict it if it is
-                // still in the slot, then retry with whatever is current.
-                buffer.try_clear(sm_id, entry);
-                continue;
-            }
-
-            if (base + take) as u64 == spb && take > 0 {
-                // This group took the block's final slice: it is the
-                // designated replacer (paper §4.3). Swap in a fresh block,
-                // or clear the slot on exhaustion so others can retry.
-                match self.get_block(class, sm_id) {
-                    Some(new) => {
-                        let fresh = (new, self.block_gen(new));
-                        if !buffer.try_replace(sm_id, entry, fresh) {
-                            self.free_block(new, class);
-                        }
-                    }
-                    None => {
-                        buffer.try_clear(sm_id, entry);
-                    }
-                }
-            } else if next < lanes.len() {
-                // Found the block exhausted (or only partly served): the
-                // designated replacer owns the swap; yield so it can
-                // finish, then retry with the fresh block. (spin_hint
-                // also hands the turn back under deterministic
-                // scheduling — the replacer may be a parked warp.)
-                gpu_sim::spin_hint();
-            }
-        }
-        next
-    }
-
-    /// Free one slice (Algorithm 4's small-allocation branch).
-    fn slice_free(&self, seg: u64, class: usize, off: u64) {
-        let block = self.geo.block_of(off, class);
-        self.slice_free_n(seg, class, block, 1);
-    }
-
-    /// Return `n` slices of one block with a single atomic — the
-    /// coalesced-free counterpart of Algorithm 3 (paper §6.5: frees from
-    /// the same warp hitting the same block share one `fetch_add`).
-    fn slice_free_n(&self, seg: u64, class: usize, block: u64, n: u32) {
-        let meta = self.table.seg(seg);
-        let spb = self.geo.slices_per_block;
-        let prev = meta.free_ctr[block as usize].fetch_add(n, Ordering::AcqRel);
-        self.metrics.count_rmw();
-        self.metrics.count_coalesced(n.saturating_sub(1) as u64);
-        self.reserved.fetch_sub(n as u64 * self.geo.slice_size(class), Ordering::Relaxed);
-        if prev as u64 + n as u64 == spb {
-            // Every slice allocated and returned: recycle the block.
-            // Exclusive here (only one free observes the last count).
-            // Bumping the claim word's generation invalidates any stale
-            // buffer entry and in-flight claim that still references this
-            // incarnation of the block — without it, a claimant that read
-            // the handle before the recycle could land slices on the
-            // recycled counter (the slice-pipeline ABA).
-            meta.retire_claim_word(block);
-            meta.free_ctr[block as usize].store(0, Ordering::Release);
-            self.free_block(BlockHandle::new(seg, block, self.geo.max_blocks), class);
-        }
-    }
-
-    // ==================================================================
     // Size routing
     // ==================================================================
 
     /// Allocate a whole block (mid-size requests).
     fn block_malloc(&self, class: usize, sm_id: u32) -> DevicePtr {
-        let Some(handle) = self.get_block(class, sm_id) else {
+        let ctx = self.ctx();
+        let Some(handle) = self.blocks.get(&ctx, class, sm_id, &self.segments) else {
             return DevicePtr::NULL;
         };
         let seg = handle.segment(self.geo.max_blocks);
@@ -885,7 +285,7 @@ impl Gallatin {
     /// block).
     fn large_malloc(&self, size: u64) -> DevicePtr {
         let n = self.geo.segments_for(size);
-        match self.get_segments_back(n) {
+        match self.segments.claim_back(&self.ctx(), n) {
             Some(start) => {
                 self.reserved.fetch_add(n * self.geo.segment_bytes, Ordering::Relaxed);
                 let off = start * self.geo.segment_bytes;
@@ -910,7 +310,15 @@ impl Gallatin {
         let size = size.max(1);
         let ptr = if let Some(class) = self.geo.slice_class(size) {
             let mut out = DevicePtr::NULL;
-            self.slice_malloc_group(sm_id, class, &[0u32], |_, p| out = p);
+            self.slices.malloc_group(
+                &self.ctx(),
+                sm_id,
+                class,
+                &[0u32],
+                |_, p| out = p,
+                &self.blocks,
+                &self.segments,
+            );
             out
         } else if let Some(class) = self.geo.block_class(size) {
             self.block_malloc(class, sm_id)
@@ -926,6 +334,7 @@ impl Gallatin {
         let off = ptr.0;
         assert!(off < self.geo.heap_bytes, "free of foreign pointer {off}");
         trace::emit(|| trace::TraceEvent::Free { ptr: off });
+        let ctx = self.ctx();
         let seg = self.geo.segment_of(off);
         let meta = self.table.seg(seg);
         let id = meta.ldcv_tree_id();
@@ -935,16 +344,21 @@ impl Gallatin {
             let is_block_start = self.geo.slice_of(off, class) == 0;
             if is_block_start && meta.is_whole_block(block) && meta.clear_whole_block(block) {
                 self.reserved.fetch_sub(self.geo.block_size(class), Ordering::Relaxed);
-                self.free_block(BlockHandle::new(seg, block, self.geo.max_blocks), class);
+                self.blocks.free_block(
+                    &ctx,
+                    BlockHandle::new(seg, block, self.geo.max_blocks),
+                    class,
+                    &self.segments,
+                );
                 return;
             }
-            self.slice_free(seg, class, off);
+            self.slices.free_one(&ctx, seg, class, off, &self.blocks, &self.segments);
         } else if id == LARGE_BODY {
             panic!("free of interior pointer into a large allocation (segment {seg})");
         } else if id >= LARGE_BASE && id != TREE_FREE {
             if let Some(n) = self.table.unmark_large(seg) {
                 self.reserved.fetch_sub(n * self.geo.segment_bytes, Ordering::Relaxed);
-                self.segment_tree.insert_range(seg, n);
+                self.segments.tree.insert_range(seg, n);
             }
         } else {
             panic!("free into an unformatted segment {seg} (double free?)");
@@ -975,6 +389,7 @@ impl DeviceAllocator for Gallatin {
     /// scalar path.
     fn warp_free(&self, warp: &WarpCtx, ptrs: &[DevicePtr]) {
         debug_assert_eq!(ptrs.len(), warp.active as usize);
+        let ctx = self.ctx();
         // (block handle raw, count) groups; ≤32 entries, fixed scratch.
         let mut groups = [(u64::MAX, 0u32); gpu_sim::WARP_SIZE];
         let mut classes = [0usize; gpu_sim::WARP_SIZE];
@@ -997,7 +412,12 @@ impl DeviceAllocator for Gallatin {
                 let is_block_start = self.geo.slice_of(off, class) == 0;
                 if is_block_start && meta.is_whole_block(block) && meta.clear_whole_block(block) {
                     self.reserved.fetch_sub(self.geo.block_size(class), Ordering::Relaxed);
-                    self.free_block(BlockHandle::new(seg, block, self.geo.max_blocks), class);
+                    self.blocks.free_block(
+                        &ctx,
+                        BlockHandle::new(seg, block, self.geo.max_blocks),
+                        class,
+                        &self.segments,
+                    );
                     continue;
                 }
                 // Coalesce: ballot-equivalent grouping by block.
@@ -1015,7 +435,7 @@ impl DeviceAllocator for Gallatin {
             } else if id >= LARGE_BASE && id != TREE_FREE {
                 if let Some(n) = self.table.unmark_large(seg) {
                     self.reserved.fetch_sub(n * self.geo.segment_bytes, Ordering::Relaxed);
-                    self.segment_tree.insert_range(seg, n);
+                    self.segments.tree.insert_range(seg, n);
                 }
             } else {
                 panic!("free into an unformatted segment {seg} (double free?)");
@@ -1025,7 +445,7 @@ impl DeviceAllocator for Gallatin {
             let handle = BlockHandle(key);
             let seg = handle.segment(self.geo.max_blocks);
             let block = handle.block(self.geo.max_blocks);
-            self.slice_free_n(seg, classes[i], block, count);
+            self.slices.free_n(&ctx, seg, classes[i], block, count, &self.blocks, &self.segments);
         }
     }
 
@@ -1057,9 +477,17 @@ impl DeviceAllocator for Gallatin {
             if n == 0 {
                 continue;
             }
-            let served = self.slice_malloc_group(warp.sm_id, class, &lanes_buf[..n], |lane, p| {
-                out[lane as usize] = p;
-            });
+            let served = self.slices.malloc_group(
+                &self.ctx(),
+                warp.sm_id,
+                class,
+                &lanes_buf[..n],
+                |lane, p| {
+                    out[lane as usize] = p;
+                },
+                &self.blocks,
+                &self.segments,
+            );
             // Unserved lanes (exhaustion) keep NULL.
             for _ in 0..served {
                 self.metrics.count_malloc(true);
@@ -1079,12 +507,12 @@ impl DeviceAllocator for Gallatin {
     }
 
     fn reset(&self) {
-        for b in &self.buffers {
+        for b in &self.blocks.buffers {
             b.drain();
         }
         self.table.reset();
-        self.segment_tree.fill();
-        for t in &self.block_trees {
+        self.segments.tree.fill();
+        for t in &self.blocks.trees {
             t.clear();
         }
         self.metrics.reset();
@@ -1165,21 +593,6 @@ mod tests {
     }
 
     #[test]
-    fn block_allocation_and_free_roundtrip() {
-        let g = tiny();
-        with_lane(|l| {
-            // 1 KB > max_slice (256 B): block path, 1 KB blocks.
-            let p = g.malloc(l, 1000);
-            assert!(!p.is_null());
-            assert_eq!(p.0 % 1024, 0, "block allocations are block-aligned");
-            let before = g.free_segments();
-            g.free(l, p);
-            // Freeing the only block returns the segment.
-            assert_eq!(g.free_segments(), before + 1);
-        });
-    }
-
-    #[test]
     fn large_allocations_come_from_the_back() {
         let g = tiny();
         with_lane(|l| {
@@ -1210,45 +623,6 @@ mod tests {
     }
 
     #[test]
-    fn slice_exhaustion_returns_null_not_overlap() {
-        // Heap of 2 segments, all blocks of class 0 = 64 slices each.
-        let g = Gallatin::new(GallatinConfig::small_test(128 << 10));
-        with_lane(|l| {
-            let mut ptrs = std::collections::HashSet::new();
-            let mut failed = 0;
-            for _ in 0..(2 * 64 * 64 + 100) {
-                let p = g.malloc(l, 16);
-                if p.is_null() {
-                    failed += 1;
-                } else {
-                    assert!(ptrs.insert(p.0), "double allocation at {}", p.0);
-                }
-            }
-            assert!(failed >= 100, "over-subscription must fail");
-        });
-    }
-
-    #[test]
-    fn free_then_realloc_reuses_memory() {
-        let g = tiny();
-        with_lane(|l| {
-            // Fill a whole block so it recycles on full free.
-            let spb = g.geometry().slices_per_block as usize;
-            let ptrs: Vec<_> = (0..spb).map(|_| g.malloc(l, 16)).collect();
-            assert!(ptrs.iter().all(|p| !p.is_null()));
-            for &p in &ptrs {
-                g.free(l, p);
-            }
-            // The allocator can serve the same number again.
-            let again: Vec<_> = (0..spb).map(|_| g.malloc(l, 16)).collect();
-            assert!(again.iter().all(|p| !p.is_null()));
-            for &p in &again {
-                g.free(l, p);
-            }
-        });
-    }
-
-    #[test]
     fn payload_stamps_survive() {
         let g = tiny();
         with_lane(|l| {
@@ -1264,145 +638,6 @@ mod tests {
                 g.free(l, p);
             }
         });
-    }
-
-    #[test]
-    fn warp_malloc_coalesces_same_class() {
-        let g = tiny();
-        let warp = WarpCtx { warp_id: 0, sm_id: 0, base_tid: 0, active: 32 };
-        let sizes = vec![Some(16u64); 32];
-        let mut out = vec![DevicePtr::NULL; 32];
-        let before = g.metrics().unwrap().snapshot();
-        g.warp_malloc(&warp, &sizes, &mut out);
-        let mut offs: Vec<u64> = out.iter().map(|p| p.0).collect();
-        assert!(out.iter().all(|p| !p.is_null()));
-        offs.sort_unstable();
-        offs.dedup();
-        assert_eq!(offs.len(), 32);
-        // Coalescing: 31 of the 32 requests piggybacked on the leader.
-        let m = g.metrics().unwrap().snapshot();
-        assert_eq!(m.coalesced_requests, 31);
-        // Atomic budget, like the free-side twin: 32 mallocs including a
-        // cold start (segment claim, format, block-tree insert, ring
-        // pop, slice claim) stay a handful of atomics, not ~32.
-        let atomics = (m.atomic_rmw + m.cas_attempts) - (before.atomic_rmw + before.cas_attempts);
-        assert!(atomics <= 6, "mallocs not coalesced: {atomics} atomics for 32 requests");
-        g.warp_free(&warp, &out);
-    }
-
-    #[test]
-    fn warp_malloc_coalesces_steady_state_group_to_one_atomic() {
-        // The malloc-side twin of `warp_free_coalesces_same_block`,
-        // asserting the paper's O(1) headline exactly: once a block is
-        // cached, a coalesced 32-lane same-class group costs ONE atomic
-        // RMW on shared metadata (the batched slice claim).
-        let g = tiny();
-        let warp = WarpCtx { warp_id: 0, sm_id: 0, base_tid: 0, active: 16 };
-        // Warm-up: 16 slices install a block (64 slices) in SM 0's slot.
-        let sizes = vec![Some(16u64); 16];
-        let mut warm = vec![DevicePtr::NULL; 16];
-        g.warp_malloc(&warp, &sizes, &mut warm);
-        assert!(warm.iter().all(|p| !p.is_null()));
-        // Measured group: 32 more slices fit the cached block (16+32<64),
-        // so no block fetch and no last-slice replacement can hide cost.
-        let full = WarpCtx { warp_id: 0, sm_id: 0, base_tid: 0, active: 32 };
-        let sizes = vec![Some(16u64); 32];
-        let mut out = vec![DevicePtr::NULL; 32];
-        let before = g.metrics().unwrap().snapshot();
-        g.warp_malloc(&full, &sizes, &mut out);
-        let after = g.metrics().unwrap().snapshot();
-        assert!(out.iter().all(|p| !p.is_null()));
-        let atomics =
-            (after.atomic_rmw + after.cas_attempts) - (before.atomic_rmw + before.cas_attempts);
-        assert_eq!(atomics, 1, "a steady-state coalesced group must cost exactly one RMW");
-        assert_eq!(after.coalesced_requests - before.coalesced_requests, 31);
-        g.warp_free(&full, &out);
-        g.warp_free(&warp, &warm);
-        assert_eq!(g.stats().reserved_bytes, 0);
-    }
-
-    #[test]
-    fn probe_hints_spread_sms_and_knob_restores_legacy_order() {
-        // Randomized probe starts (default on): SM 0 keeps the legacy
-        // front-first placement, other SMs start their segment probes at
-        // hashed positions so concurrent warps do not all claim bit 0.
-        // SM 1 allocates first, so its segment claim cannot piggyback on
-        // a segment another SM already activated.
-        let g = tiny(); // 16 segments
-        let w0 = WarpCtx { warp_id: 0, sm_id: 0, base_tid: 0, active: 1 };
-        let w1 = WarpCtx { warp_id: 1, sm_id: 1, base_tid: 32, active: 1 };
-        let b = g.malloc(&w1.lane(0), 16);
-        assert_ne!(g.geometry().segment_of(b.0), 0, "SM 1 probes from its hashed start");
-        // SM 0 joins the already-active segment instead of claiming a
-        // fresh one: wraparound still finds "any free".
-        let a = g.malloc(&w0.lane(0), 16);
-        assert_eq!(g.geometry().segment_of(a.0), g.geometry().segment_of(b.0));
-        g.free(&w0.lane(0), a);
-        g.free(&w1.lane(0), b);
-        g.check_invariants().expect("invariants hold with randomized probes");
-
-        // Knob off: every SM scans from the front, as the seed did.
-        let legacy = Gallatin::new(GallatinConfig {
-            randomize_probe_starts: false,
-            ..GallatinConfig::small_test(1 << 20)
-        });
-        let c = legacy.malloc(&w1.lane(0), 16);
-        assert_eq!(legacy.geometry().segment_of(c.0), 0, "knob off restores front-first order");
-        legacy.free(&w1.lane(0), c);
-        legacy.check_invariants().expect("invariants hold with the knob off");
-    }
-
-    #[test]
-    fn batched_claim_never_overshoots_the_block_counter() {
-        // The bounded CAS claim must clamp to the block's remaining
-        // capacity: a group larger than what is left takes the remainder
-        // (and the last-slice duty), never pushing malloc_ctr past spb.
-        let g = tiny(); // spb = 64
-        let warp = WarpCtx { warp_id: 0, sm_id: 0, base_tid: 0, active: 32 };
-        let sizes = vec![Some(16u64); 32];
-        let mut out = vec![DevicePtr::NULL; 32];
-        // 3 warps × 32 = 96 slices: the first block (64) is exhausted
-        // mid-group and a second is installed.
-        let mut all = Vec::new();
-        for _ in 0..3 {
-            g.warp_malloc(&warp, &sizes, &mut out);
-            assert!(out.iter().all(|p| !p.is_null()));
-            all.extend(out.iter().copied());
-        }
-        let spb = g.geometry().slices_per_block as u32;
-        for seg in 0..g.geometry().num_segments {
-            let meta = g.table().seg(seg);
-            for b in 0..g.geometry().max_blocks {
-                let m = meta.claim_word(b) & SLICE_COUNT_MASK;
-                assert!(m <= spb, "segment {seg} block {b}: claim count {m} overshot {spb}");
-            }
-        }
-        g.warp_free(&warp, &all[..32]);
-        g.warp_free(&warp, &all[32..64]);
-        g.warp_free(&warp, &all[64..]);
-        assert_eq!(g.stats().reserved_bytes, 0);
-        g.check_invariants().expect("invariants after exhausting blocks mid-group");
-    }
-
-    #[test]
-    fn warp_free_coalesces_same_block() {
-        let g = tiny();
-        let warp = WarpCtx { warp_id: 0, sm_id: 0, base_tid: 0, active: 32 };
-        let sizes = vec![Some(16u64); 32];
-        let mut out = vec![DevicePtr::NULL; 32];
-        g.warp_malloc(&warp, &sizes, &mut out);
-        assert!(out.iter().all(|p| !p.is_null()));
-        let before = g.metrics().unwrap().snapshot().atomic_rmw;
-        g.warp_free(&warp, &out);
-        let after = g.metrics().unwrap().snapshot().atomic_rmw;
-        // 32 frees of slices in (at most two) blocks: a handful of
-        // fetch_adds, not 32.
-        assert!(
-            after - before <= 4,
-            "frees not coalesced: {} atomics for 32 frees",
-            after - before
-        );
-        assert_eq!(g.stats().reserved_bytes, 0);
     }
 
     #[test]
@@ -1488,32 +723,6 @@ mod tests {
     }
 
     #[test]
-    fn invariant_checker_flags_stale_tree_id() {
-        let g = tiny();
-        // Corrupt the table: claim a free segment's tree_id without
-        // removing it from the segment tree or formatting it.
-        g.table.seg(15).tree_id.store(0, Ordering::SeqCst);
-        let err = g.check_invariants().unwrap_err();
-        assert!(err.contains("segment 15"), "unexpected report: {err}");
-        assert!(err.contains("simultaneously free and formatted"), "unexpected report: {err}");
-    }
-
-    #[test]
-    fn invariant_checker_flags_vanished_block() {
-        let g = tiny();
-        with_lane(|l| {
-            let p = g.malloc(l, 16);
-            g.free(l, p);
-        });
-        g.check_invariants().expect("healthy before corruption");
-        // Steal a block out of the slice segment's ring and drop it.
-        let seg = 0;
-        g.table.seg(seg).ring.pop().unwrap();
-        let err = g.check_invariants().unwrap_err();
-        assert!(err.contains("unaccounted"), "unexpected report: {err}");
-    }
-
-    #[test]
     fn invariant_checker_flags_reserved_drift() {
         let g = tiny();
         with_lane(|l| {
@@ -1546,59 +755,6 @@ mod tests {
             assert_eq!(g.stats().reserved_bytes, 0);
         });
         g.check_invariants().expect("healthy after the transient was undone");
-    }
-
-    #[test]
-    fn invariant_checker_rejects_phantom_occupancy() {
-        let g = tiny();
-        with_lane(|l| {
-            let p = g.malloc(l, 16);
-            g.free(l, p);
-        });
-        g.check_invariants().expect("healthy before injection");
-        // Inject occupancy drift: a ticket with no published block, the
-        // footprint the retired side-counter design could produce.
-        g.table.seg(0).ring.debug_inject_phantom_push();
-        let err = g.check_invariants().unwrap_err();
-        assert!(err.contains("unpublished cell"), "unexpected report: {err}");
-    }
-
-    #[test]
-    fn trim_releases_the_wavefront() {
-        let g = tiny(); // 16 segments
-        with_lane(|l| {
-            // Touch every slice class once: each pins a buffered block,
-            // and thus a segment.
-            let ptrs: Vec<_> = (0..5).map(|c| g.malloc(l, 16 << c)).collect();
-            for &p in &ptrs {
-                g.free(l, p);
-            }
-            assert!(g.free_segments() < 16, "wavefront pins segments");
-            let reclaimed = g.trim();
-            assert!(reclaimed >= 5, "trim reclaimed only {reclaimed}");
-            assert_eq!(g.free_segments(), 16, "wavefront fully released");
-            // Allocation still works after a trim.
-            let p = g.malloc(l, 16);
-            assert!(!p.is_null());
-            g.free(l, p);
-        });
-    }
-
-    #[test]
-    fn trim_retires_blocks_with_live_slices() {
-        let g = tiny();
-        with_lane(|l| {
-            let live = g.malloc(l, 16);
-            assert!(!live.is_null());
-            g.memory().write_stamp(live, 0x11fe);
-            g.trim();
-            // The live slice survives the trim…
-            assert_eq!(g.memory().read_stamp(live), 0x11fe);
-            // …and freeing it recycles the retired block and its segment.
-            g.free(l, live);
-            assert_eq!(g.free_segments(), 16);
-            assert_eq!(g.stats().reserved_bytes, 0);
-        });
     }
 
     #[test]

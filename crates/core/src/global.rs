@@ -3,13 +3,20 @@
 //! For convenience, Gallatin ships a variant callable through static
 //! device pointers: `init_global_allocator(num_bytes)` once on the host,
 //! then `global_malloc` / `global_free` from any device function. This
-//! module reproduces that interface over a process-wide instance.
+//! module reproduces that interface over a process-wide instance — a
+//! single [`Gallatin`] by default, or a sharded [`GallatinPool`] via
+//! [`init_global_pool`].
+//!
+//! Initialization is once-only, as with the CUDA original where the
+//! device pointer is set once: a second `init_*` call returns
+//! [`AlreadyInitialized`] (carrying what the global already is) instead
+//! of silently keeping the first instance.
 //!
 //! ```
 //! use gallatin::global::{global_free, global_malloc, init_global_allocator};
 //! use gpu_sim::{launch, DeviceConfig};
 //!
-//! init_global_allocator(64 << 20);
+//! init_global_allocator(64 << 20).expect("first init in this process");
 //! launch(DeviceConfig::default(), 1024, |ctx| {
 //!     let p = global_malloc(ctx, 64);
 //!     assert!(!p.is_null());
@@ -19,38 +26,115 @@
 
 use crate::config::GallatinConfig;
 use crate::gallatin::Gallatin;
+use crate::pool::GallatinPool;
 use gpu_sim::{DeviceAllocator, DevicePtr, LaneCtx};
 use std::sync::OnceLock;
 
-static GLOBAL: OnceLock<Gallatin> = OnceLock::new();
+/// What the process-wide global allocator is backed by.
+enum GlobalBackend {
+    // Boxed: Gallatin inlines its per-class tree/buffer tables, which
+    // dwarf the pool's Vec headers.
+    Single(Box<Gallatin>),
+    Pool(GallatinPool),
+}
+
+impl GlobalBackend {
+    fn as_dyn(&self) -> &(dyn DeviceAllocator + Send + Sync) {
+        match self {
+            GlobalBackend::Single(g) => g.as_ref(),
+            GlobalBackend::Pool(p) => p,
+        }
+    }
+}
+
+static GLOBAL: OnceLock<GlobalBackend> = OnceLock::new();
+
+/// The global allocator was already initialized; the new configuration
+/// was discarded. Carries a description of what the global already is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AlreadyInitialized {
+    /// `name()` of the backend that won the initialization race.
+    pub existing: String,
+}
+
+impl std::fmt::Display for AlreadyInitialized {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "global allocator already initialized (as {})", self.existing)
+    }
+}
+
+impl std::error::Error for AlreadyInitialized {}
+
+fn set_global(backend: GlobalBackend) -> Result<(), AlreadyInitialized> {
+    GLOBAL
+        .set(backend)
+        .map_err(|_| AlreadyInitialized { existing: global_allocator().name().to_string() })
+}
+
+/// Round a byte budget down to whole default segments (16 MB), with a
+/// one-segment floor.
+fn whole_segments(num_bytes: u64) -> u64 {
+    (num_bytes / (16 << 20) * (16 << 20)).max(16 << 20)
+}
 
 /// Initialize the global allocator with `num_bytes` of device memory
 /// (rounded down to whole segments, minimum one segment) and the default
-/// configuration. Subsequent calls are ignored, as with the CUDA
-/// original where the device pointer is set once.
-pub fn init_global_allocator(num_bytes: u64) {
+/// configuration. Errors with [`AlreadyInitialized`] if the global was
+/// already set, as the CUDA original's device pointer is set once.
+pub fn init_global_allocator(num_bytes: u64) -> Result<(), AlreadyInitialized> {
     init_global_allocator_with(GallatinConfig {
-        heap_bytes: (num_bytes / (16 << 20) * (16 << 20)).max(16 << 20),
+        heap_bytes: whole_segments(num_bytes),
         ..GallatinConfig::default()
-    });
+    })
 }
 
 /// Initialize the global allocator with an explicit configuration.
-pub fn init_global_allocator_with(cfg: GallatinConfig) {
-    let _ = GLOBAL.set(Gallatin::new(cfg));
+pub fn init_global_allocator_with(cfg: GallatinConfig) -> Result<(), AlreadyInitialized> {
+    set_global(GlobalBackend::Single(Box::new(Gallatin::new(cfg))))
 }
 
-/// Whether [`init_global_allocator`] has been called.
+/// Initialize the global allocator as a [`GallatinPool`] of `n`
+/// instances sharing `num_bytes` in total: each instance gets
+/// `num_bytes / n`, rounded down to whole default segments (minimum one
+/// segment each). Placement, spilling, and free routing follow the pool
+/// semantics (see [`GallatinPool`]).
+pub fn init_global_pool(n: usize, num_bytes: u64) -> Result<(), AlreadyInitialized> {
+    assert!(n > 0, "a pool needs at least one instance");
+    let cfg = GallatinConfig {
+        heap_bytes: whole_segments(num_bytes / n as u64),
+        ..GallatinConfig::default()
+    };
+    init_global_pool_with(n, cfg)
+}
+
+/// Initialize the global allocator as a [`GallatinPool`] with an explicit
+/// *per-instance* configuration.
+pub fn init_global_pool_with(n: usize, cfg: GallatinConfig) -> Result<(), AlreadyInitialized> {
+    set_global(GlobalBackend::Pool(GallatinPool::new(n, cfg)))
+}
+
+/// Whether any `init_global_*` call has succeeded.
 pub fn global_allocator_initialized() -> bool {
     GLOBAL.get().is_some()
 }
 
-/// The global instance.
+/// The global instance — a [`Gallatin`] or a [`GallatinPool`], behind the
+/// common [`DeviceAllocator`] interface.
 ///
 /// # Panics
 /// Panics if the global allocator has not been initialized.
-pub fn global_allocator() -> &'static Gallatin {
-    GLOBAL.get().expect("call init_global_allocator first")
+pub fn global_allocator() -> &'static (dyn DeviceAllocator + Send + Sync) {
+    GLOBAL.get().expect("call init_global_allocator first").as_dyn()
+}
+
+/// The global pool, when [`init_global_pool`] initialized one — `None`
+/// when the global is a single instance (or uninitialized). For
+/// pool-specific introspection (per-instance metrics, spill counts).
+pub fn global_pool() -> Option<&'static GallatinPool> {
+    match GLOBAL.get() {
+        Some(GlobalBackend::Pool(p)) => Some(p),
+        _ => None,
+    }
 }
 
 /// Device-side `void* global_malloc(num_bytes)`.
@@ -63,9 +147,10 @@ pub fn global_free(ctx: &LaneCtx, alloc: DevicePtr) {
     global_allocator().free(ctx, alloc)
 }
 
-/// Run [`Gallatin::check_invariants`] on the global instance — the
-/// host-side maintenance check, callable between launches the way
-/// `cudaDeviceSynchronize` + a verifier kernel would be on the GPU.
+/// Run the invariant check on the global instance — the host-side
+/// maintenance check, callable between launches the way
+/// `cudaDeviceSynchronize` + a verifier kernel would be on the GPU. For
+/// a pool this checks every instance plus the pool-wide ledger.
 ///
 /// # Panics
 /// Panics if the global allocator has not been initialized.
@@ -80,15 +165,23 @@ mod tests {
     use std::sync::atomic::{AtomicU64, Ordering};
 
     // Note: the global is process-wide, so all assertions live in one
-    // test to avoid cross-test init races.
+    // test to avoid cross-test init races. (The pool-backed global is
+    // exercised in the `pool_routing` integration test — its own
+    // process.)
     #[test]
     fn global_variant_end_to_end() {
         assert!(!global_allocator_initialized());
-        init_global_allocator(48 << 20);
+        init_global_allocator(48 << 20).expect("first init succeeds");
         assert!(global_allocator_initialized());
-        // Second init is a no-op.
-        init_global_allocator(128 << 20);
+        // Double init is an explicit error naming the existing backend,
+        // and the first instance stays in place.
+        let err = init_global_allocator(128 << 20).unwrap_err();
+        assert_eq!(err.existing, "Gallatin");
+        assert!(err.to_string().contains("already initialized"));
+        let err = init_global_pool(2, 64 << 20).unwrap_err();
+        assert_eq!(err.existing, "Gallatin");
         assert_eq!(global_allocator().heap_bytes(), 48 << 20);
+        assert!(global_pool().is_none(), "the global is a single instance");
 
         let ok = AtomicU64::new(0);
         launch(DeviceConfig::default(), 10_000, |ctx| {

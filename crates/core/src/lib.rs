@@ -41,13 +41,16 @@ mod config;
 mod gallatin;
 pub mod global;
 mod index;
+mod pool;
 mod ring;
 mod table;
+mod tiers;
 
 pub use buffer::BlockBuffer;
 pub use config::{GallatinConfig, Geometry};
 pub use gallatin::Gallatin;
 pub use index::{SearchStructure, SegmentIndex};
+pub use pool::GallatinPool;
 pub use ring::BlockRing;
 pub use table::{
     BlockHandle, MemoryTable, SegmentMeta, DRAIN_SPIN_LIMIT, LARGE_BASE, LARGE_BODY,

@@ -1,0 +1,421 @@
+//! A sharded pool of Gallatin instances over one partitioned arena.
+//!
+//! The paper's allocator is a single shared heap; under extreme SM
+//! counts even its coalesced atomics contend on the shared trees. A
+//! [`GallatinPool`] shards the heap into `n` full [`Gallatin`]
+//! instances, each bound to a disjoint window of one parent arena
+//! ([`gpu_sim::DeviceMemory::split`]), so instances share *no* hot
+//! metadata — only the backing bytes, which never contend.
+//!
+//! * **Placement** is SM-affine: a warp on SM `s` allocates from its
+//!   *home* instance `s % n`, so steady-state traffic from different SM
+//!   groups touches different trees, rings, and claim words.
+//! * **Overflow spills**: when the home instance is exhausted, the
+//!   request walks the siblings (`home+1, home+2, …` mod `n`) and the
+//!   spill is counted against the home instance — the E18 benchmark
+//!   reports these rates per instance.
+//! * **Frees route by pointer range**: a pool pointer is
+//!   `local + instance * stride` (`stride` = the per-instance heap), so
+//!   the owning instance is recovered by division alone — any lane on
+//!   any SM can free any pool pointer, exactly like the single-instance
+//!   offset-only routing of Algorithm 4, one level up.
+//!
+//! Requests larger than one instance's heap cannot be served (a pool
+//! trades the single heap's "any size" property for isolation);
+//! [`DeviceAllocator::supports_size`] and `max_native_size` advertise
+//! the `stride` bound so the harness skips those sizes.
+//!
+//! Trace events are stamped with the owning instance
+//! ([`trace::with_instance`]), so one sink captures a pool run and the
+//! lifecycle [`trace::Ledger`] pairs mallocs with frees per
+//! `(instance, local ptr)` — cross-instance routing bugs surface as
+//! unmatched frees instead of silent corruption.
+
+use crate::config::GallatinConfig;
+use crate::gallatin::{ledger_errors, Gallatin};
+use gpu_sim::{
+    trace, AllocStats, DeviceAllocator, DeviceMemory, DevicePtr, LaneCtx, Metrics, WarpCtx,
+    WARP_SIZE,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// `n` independent Gallatin instances over disjoint partitions of one
+/// arena, with SM-affine placement and pointer-range free routing.
+pub struct GallatinPool {
+    /// The parent arena view covering every partition (`n * stride`
+    /// bytes); [`DeviceAllocator::memory`] returns this so pool pointers
+    /// index it directly.
+    mem: DeviceMemory,
+    instances: Vec<Gallatin>,
+    /// Per-instance heap in bytes; instance `i` owns global offsets
+    /// `[i*stride, (i+1)*stride)`.
+    stride: u64,
+    /// Allocations instance `i` could not serve locally and a sibling
+    /// absorbed (charged to the *home*, not the absorber).
+    spills: Vec<AtomicU64>,
+}
+
+impl GallatinPool {
+    /// Build `n` instances, each configured by `cfg` (so `cfg.heap_bytes`
+    /// is the *per-instance* heap; the pool manages `n` times that).
+    pub fn new(n: usize, cfg: GallatinConfig) -> Self {
+        assert!(n > 0, "a pool needs at least one instance");
+        let stride = cfg.geometry().heap_bytes;
+        let mem = DeviceMemory::new((stride as usize).checked_mul(n).expect("pool size overflow"));
+        let instances =
+            mem.split(n).into_iter().map(|part| Gallatin::with_memory(cfg, part)).collect();
+        GallatinPool { mem, instances, stride, spills: (0..n).map(|_| AtomicU64::new(0)).collect() }
+    }
+
+    /// Number of instances in the pool.
+    pub fn num_instances(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// The per-instance heap size in bytes (the pointer-routing stride).
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+
+    /// Instance `i`, for per-instance metrics and diagnostics.
+    pub fn instance(&self, i: usize) -> &Gallatin {
+        &self.instances[i]
+    }
+
+    /// Allocations whose home was instance `i` but that a sibling served.
+    pub fn spill_count(&self, i: usize) -> u64 {
+        self.spills[i].load(Ordering::Relaxed)
+    }
+
+    /// Total spills across all home instances.
+    pub fn total_spills(&self) -> u64 {
+        self.spills.iter().map(|s| s.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The home instance for a warp running on `sm_id`.
+    #[inline]
+    fn home(&self, sm_id: u32) -> usize {
+        sm_id as usize % self.instances.len()
+    }
+
+    /// Owning instance and instance-local pointer of a pool pointer.
+    #[inline]
+    fn route(&self, ptr: DevicePtr) -> (usize, DevicePtr) {
+        let i = (ptr.0 / self.stride) as usize;
+        assert!(i < self.instances.len(), "free of foreign pointer {}", ptr.0);
+        (i, DevicePtr(ptr.0 - i as u64 * self.stride))
+    }
+
+    /// Lift an instance-local pointer into the pool's global range.
+    #[inline]
+    fn globalize(&self, i: usize, ptr: DevicePtr) -> DevicePtr {
+        DevicePtr(ptr.0 + i as u64 * self.stride)
+    }
+
+    /// Release every instance's block-buffer wavefront (see
+    /// [`Gallatin::trim`]); returns the total blocks reclaimed.
+    pub fn trim(&self) -> u64 {
+        self.instances.iter().map(|g| g.trim()).sum()
+    }
+}
+
+impl DeviceAllocator for GallatinPool {
+    fn name(&self) -> &str {
+        "GallatinPool"
+    }
+
+    fn memory(&self) -> &DeviceMemory {
+        &self.mem
+    }
+
+    fn malloc(&self, ctx: &LaneCtx, size: u64) -> DevicePtr {
+        let n = self.instances.len();
+        let home = self.home(ctx.sm_id());
+        for k in 0..n {
+            let i = (home + k) % n;
+            let p = trace::with_instance(i as u32, || self.instances[i].malloc(ctx, size));
+            if !p.is_null() {
+                if k > 0 {
+                    self.spills[home].fetch_add(1, Ordering::Relaxed);
+                }
+                return self.globalize(i, p);
+            }
+            if size > self.stride {
+                // No instance can serve it; the home already recorded the
+                // failed malloc, don't charge the siblings too.
+                break;
+            }
+        }
+        DevicePtr::NULL
+    }
+
+    fn free(&self, ctx: &LaneCtx, ptr: DevicePtr) {
+        let (i, local) = self.route(ptr);
+        trace::with_instance(i as u32, || self.instances[i].free(ctx, local));
+    }
+
+    /// Warp-collective allocation: the whole warp goes to its home
+    /// instance first (keeping the coalesced group intact — one batched
+    /// claim per class), then only the unserved lanes walk the siblings.
+    fn warp_malloc(&self, warp: &WarpCtx, sizes: &[Option<u64>], out: &mut [DevicePtr]) {
+        debug_assert_eq!(sizes.len(), warp.active as usize);
+        debug_assert_eq!(out.len(), warp.active as usize);
+        let n = self.instances.len();
+        let home = self.home(warp.sm_id);
+        trace::with_instance(home as u32, || self.instances[home].warp_malloc(warp, sizes, out));
+        for p in out.iter_mut() {
+            if !p.is_null() {
+                *p = self.globalize(home, *p);
+            }
+        }
+        if n == 1 {
+            return;
+        }
+        // Spill pass: lanes the home exhausted retry on each sibling as a
+        // (smaller) coalesced group. Sizes above the stride stay NULL — no
+        // sibling can serve them either.
+        let mut rest = [None::<u64>; WARP_SIZE];
+        let mut unserved = 0u64;
+        for lane in warp.lanes() {
+            if out[lane].is_null() {
+                if let Some(sz) = sizes[lane] {
+                    if sz <= self.stride {
+                        rest[lane] = Some(sz);
+                        unserved += 1;
+                    }
+                }
+            }
+        }
+        if unserved == 0 {
+            return;
+        }
+        let active = warp.active as usize;
+        let mut sub = [DevicePtr::NULL; WARP_SIZE];
+        for k in 1..n {
+            let i = (home + k) % n;
+            trace::with_instance(i as u32, || {
+                self.instances[i].warp_malloc(warp, &rest[..active], &mut sub[..active])
+            });
+            let mut served = 0u64;
+            for lane in warp.lanes() {
+                if !sub[lane].is_null() {
+                    out[lane] = self.globalize(i, sub[lane]);
+                    sub[lane] = DevicePtr::NULL;
+                    rest[lane] = None;
+                    served += 1;
+                }
+            }
+            if served > 0 {
+                self.spills[home].fetch_add(served, Ordering::Relaxed);
+                unserved -= served;
+            }
+            if unserved == 0 {
+                break;
+            }
+        }
+    }
+
+    /// Warp-collective free with per-instance regrouping: the warp's
+    /// pointers are split by owning instance (pointer-range routing) and
+    /// each instance receives one lane-aligned collective free, so the
+    /// per-block `fetch_add` coalescing inside each instance survives the
+    /// sharding.
+    fn warp_free(&self, warp: &WarpCtx, ptrs: &[DevicePtr]) {
+        debug_assert_eq!(ptrs.len(), warp.active as usize);
+        let active = warp.active as usize;
+        for (i, inst) in self.instances.iter().enumerate() {
+            let mut local = [DevicePtr::NULL; WARP_SIZE];
+            let mut any = false;
+            for lane in warp.lanes() {
+                let p = ptrs[lane];
+                if p.is_null() {
+                    continue;
+                }
+                let (owner, loc) = self.route(p);
+                if owner == i {
+                    local[lane] = loc;
+                    any = true;
+                }
+            }
+            if any {
+                trace::with_instance(i as u32, || inst.warp_free(warp, &local[..active]));
+            }
+        }
+    }
+
+    fn reset(&self) {
+        for inst in &self.instances {
+            inst.reset();
+        }
+        for s in &self.spills {
+            s.store(0, Ordering::Relaxed);
+        }
+    }
+
+    fn heap_bytes(&self) -> u64 {
+        self.stride * self.instances.len() as u64
+    }
+
+    fn supports_size(&self, size: u64) -> bool {
+        // Sharding trades the single heap's "any size" property for
+        // isolation: nothing larger than one instance's heap fits.
+        size <= self.stride
+    }
+
+    fn max_native_size(&self) -> u64 {
+        self.stride
+    }
+
+    fn metrics(&self) -> Option<&Metrics> {
+        // No pooled counter: per-instance metrics are the point (the E18
+        // benchmark reads `instance(i).metrics()` individually).
+        None
+    }
+
+    /// Verify every instance's structural invariants (each error prefixed
+    /// with the owning instance) plus one pool-wide lifecycle-ledger pass
+    /// — the ledger pairs per `(instance, ptr)`, so a free routed to the
+    /// wrong instance shows up as an unmatched free *and* a leak.
+    fn check_invariants(&self) -> Result<(), String> {
+        let mut errors: Vec<String> = Vec::new();
+        for (i, inst) in self.instances.iter().enumerate() {
+            for e in inst.structural_errors() {
+                errors.push(format!("instance {i}: {e}"));
+            }
+        }
+        ledger_errors(&mut errors);
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            if let Some(path) = trace::auto_dump("pool_invariant_failure") {
+                errors.push(format!("trace auto-dumped to {}", path.display()));
+            }
+            Err(errors.join("\n"))
+        }
+    }
+
+    fn stats(&self) -> AllocStats {
+        AllocStats {
+            heap_bytes: self.heap_bytes(),
+            reserved_bytes: self.instances.iter().map(|g| g.reserved_bytes()).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(n: usize) -> GallatinPool {
+        GallatinPool::new(n, GallatinConfig::small_test(1 << 20)) // 16 segments each
+    }
+
+    fn warp_on(sm_id: u32, active: u32) -> WarpCtx {
+        WarpCtx { warp_id: sm_id as u64, sm_id, base_tid: (sm_id as u64) << 32, active }
+    }
+
+    #[test]
+    fn sm_affinity_places_on_the_home_instance() {
+        let p = pool(2);
+        let a = p.malloc(&warp_on(0, 1).lane(0), 16);
+        let b = p.malloc(&warp_on(1, 1).lane(0), 16);
+        assert!(!a.is_null() && !b.is_null());
+        assert!(a.0 < p.stride(), "SM 0 allocates from instance 0");
+        assert!(b.0 >= p.stride(), "SM 1 allocates from instance 1");
+        p.free(&warp_on(5, 1).lane(0), a); // any lane may free
+        p.free(&warp_on(0, 1).lane(0), b);
+        assert_eq!(p.stats().reserved_bytes, 0);
+        p.check_invariants().expect("clean after cross-instance frees");
+    }
+
+    #[test]
+    fn exhausted_home_spills_to_a_sibling_and_counts_it() {
+        let p = pool(2);
+        let l0 = warp_on(0, 1);
+        // Exhaust instance 0 wholesale: 16 segment-sized allocations.
+        let seg = p.instance(0).geometry().segment_bytes;
+        let held: Vec<_> = (0..16).map(|_| p.malloc(&l0.lane(0), seg)).collect();
+        assert!(held.iter().all(|q| !q.is_null()));
+        assert!(held.iter().all(|q| q.0 < p.stride()), "all from home");
+        assert_eq!(p.spill_count(0), 0);
+        // The 17th spills to instance 1 and is charged to home 0.
+        let spilled = p.malloc(&l0.lane(0), seg);
+        assert!(!spilled.is_null());
+        assert!(spilled.0 >= p.stride(), "served by the sibling");
+        assert_eq!(p.spill_count(0), 1);
+        assert_eq!(p.spill_count(1), 0);
+        // Frees route home by range regardless of the freeing SM.
+        p.free(&warp_on(1, 1).lane(0), spilled);
+        for q in held {
+            p.free(&warp_on(3, 1).lane(0), q);
+        }
+        assert_eq!(p.stats().reserved_bytes, 0);
+        p.check_invariants().expect("clean after spill + routed frees");
+    }
+
+    #[test]
+    fn oversized_requests_fail_without_walking_siblings() {
+        let p = pool(4);
+        assert!(!p.supports_size(p.stride() + 1));
+        assert_eq!(p.max_native_size(), p.stride());
+        assert_eq!(p.heap_bytes(), 4 * p.stride());
+        let q = p.malloc(&warp_on(2, 1).lane(0), p.stride() + 1);
+        assert!(q.is_null());
+        assert_eq!(p.total_spills(), 0, "an unservable size is not a spill");
+    }
+
+    #[test]
+    fn warp_collectives_split_by_owning_instance() {
+        let p = pool(2);
+        let w0 = warp_on(0, 32);
+        let w1 = warp_on(1, 32);
+        let sizes = vec![Some(16u64); 32];
+        let mut a = vec![DevicePtr::NULL; 32];
+        let mut b = vec![DevicePtr::NULL; 32];
+        p.warp_malloc(&w0, &sizes, &mut a);
+        p.warp_malloc(&w1, &sizes, &mut b);
+        assert!(a.iter().all(|q| !q.is_null() && q.0 < p.stride()));
+        assert!(b.iter().all(|q| !q.is_null() && q.0 >= p.stride()));
+        // Interleave the two instances' pointers in one warp free: each
+        // instance receives its half as one coalesced group.
+        let mixed: Vec<DevicePtr> = (0..32).map(|l| if l % 2 == 0 { a[l] } else { b[l] }).collect();
+        let rest: Vec<DevicePtr> = (0..32).map(|l| if l % 2 == 0 { b[l] } else { a[l] }).collect();
+        p.warp_free(&w0, &mixed);
+        p.warp_free(&w1, &rest);
+        assert_eq!(p.stats().reserved_bytes, 0);
+        p.check_invariants().expect("clean after interleaved collective frees");
+    }
+
+    #[test]
+    fn reset_restores_every_instance_and_spill_counter() {
+        let p = pool(2);
+        let l0 = warp_on(0, 1);
+        let seg = p.instance(0).geometry().segment_bytes;
+        for _ in 0..17 {
+            assert!(!p.malloc(&l0.lane(0), seg).is_null());
+        }
+        assert_eq!(p.spill_count(0), 1);
+        p.reset();
+        assert_eq!(p.total_spills(), 0);
+        assert_eq!(p.stats().reserved_bytes, 0);
+        for i in 0..2 {
+            assert_eq!(p.instance(i).free_segments(), 16);
+        }
+        p.check_invariants().expect("clean after reset");
+    }
+
+    #[test]
+    #[should_panic(expected = "foreign pointer")]
+    fn foreign_pointer_free_panics() {
+        let p = pool(2);
+        p.free(&warp_on(0, 1).lane(0), DevicePtr(p.heap_bytes() + 64));
+    }
+
+    #[test]
+    fn pool_invariant_check_names_the_corrupt_instance() {
+        let p = pool(2);
+        p.instance(1).table().seg(3).tree_id.store(0, Ordering::SeqCst);
+        let err = p.check_invariants().unwrap_err();
+        assert!(err.contains("instance 1: segment 3"), "unexpected report: {err}");
+    }
+}

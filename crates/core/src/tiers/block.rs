@@ -1,0 +1,316 @@
+//! Block tier: per-class block trees and per-SM block buffers
+//! (Algorithm 2).
+//!
+//! A set bit in a class's tree means "this segment is formatted for the
+//! class and has blocks available" (paper §4.2); blocks wait in their
+//! segment's ring and the hot wavefront is cached per SM in
+//! [`crate::buffer::BlockBuffer`] slots for the slice tier to claim
+//! from.
+
+use super::{seed_diag, segment::SegmentTier, slice::SliceTier, TierCtx};
+use crate::buffer::BlockBuffer;
+use crate::config::GallatinConfig;
+use crate::index::SegmentIndex;
+use crate::table::{BlockHandle, SegmentMeta, DRAIN_SPIN_LIMIT};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::Ordering;
+
+/// The block tier: per-class availability trees plus the per-SM buffer
+/// wavefront.
+pub(crate) struct BlockTier {
+    /// One tree per slice class; a set bit means "this segment is
+    /// formatted for the class and has blocks available" (§4.2).
+    pub trees: Vec<SegmentIndex>,
+    /// Per-class, per-SM cached blocks the slice pipeline claims from.
+    pub buffers: Vec<BlockBuffer>,
+}
+
+impl BlockTier {
+    /// Empty trees and sized buffers for every slice class.
+    pub fn new(cfg: &GallatinConfig, num_segments: u64, num_classes: usize) -> Self {
+        let trees = (0..num_classes).map(|_| SegmentIndex::new(cfg.search, num_segments)).collect();
+        let buffers = (0..num_classes)
+            .map(|c| {
+                BlockBuffer::new(BlockBuffer::slots_for_class(cfg.num_sms, c, cfg.min_buffer_slots))
+            })
+            .collect();
+        BlockTier { trees, buffers }
+    }
+
+    /// Pop a block of `class` from some formatted segment (probing the
+    /// block tree from `sm_id`'s start hint), pulling a new segment from
+    /// the segment tree when none has blocks available.
+    pub fn get(
+        &self,
+        ctx: &TierCtx,
+        class: usize,
+        sm_id: u32,
+        segments: &SegmentTier,
+    ) -> Option<BlockHandle> {
+        let hint = ctx.probe_hint(sm_id, ctx.geo.num_segments);
+        loop {
+            let Some(seg) = self.trees[class].find_first_from(hint) else {
+                // No formatted segment with availability; grab a new one.
+                if !segments.provide(ctx, class, sm_id, self) {
+                    // One more scan: a concurrent thread may have attached
+                    // a segment between our search and the failed claim.
+                    self.trees[class].find_first_from(hint)?;
+                }
+                continue;
+            };
+            let meta = ctx.table.seg(seg);
+            let Some(block) = meta.ring.pop() else {
+                // Ring empty: deactivate the segment so searches skip it,
+                // repairing the race where a free lands in between.
+                if self.trees[class].claim_exact(seg) {
+                    ctx.metrics.count_cas(true);
+                    if !meta.ring.is_empty() && meta.ldcv_tree_id() == class as u32 {
+                        self.trees[class].insert(seg);
+                    }
+                }
+                continue;
+            };
+            ctx.metrics.count_rmw();
+            // Algorithm 2's staleness check: the segment may have been
+            // reclaimed and reformatted since we found it.
+            if meta.ldcv_tree_id() != class as u32 {
+                // Route the block home (the straggler bounce the reclaim
+                // protocol's drain waits for) and retry elsewhere.
+                self.push_home(ctx, meta, seg, block);
+                ctx.metrics.count_straggler_bounce();
+                ctx.metrics.count_cas(false);
+                continue;
+            }
+            return Some(BlockHandle::new(seg, block, ctx.geo.max_blocks));
+        }
+    }
+
+    /// Push `block` home to `seg`'s ring, riding out transient fullness:
+    /// `push` reports "full" while the popper of the wrapped-onto cell is
+    /// between its ticket CAS and its sequence store, and dropping the
+    /// block would leak it. The wait is bounded — a push that can never
+    /// land means a block was duplicated or the ring was torn, so after
+    /// [`DRAIN_SPIN_LIMIT`] spins this panics with replay diagnostics
+    /// instead of hanging silently.
+    pub fn push_home(&self, ctx: &TierCtx, meta: &SegmentMeta, seg: u64, block: u64) {
+        let mut spins = 0u64;
+        while !meta.ring.push(block) {
+            gpu_sim::spin_hint();
+            spins += 1;
+            if spins > DRAIN_SPIN_LIMIT {
+                panic!(
+                    "segment {seg}: block {block} cannot be pushed home after {spins} spins \
+                     (ring occupancy {}, {} push(es) in flight, sched seed {})",
+                    meta.ring.len(),
+                    meta.ring.pushes_in_flight(),
+                    seed_diag(),
+                );
+            }
+        }
+        ctx.metrics.count_rmw();
+    }
+
+    /// Return a block to its segment's ring and restore the segment's
+    /// block-tree visibility; reclaim the segment when every block is home
+    /// (paper §4.2 / §5).
+    pub fn free_block(
+        &self,
+        ctx: &TierCtx,
+        handle: BlockHandle,
+        class: usize,
+        segments: &SegmentTier,
+    ) {
+        let seg = handle.segment(ctx.geo.max_blocks);
+        let block = handle.block(ctx.geo.max_blocks);
+        let meta = ctx.table.seg(seg);
+        self.push_home(ctx, meta, seg, block);
+        let nblocks = ctx.geo.blocks_per_segment(class);
+        if meta.ring.len() == nblocks {
+            segments.try_reclaim(ctx, seg, class, nblocks, self);
+        } else {
+            // Ensure the segment is findable again (idempotent set-bit).
+            self.trees[class].insert(seg);
+        }
+    }
+
+    /// The buffer share of the invariant check (invariant 4: every
+    /// buffered block belongs to a segment whose `tree_id` matches the
+    /// buffer's class), collecting each segment's cached blocks for the
+    /// per-block ownership accounting. `current(i)` for i < num_slots
+    /// visits each slot exactly once (identity under the modular SM
+    /// mapping).
+    pub fn check_buffers(
+        &self,
+        ctx: &TierCtx,
+        errors: &mut Vec<String>,
+    ) -> HashMap<u64, HashSet<u64>> {
+        let geo = ctx.geo;
+        let mut buffered: HashMap<u64, HashSet<u64>> = HashMap::new();
+        for (class, buffer) in self.buffers.iter().enumerate() {
+            for i in 0..buffer.num_slots() {
+                let Some((handle, _gen)) = buffer.current(i) else { continue };
+                let seg = handle.segment(geo.max_blocks);
+                let block = handle.block(geo.max_blocks);
+                if seg >= geo.num_segments || block >= geo.blocks_per_segment(class) {
+                    errors.push(format!(
+                        "buffer[class {class}] slot {i} holds out-of-range block {seg}/{block}"
+                    ));
+                    continue;
+                }
+                let id = ctx.table.seg(seg).ldcv_tree_id();
+                if id != class as u32 {
+                    errors.push(format!(
+                        "buffer[class {class}] slot {i} caches block {block} of segment \
+                         {seg}, whose tree_id is {id}"
+                    ));
+                }
+                if !buffered.entry(seg).or_default().insert(block) {
+                    errors.push(format!("block {seg}/{block} is cached in two buffer slots"));
+                }
+            }
+        }
+        buffered
+    }
+
+    /// The formatted-segment share of the invariant check (invariant 3:
+    /// every block of a formatted segment is accounted for exactly once
+    /// — waiting in the ring, handed out wholesale, cached in a per-SM
+    /// buffer, or carrying live slices). Returns the segment's
+    /// reserved-byte contribution; live-slice accounting delegates to
+    /// [`SliceTier::check_block`].
+    pub fn check_formatted(
+        &self,
+        ctx: &TierCtx,
+        seg: u64,
+        class: usize,
+        cached_set: &HashSet<u64>,
+        errors: &mut Vec<String>,
+    ) -> u64 {
+        let geo = ctx.geo;
+        let meta = ctx.table.seg(seg);
+        let nblocks = geo.blocks_per_segment(class);
+        let cur = meta.cur_blocks.load(Ordering::Acquire) as u64;
+        if cur != nblocks {
+            errors.push(format!(
+                "segment {seg} (class {class}): cur_blocks is {cur}, format implies \
+                 {nblocks}"
+            ));
+        }
+        let snap = meta.ring.snapshot();
+        // Skipped cells are an error, not a tolerance: the
+        // allocator is quiescent here, so every ticket must be
+        // published — a hole can mask a vanished block.
+        if snap.skipped > 0 {
+            errors.push(format!(
+                "segment {seg} ring has {} unpublished cell(s) at a quiescent point \
+                 (torn push, or phantom occupancy masking a vanished block)",
+                snap.skipped
+            ));
+        }
+        if snap.ids.len() as u64 + snap.skipped != meta.ring.len() {
+            errors.push(format!(
+                "segment {seg} ring occupancy drift: derived occupancy {} vs {} \
+                 published + {} unpublished cell(s)",
+                meta.ring.len(),
+                snap.ids.len(),
+                snap.skipped
+            ));
+        }
+        let mut in_ring = vec![false; nblocks as usize];
+        for &b in &snap.ids {
+            if b >= nblocks {
+                errors.push(format!(
+                    "segment {seg} ring holds out-of-range block {b} (class {class} \
+                     has {nblocks} blocks)"
+                ));
+            } else if std::mem::replace(&mut in_ring[b as usize], true) {
+                errors.push(format!("segment {seg} ring holds block {b} twice"));
+            }
+        }
+        let mut reserved = 0u64;
+        for b in 0..nblocks {
+            let Some(live) = SliceTier::check_block(ctx, seg, b, errors) else { continue };
+            let whole = meta.is_whole_block(b);
+            let ringed = in_ring[b as usize];
+            let cached = cached_set.contains(&b);
+            // Invariant 3: exactly one owner per block.
+            if ringed && (whole || cached || live > 0) {
+                errors.push(format!(
+                    "segment {seg} block {b} is in the ring but also in use \
+                     (whole={whole}, buffered={cached}, live slices={live})"
+                ));
+            }
+            if whole && (cached || live > 0) {
+                errors.push(format!(
+                    "segment {seg} block {b} is wholesale but also \
+                     buffered={cached} / live slices={live}"
+                ));
+            }
+            if !ringed && !whole && !cached && live == 0 {
+                errors.push(format!(
+                    "segment {seg} block {b} is unaccounted for: not in the ring, \
+                     not wholesale, not buffered, and has no live slices"
+                ));
+            }
+            reserved += if whole { geo.block_size(class) } else { live * geo.slice_size(class) };
+        }
+        reserved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::GallatinConfig;
+    use crate::gallatin::Gallatin;
+    use gpu_sim::{DeviceAllocator, WarpCtx};
+
+    fn tiny() -> Gallatin {
+        Gallatin::new(GallatinConfig::small_test(1 << 20)) // 16 segments
+    }
+
+    #[test]
+    fn block_allocation_and_free_roundtrip() {
+        let g = tiny();
+        let warp = WarpCtx { warp_id: 0, sm_id: 0, base_tid: 0, active: 1 };
+        let l = warp.lane(0);
+        // 1 KB > max_slice (256 B): block path, 1 KB blocks.
+        let p = g.malloc(&l, 1000);
+        assert!(!p.is_null());
+        assert_eq!(p.0 % 1024, 0, "block allocations are block-aligned");
+        let before = g.free_segments();
+        g.free(&l, p);
+        // Freeing the only block returns the segment.
+        assert_eq!(g.free_segments(), before + 1);
+    }
+
+    #[test]
+    fn probe_hints_spread_sms_and_knob_restores_legacy_order() {
+        // Randomized probe starts (default on): SM 0 keeps the legacy
+        // front-first placement, other SMs start their segment probes at
+        // hashed positions so concurrent warps do not all claim bit 0.
+        // SM 1 allocates first, so its segment claim cannot piggyback on
+        // a segment another SM already activated.
+        let g = tiny(); // 16 segments
+        let w0 = WarpCtx { warp_id: 0, sm_id: 0, base_tid: 0, active: 1 };
+        let w1 = WarpCtx { warp_id: 1, sm_id: 1, base_tid: 32, active: 1 };
+        let b = g.malloc(&w1.lane(0), 16);
+        assert_ne!(g.geometry().segment_of(b.0), 0, "SM 1 probes from its hashed start");
+        // SM 0 joins the already-active segment instead of claiming a
+        // fresh one: wraparound still finds "any free".
+        let a = g.malloc(&w0.lane(0), 16);
+        assert_eq!(g.geometry().segment_of(a.0), g.geometry().segment_of(b.0));
+        g.free(&w0.lane(0), a);
+        g.free(&w1.lane(0), b);
+        g.check_invariants().expect("invariants hold with randomized probes");
+
+        // Knob off: every SM scans from the front, as the seed did.
+        let legacy = Gallatin::new(GallatinConfig {
+            randomize_probe_starts: false,
+            ..GallatinConfig::small_test(1 << 20)
+        });
+        let c = legacy.malloc(&w1.lane(0), 16);
+        assert_eq!(legacy.geometry().segment_of(c.0), 0, "knob off restores front-first order");
+        legacy.free(&w1.lane(0), c);
+        legacy.check_invariants().expect("invariants hold with the knob off");
+    }
+}

@@ -1,0 +1,280 @@
+//! Post-mortem lifecycle ledger: malloc/free pairing over a trace.
+//!
+//! Split out of [`crate::trace`] (which records the raw event stream)
+//! so recording and analysis evolve independently. The ledger pairs
+//! `Malloc` events with `Free` events to report leaks, double frees,
+//! cross-warp free traffic, a free-latency histogram (in schedule
+//! steps), and a live-bytes timeline. Pointers are paired per allocator
+//! instance: in pool mode two instances legitimately hand out the same
+//! local offset, so the pairing key is `(instance, ptr)` and every
+//! anomaly names the instance it belongs to.
+
+use crate::trace::{TraceEvent, TraceRecord};
+
+/// An allocation that was never freed, as seen by the [`Ledger`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LiveAlloc {
+    /// Device offset of the allocation.
+    pub ptr: u64,
+    /// Bytes reserved.
+    pub size: u64,
+    /// Step of the originating `Malloc` event.
+    pub step: u64,
+    /// SM that allocated it.
+    pub sm: u32,
+    /// Warp that allocated it.
+    pub warp: u64,
+    /// Lane that allocated it (or [`crate::trace::LANE_NONE`]).
+    pub lane: u32,
+    /// Allocator instance that served it (0 outside pool mode).
+    pub instance: u32,
+}
+
+/// A `Free` event with no matching live allocation: a double free, or a
+/// free of a pointer the trace never saw allocated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FreeAnomaly {
+    /// Device offset freed.
+    pub ptr: u64,
+    /// Step of the offending `Free` event.
+    pub step: u64,
+    /// SM that issued it.
+    pub sm: u32,
+    /// Warp that issued it.
+    pub warp: u64,
+    /// Lane that issued it (or [`crate::trace::LANE_NONE`]).
+    pub lane: u32,
+    /// Allocator instance the free was routed to (0 outside pool mode).
+    pub instance: u32,
+}
+
+/// Number of log₂ buckets in the free-latency histogram (bucket `i`
+/// counts frees whose malloc→free step delta `d` has `⌊log₂(d+1)⌋ = i`,
+/// with the last bucket absorbing the tail).
+pub const LATENCY_BUCKETS: usize = 32;
+
+/// Post-mortem lifecycle analysis of a trace: malloc/free pairing, leak
+/// and double-free detection, cross-warp free traffic, free latency in
+/// schedule steps, and a live-bytes (occupancy) timeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Ledger {
+    /// Allocations still live at the end of the trace — leaks, if the
+    /// trace covers the full lifetime of the workload.
+    pub live: Vec<LiveAlloc>,
+    /// Frees with no live allocation to pair with.
+    pub double_frees: Vec<FreeAnomaly>,
+    /// Total `Malloc` events seen.
+    pub mallocs: u64,
+    /// Total `Free` events seen.
+    pub frees: u64,
+    /// Frees issued by a different warp than the one that allocated.
+    pub cross_warp_frees: u64,
+    /// Free latency histogram: bucket `i` counts paired frees with
+    /// `⌊log₂(steps + 1)⌋ = i` between malloc and free.
+    pub latency_hist: [u64; LATENCY_BUCKETS],
+    /// `(step, live_bytes)` after every malloc/free, in step order — the
+    /// occupancy timeline a fragmentation analysis plots.
+    pub timeline: Vec<(u64, u64)>,
+    /// Maximum of the timeline.
+    pub peak_live_bytes: u64,
+}
+
+impl Ledger {
+    /// Build the ledger from a step-ordered record slice (as returned by
+    /// [`crate::trace::TraceSink::snapshot`]). Non-lifecycle events are
+    /// ignored. Pairing is per `(instance, ptr)`.
+    pub fn build(records: &[TraceRecord]) -> Ledger {
+        use std::collections::HashMap;
+        // Insertion-ordered live list + index map: reports come out in
+        // allocation order, never hash order, keeping output diffable.
+        let mut live: Vec<Option<LiveAlloc>> = Vec::new();
+        let mut by_ptr: HashMap<(u32, u64), usize> = HashMap::new();
+        let mut ledger = Ledger {
+            live: Vec::new(),
+            double_frees: Vec::new(),
+            mallocs: 0,
+            frees: 0,
+            cross_warp_frees: 0,
+            latency_hist: [0; LATENCY_BUCKETS],
+            timeline: Vec::new(),
+            peak_live_bytes: 0,
+        };
+        let mut live_bytes = 0u64;
+        for r in records {
+            match r.event {
+                TraceEvent::Malloc { size, ptr, .. } => {
+                    ledger.mallocs += 1;
+                    let alloc = LiveAlloc {
+                        ptr,
+                        size,
+                        step: r.step,
+                        sm: r.sm,
+                        warp: r.warp,
+                        lane: r.lane,
+                        instance: r.instance,
+                    };
+                    // A ptr re-allocated while the ledger thinks it is
+                    // live means its free was lost (or the allocator
+                    // handed the region out twice); keep the newer
+                    // incarnation live, the older one stays leaked.
+                    by_ptr.insert((r.instance, ptr), live.len());
+                    live.push(Some(alloc));
+                    live_bytes += size;
+                }
+                TraceEvent::Free { ptr } => {
+                    ledger.frees += 1;
+                    match by_ptr.remove(&(r.instance, ptr)).and_then(|i| live[i].take()) {
+                        Some(alloc) => {
+                            live_bytes = live_bytes.saturating_sub(alloc.size);
+                            if alloc.warp != r.warp {
+                                ledger.cross_warp_frees += 1;
+                            }
+                            let delta = r.step - alloc.step;
+                            let bucket = (u64::BITS - (delta + 1).leading_zeros() - 1) as usize;
+                            ledger.latency_hist[bucket.min(LATENCY_BUCKETS - 1)] += 1;
+                        }
+                        None => ledger.double_frees.push(FreeAnomaly {
+                            ptr,
+                            step: r.step,
+                            sm: r.sm,
+                            warp: r.warp,
+                            lane: r.lane,
+                            instance: r.instance,
+                        }),
+                    }
+                }
+                _ => continue,
+            }
+            ledger.peak_live_bytes = ledger.peak_live_bytes.max(live_bytes);
+            ledger.timeline.push((r.step, live_bytes));
+        }
+        ledger.live = live.into_iter().flatten().collect();
+        ledger
+    }
+
+    /// Human-readable summary; deterministic for a deterministic trace.
+    /// Lines for instance-0 records are identical to pre-pool reports;
+    /// pool-mode anomalies name their owning instance.
+    pub fn report(&self) -> String {
+        let mut out = format!(
+            "lifecycle ledger: {} malloc(s), {} free(s), {} live at end, peak {} bytes live\n",
+            self.mallocs,
+            self.frees,
+            self.live.len(),
+            self.peak_live_bytes
+        );
+        for l in &self.live {
+            out.push_str(&format!(
+                "  leak: ptr {} ({} B) allocated at step {} (sm {} warp {} lane {}{})\n",
+                l.ptr,
+                l.size,
+                l.step,
+                l.sm,
+                l.warp,
+                l.lane,
+                instance_suffix(l.instance)
+            ));
+        }
+        for d in &self.double_frees {
+            out.push_str(&format!(
+                "  double free: ptr {} at step {} (sm {} warp {} lane {}{})\n",
+                d.ptr,
+                d.step,
+                d.sm,
+                d.warp,
+                d.lane,
+                instance_suffix(d.instance)
+            ));
+        }
+        let paired = self.frees - self.double_frees.len() as u64;
+        out.push_str(&format!("  cross-warp frees: {} of {paired}\n", self.cross_warp_frees));
+        out.push_str("  free latency (log2 step buckets): ");
+        let last = self.latency_hist.iter().rposition(|&c| c > 0).map(|i| i + 1).unwrap_or(0);
+        if last == 0 {
+            out.push_str("(no paired frees)");
+        } else {
+            let cells: Vec<String> = self.latency_hist[..last]
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{i}:{c}"))
+                .collect();
+            out.push_str(&cells.join(" "));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// `" instance N"` for pool-mode records, empty for instance 0 — keeps
+/// single-instance reports byte-identical to pre-pool output.
+pub(crate) fn instance_suffix(instance: u32) -> String {
+    if instance == 0 {
+        String::new()
+    } else {
+        format!(" instance {instance}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::AllocTier;
+
+    fn rec(step: u64, warp: u64, instance: u32, event: TraceEvent) -> TraceRecord {
+        TraceRecord { step, sm: 0, warp, lane: 0, instance, event }
+    }
+
+    #[test]
+    fn ledger_pairs_mallocs_with_frees() {
+        let m = |step, warp, ptr, size| {
+            rec(step, warp, 0, TraceEvent::Malloc { size, tier: AllocTier::Slice, ptr })
+        };
+        let records = vec![
+            m(0, 0, 100, 16),
+            m(1, 0, 200, 16),
+            m(2, 1, 300, 64),
+            rec(3, 0, 0, TraceEvent::Free { ptr: 100 }), // same warp, delta 3
+            rec(4, 2, 0, TraceEvent::Free { ptr: 300 }), // cross warp
+            rec(5, 0, 0, TraceEvent::Free { ptr: 100 }), // double free
+        ];
+        let ledger = Ledger::build(&records);
+        assert_eq!(ledger.mallocs, 3);
+        assert_eq!(ledger.frees, 3);
+        assert_eq!(ledger.live.len(), 1, "ptr 200 leaks");
+        assert_eq!(ledger.live[0].ptr, 200);
+        assert_eq!(ledger.live[0].step, 1);
+        assert_eq!(ledger.double_frees.len(), 1);
+        assert_eq!(ledger.double_frees[0].ptr, 100);
+        assert_eq!(ledger.cross_warp_frees, 1);
+        assert_eq!(ledger.peak_live_bytes, 96);
+        assert_eq!(ledger.timeline.last(), Some(&(5, 16)));
+        assert_eq!(ledger.latency_hist.iter().sum::<u64>(), 2);
+        let report = ledger.report();
+        assert!(report.contains("leak: ptr 200"), "report: {report}");
+        assert!(report.contains("double free: ptr 100"), "report: {report}");
+        assert!(!report.contains("instance"), "single-instance report stays pre-pool: {report}");
+    }
+
+    #[test]
+    fn pairing_is_per_instance() {
+        let m = |step, instance, ptr| {
+            rec(step, 0, instance, TraceEvent::Malloc { size: 16, tier: AllocTier::Slice, ptr })
+        };
+        // Two instances hand out the same local offset; each free must
+        // pair within its own instance.
+        let records = vec![
+            m(0, 0, 100),
+            m(1, 1, 100),
+            rec(2, 0, 1, TraceEvent::Free { ptr: 100 }),
+            // Instance 2 never allocated ptr 100: anomaly, not a pair.
+            rec(3, 0, 2, TraceEvent::Free { ptr: 100 }),
+        ];
+        let ledger = Ledger::build(&records);
+        assert_eq!(ledger.live.len(), 1, "instance 0's allocation is still live");
+        assert_eq!((ledger.live[0].instance, ledger.live[0].ptr), (0, 100));
+        assert_eq!(ledger.double_frees.len(), 1);
+        assert_eq!(ledger.double_frees[0].instance, 2);
+        let report = ledger.report();
+        assert!(report.contains("lane 0 instance 2"), "anomaly names its instance: {report}");
+    }
+}

@@ -27,6 +27,7 @@
 use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
 use std::ptr::NonNull;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Arena alignment. 16 bytes satisfies every atomic type and — critically
 /// — keeps `alloc_zeroed` on the `calloc` fast path: for alignments above
@@ -60,20 +61,44 @@ impl DevicePtr {
     }
 }
 
-/// A contiguous, zero-initialized arena standing in for GPU DRAM.
+/// The backing host allocation for one or more [`DeviceMemory`] views.
 ///
-/// The arena is allocated once (the paper's Gallatin similarly grabs its
-/// whole heap with a single `cudaMalloc` at init) and freed on drop.
-pub struct DeviceMemory {
+/// Owned behind an `Arc` so [`DeviceMemory::split`] can hand out disjoint
+/// windows over the same physical bytes; the allocation is freed when the
+/// last view drops.
+struct Arena {
     base: NonNull<u8>,
     len: usize,
 }
 
 // SAFETY: the arena is plain memory; all concurrent access goes through
 // atomics or follows the exclusive-ownership payload discipline documented
-// on the type.
-unsafe impl Send for DeviceMemory {}
-unsafe impl Sync for DeviceMemory {}
+// on `DeviceMemory`.
+unsafe impl Send for Arena {}
+unsafe impl Sync for Arena {}
+
+impl Drop for Arena {
+    fn drop(&mut self) {
+        let layout = Layout::from_size_align(self.len, ARENA_ALIGN).expect("arena layout");
+        // SAFETY: allocated with the identical layout in `DeviceMemory::new`.
+        unsafe { dealloc(self.base.as_ptr(), layout) };
+    }
+}
+
+/// A contiguous, zero-initialized arena standing in for GPU DRAM.
+///
+/// The arena is allocated once (the paper's Gallatin similarly grabs its
+/// whole heap with a single `cudaMalloc` at init) and freed when the last
+/// view of it drops. A `DeviceMemory` is a *window* `[off, off+len)` into
+/// the shared arena: [`DeviceMemory::split`] partitions one arena into
+/// disjoint sub-views (one per `GallatinPool` instance) whose offsets all
+/// start at zero, exactly like per-device heap partitions carved from one
+/// reservation.
+pub struct DeviceMemory {
+    arena: Arc<Arena>,
+    off: usize,
+    len: usize,
+}
 
 impl DeviceMemory {
     /// Allocate a zeroed arena of `len` bytes (rounded up to the arena
@@ -88,10 +113,47 @@ impl DeviceMemory {
         // SAFETY: layout has non-zero size.
         let raw = unsafe { alloc_zeroed(layout) };
         let Some(base) = NonNull::new(raw) else { handle_alloc_error(layout) };
-        DeviceMemory { base, len }
+        DeviceMemory { arena: Arc::new(Arena { base, len }), off: 0, len }
     }
 
-    /// Total arena size in bytes.
+    /// Partition this view into `n` equal, disjoint sub-views sharing the
+    /// same backing arena. Offset 0 of part `i` aliases offset
+    /// `i * (len / n)` of `self`; the parent view remains usable for
+    /// whole-arena access (stamps, debugging) alongside the parts.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`, if `len` is not divisible by `n`, or if the
+    /// partition size would break the arena alignment.
+    pub fn split(&self, n: usize) -> Vec<DeviceMemory> {
+        assert!(n > 0, "cannot split device memory into zero parts");
+        assert!(
+            self.len.is_multiple_of(n),
+            "arena of {} bytes does not split evenly into {n} parts",
+            self.len
+        );
+        let part = self.len / n;
+        assert!(
+            part.is_multiple_of(ARENA_ALIGN),
+            "partition size {part} breaks {ARENA_ALIGN}-byte arena alignment"
+        );
+        (0..n)
+            .map(|i| DeviceMemory {
+                arena: Arc::clone(&self.arena),
+                off: self.off + i * part,
+                len: part,
+            })
+            .collect()
+    }
+
+    /// Host pointer to byte offset `off` of this view.
+    #[inline]
+    fn ptr(&self, off: usize) -> *mut u8 {
+        // SAFETY: callers bounds-check `off` against `self.len` first, and
+        // `self.off + self.len` never exceeds the arena length.
+        unsafe { self.arena.base.as_ptr().add(self.off + off) }
+    }
+
+    /// Total size of this view in bytes.
     #[inline]
     pub fn len(&self) -> usize {
         self.len
@@ -127,7 +189,7 @@ impl DeviceMemory {
         self.check(off, 4, 4);
         // SAFETY: in-bounds, aligned, and AtomicU32 has no invalid bit
         // patterns; aliasing with other atomic views is fine.
-        unsafe { &*(self.base.as_ptr().add(off as usize) as *const AtomicU32) }
+        unsafe { &*(self.ptr(off as usize) as *const AtomicU32) }
     }
 
     /// An atomic 64-bit view of the word at byte offset `off`.
@@ -135,7 +197,7 @@ impl DeviceMemory {
     pub fn atomic_u64(&self, off: u64) -> &AtomicU64 {
         self.check(off, 8, 8);
         // SAFETY: see atomic_u32.
-        unsafe { &*(self.base.as_ptr().add(off as usize) as *const AtomicU64) }
+        unsafe { &*(self.ptr(off as usize) as *const AtomicU64) }
     }
 
     /// Relaxed atomic load of a u32 — the common "just read the word" in
@@ -186,11 +248,7 @@ impl DeviceMemory {
         // SAFETY: bounds-checked; exclusive ownership of live payload
         // ranges is the documented access discipline.
         unsafe {
-            std::ptr::copy_nonoverlapping(
-                data.as_ptr(),
-                self.base.as_ptr().add(ptr.0 as usize),
-                data.len(),
-            );
+            std::ptr::copy_nonoverlapping(data.as_ptr(), self.ptr(ptr.0 as usize), data.len());
         }
     }
 
@@ -200,11 +258,7 @@ impl DeviceMemory {
         self.check(ptr.0, out.len(), 1);
         // SAFETY: see write_bytes.
         unsafe {
-            std::ptr::copy_nonoverlapping(
-                self.base.as_ptr().add(ptr.0 as usize),
-                out.as_mut_ptr(),
-                out.len(),
-            );
+            std::ptr::copy_nonoverlapping(self.ptr(ptr.0 as usize), out.as_mut_ptr(), out.len());
         }
     }
 
@@ -228,22 +282,14 @@ impl DeviceMemory {
         self.check(off, bytes, 1);
         // SAFETY: bounds-checked; callers only reset quiescent arenas.
         unsafe {
-            std::ptr::write_bytes(self.base.as_ptr().add(off as usize), 0, bytes);
+            std::ptr::write_bytes(self.ptr(off as usize), 0, bytes);
         }
-    }
-}
-
-impl Drop for DeviceMemory {
-    fn drop(&mut self) {
-        let layout = Layout::from_size_align(self.len, ARENA_ALIGN).expect("arena layout");
-        // SAFETY: allocated with the identical layout in `new`.
-        unsafe { dealloc(self.base.as_ptr(), layout) };
     }
 }
 
 impl std::fmt::Debug for DeviceMemory {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("DeviceMemory").field("len", &self.len).finish()
+        f.debug_struct("DeviceMemory").field("off", &self.off).field("len", &self.len).finish()
     }
 }
 
@@ -333,6 +379,51 @@ mod tests {
     fn misaligned_atomic_panics() {
         let mem = DeviceMemory::new(64);
         mem.load_u32(2);
+    }
+
+    #[test]
+    fn split_parts_are_disjoint_windows_over_the_parent() {
+        let mem = DeviceMemory::new(256);
+        let parts = mem.split(4);
+        assert_eq!(parts.len(), 4);
+        for (i, p) in parts.iter().enumerate() {
+            assert_eq!(p.len(), 64);
+            // Offset 0 of part i aliases offset i * 64 of the parent.
+            p.store_u64(0, 0x1000 + i as u64);
+            assert_eq!(mem.load_u64(i as u64 * 64), 0x1000 + i as u64);
+        }
+        // Writes through one part never show up in a sibling.
+        for (i, p) in parts.iter().enumerate() {
+            assert_eq!(p.load_u64(0), 0x1000 + i as u64);
+        }
+    }
+
+    #[test]
+    fn split_parts_outlive_the_parent_view() {
+        let parts = {
+            let mem = DeviceMemory::new(128);
+            mem.store_u32(64, 7);
+            mem.split(2)
+        };
+        // The parent view is gone but the shared arena is still alive.
+        assert_eq!(parts[1].load_u32(0), 7);
+        parts[0].store_u32(0, 9);
+        assert_eq!(parts[0].load_u32(0), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn split_part_bounds_are_enforced() {
+        let mem = DeviceMemory::new(128);
+        let parts = mem.split(2);
+        parts[0].load_u64(64);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not split evenly")]
+    fn uneven_split_panics() {
+        let mem = DeviceMemory::new(128);
+        let _ = mem.split(3);
     }
 
     #[test]

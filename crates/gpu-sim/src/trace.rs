@@ -268,6 +268,11 @@ pub struct TraceRecord {
     pub warp: u64,
     /// Lane within the warp, or [`LANE_NONE`] for warp-/host-level events.
     pub lane: u32,
+    /// Allocator instance the event belongs to. `0` for a standalone
+    /// allocator; a `GallatinPool` wraps each instance's calls in
+    /// [`with_instance`] so pool-mode traces and ledger anomalies name
+    /// the owning instance.
+    pub instance: u32,
     /// The event payload.
     pub event: TraceEvent,
 }
@@ -331,12 +336,12 @@ impl TraceSink {
     /// Record one event with the given stamp. Draws the next step ticket;
     /// called by [`emit_lane`] — instrumented code does not use this
     /// directly.
-    pub fn record(&self, sm: u32, warp: u64, lane: u32, event: TraceEvent) {
+    pub fn record(&self, sm: u32, warp: u64, lane: u32, instance: u32, event: TraceEvent) {
         let step = self.step.fetch_add(1, Ordering::Relaxed);
         let stripe = &self.stripes[sm as usize & (STRIPES - 1)];
         let mut buf = stripe.buf.lock().unwrap();
         if buf.len() < self.capacity {
-            buf.push(TraceRecord { step, sm, warp, lane, event });
+            buf.push(TraceRecord { step, sm, warp, lane, instance, event });
         } else {
             stripe.dropped.fetch_add(1, Ordering::Relaxed);
         }
@@ -389,6 +394,34 @@ thread_local! {
     /// `(sm, warp)` stamp for this thread's emissions. Installed per warp
     /// by the launch machinery; `(0, 0)` on host threads.
     static CURRENT_CTX: Cell<(u32, u64)> = const { Cell::new((0, 0)) };
+    /// Allocator-instance stamp for this thread's emissions. `0` (the
+    /// default) for standalone allocators; a pool scopes each routed call
+    /// with [`with_instance`].
+    static CURRENT_INSTANCE: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Stamp every event emitted during `f` with allocator instance `id`
+/// (restored afterwards, also on panic). Used by `GallatinPool` to scope
+/// each routed malloc/free to the instance serving it; nested scopes
+/// restore the outer id.
+pub fn with_instance<R>(id: u32, f: impl FnOnce() -> R) -> R {
+    struct Restore(u32);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CURRENT_INSTANCE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = CURRENT_INSTANCE.with(|c| {
+        let prev = c.get();
+        c.set(id);
+        Restore(prev)
+    });
+    f()
+}
+
+/// The allocator-instance stamp currently installed for this thread.
+pub fn current_instance() -> u32 {
+    CURRENT_INSTANCE.with(|c| c.get())
 }
 
 /// Install `sink` as the current thread's trace sink for the duration of
@@ -452,7 +485,8 @@ pub fn emit_lane(lane: u32, event: impl FnOnce() -> TraceEvent) {
         let sink = c.borrow().clone();
         if let Some(sink) = sink {
             let (sm, warp) = CURRENT_CTX.with(|ctx| ctx.get());
-            sink.record(sm, warp, lane, event());
+            let instance = CURRENT_INSTANCE.with(|i| i.get());
+            sink.record(sm, warp, lane, instance, event());
         }
     });
     #[cfg(not(feature = "trace"))]
@@ -497,10 +531,18 @@ pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
     out
 }
 
-/// The `args` object body for one record: the lane first, then the
-/// event's payload fields in declaration order.
+/// The `args` object body for one record: the lane first, then — only
+/// for pool-mode records (nonzero instance) — the owning allocator
+/// instance, then the event's payload fields in declaration order.
+/// Omitting `"instance"` for instance 0 keeps single-instance exports
+/// byte-identical to those of earlier trace versions (and to any run
+/// without a pool), which the fixed-seed determinism tests assert.
 fn event_args(r: &TraceRecord) -> String {
-    let lane = format!("\"lane\": {}", r.lane);
+    let lane = if r.instance == 0 {
+        format!("\"lane\": {}", r.lane)
+    } else {
+        format!("\"lane\": {}, \"instance\": {}", r.lane, r.instance)
+    };
     let rest = match r.event {
         TraceEvent::Malloc { size, tier, ptr } => {
             format!("\"size\": {size}, \"tier\": \"{}\", \"ptr\": {ptr}", tier.label())
@@ -533,176 +575,11 @@ fn event_args(r: &TraceRecord) -> String {
 }
 
 // =====================================================================
-// Lifecycle ledger
+// Lifecycle ledger (analysis lives in `crate::ledger`; re-exported here
+// so `trace::Ledger` paths keep working)
 // =====================================================================
 
-/// An allocation that was never freed, as seen by the [`Ledger`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct LiveAlloc {
-    /// Device offset of the allocation.
-    pub ptr: u64,
-    /// Bytes reserved.
-    pub size: u64,
-    /// Step of the originating `Malloc` event.
-    pub step: u64,
-    /// SM that allocated it.
-    pub sm: u32,
-    /// Warp that allocated it.
-    pub warp: u64,
-    /// Lane that allocated it (or [`LANE_NONE`]).
-    pub lane: u32,
-}
-
-/// A `Free` event with no matching live allocation: a double free, or a
-/// free of a pointer the trace never saw allocated.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct FreeAnomaly {
-    /// Device offset freed.
-    pub ptr: u64,
-    /// Step of the offending `Free` event.
-    pub step: u64,
-    /// SM that issued it.
-    pub sm: u32,
-    /// Warp that issued it.
-    pub warp: u64,
-    /// Lane that issued it (or [`LANE_NONE`]).
-    pub lane: u32,
-}
-
-/// Number of log₂ buckets in the free-latency histogram (bucket `i`
-/// counts frees whose malloc→free step delta `d` has `⌊log₂(d+1)⌋ = i`,
-/// with the last bucket absorbing the tail).
-pub const LATENCY_BUCKETS: usize = 32;
-
-/// Post-mortem lifecycle analysis of a trace: malloc/free pairing, leak
-/// and double-free detection, cross-warp free traffic, free latency in
-/// schedule steps, and a live-bytes (occupancy) timeline.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct Ledger {
-    /// Allocations still live at the end of the trace — leaks, if the
-    /// trace covers the full lifetime of the workload.
-    pub live: Vec<LiveAlloc>,
-    /// Frees with no live allocation to pair with.
-    pub double_frees: Vec<FreeAnomaly>,
-    /// Total `Malloc` events seen.
-    pub mallocs: u64,
-    /// Total `Free` events seen.
-    pub frees: u64,
-    /// Frees issued by a different warp than the one that allocated.
-    pub cross_warp_frees: u64,
-    /// Free latency histogram: bucket `i` counts paired frees with
-    /// `⌊log₂(steps + 1)⌋ = i` between malloc and free.
-    pub latency_hist: [u64; LATENCY_BUCKETS],
-    /// `(step, live_bytes)` after every malloc/free, in step order — the
-    /// occupancy timeline a fragmentation analysis plots.
-    pub timeline: Vec<(u64, u64)>,
-    /// Maximum of the timeline.
-    pub peak_live_bytes: u64,
-}
-
-impl Ledger {
-    /// Build the ledger from a step-ordered record slice (as returned by
-    /// [`TraceSink::snapshot`]). Non-lifecycle events are ignored.
-    pub fn build(records: &[TraceRecord]) -> Ledger {
-        use std::collections::HashMap;
-        // Insertion-ordered live list + index map: reports come out in
-        // allocation order, never hash order, keeping output diffable.
-        let mut live: Vec<Option<LiveAlloc>> = Vec::new();
-        let mut by_ptr: HashMap<u64, usize> = HashMap::new();
-        let mut ledger = Ledger {
-            live: Vec::new(),
-            double_frees: Vec::new(),
-            mallocs: 0,
-            frees: 0,
-            cross_warp_frees: 0,
-            latency_hist: [0; LATENCY_BUCKETS],
-            timeline: Vec::new(),
-            peak_live_bytes: 0,
-        };
-        let mut live_bytes = 0u64;
-        for r in records {
-            match r.event {
-                TraceEvent::Malloc { size, ptr, .. } => {
-                    ledger.mallocs += 1;
-                    let alloc =
-                        LiveAlloc { ptr, size, step: r.step, sm: r.sm, warp: r.warp, lane: r.lane };
-                    // A ptr re-allocated while the ledger thinks it is
-                    // live means its free was lost (or the allocator
-                    // handed the region out twice); keep the newer
-                    // incarnation live, the older one stays leaked.
-                    by_ptr.insert(ptr, live.len());
-                    live.push(Some(alloc));
-                    live_bytes += size;
-                }
-                TraceEvent::Free { ptr } => {
-                    ledger.frees += 1;
-                    match by_ptr.remove(&ptr).and_then(|i| live[i].take()) {
-                        Some(alloc) => {
-                            live_bytes = live_bytes.saturating_sub(alloc.size);
-                            if alloc.warp != r.warp {
-                                ledger.cross_warp_frees += 1;
-                            }
-                            let delta = r.step - alloc.step;
-                            let bucket = (u64::BITS - (delta + 1).leading_zeros() - 1) as usize;
-                            ledger.latency_hist[bucket.min(LATENCY_BUCKETS - 1)] += 1;
-                        }
-                        None => ledger.double_frees.push(FreeAnomaly {
-                            ptr,
-                            step: r.step,
-                            sm: r.sm,
-                            warp: r.warp,
-                            lane: r.lane,
-                        }),
-                    }
-                }
-                _ => continue,
-            }
-            ledger.peak_live_bytes = ledger.peak_live_bytes.max(live_bytes);
-            ledger.timeline.push((r.step, live_bytes));
-        }
-        ledger.live = live.into_iter().flatten().collect();
-        ledger
-    }
-
-    /// Human-readable summary; deterministic for a deterministic trace.
-    pub fn report(&self) -> String {
-        let mut out = format!(
-            "lifecycle ledger: {} malloc(s), {} free(s), {} live at end, peak {} bytes live\n",
-            self.mallocs,
-            self.frees,
-            self.live.len(),
-            self.peak_live_bytes
-        );
-        for l in &self.live {
-            out.push_str(&format!(
-                "  leak: ptr {} ({} B) allocated at step {} (sm {} warp {} lane {})\n",
-                l.ptr, l.size, l.step, l.sm, l.warp, l.lane
-            ));
-        }
-        for d in &self.double_frees {
-            out.push_str(&format!(
-                "  double free: ptr {} at step {} (sm {} warp {} lane {})\n",
-                d.ptr, d.step, d.sm, d.warp, d.lane
-            ));
-        }
-        let paired = self.frees - self.double_frees.len() as u64;
-        out.push_str(&format!("  cross-warp frees: {} of {paired}\n", self.cross_warp_frees));
-        out.push_str("  free latency (log2 step buckets): ");
-        let last = self.latency_hist.iter().rposition(|&c| c > 0).map(|i| i + 1).unwrap_or(0);
-        if last == 0 {
-            out.push_str("(no paired frees)");
-        } else {
-            let cells: Vec<String> = self.latency_hist[..last]
-                .iter()
-                .enumerate()
-                .map(|(i, c)| format!("{i}:{c}"))
-                .collect();
-            out.push_str(&cells.join(" "));
-        }
-        out.push('\n');
-        out
-    }
-}
+pub use crate::ledger::{FreeAnomaly, Ledger, LiveAlloc, LATENCY_BUCKETS};
 
 // =====================================================================
 // Auto-dump
@@ -734,7 +611,7 @@ mod tests {
     use super::*;
 
     fn rec(step: u64, warp: u64, event: TraceEvent) -> TraceRecord {
-        TraceRecord { step, sm: 0, warp, lane: 0, event }
+        TraceRecord { step, sm: 0, warp, lane: 0, instance: 0, event }
     }
 
     #[test]
@@ -789,34 +666,37 @@ mod tests {
         assert_eq!(sink.dropped(), 0);
     }
 
+    #[cfg(feature = "trace")]
     #[test]
-    fn ledger_pairs_mallocs_with_frees() {
-        let m = |step, warp, ptr, size| {
-            rec(step, warp, TraceEvent::Malloc { size, tier: AllocTier::Slice, ptr })
-        };
-        let records = vec![
-            m(0, 0, 100, 16),
-            m(1, 0, 200, 16),
-            m(2, 1, 300, 64),
-            rec(3, 0, TraceEvent::Free { ptr: 100 }), // same warp, delta 3
-            rec(4, 2, TraceEvent::Free { ptr: 300 }), // cross warp
-            rec(5, 0, TraceEvent::Free { ptr: 100 }), // double free
-        ];
-        let ledger = Ledger::build(&records);
-        assert_eq!(ledger.mallocs, 3);
-        assert_eq!(ledger.frees, 3);
-        assert_eq!(ledger.live.len(), 1, "ptr 200 leaks");
-        assert_eq!(ledger.live[0].ptr, 200);
-        assert_eq!(ledger.live[0].step, 1);
-        assert_eq!(ledger.double_frees.len(), 1);
-        assert_eq!(ledger.double_frees[0].ptr, 100);
-        assert_eq!(ledger.cross_warp_frees, 1);
-        assert_eq!(ledger.peak_live_bytes, 96);
-        assert_eq!(ledger.timeline.last(), Some(&(5, 16)));
-        assert_eq!(ledger.latency_hist.iter().sum::<u64>(), 2);
-        let report = ledger.report();
-        assert!(report.contains("leak: ptr 200"), "report: {report}");
-        assert!(report.contains("double free: ptr 100"), "report: {report}");
+    fn with_instance_stamps_and_restores() {
+        let sink = Arc::new(TraceSink::new());
+        with_sink(sink.clone(), || {
+            emit(|| TraceEvent::Free { ptr: 0 });
+            with_instance(3, || {
+                assert_eq!(current_instance(), 3);
+                emit(|| TraceEvent::Free { ptr: 1 });
+                with_instance(1, || emit(|| TraceEvent::Free { ptr: 2 }));
+                // Nested scope restored the outer instance.
+                emit(|| TraceEvent::Free { ptr: 3 });
+            });
+            assert_eq!(current_instance(), 0);
+            emit(|| TraceEvent::Free { ptr: 4 });
+        });
+        let stamps: Vec<u32> = sink.snapshot().iter().map(|r| r.instance).collect();
+        assert_eq!(stamps, vec![0, 3, 1, 3, 0]);
+    }
+
+    #[test]
+    fn instance_tag_exports_only_when_nonzero() {
+        let r0 = rec(0, 0, TraceEvent::Free { ptr: 7 });
+        let r1 = TraceRecord { instance: 2, ..r0 };
+        let single = chrome_trace_json(&[r0]);
+        assert!(
+            !single.contains("instance"),
+            "instance-0 exports must stay byte-identical to pre-pool traces: {single}"
+        );
+        let pooled = chrome_trace_json(&[r1]);
+        assert!(pooled.contains("\"lane\": 0, \"instance\": 2"), "export: {pooled}");
     }
 
     #[test]

@@ -147,7 +147,7 @@ fn linked_list_demo(device: DeviceConfig) {
 }
 
 fn main() {
-    init_global_allocator(256 << 20);
+    init_global_allocator(256 << 20).expect("first init in this process");
     let device = DeviceConfig::default();
 
     treiber_stack_demo(device);

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# LOC gate: no source file under crates/**/src/ may grow past MAX_LINES.
+#
+# The PR that decomposed the monolithic allocator (gallatin.rs peaked at
+# 1,633 lines) installed this so the next monolith gets caught in review
+# instead of accreting. Split a failing file along its tier/module seams
+# rather than raising the limit.
+set -euo pipefail
+
+MAX_LINES=${MAX_LINES:-900}
+cd "$(dirname "$0")/.."
+
+status=0
+while IFS= read -r f; do
+    lines=$(wc -l <"$f")
+    if [ "$lines" -gt "$MAX_LINES" ]; then
+        echo "LOC gate: $f has $lines lines (limit $MAX_LINES) — split it along module seams" >&2
+        status=1
+    fi
+done < <(find crates -path '*/src/*' -name '*.rs' | sort)
+
+if [ "$status" -eq 0 ]; then
+    echo "LOC gate: all crates/**/src/*.rs files within $MAX_LINES lines"
+fi
+exit "$status"
