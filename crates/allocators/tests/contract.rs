@@ -357,6 +357,102 @@ fn differential_sweep_contract_projection_agrees_across_families() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Adversarial scenario sweep: the workload-engine generators (fragmentation
+// attack, size-class flipper, skewed-SM hotspot, OOM-pressure ramp — see
+// `bench::workload::adversarial`) run through every family over the same
+// seed range as the differential sweep. Policy may differ (denial counts
+// under OOM pressure legitimately vary per family); the contract projection
+// must be zero everywhere. A failing (scenario, seed) pair dumps its exact
+// script as a `gallatin-replay-v1` artifact (GALLATIN_REPLAY_DIR, default
+// target/replay) for upload next to the lifecycle traces.
+// ---------------------------------------------------------------------------
+
+use bench::workload::{all_scenarios, dump_script, run_script};
+
+/// Override the adversarial seed count (CI smoke uses a small value; the
+/// default matches the differential sweep's 16).
+const ADV_SEEDS_ENV: &str = "GALLATIN_ADV_SEEDS";
+
+/// Device width for the adversarial sweep, matching the differential
+/// sweep so hotspot skew and pool home-routing line up.
+const ADV_SMS: u32 = 4;
+
+fn adv_seeds() -> u64 {
+    match std::env::var(ADV_SEEDS_ENV) {
+        Ok(s) => s
+            .trim()
+            .parse::<u64>()
+            .unwrap_or_else(|_| panic!("{ADV_SEEDS_ENV} must be a u64, got {s:?}")),
+        Err(_) => DIFF_SEEDS,
+    }
+}
+
+/// Every adversarial scenario × seed × family: ledgers balance, some
+/// requests are served, the violation projection is zero, and therefore
+/// pairwise equal across families. Failures ship the generated script.
+#[test]
+fn adversarial_scenarios_hold_across_all_families() {
+    let seeds = adv_seeds();
+    for scenario in all_scenarios(HEAP, ADV_SMS) {
+        for seed in 0..seeds {
+            let script = scenario.script(seed);
+            script.validate().unwrap_or_else(|e| {
+                panic!("{} seed {seed}: generator produced a bad script: {e}", scenario.name())
+            });
+            let mut ledgers = Vec::new();
+            for a in families(HEAP) {
+                let out = run_script(
+                    a.as_ref(),
+                    DeviceConfig::with_sms(ADV_SMS).seeded(seed),
+                    &script,
+                    true,
+                );
+                if out.attempted != out.served + out.denied
+                    || out.served == 0
+                    || out.violations() != (0, 0, 0)
+                {
+                    let dumped = dump_script(scenario.name(), seed, &script)
+                        .map(|p| p.display().to_string())
+                        .unwrap_or_else(|| "<dump failed>".to_string());
+                    panic!(
+                        "{} broke scenario {} on seed {seed}: {out:?}\n\
+                         script dumped to {dumped} — replay with GALLATIN_SCHED_SEED={seed}",
+                        a.name(),
+                        scenario.name()
+                    );
+                }
+                ledgers.push((a.name().to_string(), out));
+            }
+            for pair in ledgers.windows(2) {
+                assert_eq!(
+                    pair[0].1.violations(),
+                    pair[1].1.violations(),
+                    "families {} and {} diverge on scenario {} seed {seed}",
+                    pair[0].0,
+                    pair[1].0,
+                    scenario.name()
+                );
+            }
+        }
+    }
+}
+
+/// Same scenario, same seed, fresh allocator ⇒ identical outcome: the
+/// adversarial sweep is deterministic evidence, like the differential one.
+#[test]
+fn adversarial_outcomes_replay_per_seed() {
+    for scenario in all_scenarios(HEAP, ADV_SMS) {
+        let script = scenario.script(3);
+        let a = Gallatin::new(GallatinConfig::small_test(HEAP));
+        let device = DeviceConfig::with_sms(ADV_SMS).seeded(3);
+        let first = run_script(&a, device, &script, true);
+        a.reset();
+        let second = run_script(&a, device, &script, true);
+        assert_eq!(first, second, "{}: seed 3 must replay identically", scenario.name());
+    }
+}
+
 /// Same seed, same family, fresh heap ⇒ the *entire* ledger replays
 /// identically — the differential sweep is deterministic evidence, not a
 /// flaky sample.

@@ -22,6 +22,10 @@
 //!                   (Chrome trace_event JSON; seed from GALLATIN_SCHED_SEED)
 //!   pool            E18 — sharded-pool block churn over 1/2/4/8 instances
 //!                   (per-instance atomic counts + spill rates, BENCH_pool.json)
+//!   replay          E19 — trace-replay round trip: record the block churn,
+//!                   convert to a gallatin-replay-v1 script, re-run it through
+//!                   Gallatin and GallatinPool(2), assert lifecycle-outcome
+//!                   equality (seed from GALLATIN_SCHED_SEED)
 //!   summary         §6.3-style speedup summary from the written CSVs
 //!   all             everything above, in order
 //!
@@ -52,7 +56,7 @@ fn parse_bytes(s: &str) -> Option<u64> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: repro <init|single|mixed|scaling|variance|warmup|fragmentation|utilization|graph|expansion|reclaim|ablation|bench-smoke|trace|pool|summary|all> [--threads N] [--runs N] [--heap BYTES] [--sms N] [--pool N] [--out DIR] [--json] [--full]");
+        eprintln!("usage: repro <init|single|mixed|scaling|variance|warmup|fragmentation|utilization|graph|expansion|reclaim|ablation|bench-smoke|trace|pool|replay|summary|all> [--threads N] [--runs N] [--heap BYTES] [--sms N] [--pool N] [--out DIR] [--json] [--full]");
         std::process::exit(2);
     }
     let cmd = args[0].clone();
@@ -129,6 +133,7 @@ fn main() {
         }
         "trace" => exp::run_trace(&cfg),
         "pool" => exp::run_pool(&cfg),
+        "replay" => exp::run_replay(&cfg),
         "summary" => exp::run_summary(&cfg.out_dir),
         "all" => {
             exp::run_init(&cfg);
@@ -145,6 +150,7 @@ fn main() {
             exp::run_ablation(&cfg);
             exp::run_trace(&cfg);
             exp::run_pool(&cfg);
+            exp::run_replay(&cfg);
             exp::run_summary(&cfg.out_dir);
         }
         other => {

@@ -7,6 +7,7 @@ pub mod init_bench;
 pub mod mixed;
 pub mod pool;
 pub mod reclaim;
+pub mod replay;
 pub mod scaling;
 pub mod single;
 pub mod summary;
@@ -21,6 +22,7 @@ pub use init_bench::run_init;
 pub use mixed::run_mixed;
 pub use pool::run_pool;
 pub use reclaim::run_reclaim;
+pub use replay::run_replay;
 pub use scaling::run_scaling;
 pub use single::{run_single, run_warmup};
 pub use summary::run_summary;

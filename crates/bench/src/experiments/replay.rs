@@ -1,0 +1,248 @@
+//! E19 — trace-replay round trip (`repro replay`).
+//!
+//! Closes the record/replay loop opened by E17: record the E16
+//! block-churn workload as a lifecycle trace, reduce it to a
+//! [`ReplayScript`], round-trip the script through the
+//! `gallatin-replay-v1` text format, then re-issue it through a fresh
+//! `Gallatin` **and** a `GallatinPool(2)` via the workload engine
+//! ([`crate::workload::run_script`]). Equivalence is asserted on the
+//! [`LedgerOutcome`] projection — malloc/free counts, leaks, anomaly
+//! counts, allocated bytes — which is exactly the part of a recording
+//! that must survive a schedule- and placement-changing replay
+//! (latencies, peak occupancy, and event interleavings legitimately
+//! differ; lifecycle totals never may).
+//!
+//! Artifacts:
+//!
+//! * `<out_dir>/REPLAY_block_churn.replay` — the converted script in the
+//!   text format (see `gpu_sim::replay` for the schema), re-parsed and
+//!   compared before use so the artifact is proven load-bearing;
+//! * a per-target table on stdout; with `--json`,
+//!   `<out_dir>/BENCH_replay.json` in the standard [`BenchRecord`]
+//!   schema.
+//!
+//! The recording seed comes from `GALLATIN_SCHED_SEED` (default 7),
+//! matching `repro trace`, so a failing seed reported by the test suite
+//! replays here unchanged.
+
+use crate::report::{write_bench_json, BenchRecord, Table};
+use crate::workload::{run_script, ScriptOutcome};
+use crate::HarnessConfig;
+use gallatin::{Gallatin, GallatinPool};
+use gpu_sim::replay::ReplayScript;
+use gpu_sim::sched::SCHED_SEED_ENV;
+use gpu_sim::trace::{Ledger, LedgerOutcome, TraceSink};
+use gpu_sim::{DeviceAllocator, DeviceConfig};
+use std::path::Path;
+use std::sync::Arc;
+
+use super::ablation;
+
+/// Default recording seed when `GALLATIN_SCHED_SEED` is unset (same as
+/// E17's).
+const DEFAULT_SEED: u64 = 7;
+
+/// One replay target's results.
+struct TargetRun {
+    name: &'static str,
+    outcome: LedgerOutcome,
+    script_outcome: ScriptOutcome,
+}
+
+/// Record the E16 block churn under `seed`, returning the trace-derived
+/// lifecycle outcome and the converted script.
+fn record(seed: u64) -> (LedgerOutcome, ReplayScript) {
+    let g = ablation::block_churn_gallatin();
+    let sink = Arc::new(TraceSink::new());
+    let records = gpu_sim::trace::with_sink(sink.clone(), || {
+        ablation::block_churn(&g, seed);
+        g.check_invariants().expect("block churn must leave the allocator healthy");
+        sink.snapshot()
+    });
+    assert_eq!(sink.dropped(), 0, "sink capacity must cover the workload");
+    assert_eq!(g.stats().reserved_bytes, 0, "block churn leaked");
+
+    let (script, stats) = ReplayScript::from_trace(&records, ablation::SWEEP_SMS);
+    // Block churn frees within the allocating warp and pairs every
+    // pointer, so the reduction must be lossless — any reassignment or
+    // drop means the recorder or converter regressed.
+    assert_eq!(stats.reassigned_frees, 0, "block churn has no cross-warp frees");
+    assert_eq!(stats.dropped_frees, 0, "every recorded free must replay");
+    assert_eq!(script.validate(), Ok(0), "converted script must be well-formed and leak-free");
+    (Ledger::build(&records).outcome(), script)
+}
+
+/// Replay `script` through `a` under a sink; returns the replayed
+/// lifecycle outcome plus the runner's contract outcome.
+fn replay_through(
+    name: &'static str,
+    a: &dyn DeviceAllocator,
+    seed: u64,
+    script: &ReplayScript,
+) -> TargetRun {
+    let sink = Arc::new(TraceSink::new());
+    let (script_outcome, records) = gpu_sim::trace::with_sink(sink.clone(), || {
+        let out =
+            run_script(a, DeviceConfig::with_sms(ablation::SWEEP_SMS).seeded(seed), script, true);
+        (out, sink.snapshot())
+    });
+    assert_eq!(sink.dropped(), 0, "replay sink capacity must cover the workload");
+    TargetRun { name, outcome: Ledger::build(&records).outcome(), script_outcome }
+}
+
+/// Run the E19 round trip; see the module docs.
+pub fn run_replay(cfg: &HarnessConfig) {
+    let seed = match std::env::var(SCHED_SEED_ENV) {
+        Ok(s) => s
+            .trim()
+            .parse::<u64>()
+            .unwrap_or_else(|_| panic!("{SCHED_SEED_ENV} must be a u64, got {s:?}")),
+        Err(_) => DEFAULT_SEED,
+    };
+    println!(
+        "E19 replay: record block churn under {SCHED_SEED_ENV}={seed}, replay via script engine"
+    );
+
+    let (original, script) = record(seed);
+
+    // Text-format round trip: the written artifact is re-parsed and must
+    // reproduce the script exactly, so the file on disk is proven to
+    // carry the whole workload.
+    if let Err(e) = std::fs::create_dir_all(&cfg.out_dir) {
+        eprintln!("warning: could not create {}: {e}", cfg.out_dir);
+    }
+    let script_path = Path::new(&cfg.out_dir).join("REPLAY_block_churn.replay");
+    let text = script.render();
+    match std::fs::write(&script_path, &text) {
+        Ok(()) => println!(
+            "wrote {} ({} warps, {} ops)",
+            script_path.display(),
+            script.warps.len(),
+            script.total_ops()
+        ),
+        Err(e) => eprintln!("warning: could not write {}: {e}", script_path.display()),
+    }
+    let reparsed = ReplayScript::parse(&text).expect("rendered script must parse");
+    assert_eq!(reparsed, script, "text round trip must be exact");
+
+    // Replay the re-parsed script through both targets.
+    let gallatin = Gallatin::new(ablation::block_churn_config());
+    let pool = GallatinPool::new(2, ablation::block_churn_config());
+    let runs = [
+        replay_through("Gallatin", &gallatin, seed, &reparsed),
+        replay_through("GallatinPool(2)", &pool, seed, &reparsed),
+    ];
+
+    let mut tab = Table::new(
+        format!("E19 — trace-replay round trip, block churn (seed {seed})"),
+        &["target", "mallocs", "frees", "leaks", "anomalies", "alloc MiB", "ledger"],
+    );
+    tab.row(vec![
+        "recording".into(),
+        original.mallocs.to_string(),
+        original.frees.to_string(),
+        original.leaks.to_string(),
+        (original.double_frees + original.unknown_frees).to_string(),
+        format!("{:.1}", original.alloc_bytes as f64 / (1 << 20) as f64),
+        "-".into(),
+    ]);
+    for run in &runs {
+        assert_eq!(
+            run.outcome, original,
+            "{}: replayed lifecycle outcome must equal the recording",
+            run.name
+        );
+        assert_eq!(
+            run.script_outcome.violations(),
+            (0, 0, 0),
+            "{}: replay must satisfy the allocation contract: {:?}",
+            run.name,
+            run.script_outcome
+        );
+        assert_eq!(run.script_outcome.denied, 0, "{}: replay must not hit OOM", run.name);
+        tab.row(vec![
+            run.name.into(),
+            run.outcome.mallocs.to_string(),
+            run.outcome.frees.to_string(),
+            run.outcome.leaks.to_string(),
+            (run.outcome.double_frees + run.outcome.unknown_frees).to_string(),
+            format!("{:.1}", run.outcome.alloc_bytes as f64 / (1 << 20) as f64),
+            "equal".into(),
+        ]);
+    }
+    tab.emit(&cfg.out_dir, "e19_replay");
+    println!(
+        "replayed {} ops through {} targets; lifecycle outcomes equal the recording \
+         (replay any seed with {SCHED_SEED_ENV}=<seed> repro replay)",
+        script.total_ops(),
+        runs.len()
+    );
+
+    if cfg.json {
+        let recs: Vec<BenchRecord> = runs
+            .iter()
+            .map(|run| BenchRecord {
+                experiment: "replay".to_string(),
+                allocator: run.name.to_string(),
+                params: vec![
+                    ("case".to_string(), "block-churn".to_string()),
+                    ("seed".to_string(), seed.to_string()),
+                ],
+                median_ms: f64::NAN,
+                counts: vec![
+                    ("mallocs".to_string(), run.outcome.mallocs),
+                    ("frees".to_string(), run.outcome.frees),
+                    ("leaks".to_string(), run.outcome.leaks),
+                    ("double_frees".to_string(), run.outcome.double_frees),
+                    ("unknown_frees".to_string(), run.outcome.unknown_frees),
+                    ("alloc_bytes".to_string(), run.outcome.alloc_bytes),
+                    ("served".to_string(), run.script_outcome.served),
+                    ("denied".to_string(), run.script_outcome.denied),
+                ],
+            })
+            .collect();
+        match write_bench_json(&cfg.out_dir, "replay", &recs) {
+            Ok(p) => println!("wrote {}", p.display()),
+            Err(e) => eprintln!("warning: could not write BENCH_replay.json: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The full E19 equivalence, as a tier-1 test: recording outcome ==
+    /// replayed outcome through both a fresh Gallatin and a 2-instance
+    /// pool, via the text format.
+    #[test]
+    fn block_churn_round_trips_through_both_targets() {
+        let seed = 7;
+        let (original, script) = record(seed);
+        assert!(original.mallocs > 0 && original.leaks == 0);
+        let reparsed = ReplayScript::parse(&script.render()).unwrap();
+        assert_eq!(reparsed, script);
+
+        let gallatin = Gallatin::new(ablation::block_churn_config());
+        let pool = GallatinPool::new(2, ablation::block_churn_config());
+        for run in [
+            replay_through("Gallatin", &gallatin, seed, &reparsed),
+            replay_through("GallatinPool(2)", &pool, seed, &reparsed),
+        ] {
+            assert_eq!(run.outcome, original, "{}", run.name);
+            assert_eq!(run.script_outcome.violations(), (0, 0, 0), "{}", run.name);
+            assert_eq!(run.script_outcome.denied, 0, "{}", run.name);
+        }
+    }
+
+    /// A different schedule seed on the replay side must still reproduce
+    /// the recorded lifecycle outcome — that is what makes the outcome
+    /// the right equivalence class for replays.
+    #[test]
+    fn replay_outcome_is_schedule_independent() {
+        let (original, script) = record(7);
+        let g = Gallatin::new(ablation::block_churn_config());
+        let a = replay_through("Gallatin", &g, 13, &script);
+        assert_eq!(a.outcome, original);
+    }
+}

@@ -1,0 +1,383 @@
+//! Adversarial workload generators: allocation shapes chosen to stress
+//! the specific structures a naive benchmark never touches.
+//!
+//! Every generator is a [`WorkloadSource`]: `script(seed)` is a pure
+//! function of the seed, so a failing `(scenario, seed)` pair replays
+//! exactly and can be dumped as a `gallatin-replay-v1` artifact. All
+//! scenarios free everything they allocate — a nonzero `leaked_bytes`
+//! in the outcome is always the allocator's fault, never the script's.
+//!
+//! | scenario | attacks |
+//! |---|---|
+//! | [`FragmentationAttack`] | allocate everything, free every other slot, refill the gaps with *larger* requests |
+//! | [`SizeClassFlipper`] | whole warp flips size class every round, defeating the per-SM `BlockBuffer` |
+//! | [`SkewedHotspot`] | heavy traffic pinned to one SM, maximizing `GallatinPool` home-instance spill |
+//! | [`OomPressureRamp`] | requests past heap capacity, exercising NULL/abort paths and post-OOM recovery |
+
+use super::source::WorkloadSource;
+use gpu_sim::replay::{ReplayOp, ReplayScript, WarpScript};
+use gpu_sim::WARP_SIZE;
+
+/// Slice-tier size classes under `GallatinConfig::small_test` geometry.
+const SLICE_CLASSES: [u64; 5] = [16, 32, 64, 128, 256];
+
+/// SplitMix64 over a few coordinates: the one deterministic hash every
+/// generator draws from.
+fn mix(vals: &[u64]) -> u64 {
+    let mut x = 0x243f_6a88_85a3_08d3u64;
+    for &v in vals {
+        x = (x ^ v).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+    }
+    x
+}
+
+/// Allocate everything, then free every other slot, then shove *larger*
+/// requests into the gapped heap before tearing everything down. The
+/// refill phase cannot reuse the freed slices (it asks for bigger
+/// classes), so the allocator must produce fresh blocks while half the
+/// old ones are pinned — the DynaSOAr-style fragmentation shape.
+pub struct FragmentationAttack {
+    /// Device width the scripts target.
+    pub num_sms: u32,
+    /// Warps in the launch.
+    pub warps: u32,
+    /// Phase-one slots per lane (total slots = `32 × slots_per_lane`).
+    pub slots_per_lane: u32,
+}
+
+impl FragmentationAttack {
+    /// The sweep shape: 8 warps × 128 slots.
+    pub fn standard(num_sms: u32) -> Self {
+        FragmentationAttack { num_sms, warps: 8, slots_per_lane: 4 }
+    }
+}
+
+impl WorkloadSource for FragmentationAttack {
+    fn name(&self) -> &str {
+        "frag-attack"
+    }
+
+    fn script(&self, seed: u64) -> ReplayScript {
+        let total = WARP_SIZE as u32 * self.slots_per_lane;
+        let warps = (0..self.warps as u64)
+            .map(|w| {
+                let mut ops = Vec::new();
+                // Phase 1: allocate everything.
+                for slot in 0..total {
+                    let size = SLICE_CLASSES
+                        [(mix(&[seed, w, slot as u64]) % SLICE_CLASSES.len() as u64) as usize];
+                    ops.push(ReplayOp::Malloc { lane: slot % WARP_SIZE as u32, slot, size });
+                }
+                // Phase 2: free every other slot, punching holes.
+                for slot in (0..total).step_by(2) {
+                    ops.push(ReplayOp::Free { lane: slot % WARP_SIZE as u32, slot });
+                }
+                // Phase 3: refill the gaps with larger (block-tier)
+                // requests that cannot reuse the freed slices.
+                for i in 0..total / 2 {
+                    let slot = total + i;
+                    let size = 512 << (mix(&[seed, w, refill_coord(slot)]) % 2); // 512 or 1024
+                    ops.push(ReplayOp::Malloc { lane: i % WARP_SIZE as u32, slot, size });
+                }
+                // Phase 4: tear down every survivor.
+                for slot in (1..total).step_by(2) {
+                    ops.push(ReplayOp::Free { lane: slot % WARP_SIZE as u32, slot });
+                }
+                for i in 0..total / 2 {
+                    let slot = total + i;
+                    ops.push(ReplayOp::Free { lane: i % WARP_SIZE as u32, slot });
+                }
+                WarpScript { ops }
+            })
+            .collect();
+        ReplayScript { num_sms: self.num_sms, warps }
+    }
+}
+
+/// Helper so phase-3 hashing cannot collide with phase-1 coordinates.
+fn refill_coord(slot: u32) -> u64 {
+    0xf111_0000_0000_0000 | slot as u64
+}
+
+/// Every round the whole warp requests one size class — and the class
+/// changes every round. Gallatin's per-SM `BlockBuffer` caches one
+/// block per class per SM; a class flip makes the warp miss the warm
+/// buffer every single round, forcing the install/replace path that
+/// steady same-class traffic never exercises.
+pub struct SizeClassFlipper {
+    /// Device width the scripts target.
+    pub num_sms: u32,
+    /// Warps in the launch.
+    pub warps: u32,
+    /// Malloc-all/free-all rounds per warp.
+    pub rounds: u32,
+}
+
+impl SizeClassFlipper {
+    /// The sweep shape: 8 warps × 6 rounds.
+    pub fn standard(num_sms: u32) -> Self {
+        SizeClassFlipper { num_sms, warps: 8, rounds: 6 }
+    }
+
+    /// The class menu the flipper cycles through: every slice class plus
+    /// a block-tier size, so the flip also crosses the tier boundary.
+    fn menu() -> [u64; 6] {
+        [16, 32, 64, 128, 256, 1024]
+    }
+}
+
+impl WorkloadSource for SizeClassFlipper {
+    fn name(&self) -> &str {
+        "class-flipper"
+    }
+
+    fn script(&self, seed: u64) -> ReplayScript {
+        let menu = Self::menu();
+        let warps = (0..self.warps as u64)
+            .map(|w| {
+                let start = mix(&[seed, w]) % menu.len() as u64;
+                // A stride coprime to the menu length guarantees every
+                // consecutive round lands on a *different* class.
+                let stride = 1 + 2 * (mix(&[seed, w, 1]) % 3); // 1, 3, or 5
+                let mut ops = Vec::new();
+                for round in 0..self.rounds {
+                    let class =
+                        menu[((start + round as u64 * stride) % menu.len() as u64) as usize];
+                    let base = round * WARP_SIZE as u32;
+                    for lane in 0..WARP_SIZE as u32 {
+                        ops.push(ReplayOp::Malloc { lane, slot: base + lane, size: class });
+                    }
+                    // Reverse-order frees so the block drains from the
+                    // opposite end it filled.
+                    for lane in (0..WARP_SIZE as u32).rev() {
+                        ops.push(ReplayOp::Free { lane, slot: base + lane });
+                    }
+                }
+                WarpScript { ops }
+            })
+            .collect();
+        ReplayScript { num_sms: self.num_sms, warps }
+    }
+}
+
+/// All heavy traffic lands on one seed-chosen SM while the rest of the
+/// device idles along — the worst case for anything sharded by SM.
+/// Under `GallatinPool` the hot SM's home instance takes every heavy
+/// request and must spill to siblings once saturated; under plain
+/// Gallatin the hot SM's block buffer and its segment's trees serialize.
+pub struct SkewedHotspot {
+    /// Device width the scripts target; also decides which warps share
+    /// the hot SM (`warp_id % num_sms`).
+    pub num_sms: u32,
+    /// Warps in the launch (a multiple of `num_sms` keeps the striping
+    /// even).
+    pub warps: u32,
+    /// Malloc-all/free-all rounds each *hot* warp runs (cold warps run
+    /// one light round).
+    pub hot_rounds: u32,
+}
+
+impl SkewedHotspot {
+    /// The sweep shape: two full stripes of warps, 8 heavy rounds.
+    pub fn standard(num_sms: u32) -> Self {
+        SkewedHotspot { num_sms, warps: 2 * num_sms, hot_rounds: 8 }
+    }
+
+    /// The SM all heavy traffic is pinned to for `seed`.
+    pub fn hot_sm(&self, seed: u64) -> u32 {
+        (mix(&[seed, 0x407]) % self.num_sms as u64) as u32
+    }
+}
+
+impl WorkloadSource for SkewedHotspot {
+    fn name(&self) -> &str {
+        "skewed-hotspot"
+    }
+
+    fn script(&self, seed: u64) -> ReplayScript {
+        let hot = self.hot_sm(seed);
+        let warps = (0..self.warps as u64)
+            .map(|w| {
+                let is_hot = (w % self.num_sms as u64) as u32 == hot;
+                let rounds = if is_hot { self.hot_rounds } else { 1 };
+                let mut ops = Vec::new();
+                for round in 0..rounds {
+                    let base = round * WARP_SIZE as u32;
+                    for lane in 0..WARP_SIZE as u32 {
+                        // Hot warps push block-tier sizes (256–1024 B),
+                        // cold warps sip 16 B slices.
+                        let size = if is_hot {
+                            256 << (mix(&[seed, w, round as u64, lane as u64]) % 3)
+                        } else {
+                            16
+                        };
+                        ops.push(ReplayOp::Malloc { lane, slot: base + lane, size });
+                    }
+                    for lane in 0..WARP_SIZE as u32 {
+                        ops.push(ReplayOp::Free { lane, slot: base + lane });
+                    }
+                }
+                WarpScript { ops }
+            })
+            .collect();
+        ReplayScript { num_sms: self.num_sms, warps }
+    }
+}
+
+/// Ramp allocation pressure past the heap: every warp keeps allocating
+/// block-tier sizes with no frees until its share of ~1.2× the heap has
+/// been *requested*, so every allocator is driven into returning NULL —
+/// then frees everything, proving the abort path neither leaked nor
+/// corrupted what was served.
+pub struct OomPressureRamp {
+    /// Device width the scripts target.
+    pub num_sms: u32,
+    /// Warps in the launch.
+    pub warps: u32,
+    /// Total bytes the script requests across all warps (set above the
+    /// heap size to force denials).
+    pub target_bytes: u64,
+}
+
+impl OomPressureRamp {
+    /// The sweep shape: 8 warps requesting 1.2× the heap.
+    pub fn standard(num_sms: u32, heap_bytes: u64) -> Self {
+        OomPressureRamp { num_sms, warps: 8, target_bytes: heap_bytes + heap_bytes / 5 }
+    }
+}
+
+impl WorkloadSource for OomPressureRamp {
+    fn name(&self) -> &str {
+        "oom-ramp"
+    }
+
+    fn script(&self, seed: u64) -> ReplayScript {
+        let budget = self.target_bytes / self.warps as u64;
+        let warps = (0..self.warps as u64)
+            .map(|w| {
+                let mut ops = Vec::new();
+                let mut requested = 0u64;
+                let mut slot = 0u32;
+                while requested < budget {
+                    // 4 KiB or 8 KiB, seed-hashed: big enough to exhaust
+                    // the heap in few ops, small enough that every
+                    // baseline family serves it natively.
+                    let size = 4096 << (mix(&[seed, w, slot as u64]) % 2);
+                    ops.push(ReplayOp::Malloc { lane: slot % WARP_SIZE as u32, slot, size });
+                    requested += size;
+                    slot += 1;
+                }
+                // Tear-down: denied slots are skipped by the runner, so
+                // this frees exactly what was served.
+                for s in 0..slot {
+                    ops.push(ReplayOp::Free { lane: s % WARP_SIZE as u32, slot: s });
+                }
+                WarpScript { ops }
+            })
+            .collect();
+        ReplayScript { num_sms: self.num_sms, warps }
+    }
+}
+
+/// The full adversarial roster at sweep shape, sized for `heap_bytes`
+/// on a `num_sms`-wide device. The differential sweep runs each of
+/// these across every allocator family (see
+/// `crates/allocators/tests/contract.rs`).
+pub fn all_scenarios(heap_bytes: u64, num_sms: u32) -> Vec<Box<dyn WorkloadSource>> {
+    vec![
+        Box::new(FragmentationAttack::standard(num_sms)),
+        Box::new(SizeClassFlipper::standard(num_sms)),
+        Box::new(SkewedHotspot::standard(num_sms)),
+        Box::new(OomPressureRamp::standard(num_sms, heap_bytes)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::replay::ReplayOp;
+
+    #[test]
+    fn scenarios_are_deterministic_and_seed_sensitive() {
+        for s in all_scenarios(8 << 20, 4) {
+            assert_eq!(s.script(3), s.script(3), "{}: same seed must replay", s.name());
+            assert_ne!(
+                s.script(3),
+                s.script(4),
+                "{}: different seeds must vary the workload",
+                s.name()
+            );
+        }
+    }
+
+    #[test]
+    fn scenarios_free_everything_and_validate() {
+        for s in all_scenarios(8 << 20, 4) {
+            for seed in [0, 7, 15] {
+                let script = s.script(seed);
+                assert_eq!(
+                    script.validate(),
+                    Ok(0),
+                    "{} seed {seed}: script must be well-formed and leak-free",
+                    s.name()
+                );
+                assert!(script.total_ops() > 0);
+                assert_eq!(script.num_sms, 4);
+            }
+        }
+    }
+
+    #[test]
+    fn flipper_changes_class_every_round() {
+        let f = SizeClassFlipper::standard(4);
+        for seed in 0..8 {
+            for w in &f.script(seed).warps {
+                let sizes: Vec<u64> = w
+                    .ops
+                    .iter()
+                    .filter_map(|op| match *op {
+                        ReplayOp::Malloc { lane: 0, size, .. } => Some(size),
+                        _ => None,
+                    })
+                    .collect();
+                assert_eq!(sizes.len(), f.rounds as usize);
+                for pair in sizes.windows(2) {
+                    assert_ne!(pair[0], pair[1], "consecutive rounds must flip the class");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hotspot_concentrates_heavy_traffic_on_one_sm() {
+        let h = SkewedHotspot::standard(4);
+        let seed = 11;
+        let hot = h.hot_sm(seed);
+        let script = h.script(seed);
+        for (w, ws) in script.warps.iter().enumerate() {
+            let is_hot = (w as u64 % 4) as u32 == hot;
+            let expected = if is_hot { h.hot_rounds } else { 1 } as usize * WARP_SIZE * 2;
+            assert_eq!(ws.ops.len(), expected, "warp {w} (hot={is_hot})");
+        }
+    }
+
+    #[test]
+    fn oom_ramp_requests_more_than_the_heap() {
+        let heap = 8 << 20;
+        let r = OomPressureRamp::standard(4, heap);
+        let requested: u64 = r
+            .script(5)
+            .warps
+            .iter()
+            .flat_map(|w| &w.ops)
+            .filter_map(|op| match *op {
+                ReplayOp::Malloc { size, .. } => Some(size),
+                _ => None,
+            })
+            .sum();
+        assert!(requested > heap, "ramp must exceed the heap: {requested} <= {heap}");
+    }
+}

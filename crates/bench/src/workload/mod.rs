@@ -1,0 +1,32 @@
+//! Workload engine: sources, scripts, runners, and the timing protocol.
+//!
+//! Two layers live here:
+//!
+//! * [`mod@measure`] — the survey timing protocol (allocate → validate →
+//!   free kernels, median-of-N), used by the paper experiments E1–E13;
+//! * the **script engine** — a [`WorkloadSource`] yields per-warp
+//!   allocation scripts ([`gpu_sim::ReplayScript`]) that [`run_script`]
+//!   re-issues against any [`gpu_sim::DeviceAllocator`] with the full
+//!   stamp/verify/free contract discipline, reducing every run to a
+//!   [`ScriptOutcome`] that can be diffed across allocator families.
+//!
+//! Script sources come in two families (see TESTING.md "Workload
+//! sources"): [`TraceReplayer`] re-issues a recorded trace (E17/E19),
+//! and [`adversarial`] generates hostile shapes — fragmentation attack,
+//! size-class flipper, skewed-SM hotspot, OOM-pressure ramp — that the
+//! differential sweep in `crates/allocators/tests/contract.rs` runs
+//! across all seven allocator families.
+
+pub mod adversarial;
+pub mod measure;
+pub mod runner;
+pub mod source;
+
+pub use adversarial::{
+    all_scenarios, FragmentationAttack, OomPressureRamp, SizeClassFlipper, SkewedHotspot,
+};
+pub use measure::{measure, median, run_alloc_free, variance, Measurement, RunResult, SizeSpec};
+pub use runner::{
+    dump_script, dump_script_to, replay_dump_dir, run_script, ScriptOutcome, REPLAY_DIR_ENV,
+};
+pub use source::{TraceReplayer, WorkloadSource};

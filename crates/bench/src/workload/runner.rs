@@ -1,0 +1,407 @@
+//! Execute a [`ReplayScript`] against any allocator, reducing the run
+//! to a diffable [`ScriptOutcome`].
+//!
+//! The runner enforces the same contract discipline as the differential
+//! sweep: every served pointer is bounds-checked and stamped, every
+//! stamp is verified immediately before its free (a clobbered stamp
+//! means two live allocations overlapped), and whatever is still
+//! reserved after the launch counts as leaked. Violations are *counted*,
+//! not asserted, so differing allocator families produce comparable
+//! outcomes instead of differently-located panics.
+//!
+//! In collective mode (the default for sweeps) consecutive same-kind
+//! ops on distinct lanes are batched into one `warp_malloc`/`warp_free`
+//! call, exercising the coalescing path exactly like a SIMT kernel
+//! would. Scalar mode issues one op at a time in strict script order,
+//! which is what makes trace round-trips order-exact (see the
+//! `script_fixpoint` test).
+
+use gpu_sim::replay::{ReplayOp, ReplayScript};
+use gpu_sim::{launch_warps, DeviceAllocator, DeviceConfig, DevicePtr, WARP_SIZE};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Where failing scenario scripts are dumped for artifact upload
+/// (default `target/replay`), mirroring `GALLATIN_TRACE_DIR` for traces.
+pub const REPLAY_DIR_ENV: &str = "GALLATIN_REPLAY_DIR";
+
+/// Everything observable about one allocator's run of a script, reduced
+/// to counters so runs can be diffed exactly across families.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScriptOutcome {
+    /// Malloc ops issued by the script.
+    pub attempted: u64,
+    /// Requests that returned a pointer.
+    pub served: u64,
+    /// Requests refused: unsupported size or NULL (exhaustion).
+    pub denied: u64,
+    /// Stamp clobbers observed — two live allocations overlapped.
+    pub overlaps: u64,
+    /// Pointers handed out beyond the heap end.
+    pub oob: u64,
+    /// Bytes still reserved after the script completed.
+    pub leaked_bytes: u64,
+}
+
+impl ScriptOutcome {
+    /// The contract projection: counters that must be zero for every
+    /// correct allocator regardless of its allocation policy.
+    pub fn violations(&self) -> (u64, u64, u64) {
+        (self.overlaps, self.oob, self.leaked_bytes)
+    }
+}
+
+/// Per-warp slot table: pointer, request size, and whether the payload
+/// was stamped (out-of-bounds pointers are never stamped or verified).
+type Slot = (DevicePtr, u64, bool);
+
+/// A warp-unique stamp per slot; a surviving stamp proves no other live
+/// allocation overlapped this one.
+fn stamp_of(warp_id: u64, slot: u32) -> u64 {
+    (warp_id << 32) | (slot as u64 + 1)
+}
+
+/// Run `script` on `a` under `device` and reduce the run to a
+/// [`ScriptOutcome`]. `collective` batches consecutive distinct-lane
+/// same-kind ops into warp collectives; scalar mode preserves strict
+/// per-warp op order. Does not reset the allocator — callers own its
+/// lifecycle (and leaks are part of the outcome).
+pub fn run_script(
+    a: &dyn DeviceAllocator,
+    device: DeviceConfig,
+    script: &ReplayScript,
+    collective: bool,
+) -> ScriptOutcome {
+    let attempted = AtomicU64::new(0);
+    let served = AtomicU64::new(0);
+    let denied = AtomicU64::new(0);
+    let overlaps = AtomicU64::new(0);
+    let oob = AtomicU64::new(0);
+    let heap = a.heap_bytes();
+    launch_warps(device, script.num_warps() * WARP_SIZE as u64, |warp| {
+        let ops = &script.warps[warp.warp_id as usize].ops;
+        let mut slots: Vec<Slot> = Vec::new();
+        let slot_at = |slots: &mut Vec<Slot>, s: u32| {
+            if slots.len() <= s as usize {
+                slots.resize(s as usize + 1, (DevicePtr::NULL, 0, false));
+            }
+        };
+        // One pending collective batch; `None` lane entries sit out.
+        let mut batch_sizes: Vec<Option<u64>> = vec![None; WARP_SIZE];
+        let mut batch_ptrs: Vec<DevicePtr> = vec![DevicePtr::NULL; WARP_SIZE];
+        let mut batch_slots: Vec<Option<u32>> = vec![None; WARP_SIZE];
+        let mut pending_mallocs = 0usize;
+        let mut pending_frees = 0usize;
+
+        macro_rules! flush_mallocs {
+            () => {
+                if pending_mallocs > 0 {
+                    let mut out = vec![DevicePtr::NULL; WARP_SIZE];
+                    a.warp_malloc(warp, &batch_sizes, &mut out);
+                    for lane in 0..WARP_SIZE {
+                        if let (Some(size), Some(slot)) = (batch_sizes[lane], batch_slots[lane]) {
+                            settle_malloc(
+                                a,
+                                warp.warp_id,
+                                &mut slots,
+                                slot,
+                                size,
+                                out[lane],
+                                heap,
+                                &served,
+                                &denied,
+                                &oob,
+                            );
+                        }
+                        batch_sizes[lane] = None;
+                        batch_slots[lane] = None;
+                    }
+                    pending_mallocs = 0;
+                }
+            };
+        }
+        macro_rules! flush_frees {
+            () => {
+                if pending_frees > 0 {
+                    for lane in 0..WARP_SIZE {
+                        if let Some(slot) = batch_slots[lane] {
+                            verify_stamp(a, warp.warp_id, &slots[slot as usize], slot, &overlaps);
+                        }
+                    }
+                    a.warp_free(warp, &batch_ptrs);
+                    for lane in 0..WARP_SIZE {
+                        if let Some(slot) = batch_slots[lane] {
+                            slots[slot as usize] = (DevicePtr::NULL, 0, false);
+                        }
+                        batch_ptrs[lane] = DevicePtr::NULL;
+                        batch_slots[lane] = None;
+                    }
+                    pending_frees = 0;
+                }
+            };
+        }
+
+        for op in ops {
+            match *op {
+                ReplayOp::Malloc { lane, slot, size } => {
+                    attempted.fetch_add(1, Ordering::Relaxed);
+                    slot_at(&mut slots, slot);
+                    if !a.supports_size(size) {
+                        denied.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    if collective {
+                        flush_frees!();
+                        if batch_sizes[lane as usize].is_some() {
+                            flush_mallocs!(); // lane already queued: new batch
+                        }
+                        batch_sizes[lane as usize] = Some(size);
+                        batch_slots[lane as usize] = Some(slot);
+                        pending_mallocs += 1;
+                    } else {
+                        let p = a.malloc(&warp.lane(lane as usize), size);
+                        settle_malloc(
+                            a,
+                            warp.warp_id,
+                            &mut slots,
+                            slot,
+                            size,
+                            p,
+                            heap,
+                            &served,
+                            &denied,
+                            &oob,
+                        );
+                    }
+                }
+                ReplayOp::Free { lane, slot } => {
+                    if collective {
+                        // The pointer may still sit in the pending
+                        // malloc batch: settle it before looking it up.
+                        flush_mallocs!();
+                    }
+                    slot_at(&mut slots, slot);
+                    let entry = slots[slot as usize];
+                    if entry.0.is_null() {
+                        continue; // the malloc was denied: nothing to free
+                    }
+                    if collective {
+                        if batch_slots[lane as usize].is_some() {
+                            flush_frees!();
+                        }
+                        batch_ptrs[lane as usize] = entry.0;
+                        batch_slots[lane as usize] = Some(slot);
+                        pending_frees += 1;
+                    } else {
+                        verify_stamp(a, warp.warp_id, &entry, slot, &overlaps);
+                        a.free(&warp.lane(lane as usize), entry.0);
+                        slots[slot as usize] = (DevicePtr::NULL, 0, false);
+                    }
+                }
+            }
+        }
+        flush_mallocs!();
+        flush_frees!();
+        debug_assert_eq!(
+            pending_mallocs + pending_frees,
+            0,
+            "final flushes must drain both batches"
+        );
+    });
+    ScriptOutcome {
+        attempted: attempted.into_inner(),
+        served: served.into_inner(),
+        denied: denied.into_inner(),
+        overlaps: overlaps.into_inner(),
+        oob: oob.into_inner(),
+        leaked_bytes: a.stats().reserved_bytes,
+    }
+}
+
+/// Record a malloc result: count served/denied, bounds-check, stamp.
+#[allow(clippy::too_many_arguments)]
+fn settle_malloc(
+    a: &dyn DeviceAllocator,
+    warp_id: u64,
+    slots: &mut [Slot],
+    slot: u32,
+    size: u64,
+    p: DevicePtr,
+    heap: u64,
+    served: &AtomicU64,
+    denied: &AtomicU64,
+    oob: &AtomicU64,
+) {
+    if p.is_null() {
+        denied.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    served.fetch_add(1, Ordering::Relaxed);
+    if p.0 + size > heap {
+        oob.fetch_add(1, Ordering::Relaxed);
+        // Kept unstamped; the matching free still returns it.
+        slots[slot as usize] = (p, size, false);
+    } else {
+        a.memory().write_stamp(p, stamp_of(warp_id, slot));
+        slots[slot as usize] = (p, size, true);
+    }
+}
+
+/// A clobbered stamp at free time means two live allocations overlapped.
+fn verify_stamp(
+    a: &dyn DeviceAllocator,
+    warp_id: u64,
+    entry: &Slot,
+    slot: u32,
+    overlaps: &AtomicU64,
+) {
+    let (p, _, stamped) = *entry;
+    if stamped && a.memory().read_stamp(p) != stamp_of(warp_id, slot) {
+        overlaps.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The directory failing scripts are dumped to: `$GALLATIN_REPLAY_DIR`,
+/// defaulting to `target/replay`.
+pub fn replay_dump_dir() -> PathBuf {
+    std::env::var_os(REPLAY_DIR_ENV)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target").join("replay"))
+}
+
+/// Write `script` to `dir/<label>-seed<seed>.replay` (creating `dir`,
+/// including parents, if missing) so a failing scenario ships its exact
+/// workload as a CI artifact. Returns the path, or `None` (with a
+/// warning on stderr) if the write failed — dumping is best-effort and
+/// never masks the original failure.
+pub fn dump_script_to(
+    dir: &Path,
+    label: &str,
+    seed: u64,
+    script: &ReplayScript,
+) -> Option<PathBuf> {
+    let safe: String = label
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '-' })
+        .collect();
+    let path = dir.join(format!("{safe}-seed{seed}.replay"));
+    let write = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, script.render()));
+    match write {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!("warning: could not dump replay script {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+/// [`dump_script_to`] targeting [`replay_dump_dir`].
+pub fn dump_script(label: &str, seed: u64, script: &ReplayScript) -> Option<PathBuf> {
+    dump_script_to(&replay_dump_dir(), label, seed, script)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gallatin::{Gallatin, GallatinConfig};
+    use gpu_sim::replay::WarpScript;
+
+    fn two_warp_script() -> ReplayScript {
+        let mut warps = Vec::new();
+        for _ in 0..2 {
+            let mut ops = Vec::new();
+            for slot in 0..8u32 {
+                ops.push(ReplayOp::Malloc { lane: slot % 4, slot, size: 16 << (slot % 3) });
+            }
+            for slot in (0..8u32).rev() {
+                ops.push(ReplayOp::Free { lane: slot % 4, slot });
+            }
+            warps.push(WarpScript { ops });
+        }
+        ReplayScript { num_sms: 2, warps }
+    }
+
+    #[test]
+    fn script_runs_clean_in_both_modes() {
+        let script = two_warp_script();
+        for collective in [false, true] {
+            let g = Gallatin::new(GallatinConfig::small_test(1 << 20));
+            let out = run_script(&g, DeviceConfig::with_sms(2).seeded(7), &script, collective);
+            assert_eq!(out.attempted, 16);
+            assert_eq!(out.served, 16, "collective={collective}: {out:?}");
+            assert_eq!(out.denied, 0);
+            assert_eq!(out.violations(), (0, 0, 0), "collective={collective}: {out:?}");
+            g.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn unsupported_and_exhausted_requests_count_as_denied() {
+        // One 64 KiB segment: a second large allocation must be denied
+        // (exhaustion), and a larger-than-heap request is unsupported.
+        let g = Gallatin::new(GallatinConfig::small_test(1 << 16));
+        let script = ReplayScript {
+            num_sms: 1,
+            warps: vec![WarpScript {
+                ops: vec![
+                    ReplayOp::Malloc { lane: 0, slot: 0, size: 1 << 16 },
+                    ReplayOp::Malloc { lane: 1, slot: 1, size: 1 << 16 },
+                    ReplayOp::Malloc { lane: 2, slot: 2, size: 1 << 24 },
+                    ReplayOp::Free { lane: 0, slot: 0 },
+                    ReplayOp::Free { lane: 1, slot: 1 },
+                    ReplayOp::Free { lane: 2, slot: 2 },
+                ],
+            }],
+        };
+        let out = run_script(&g, DeviceConfig::with_sms(1).seeded(7), &script, true);
+        assert_eq!(out.attempted, 3);
+        assert_eq!(out.served, 1);
+        assert_eq!(out.denied, 2);
+        assert_eq!(out.violations(), (0, 0, 0), "{out:?}");
+    }
+
+    #[test]
+    fn repeated_lane_use_splits_batches_correctly() {
+        // All ops on lane 0: collective mode must flush per op and still
+        // produce the same outcome as scalar mode.
+        let ops: Vec<ReplayOp> = (0..6u32)
+            .map(|slot| ReplayOp::Malloc { lane: 0, slot, size: 32 })
+            .chain((0..6u32).map(|slot| ReplayOp::Free { lane: 0, slot }))
+            .collect();
+        let script = ReplayScript { num_sms: 1, warps: vec![WarpScript { ops }] };
+        let g = Gallatin::new(GallatinConfig::small_test(1 << 20));
+        let a = run_script(&g, DeviceConfig::with_sms(1).seeded(3), &script, true);
+        g.reset();
+        let b = run_script(&g, DeviceConfig::with_sms(1).seeded(3), &script, false);
+        assert_eq!(a, b);
+        assert_eq!(a.served, 6);
+        assert_eq!(a.violations(), (0, 0, 0));
+    }
+
+    #[test]
+    fn intentional_leak_shows_up_in_the_outcome() {
+        let g = Gallatin::new(GallatinConfig::small_test(1 << 20));
+        let script = ReplayScript {
+            num_sms: 1,
+            warps: vec![WarpScript { ops: vec![ReplayOp::Malloc { lane: 0, slot: 0, size: 256 }] }],
+        };
+        let out = run_script(&g, DeviceConfig::with_sms(1).seeded(0), &script, true);
+        assert_eq!(out.served, 1);
+        assert!(out.leaked_bytes >= 256, "{out:?}");
+    }
+
+    #[test]
+    fn dump_script_creates_nested_directories() {
+        let dir = std::env::temp_dir()
+            .join(format!("gallatin-replay-test-{}", std::process::id()))
+            .join("deeply")
+            .join("nested");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dump_script_to(&dir, "unit test/scenario", 42, &two_warp_script())
+            .expect("dump must create missing directories");
+        assert!(path.ends_with("unit-test-scenario-seed42.replay"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(ReplayScript::parse(&text).unwrap(), two_warp_script());
+        let _ = std::fs::remove_dir_all(dir.parent().unwrap().parent().unwrap());
+    }
+}

@@ -1,0 +1,88 @@
+//! Pool-mode integration for the adversarial workload suite: the
+//! skewed-hotspot generator must actually produce the spill pressure it
+//! advertises, and real pool runs must exhibit the cross-instance
+//! pointer collisions the lifecycle ledger's per-`(instance, ptr)`
+//! pairing exists for — with zero anomalies despite the collisions.
+
+use bench::workload::{run_script, SkewedHotspot, WorkloadSource};
+use gallatin::{GallatinConfig, GallatinPool};
+use gpu_sim::trace::{Ledger, TraceEvent, TraceSink};
+use gpu_sim::{DeviceAllocator, DeviceConfig};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const NUM_SMS: u32 = 4;
+
+/// Per-instance heap small enough that the hot SM's block-tier traffic
+/// (256–1024 B across flipping classes) overruns its home instance,
+/// while the cold SMs' 16 B trickle never does.
+const TIGHT_HEAP: u64 = 128 << 10; // 2 small_test segments per instance
+
+#[test]
+fn skewed_hotspot_spills_only_from_the_hot_home() {
+    let seed = 11;
+    let h = SkewedHotspot::standard(NUM_SMS);
+    let hot = h.hot_sm(seed) as usize;
+    let script = h.script(seed);
+    let pool = GallatinPool::new(NUM_SMS as usize, GallatinConfig::small_test(TIGHT_HEAP));
+    let out = run_script(&pool, DeviceConfig::with_sms(NUM_SMS).seeded(seed), &script, true);
+    assert_eq!(out.violations(), (0, 0, 0), "{out:?}");
+    assert!(out.served > 0, "{out:?}");
+    pool.check_invariants().expect("pool healthy after hotspot");
+
+    // The generator's whole point: the hot SM's home instance saturates
+    // and walks to siblings; the cold homes never need to.
+    assert!(
+        pool.spill_count(hot) > 0,
+        "hot home {hot} must overflow under seed {seed} (spills {:?})",
+        (0..NUM_SMS as usize).map(|i| pool.spill_count(i)).collect::<Vec<_>>()
+    );
+    for i in (0..NUM_SMS as usize).filter(|&i| i != hot) {
+        assert_eq!(
+            pool.spill_count(i),
+            0,
+            "cold home {i} only sips 16 B slices and must never spill"
+        );
+    }
+}
+
+#[test]
+fn pool_replay_collides_local_pointers_without_ledger_anomalies() {
+    // Every instance starts serving from its own offset 0, and the trace
+    // records instance-local pointers — so a multi-instance run *will*
+    // reuse the same ptr value across instances. The ledger must pair
+    // per (instance, ptr) and report a clean lifecycle anyway.
+    let seed = 3;
+    let script = SkewedHotspot::standard(NUM_SMS).script(seed);
+    let pool = GallatinPool::new(NUM_SMS as usize, GallatinConfig::small_test(TIGHT_HEAP));
+    let sink = Arc::new(TraceSink::new());
+    let (out, records) = gpu_sim::trace::with_sink(sink.clone(), || {
+        let out = run_script(&pool, DeviceConfig::with_sms(NUM_SMS).seeded(seed), &script, true);
+        (out, sink.snapshot())
+    });
+    assert_eq!(sink.dropped(), 0);
+    assert_eq!(out.violations(), (0, 0, 0), "{out:?}");
+
+    // Count which instances allocated each recorded local ptr value.
+    let mut by_ptr: HashMap<u64, Vec<u32>> = HashMap::new();
+    for r in &records {
+        if let TraceEvent::Malloc { ptr, .. } = r.event {
+            let owners = by_ptr.entry(ptr).or_default();
+            if !owners.contains(&r.instance) {
+                owners.push(r.instance);
+            }
+        }
+    }
+    assert!(
+        by_ptr.values().any(|owners| owners.len() > 1),
+        "a multi-instance run must reuse local offsets across instances"
+    );
+
+    let ledger = Ledger::build(&records);
+    let outcome = ledger.outcome();
+    assert_eq!(outcome.leaks, 0, "{}", ledger.report());
+    assert_eq!(outcome.double_frees, 0, "{}", ledger.report());
+    assert_eq!(outcome.unknown_frees, 0, "{}", ledger.report());
+    assert_eq!(outcome.mallocs, out.served);
+    assert_eq!(outcome.frees, out.served, "leak-free script frees everything it was served");
+}

@@ -30,10 +30,25 @@ pub struct LiveAlloc {
     pub instance: u32,
 }
 
+/// What kind of unmatched free a [`FreeAnomaly`] is. The two are
+/// different bugs: a double free names an allocation whose lifetime
+/// ended twice (a races-on-free or replayed-free defect), an
+/// unknown-pointer free names a pointer this instance never handed out
+/// (a routing or cross-instance defect in pool mode).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FreeAnomalyKind {
+    /// The `(instance, ptr)` pair was allocated and already freed.
+    DoubleFree,
+    /// The `(instance, ptr)` pair was never allocated in this trace.
+    UnknownPtr,
+}
+
 /// A `Free` event with no matching live allocation: a double free, or a
 /// free of a pointer the trace never saw allocated.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FreeAnomaly {
+    /// Which of the two anomaly classes this free falls into.
+    pub kind: FreeAnomalyKind,
     /// Device offset freed.
     pub ptr: u64,
     /// Step of the offending `Free` event.
@@ -77,6 +92,29 @@ pub struct Ledger {
     pub timeline: Vec<(u64, u64)>,
     /// Maximum of the timeline.
     pub peak_live_bytes: u64,
+    /// Sum of all `Malloc` event sizes (allocator-rounded bytes).
+    pub total_alloc_bytes: u64,
+}
+
+/// The schedule-independent projection of a [`Ledger`]: counters that
+/// must agree between a recorded run and any faithful replay of it, no
+/// matter how the two schedules interleaved. Step-dependent figures
+/// (peak occupancy, latency histogram, cross-warp traffic) deliberately
+/// stay out.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LedgerOutcome {
+    /// Total `Malloc` events.
+    pub mallocs: u64,
+    /// Total `Free` events.
+    pub frees: u64,
+    /// Allocations never freed.
+    pub leaks: u64,
+    /// Frees of an already-freed pointer.
+    pub double_frees: u64,
+    /// Frees of a never-allocated pointer.
+    pub unknown_frees: u64,
+    /// Sum of allocator-rounded request bytes.
+    pub alloc_bytes: u64,
 }
 
 impl Ledger {
@@ -84,11 +122,14 @@ impl Ledger {
     /// [`crate::trace::TraceSink::snapshot`]). Non-lifecycle events are
     /// ignored. Pairing is per `(instance, ptr)`.
     pub fn build(records: &[TraceRecord]) -> Ledger {
-        use std::collections::HashMap;
+        use std::collections::{HashMap, HashSet};
         // Insertion-ordered live list + index map: reports come out in
         // allocation order, never hash order, keeping output diffable.
         let mut live: Vec<Option<LiveAlloc>> = Vec::new();
         let mut by_ptr: HashMap<(u32, u64), usize> = HashMap::new();
+        // Everything ever allocated, so an unmatched free can be classed
+        // as a double free (seen before) vs a free of an unknown pointer.
+        let mut ever: HashSet<(u32, u64)> = HashSet::new();
         let mut ledger = Ledger {
             live: Vec::new(),
             double_frees: Vec::new(),
@@ -98,6 +139,7 @@ impl Ledger {
             latency_hist: [0; LATENCY_BUCKETS],
             timeline: Vec::new(),
             peak_live_bytes: 0,
+            total_alloc_bytes: 0,
         };
         let mut live_bytes = 0u64;
         for r in records {
@@ -118,8 +160,10 @@ impl Ledger {
                     // handed the region out twice); keep the newer
                     // incarnation live, the older one stays leaked.
                     by_ptr.insert((r.instance, ptr), live.len());
+                    ever.insert((r.instance, ptr));
                     live.push(Some(alloc));
                     live_bytes += size;
+                    ledger.total_alloc_bytes += size;
                 }
                 TraceEvent::Free { ptr } => {
                     ledger.frees += 1;
@@ -134,6 +178,11 @@ impl Ledger {
                             ledger.latency_hist[bucket.min(LATENCY_BUCKETS - 1)] += 1;
                         }
                         None => ledger.double_frees.push(FreeAnomaly {
+                            kind: if ever.contains(&(r.instance, ptr)) {
+                                FreeAnomalyKind::DoubleFree
+                            } else {
+                                FreeAnomalyKind::UnknownPtr
+                            },
                             ptr,
                             step: r.step,
                             sm: r.sm,
@@ -177,7 +226,11 @@ impl Ledger {
         }
         for d in &self.double_frees {
             out.push_str(&format!(
-                "  double free: ptr {} at step {} (sm {} warp {} lane {}{})\n",
+                "  {}: ptr {} at step {} (sm {} warp {} lane {}{})\n",
+                match d.kind {
+                    FreeAnomalyKind::DoubleFree => "double free",
+                    FreeAnomalyKind::UnknownPtr => "unknown-ptr free",
+                },
                 d.ptr,
                 d.step,
                 d.sm,
@@ -202,6 +255,20 @@ impl Ledger {
         }
         out.push('\n');
         out
+    }
+
+    /// The replay-equivalence projection (see [`LedgerOutcome`]).
+    pub fn outcome(&self) -> LedgerOutcome {
+        let kind_count =
+            |k: FreeAnomalyKind| self.double_frees.iter().filter(|d| d.kind == k).count() as u64;
+        LedgerOutcome {
+            mallocs: self.mallocs,
+            frees: self.frees,
+            leaks: self.live.len() as u64,
+            double_frees: kind_count(FreeAnomalyKind::DoubleFree),
+            unknown_frees: kind_count(FreeAnomalyKind::UnknownPtr),
+            alloc_bytes: self.total_alloc_bytes,
+        }
     }
 }
 
@@ -245,7 +312,20 @@ mod tests {
         assert_eq!(ledger.live[0].step, 1);
         assert_eq!(ledger.double_frees.len(), 1);
         assert_eq!(ledger.double_frees[0].ptr, 100);
+        assert_eq!(ledger.double_frees[0].kind, FreeAnomalyKind::DoubleFree);
         assert_eq!(ledger.cross_warp_frees, 1);
+        assert_eq!(ledger.total_alloc_bytes, 96);
+        assert_eq!(
+            ledger.outcome(),
+            LedgerOutcome {
+                mallocs: 3,
+                frees: 3,
+                leaks: 1,
+                double_frees: 1,
+                unknown_frees: 0,
+                alloc_bytes: 96,
+            }
+        );
         assert_eq!(ledger.peak_live_bytes, 96);
         assert_eq!(ledger.timeline.last(), Some(&(5, 16)));
         assert_eq!(ledger.latency_hist.iter().sum::<u64>(), 2);
@@ -274,7 +354,75 @@ mod tests {
         assert_eq!((ledger.live[0].instance, ledger.live[0].ptr), (0, 100));
         assert_eq!(ledger.double_frees.len(), 1);
         assert_eq!(ledger.double_frees[0].instance, 2);
+        assert_eq!(
+            ledger.double_frees[0].kind,
+            FreeAnomalyKind::UnknownPtr,
+            "instance 2 never allocated ptr 100, so this is not a double free"
+        );
         let report = ledger.report();
         assert!(report.contains("lane 0 instance 2"), "anomaly names its instance: {report}");
+    }
+
+    // Edge-case matrix: each malformed lifecycle is a *classified
+    // violation*, never a panic, and the two anomaly kinds stay distinct.
+
+    #[test]
+    fn free_without_malloc_is_an_unknown_ptr_anomaly() {
+        let records = vec![rec(0, 0, 0, TraceEvent::Free { ptr: 640 })];
+        let ledger = Ledger::build(&records);
+        assert_eq!(ledger.frees, 1);
+        assert_eq!(ledger.double_frees.len(), 1);
+        assert_eq!(ledger.double_frees[0].kind, FreeAnomalyKind::UnknownPtr);
+        assert_eq!(ledger.outcome().unknown_frees, 1);
+        assert_eq!(ledger.outcome().double_frees, 0);
+        assert!(ledger.report().contains("unknown-ptr free: ptr 640"));
+    }
+
+    #[test]
+    fn replayed_double_free_is_a_double_free_anomaly() {
+        let records = vec![
+            rec(0, 0, 0, TraceEvent::Malloc { size: 32, tier: AllocTier::Slice, ptr: 64 }),
+            rec(1, 0, 0, TraceEvent::Free { ptr: 64 }),
+            // The same free replayed: the pointer *was* allocated once,
+            // so this is classed as a double free, not an unknown ptr.
+            rec(2, 1, 0, TraceEvent::Free { ptr: 64 }),
+            rec(3, 1, 0, TraceEvent::Free { ptr: 64 }),
+        ];
+        let ledger = Ledger::build(&records);
+        assert_eq!(ledger.double_frees.len(), 2);
+        assert!(ledger.double_frees.iter().all(|d| d.kind == FreeAnomalyKind::DoubleFree));
+        assert_eq!(ledger.outcome().double_frees, 2);
+        assert_eq!(ledger.outcome().unknown_frees, 0);
+        assert!(ledger.report().contains("double free: ptr 64"));
+    }
+
+    #[test]
+    fn cross_instance_ptr_collision_classifies_both_sides() {
+        // Pool mode: instance 0 and 1 both hand out local offset 128.
+        // Instance 0's ptr is freed twice (double free on instance 0);
+        // instance 1's ptr is freed once on the *wrong* instance — an
+        // unknown ptr there, and a leak on instance 1.
+        let m = |step, instance| {
+            rec(
+                step,
+                0,
+                instance,
+                TraceEvent::Malloc { size: 16, tier: AllocTier::Slice, ptr: 128 },
+            )
+        };
+        let records = vec![
+            m(0, 0),
+            m(1, 1),
+            rec(2, 0, 0, TraceEvent::Free { ptr: 128 }),
+            rec(3, 0, 0, TraceEvent::Free { ptr: 128 }), // double free, instance 0
+            rec(4, 0, 2, TraceEvent::Free { ptr: 128 }), // unknown ptr, instance 2
+        ];
+        let ledger = Ledger::build(&records);
+        let out = ledger.outcome();
+        assert_eq!((out.double_frees, out.unknown_frees, out.leaks), (1, 1, 1));
+        let double = &ledger.double_frees;
+        assert_eq!((double[0].kind, double[0].instance), (FreeAnomalyKind::DoubleFree, 0));
+        assert_eq!((double[1].kind, double[1].instance), (FreeAnomalyKind::UnknownPtr, 2));
+        assert_eq!(ledger.live[0].instance, 1, "instance 1's allocation is the leak");
     }
 }

@@ -52,6 +52,7 @@ pub mod launch;
 pub mod ledger;
 pub mod mem;
 pub mod metrics;
+pub mod replay;
 pub mod sched;
 pub mod trace;
 pub mod warp;
@@ -60,6 +61,7 @@ pub use alloc_api::{AllocStats, DeviceAllocator};
 pub use launch::{launch, launch_warps, DeviceConfig, ExecMode};
 pub use mem::{DeviceMemory, DevicePtr};
 pub use metrics::{with_metrics_stripe, Metrics};
+pub use replay::{ConversionStats, ReplayOp, ReplayScript, WarpScript};
 pub use sched::{
     current_sched_seed, explore_schedules, preempt_point, spin_hint, with_hooks, FaultPlan,
     PreemptPoint, ScheduleFailure, SimHooks,

@@ -579,7 +579,9 @@ fn event_args(r: &TraceRecord) -> String {
 // so `trace::Ledger` paths keep working)
 // =====================================================================
 
-pub use crate::ledger::{FreeAnomaly, Ledger, LiveAlloc, LATENCY_BUCKETS};
+pub use crate::ledger::{
+    FreeAnomaly, FreeAnomalyKind, Ledger, LedgerOutcome, LiveAlloc, LATENCY_BUCKETS,
+};
 
 // =====================================================================
 // Auto-dump
