@@ -26,6 +26,11 @@
 //!                   convert to a gallatin-replay-v1 script, re-run it through
 //!                   Gallatin and GallatinPool(2), assert lifecycle-outcome
 //!                   equality (seed from GALLATIN_SCHED_SEED)
+//!   serve           E20 — open-loop serving sweep: seeded arrivals (Poisson/
+//!                   bursty), bounded queue, batched launches, multi-tenant
+//!                   admission control; p50/p99/p999 + goodput to
+//!                   BENCH_serve.json; exits 1 on any quota violation or
+//!                   ledger anomaly (seed from GALLATIN_SCHED_SEED)
 //!   summary         §6.3-style speedup summary from the written CSVs
 //!   all             everything above, in order
 //!
@@ -38,6 +43,7 @@
 //!   --out DIR       CSV output directory (default results)
 //!   --json          also write machine-readable BENCH_<experiment>.json files
 //!   --full          paper-scale: 1M threads, 50 runs, 2G heap, 2^20 scaling
+//!   --smoke         CI smoke subset (serve): shorter horizon, fewer cells
 //! ```
 
 use bench::experiments as exp;
@@ -56,7 +62,7 @@ fn parse_bytes(s: &str) -> Option<u64> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: repro <init|single|mixed|scaling|variance|warmup|fragmentation|utilization|graph|expansion|reclaim|ablation|bench-smoke|trace|pool|replay|summary|all> [--threads N] [--runs N] [--heap BYTES] [--sms N] [--pool N] [--out DIR] [--json] [--full]");
+        eprintln!("usage: repro <init|single|mixed|scaling|variance|warmup|fragmentation|utilization|graph|expansion|reclaim|ablation|bench-smoke|trace|pool|replay|serve|summary|all> [--threads N] [--runs N] [--heap BYTES] [--sms N] [--pool N] [--out DIR] [--json] [--full] [--smoke]");
         std::process::exit(2);
     }
     let cmd = args[0].clone();
@@ -94,6 +100,10 @@ fn main() {
             }
             "--full" => {
                 cfg = cfg.clone().at_full_scale();
+                i += 1;
+            }
+            "--smoke" => {
+                cfg.smoke = true;
                 i += 1;
             }
             other => {
@@ -134,6 +144,11 @@ fn main() {
         "trace" => exp::run_trace(&cfg),
         "pool" => exp::run_pool(&cfg),
         "replay" => exp::run_replay(&cfg),
+        "serve" => {
+            if !exp::run_serve(&cfg) {
+                std::process::exit(1);
+            }
+        }
         "summary" => exp::run_summary(&cfg.out_dir),
         "all" => {
             exp::run_init(&cfg);
@@ -151,6 +166,7 @@ fn main() {
             exp::run_trace(&cfg);
             exp::run_pool(&cfg);
             exp::run_replay(&cfg);
+            exp::run_serve(&cfg);
             exp::run_summary(&cfg.out_dir);
         }
         other => {

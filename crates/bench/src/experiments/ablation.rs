@@ -183,7 +183,9 @@ fn sweep(randomize: bool, seeds: u64, size: u64) -> SweepTotals {
 
 /// Build the full record set at the given sweep width.
 fn records(experiment: &str, seeds: u64) -> Vec<BenchRecord> {
+    let t0 = Instant::now();
     let (fresh, steady) = group_cost();
+    let group_cost_ms = t0.elapsed().as_secs_f64() * 1e3;
     assert_eq!(steady, 1, "steady-state coalesced group must cost exactly one atomic");
     let rec = |case: &str, extra: Vec<(String, String)>, ms: f64, counts: Vec<(String, u64)>| {
         let mut params = vec![("case".to_string(), case.to_string())];
@@ -199,7 +201,7 @@ fn records(experiment: &str, seeds: u64) -> Vec<BenchRecord> {
     let mut out = vec![rec(
         "group-cost",
         vec![("lanes".into(), "32".into())],
-        f64::NAN,
+        group_cost_ms,
         vec![("fresh_group_atomics".into(), fresh), ("steady_group_atomics".into(), steady)],
     )];
     for size in [SWEEP_SIZE_SLICE, SWEEP_SIZE_BLOCK] {

@@ -9,6 +9,7 @@ pub mod pool;
 pub mod reclaim;
 pub mod replay;
 pub mod scaling;
+pub mod serve;
 pub mod single;
 pub mod summary;
 pub mod trace;
@@ -24,6 +25,7 @@ pub use pool::run_pool;
 pub use reclaim::run_reclaim;
 pub use replay::run_replay;
 pub use scaling::run_scaling;
+pub use serve::run_serve;
 pub use single::{run_single, run_warmup};
 pub use summary::run_summary;
 pub use trace::run_trace;

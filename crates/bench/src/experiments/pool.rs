@@ -143,7 +143,7 @@ fn width_records(experiment: &str, n: usize, seeds: u64) -> Vec<BenchRecord> {
                 ("size".into(), SWEEP_SIZE_BLOCK.to_string()),
                 ("seeds".into(), seeds.to_string()),
             ],
-            f64::NAN,
+            ms,
             vec![
                 ("cas_attempts".into(), t.cas_attempts),
                 ("cas_failures".into(), t.cas_failures),
@@ -159,7 +159,7 @@ fn width_records(experiment: &str, n: usize, seeds: u64) -> Vec<BenchRecord> {
 /// seed width, appended to `smoke_records()` so a pool-path count
 /// regression fails the same gate as the single-instance sweeps.
 pub fn pool_smoke_records(experiment: &str) -> Vec<BenchRecord> {
-    let (per, _) = churn_pool(2, SWEEP_SEEDS_SMOKE);
+    let (per, ms) = churn_pool(2, SWEEP_SEEDS_SMOKE);
     let sum = |f: fn(&InstanceTotals) -> u64| per.iter().map(f).sum::<u64>();
     vec![rec(
         experiment,
@@ -169,7 +169,7 @@ pub fn pool_smoke_records(experiment: &str) -> Vec<BenchRecord> {
             ("size".into(), SWEEP_SIZE_BLOCK.to_string()),
             ("seeds".into(), SWEEP_SEEDS_SMOKE.to_string()),
         ],
-        f64::NAN,
+        ms,
         vec![
             ("cas_attempts".into(), sum(|t| t.cas_attempts)),
             ("cas_failures".into(), sum(|t| t.cas_failures)),
@@ -186,12 +186,14 @@ pub fn run_pool(cfg: &HarnessConfig) {
     for n in POOL_WIDTHS {
         recs.extend(width_records("pool", n, seeds));
     }
+    let t0 = Instant::now();
     let (spills, claims) = pressure();
+    let pressure_ms = t0.elapsed().as_secs_f64() * 1e3;
     recs.push(rec(
         "pool",
         "pressure",
         vec![("instances".into(), "2".into()), ("seed".into(), PRESSURE_SEED.to_string())],
-        f64::NAN,
+        pressure_ms,
         vec![("spills".into(), spills), ("requests".into(), claims)],
     ));
 

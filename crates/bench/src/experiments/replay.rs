@@ -47,6 +47,7 @@ struct TargetRun {
     name: &'static str,
     outcome: LedgerOutcome,
     script_outcome: ScriptOutcome,
+    replay_ms: f64,
 }
 
 /// Record the E16 block churn under `seed`, returning the trace-derived
@@ -81,13 +82,15 @@ fn replay_through(
     script: &ReplayScript,
 ) -> TargetRun {
     let sink = Arc::new(TraceSink::new());
+    let t0 = std::time::Instant::now();
     let (script_outcome, records) = gpu_sim::trace::with_sink(sink.clone(), || {
         let out =
             run_script(a, DeviceConfig::with_sms(ablation::SWEEP_SMS).seeded(seed), script, true);
         (out, sink.snapshot())
     });
+    let replay_ms = t0.elapsed().as_secs_f64() * 1e3;
     assert_eq!(sink.dropped(), 0, "replay sink capacity must cover the workload");
-    TargetRun { name, outcome: Ledger::build(&records).outcome(), script_outcome }
+    TargetRun { name, outcome: Ledger::build(&records).outcome(), script_outcome, replay_ms }
 }
 
 /// Run the E19 round trip; see the module docs.
@@ -188,7 +191,7 @@ pub fn run_replay(cfg: &HarnessConfig) {
                     ("case".to_string(), "block-churn".to_string()),
                     ("seed".to_string(), seed.to_string()),
                 ],
-                median_ms: f64::NAN,
+                median_ms: run.replay_ms,
                 counts: vec![
                     ("mallocs".to_string(), run.outcome.mallocs),
                     ("frees".to_string(), run.outcome.frees),

@@ -1,0 +1,383 @@
+//! E20 — serving-mode sweeps: open-loop arrivals, batched launches,
+//! tail latency and goodput (`repro serve`).
+//!
+//! Three questions the closed-loop experiments (E1–E17) cannot answer:
+//!
+//! 1. **Load → tail latency.** Sweeping offered load across the same
+//!    arrival shapes shows p50 staying flat while p99/p999 blow up as
+//!    the queue saturates, and goodput collapsing past the knee — the
+//!    classic open-loop signature.
+//! 2. **Batch width → p999.** Wider batches amortize launch overhead
+//!    (more goodput per launch) but delay early requests and lengthen
+//!    each launch, trading p999 for throughput.
+//! 3. **Fairness.** An aggressive tenant floods the system; with quota
+//!    admission its overcommit is rejected at the door and the
+//!    well-behaved victim's p99 stays bounded, without admission the
+//!    victim queues behind the flood.
+//!
+//! Everything runs on the deterministic scheduler: latencies are in
+//! schedule steps and replay byte-identically from
+//! `GALLATIN_SCHED_SEED` (see the `serve_determinism` test). Wall time
+//! appears only as the informational `median_ms` of the engine run.
+//!
+//! `--smoke` shrinks the sweep to one gating subset per backend and
+//! returns `false` (exit 1 in `repro`) on any quota violation or
+//! ledger anomaly.
+
+use crate::report::{write_bench_json, BenchRecord, Table};
+use crate::serve::{
+    run_serve_engine, ArrivalConfig, ArrivalShape, Rejection, ServeConfig, ServeOutcome, TenantSpec,
+};
+use crate::HarnessConfig;
+use gallatin::{Gallatin, GallatinConfig, GallatinPool};
+use gpu_sim::sched::SCHED_SEED_ENV;
+use gpu_sim::DeviceAllocator;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Schedule seed used when `GALLATIN_SCHED_SEED` is unset (matches the
+/// other deterministic experiments).
+const DEFAULT_SEED: u64 = 7;
+
+/// Arrival-seed offset: keeps the arrival stream independent of the
+/// schedule stream even though both replay from one env knob.
+const ARRIVAL_SEED_XOR: u64 = 0x5EED_A221;
+
+/// Offered loads swept (requests per 1000 steps). The top load sits
+/// past the saturation knee at the default batch width.
+const LOADS: [u64; 3] = [30, 90, 270];
+
+/// Batch widths swept at the middle load.
+const BATCH_WIDTHS: [usize; 3] = [16, 64, 256];
+
+/// Per-instance heap for the serving backends; small_test geometry
+/// keeps runs fast while still exercising all three tiers.
+const SERVE_HEAP: u64 = 1 << 22;
+
+/// The two serving backends: flagship Gallatin and a 2-instance pool
+/// (ISSUE: "Gallatin and GallatinPool(2+)").
+fn backends() -> Vec<(String, Arc<dyn DeviceAllocator>, u64)> {
+    let pool = GallatinPool::new(2, GallatinConfig::small_test(SERVE_HEAP));
+    let pool_stride = pool.stride();
+    vec![
+        (
+            "Gallatin".to_string(),
+            Arc::new(Gallatin::new(GallatinConfig::small_test(SERVE_HEAP))) as Arc<_>,
+            u64::MAX,
+        ),
+        ("GallatinPool(2)".to_string(), Arc::new(pool) as Arc<_>, pool_stride),
+    ]
+}
+
+/// The standard two-tenant mix: a heavy service and a light one.
+fn standard_tenants() -> Vec<TenantSpec> {
+    vec![
+        TenantSpec {
+            name: "svc-a".into(),
+            weight: 3,
+            quota_bytes: 1 << 21,
+            size_min: 16,
+            size_max: 4096,
+            mean_lifetime_steps: 96,
+        },
+        TenantSpec {
+            name: "svc-b".into(),
+            weight: 1,
+            quota_bytes: 1 << 20,
+            size_min: 64,
+            size_max: 1024,
+            mean_lifetime_steps: 24,
+        },
+    ]
+}
+
+/// The fairness mix: `victim` issues modest requests; `aggressor`
+/// floods with large long-lived ones. Its quota is what the throttled
+/// arm enforces.
+fn fairness_tenants() -> Vec<TenantSpec> {
+    vec![
+        TenantSpec {
+            name: "victim".into(),
+            weight: 1,
+            quota_bytes: 1 << 20,
+            size_min: 64,
+            size_max: 512,
+            mean_lifetime_steps: 32,
+        },
+        TenantSpec {
+            name: "aggressor".into(),
+            weight: 6,
+            quota_bytes: 64 << 10,
+            size_min: 2048,
+            size_max: 4096,
+            mean_lifetime_steps: 2048,
+        },
+    ]
+}
+
+/// Base config for one sweep cell.
+fn cell_config(
+    shape: ArrivalShape,
+    rate: u64,
+    batch_width: usize,
+    horizon: u64,
+    seed: u64,
+    max_request: u64,
+    tenants: Vec<TenantSpec>,
+    num_sms: u32,
+) -> ServeConfig {
+    ServeConfig {
+        arrivals: ArrivalConfig {
+            shape,
+            seed: seed ^ ARRIVAL_SEED_XOR,
+            rate_per_kstep: rate,
+            horizon_steps: horizon,
+        },
+        tenants,
+        sched_seed: seed,
+        batch_width,
+        queue_capacity: 4 * batch_width.max(64),
+        launch_overhead_steps: 8,
+        max_request_bytes: max_request,
+        enforce_quotas: true,
+        num_sms,
+        ledger_check: true,
+    }
+}
+
+/// Run one cell `runs` times on a fresh backend each time (the engine
+/// drains, but a fresh allocator removes cross-cell state); returns the
+/// (identical) outcome plus the median wall time.
+fn measure(cfg: &ServeConfig, alloc: &dyn DeviceAllocator, runs: usize) -> (ServeOutcome, f64) {
+    let mut times = Vec::with_capacity(runs);
+    let mut out = None;
+    for _ in 0..runs.max(1) {
+        let t0 = Instant::now();
+        let o = run_serve_engine(cfg, alloc);
+        times.push(t0.elapsed().as_secs_f64() * 1e3);
+        if let Some(prev) = &out {
+            debug_assert_eq!(prev, &o, "serving runs must be deterministic");
+        }
+        out = Some(o);
+    }
+    (out.unwrap(), crate::workload::measure::median(&times))
+}
+
+/// Reduce one outcome to the BENCH counts map. The full latency
+/// histogram rides along (`hist_bNN`) so the determinism test can pin
+/// the distribution, not just its percentiles.
+fn counts_of(out: &ServeOutcome) -> Vec<(String, u64)> {
+    let mut counts = vec![
+        ("offered".into(), out.offered),
+        ("admitted".into(), out.admitted),
+        ("served".into(), out.served),
+        ("served_bytes".into(), out.served_bytes),
+        ("batches".into(), out.batches),
+        ("sched_steps".into(), out.sched_steps),
+        ("end_step".into(), out.end_step),
+        ("p50_steps".into(), out.latency.p50),
+        ("p99_steps".into(), out.latency.p99),
+        ("p999_steps".into(), out.latency.p999),
+        ("max_steps".into(), out.latency.max),
+        ("goodput_bytes_per_kstep".into(), out.goodput_bytes_per_kstep()),
+        ("quota_violations".into(), out.quota_violations),
+        ("ledger_leaks".into(), out.ledger_leaks),
+        ("ledger_double_frees".into(), out.ledger_double_frees),
+        ("ledger_unknown_frees".into(), out.ledger_unknown_frees),
+        ("ledger_size_mismatches".into(), out.ledger_size_mismatches),
+    ];
+    for (t, why) in out.tenants.iter().flat_map(|t| Rejection::ALL.iter().map(move |&w| (t, w))) {
+        counts.push((format!("{}_{}", t.name, why.label()), t.rejected[why as usize]));
+    }
+    for t in &out.tenants {
+        counts.push((format!("{}_peak_live_bytes", t.name), t.peak_live_bytes));
+        counts.push((format!("{}_p99_steps", t.name), t.latency.p99));
+    }
+    for (b, &n) in out.latency.hist.iter().enumerate() {
+        if n > 0 {
+            counts.push((format!("hist_b{b:02}"), n));
+        }
+    }
+    counts
+}
+
+/// Build the BENCH record for one cell.
+fn record_of(
+    allocator: &str,
+    cfg: &ServeConfig,
+    out: &ServeOutcome,
+    median_ms: f64,
+    scenario: &str,
+) -> BenchRecord {
+    BenchRecord {
+        experiment: "serve".into(),
+        allocator: allocator.into(),
+        params: vec![
+            ("scenario".into(), scenario.into()),
+            ("shape".into(), cfg.arrivals.shape.label().into()),
+            ("rate_per_kstep".into(), cfg.arrivals.rate_per_kstep.to_string()),
+            ("batch_width".into(), cfg.batch_width.to_string()),
+            ("horizon_steps".into(), cfg.arrivals.horizon_steps.to_string()),
+            ("admission".into(), if cfg.enforce_quotas { "on" } else { "off" }.to_string()),
+            ("seed".into(), cfg.sched_seed.to_string()),
+        ],
+        median_ms,
+        counts: counts_of(out),
+    }
+}
+
+/// E20 entry point (`repro serve`). Returns `false` — exit 1 — when
+/// the smoke gate trips: any quota violation or ledger anomaly.
+pub fn run_serve(cfg: &HarnessConfig) -> bool {
+    let seed = match std::env::var(SCHED_SEED_ENV) {
+        Ok(s) => {
+            s.parse::<u64>().unwrap_or_else(|_| panic!("{SCHED_SEED_ENV} must be a u64, got {s:?}"))
+        }
+        Err(_) => DEFAULT_SEED,
+    };
+    let smoke = cfg.smoke;
+    let horizon: u64 = if smoke { 6_000 } else { 20_000 };
+    let timing_runs = if smoke { 1 } else { cfg.runs.min(3) };
+    let loads: &[u64] = if smoke { &LOADS[..2] } else { &LOADS };
+    let shapes: &[ArrivalShape] = if smoke {
+        &[ArrivalShape::Poisson]
+    } else {
+        &[ArrivalShape::Poisson, ArrivalShape::Bursty]
+    };
+    println!(
+        "E20 serve: open-loop serving sweep, {SCHED_SEED_ENV}={seed}{}",
+        if smoke { " (smoke subset)" } else { "" }
+    );
+
+    let mut records = Vec::new();
+    let mut clean = true;
+    let mut table = Table::new(
+        format!("E20 — serving sweep, horizon {horizon} steps, latencies in sched steps"),
+        &[
+            "allocator",
+            "scenario",
+            "shape",
+            "rate",
+            "batch",
+            "served/offered",
+            "p50",
+            "p99",
+            "p999",
+            "goodput B/kstep",
+        ],
+    );
+
+    let run_cell = |name: &str,
+                    alloc: &dyn DeviceAllocator,
+                    scenario: &str,
+                    cfg_cell: &ServeConfig,
+                    records: &mut Vec<BenchRecord>,
+                    table: &mut Table| {
+        let (out, ms) = measure(cfg_cell, alloc, timing_runs);
+        table.row(vec![
+            name.into(),
+            scenario.into(),
+            cfg_cell.arrivals.shape.label().into(),
+            cfg_cell.arrivals.rate_per_kstep.to_string(),
+            cfg_cell.batch_width.to_string(),
+            format!("{}/{}", out.served, out.offered),
+            out.latency.p50.to_string(),
+            out.latency.p99.to_string(),
+            out.latency.p999.to_string(),
+            out.goodput_bytes_per_kstep().to_string(),
+        ]);
+        records.push(record_of(name, cfg_cell, &out, ms, scenario));
+        out
+    };
+
+    // Load × shape sweep, both backends.
+    for (name, alloc, max_req) in backends() {
+        for &shape in shapes {
+            for &rate in loads {
+                let c = cell_config(
+                    shape,
+                    rate,
+                    64,
+                    horizon,
+                    seed,
+                    max_req,
+                    standard_tenants(),
+                    cfg.num_sms.min(16),
+                );
+                let out = run_cell(&name, alloc.as_ref(), "load", &c, &mut records, &mut table);
+                clean &= out.clean();
+            }
+        }
+    }
+
+    // Batch-width sweep past the saturation knee (bursty top load),
+    // flagship backend only — width only matters once a backlog forms.
+    if !smoke {
+        let (name, alloc, max_req) = backends().swap_remove(0);
+        for &bw in &BATCH_WIDTHS {
+            let c = cell_config(
+                ArrivalShape::Bursty,
+                LOADS[2],
+                bw,
+                horizon,
+                seed,
+                max_req,
+                standard_tenants(),
+                cfg.num_sms.min(16),
+            );
+            let out = run_cell(&name, alloc.as_ref(), "batch-width", &c, &mut records, &mut table);
+            clean &= out.clean();
+        }
+    }
+
+    // Fairness: aggressive tenant vs victim, admission on vs off.
+    let mut victim_p99 = [0u64; 2]; // [throttled, unthrottled]
+    for (i, enforce) in [true, false].into_iter().enumerate() {
+        let (name, alloc, max_req) = backends().swap_remove(0);
+        let mut c = cell_config(
+            ArrivalShape::Bursty,
+            if smoke { 90 } else { 180 },
+            64,
+            horizon,
+            seed,
+            max_req,
+            fairness_tenants(),
+            cfg.num_sms.min(16),
+        );
+        c.enforce_quotas = enforce;
+        let out = run_cell(&name, alloc.as_ref(), "fairness", &c, &mut records, &mut table);
+        let victim = out.tenants.iter().find(|t| t.name == "victim").expect("victim tenant");
+        victim_p99[i] = victim.latency.p99;
+        if enforce {
+            clean &= out.clean();
+        } else {
+            // The unthrottled arm overcommits by design — quota
+            // violations are its *result*, so only the allocator
+            // lifecycle audit gates here.
+            clean &= out.ledger_leaks == 0
+                && out.ledger_double_frees == 0
+                && out.ledger_unknown_frees == 0
+                && out.ledger_size_mismatches == 0
+                && out.trace_dropped == 0;
+        }
+    }
+
+    println!(
+        "fairness: victim p99 {} steps with admission control, {} without{}",
+        victim_p99[0],
+        victim_p99[1],
+        if victim_p99[0] < victim_p99[1] { " — admission bounds the victim's tail" } else { "" }
+    );
+    table.emit(&cfg.out_dir, "e20_serve");
+    match write_bench_json(&cfg.out_dir, "serve", &records) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("error: could not write BENCH_serve.json: {e}");
+            clean = false;
+        }
+    }
+    if !clean {
+        eprintln!("serve gate FAILED: quota violation or ledger anomaly (see table above)");
+    }
+    clean
+}

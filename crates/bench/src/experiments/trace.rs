@@ -43,8 +43,11 @@ pub fn run_trace(cfg: &HarnessConfig) {
     let g = ablation::block_churn_gallatin();
     let sink = Arc::new(TraceSink::new());
     sink.set_leak_check(true);
+    let mut churn_ms = 0.0f64;
     let records = gpu_sim::trace::with_sink(sink.clone(), || {
+        let t0 = std::time::Instant::now();
         ablation::block_churn(&g, seed);
+        churn_ms = t0.elapsed().as_secs_f64() * 1e3;
         // Invariants + armed leak check: a failure auto-dumps the trace
         // before this run's own export below.
         g.check_invariants().expect("block churn must leave the allocator healthy");
@@ -99,7 +102,7 @@ pub fn run_trace(cfg: &HarnessConfig) {
                 ("case".to_string(), "block-churn".to_string()),
                 ("seed".to_string(), seed.to_string()),
             ],
-            median_ms: f64::NAN,
+            median_ms: churn_ms,
             counts: {
                 let mut c: Vec<(String, u64)> = vec![
                     ("events".to_string(), records.len() as u64),

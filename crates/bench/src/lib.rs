@@ -22,6 +22,7 @@
 pub mod experiments;
 pub mod report;
 pub mod roster;
+pub mod serve;
 pub mod workload;
 
 /// Global harness configuration, parsed from CLI flags by `repro`.
@@ -46,6 +47,9 @@ pub struct HarnessConfig {
     pub json: bool,
     /// Paper-scale mode: 1 M threads, 50 runs, scaling to 2^20.
     pub full: bool,
+    /// CI smoke mode (`--smoke`): shrink sweeps to a gating subset and
+    /// fail fast on invariant violations. Honored by `repro serve`.
+    pub smoke: bool,
 }
 
 impl Default for HarnessConfig {
@@ -60,6 +64,7 @@ impl Default for HarnessConfig {
             out_dir: "results".to_string(),
             json: false,
             full: false,
+            smoke: false,
         }
     }
 }

@@ -1,0 +1,203 @@
+//! Multi-tenant accounting and admission control for the serving layer.
+//!
+//! Each tenant has a byte quota. Admission control charges a tenant's
+//! *committed* bytes at enqueue time — not at allocation time — so a
+//! burst cannot overshoot its quota while its requests sit in the queue;
+//! the charge is refunded if the allocator ultimately returns NULL.
+//! Rejections are typed ([`Rejection`]) so a sweep can tell back-pressure
+//! (queue full) apart from policy (quota) and capacity (heap exhausted).
+
+/// Static description of one tenant in the serving mix.
+#[derive(Clone, Debug)]
+pub struct TenantSpec {
+    /// Display name, used in per-tenant BENCH rows.
+    pub name: String,
+    /// Relative share of the arrival stream (weighted draw).
+    pub weight: u32,
+    /// Byte quota enforced by admission control.
+    pub quota_bytes: u64,
+    /// Smallest request this tenant issues.
+    pub size_min: u64,
+    /// Largest request this tenant issues.
+    pub size_max: u64,
+    /// Mean steps between a request completing and its free.
+    pub mean_lifetime_steps: u64,
+}
+
+/// Why the serving layer refused a request. `as usize` indexes the
+/// per-tenant rejection counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Rejection {
+    /// Admitting the request would push the tenant past its byte quota.
+    QuotaExceeded = 0,
+    /// The bounded request queue is full (open-loop back-pressure).
+    QueueFull = 1,
+    /// The request exceeds the backend's largest serviceable size
+    /// (e.g. a [`gallatin::GallatinPool`] instance stride).
+    Oversize = 2,
+    /// Admitted, dispatched, and the allocator returned NULL.
+    Exhausted = 3,
+}
+
+/// Number of [`Rejection`] kinds (array dimension for counters).
+pub const N_REJECTIONS: usize = 4;
+
+impl Rejection {
+    /// All kinds, in counter-index order.
+    pub const ALL: [Rejection; N_REJECTIONS] =
+        [Rejection::QuotaExceeded, Rejection::QueueFull, Rejection::Oversize, Rejection::Exhausted];
+
+    /// Stable label used in BENCH counts.
+    pub fn label(self) -> &'static str {
+        match self {
+            Rejection::QuotaExceeded => "rejected_quota",
+            Rejection::QueueFull => "rejected_queue",
+            Rejection::Oversize => "rejected_oversize",
+            Rejection::Exhausted => "rejected_exhausted",
+        }
+    }
+}
+
+/// Live byte accounting and rejection tallies for every tenant.
+pub struct TenantBook {
+    specs: Vec<TenantSpec>,
+    /// Whether quota admission is enforced. When off (the unthrottled
+    /// fairness arm), `try_admit` always admits but still counts
+    /// [`TenantBook::quota_violations`] as a witness of the overrun.
+    enforce: bool,
+    /// Committed bytes per tenant (admitted, not yet freed).
+    live: Vec<u64>,
+    /// High-water mark of `live`.
+    peak: Vec<u64>,
+    /// Per-tenant rejection counters, indexed by `Rejection as usize`.
+    rejected: Vec<[u64; N_REJECTIONS]>,
+    /// Times any tenant's committed bytes exceeded its quota (only
+    /// reachable with enforcement off; the smoke gate requires 0).
+    violations: u64,
+}
+
+impl TenantBook {
+    /// A fresh book over `specs`.
+    pub fn new(specs: Vec<TenantSpec>, enforce: bool) -> Self {
+        let n = specs.len();
+        TenantBook {
+            specs,
+            enforce,
+            live: vec![0; n],
+            peak: vec![0; n],
+            rejected: vec![[0; N_REJECTIONS]; n],
+            violations: 0,
+        }
+    }
+
+    /// Tenant roster.
+    pub fn specs(&self) -> &[TenantSpec] {
+        &self.specs
+    }
+
+    /// Try to commit `size` bytes against tenant `t`'s quota. On `Ok`
+    /// the bytes are charged; refund with [`Self::refund`] if the
+    /// allocator later denies the request, or release with
+    /// [`Self::on_free`] when the allocation's lifetime ends.
+    pub fn try_admit(&mut self, t: usize, size: u64) -> Result<(), Rejection> {
+        let next = self.live[t] + size;
+        if self.enforce && next > self.specs[t].quota_bytes {
+            self.rejected[t][Rejection::QuotaExceeded as usize] += 1;
+            return Err(Rejection::QuotaExceeded);
+        }
+        self.live[t] = next;
+        if next > self.specs[t].quota_bytes {
+            self.violations += 1;
+        }
+        if next > self.peak[t] {
+            self.peak[t] = next;
+        }
+        Ok(())
+    }
+
+    /// Count a non-quota rejection for tenant `t`.
+    pub fn reject(&mut self, t: usize, why: Rejection) {
+        self.rejected[t][why as usize] += 1;
+    }
+
+    /// Return committed bytes after the allocator denied the request.
+    pub fn refund(&mut self, t: usize, size: u64) {
+        debug_assert!(self.live[t] >= size, "refund exceeds committed bytes");
+        self.live[t] -= size;
+    }
+
+    /// Release committed bytes when an allocation is freed.
+    pub fn on_free(&mut self, t: usize, size: u64) {
+        debug_assert!(self.live[t] >= size, "free exceeds committed bytes");
+        self.live[t] -= size;
+    }
+
+    /// Currently committed bytes for tenant `t`.
+    pub fn live(&self, t: usize) -> u64 {
+        self.live[t]
+    }
+
+    /// High-water mark of committed bytes for tenant `t`.
+    pub fn peak(&self, t: usize) -> u64 {
+        self.peak[t]
+    }
+
+    /// Rejections of `why` charged to tenant `t`.
+    pub fn rejected(&self, t: usize, why: Rejection) -> u64 {
+        self.rejected[t][why as usize]
+    }
+
+    /// Total quota overruns observed (must be 0 under enforcement).
+    pub fn quota_violations(&self) -> u64 {
+        self.violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(quota: u64) -> Vec<TenantSpec> {
+        vec![TenantSpec {
+            name: "t".into(),
+            weight: 1,
+            quota_bytes: quota,
+            size_min: 16,
+            size_max: 16,
+            mean_lifetime_steps: 1,
+        }]
+    }
+
+    #[test]
+    fn enforced_quota_rejects_at_the_boundary() {
+        let mut book = TenantBook::new(one(100), true);
+        assert!(book.try_admit(0, 60).is_ok());
+        assert!(book.try_admit(0, 40).is_ok(), "exactly at quota is admitted");
+        assert_eq!(book.try_admit(0, 1), Err(Rejection::QuotaExceeded));
+        assert_eq!(book.rejected(0, Rejection::QuotaExceeded), 1);
+        assert_eq!(book.live(0), 100);
+        assert_eq!(book.peak(0), 100);
+        assert_eq!(book.quota_violations(), 0);
+        book.on_free(0, 40);
+        assert!(book.try_admit(0, 30).is_ok(), "freed bytes reopen headroom");
+        assert_eq!(book.peak(0), 100, "peak is a high-water mark");
+    }
+
+    #[test]
+    fn unenforced_quota_admits_but_witnesses_violations() {
+        let mut book = TenantBook::new(one(100), false);
+        assert!(book.try_admit(0, 90).is_ok());
+        assert!(book.try_admit(0, 90).is_ok(), "no enforcement ⇒ admitted");
+        assert_eq!(book.live(0), 180);
+        assert_eq!(book.quota_violations(), 1);
+    }
+
+    #[test]
+    fn refund_reverses_an_admission() {
+        let mut book = TenantBook::new(one(100), true);
+        assert!(book.try_admit(0, 100).is_ok());
+        book.refund(0, 100);
+        assert_eq!(book.live(0), 0);
+        assert!(book.try_admit(0, 100).is_ok(), "refunded bytes are available again");
+    }
+}

@@ -300,6 +300,70 @@ pub fn dump_script(label: &str, seed: u64, script: &ReplayScript) -> Option<Path
     dump_script_to(&replay_dump_dir(), label, seed, script)
 }
 
+/// Result of one serving batch dispatched by [`run_batch`].
+#[derive(Clone, Debug)]
+pub struct BatchResult {
+    /// One pointer per requested malloc, in request order; NULL means
+    /// the allocator denied the request (exhaustion or oversize).
+    pub ptrs: Vec<DevicePtr>,
+    /// Schedule steps the launch consumed (see
+    /// [`gpu_sim::launch_warps_counted`]); 0 in pool mode.
+    pub steps: u64,
+}
+
+/// Dispatch one serving batch as a single kernel launch: `mallocs`
+/// request sizes and `frees` previously-served pointers, packed into
+/// warp-collective `warp_malloc`/`warp_free` calls (malloc warps first,
+/// then free warps, all concurrent within the launch — the batching a
+/// serving layer gets by fusing queued work into one kernel).
+///
+/// Under a deterministic device the returned `steps` is the simulated
+/// service time of the batch, a pure function of `(device seed, batch
+/// contents, allocator state)`.
+pub fn run_batch(
+    a: &dyn DeviceAllocator,
+    device: DeviceConfig,
+    mallocs: &[u64],
+    frees: &[DevicePtr],
+) -> BatchResult {
+    let w = WARP_SIZE as usize;
+    let m_warps = mallocs.len().div_ceil(w);
+    let f_warps = frees.len().div_ceil(w);
+    if m_warps + f_warps == 0 {
+        return BatchResult { ptrs: Vec::new(), steps: 0 };
+    }
+    let results: Vec<AtomicU64> =
+        mallocs.iter().map(|_| AtomicU64::new(DevicePtr::NULL.0)).collect();
+    let total_threads = ((m_warps + f_warps) * w) as u64;
+    let steps = gpu_sim::launch_warps_counted(device, total_threads, |warp| {
+        let id = warp.warp_id as usize;
+        let active = warp.active as usize;
+        if id < m_warps {
+            // Malloc warp: lanes beyond the batch tail request nothing.
+            let base = id * w;
+            let end = (base + active).min(mallocs.len());
+            let mut sizes = vec![None; active];
+            for (lane, &size) in mallocs[base..end].iter().enumerate() {
+                sizes[lane] = Some(size);
+            }
+            let mut out = vec![DevicePtr::NULL; active];
+            a.warp_malloc(warp, &sizes, &mut out);
+            for (lane, ptr) in out.iter().enumerate().take(end - base) {
+                results[base + lane].store(ptr.0, Ordering::Relaxed);
+            }
+        } else {
+            // Free warp: tail lanes free NULL, which allocators ignore.
+            let base = (id - m_warps) * w;
+            let end = (base + active).min(frees.len());
+            let mut ptrs = vec![DevicePtr::NULL; active];
+            ptrs[..end - base].copy_from_slice(&frees[base..end]);
+            a.warp_free(warp, &ptrs);
+        }
+    });
+    let ptrs = results.into_iter().map(|p| DevicePtr(p.into_inner())).collect();
+    BatchResult { ptrs, steps }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -34,7 +34,7 @@ fn event_strategy() -> impl Strategy<Value = TraceEvent> {
             tier,
             ptr
         }),
-        (0..B).prop_map(|ptr| TraceEvent::Free { ptr }),
+        (0..B, 0..B).prop_map(|(ptr, size)| TraceEvent::Free { ptr, size }),
         (0..B, 0..B32).prop_map(|(seg, class)| TraceEvent::SegmentGrab { seg, class }),
         (0..B, 0..B32, 0..B).prop_map(|(seg, class, drain_spins)| {
             TraceEvent::SegmentReformat { seg, class, drain_spins }
@@ -105,7 +105,7 @@ fn decode(entry: &Value) -> TraceRecord {
             tier: AllocTier::from_label(label(args, "tier")).expect("tier label"),
             ptr: field(args, "ptr"),
         },
-        "free" => TraceEvent::Free { ptr: field(args, "ptr") },
+        "free" => TraceEvent::Free { ptr: field(args, "ptr"), size: field(args, "size") },
         "segment_grab" => {
             TraceEvent::SegmentGrab { seg: field(args, "seg"), class: field(args, "class") as u32 }
         }

@@ -89,6 +89,18 @@ pub(crate) fn ledger_errors(errors: &mut Vec<String>) {
             inst(d.instance)
         ));
     }
+    for m in &ledger.size_mismatches {
+        errors.push(format!(
+            "free-size mismatch on ptr {}: malloc recorded {} B at step {}, \
+             free recorded {} B at step {}{}",
+            m.ptr,
+            m.malloc_size,
+            m.malloc_step,
+            m.free_size,
+            m.step,
+            inst(m.instance)
+        ));
+    }
 }
 
 impl Gallatin {
@@ -333,16 +345,24 @@ impl Gallatin {
         self.metrics.count_free();
         let off = ptr.0;
         assert!(off < self.geo.heap_bytes, "free of foreign pointer {off}");
-        trace::emit(|| trace::TraceEvent::Free { ptr: off });
         let ctx = self.ctx();
         let seg = self.geo.segment_of(off);
         let meta = self.table.seg(seg);
         let id = meta.ldcv_tree_id();
+        // The Free event records the bytes *this path* releases; the
+        // trace Ledger cross-checks it against the paired Malloc, so a
+        // misrouted free (wrong tier, wrong class) surfaces as a typed
+        // size-mismatch anomaly instead of silent accounting drift. Each
+        // branch emits before the region becomes reusable by others.
         if (id as usize) < self.geo.num_classes {
             let class = id as usize;
             let block = self.geo.block_of(off, class);
             let is_block_start = self.geo.slice_of(off, class) == 0;
             if is_block_start && meta.is_whole_block(block) && meta.clear_whole_block(block) {
+                trace::emit(|| trace::TraceEvent::Free {
+                    ptr: off,
+                    size: self.geo.block_size(class),
+                });
                 self.reserved.fetch_sub(self.geo.block_size(class), Ordering::Relaxed);
                 self.blocks.free_block(
                     &ctx,
@@ -352,15 +372,26 @@ impl Gallatin {
                 );
                 return;
             }
+            trace::emit(|| trace::TraceEvent::Free { ptr: off, size: self.geo.slice_size(class) });
             self.slices.free_one(&ctx, seg, class, off, &self.blocks, &self.segments);
         } else if id == LARGE_BODY {
+            trace::emit(|| trace::TraceEvent::Free { ptr: off, size: 0 });
             panic!("free of interior pointer into a large allocation (segment {seg})");
         } else if id >= LARGE_BASE && id != TREE_FREE {
-            if let Some(n) = self.table.unmark_large(seg) {
-                self.reserved.fetch_sub(n * self.geo.segment_bytes, Ordering::Relaxed);
-                self.segments.tree.insert_range(seg, n);
+            match self.table.unmark_large(seg) {
+                Some(n) => {
+                    trace::emit(|| trace::TraceEvent::Free {
+                        ptr: off,
+                        size: n * self.geo.segment_bytes,
+                    });
+                    self.reserved.fetch_sub(n * self.geo.segment_bytes, Ordering::Relaxed);
+                    self.segments.tree.insert_range(seg, n);
+                }
+                // Raced large free: the run length is gone, size unknown.
+                None => trace::emit(|| trace::TraceEvent::Free { ptr: off, size: 0 }),
             }
         } else {
+            trace::emit(|| trace::TraceEvent::Free { ptr: off, size: 0 });
             panic!("free into an unformatted segment {seg} (double free?)");
         }
     }
@@ -402,15 +433,20 @@ impl DeviceAllocator for Gallatin {
             self.metrics.count_free();
             let off = ptr.0;
             assert!(off < self.geo.heap_bytes, "free of foreign pointer {off}");
-            trace::emit_lane(lane as u32, || trace::TraceEvent::Free { ptr: off });
             let seg = self.geo.segment_of(off);
             let meta = self.table.seg(seg);
             let id = meta.ldcv_tree_id();
+            // As in `free_routed`: each branch records the bytes it
+            // releases so the Ledger can cross-check against the malloc.
             if (id as usize) < self.geo.num_classes {
                 let class = id as usize;
                 let block = self.geo.block_of(off, class);
                 let is_block_start = self.geo.slice_of(off, class) == 0;
                 if is_block_start && meta.is_whole_block(block) && meta.clear_whole_block(block) {
+                    trace::emit_lane(lane as u32, || trace::TraceEvent::Free {
+                        ptr: off,
+                        size: self.geo.block_size(class),
+                    });
                     self.reserved.fetch_sub(self.geo.block_size(class), Ordering::Relaxed);
                     self.blocks.free_block(
                         &ctx,
@@ -420,6 +456,10 @@ impl DeviceAllocator for Gallatin {
                     );
                     continue;
                 }
+                trace::emit_lane(lane as u32, || trace::TraceEvent::Free {
+                    ptr: off,
+                    size: self.geo.slice_size(class),
+                });
                 // Coalesce: ballot-equivalent grouping by block.
                 let key = BlockHandle::new(seg, block, self.geo.max_blocks).0;
                 match groups[..n_groups].iter().position(|&(k, _)| k == key) {
@@ -431,13 +471,27 @@ impl DeviceAllocator for Gallatin {
                     }
                 }
             } else if id == LARGE_BODY {
+                trace::emit_lane(lane as u32, || trace::TraceEvent::Free { ptr: off, size: 0 });
                 panic!("free of interior pointer into a large allocation (segment {seg})");
             } else if id >= LARGE_BASE && id != TREE_FREE {
-                if let Some(n) = self.table.unmark_large(seg) {
-                    self.reserved.fetch_sub(n * self.geo.segment_bytes, Ordering::Relaxed);
-                    self.segments.tree.insert_range(seg, n);
+                match self.table.unmark_large(seg) {
+                    Some(n) => {
+                        trace::emit_lane(lane as u32, || trace::TraceEvent::Free {
+                            ptr: off,
+                            size: n * self.geo.segment_bytes,
+                        });
+                        self.reserved.fetch_sub(n * self.geo.segment_bytes, Ordering::Relaxed);
+                        self.segments.tree.insert_range(seg, n);
+                    }
+                    None => {
+                        trace::emit_lane(lane as u32, || trace::TraceEvent::Free {
+                            ptr: off,
+                            size: 0,
+                        });
+                    }
                 }
             } else {
+                trace::emit_lane(lane as u32, || trace::TraceEvent::Free { ptr: off, size: 0 });
                 panic!("free into an unformatted segment {seg} (double free?)");
             }
         }

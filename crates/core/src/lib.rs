@@ -50,7 +50,7 @@ pub use buffer::BlockBuffer;
 pub use config::{GallatinConfig, Geometry};
 pub use gallatin::Gallatin;
 pub use index::{SearchStructure, SegmentIndex};
-pub use pool::GallatinPool;
+pub use pool::{GallatinPool, InstanceStats, PoolStats};
 pub use ring::BlockRing;
 pub use table::{
     BlockHandle, MemoryTable, SegmentMeta, DRAIN_SPIN_LIMIT, LARGE_BASE, LARGE_BODY,

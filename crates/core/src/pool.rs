@@ -23,7 +23,10 @@
 //! Requests larger than one instance's heap cannot be served (a pool
 //! trades the single heap's "any size" property for isolation);
 //! [`DeviceAllocator::supports_size`] and `max_native_size` advertise
-//! the `stride` bound so the harness skips those sizes.
+//! the `stride` bound, and the pool *denies such requests up front* —
+//! before touching any instance's trees — counting each denial in
+//! [`GallatinPool::oversize_denials`] so callers that ignore
+//! `supports_size` pay zero CAS traffic for an unservable size.
 //!
 //! Trace events are stamped with the owning instance
 //! ([`trace::with_instance`]), so one sink captures a pool run and the
@@ -53,6 +56,51 @@ pub struct GallatinPool {
     /// Allocations instance `i` could not serve locally and a sibling
     /// absorbed (charged to the *home*, not the absorber).
     spills: Vec<AtomicU64>,
+    /// Requests larger than `stride`, denied before touching any
+    /// instance (no sibling could have served them either).
+    oversize_denials: AtomicU64,
+}
+
+/// Point-in-time occupancy snapshot of one pool instance, as reported
+/// by [`GallatinPool::pool_stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InstanceStats {
+    /// Bytes of this instance's partition (the pool stride).
+    pub heap_bytes: u64,
+    /// Bytes reserved by live allocations (size-class rounded).
+    pub reserved_bytes: u64,
+    /// Segments still unclaimed in the instance's segment tree.
+    pub free_segments: u64,
+    /// Allocations homed here that a sibling had to absorb.
+    pub spills: u64,
+}
+
+/// Point-in-time snapshot of the whole pool's occupancy and pressure —
+/// the signal a host-side admission controller reads to decide whether
+/// to keep admitting traffic: per-instance headroom (a hot instance
+/// near capacity predicts spills), the spill and oversize-denial
+/// counters (already-visible pressure), and the aggregate reservation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Total bytes across all partitions.
+    pub heap_bytes: u64,
+    /// Total bytes reserved across all instances.
+    pub reserved_bytes: u64,
+    /// Total spills across all home instances.
+    pub spills: u64,
+    /// Requests denied up front for exceeding the stride.
+    pub oversize_denials: u64,
+    /// One entry per instance, in instance order.
+    pub instances: Vec<InstanceStats>,
+}
+
+impl PoolStats {
+    /// Unreserved bytes across the pool (an upper bound on what further
+    /// admissions could possibly reserve; per-instance headroom is the
+    /// binding constraint for sizes near the stride).
+    pub fn headroom_bytes(&self) -> u64 {
+        self.heap_bytes - self.reserved_bytes.min(self.heap_bytes)
+    }
 }
 
 impl GallatinPool {
@@ -64,7 +112,13 @@ impl GallatinPool {
         let mem = DeviceMemory::new((stride as usize).checked_mul(n).expect("pool size overflow"));
         let instances =
             mem.split(n).into_iter().map(|part| Gallatin::with_memory(cfg, part)).collect();
-        GallatinPool { mem, instances, stride, spills: (0..n).map(|_| AtomicU64::new(0)).collect() }
+        GallatinPool {
+            mem,
+            instances,
+            stride,
+            spills: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            oversize_denials: AtomicU64::new(0),
+        }
     }
 
     /// Number of instances in the pool.
@@ -90,6 +144,35 @@ impl GallatinPool {
     /// Total spills across all home instances.
     pub fn total_spills(&self) -> u64 {
         self.spills.iter().map(|s| s.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Requests denied up front because they exceeded the stride.
+    pub fn oversize_denials(&self) -> u64 {
+        self.oversize_denials.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot the pool's occupancy and pressure counters (see
+    /// [`PoolStats`]). Relaxed reads: the snapshot is advisory, exact
+    /// only when the pool is quiescent.
+    pub fn pool_stats(&self) -> PoolStats {
+        let instances: Vec<InstanceStats> = self
+            .instances
+            .iter()
+            .enumerate()
+            .map(|(i, g)| InstanceStats {
+                heap_bytes: self.stride,
+                reserved_bytes: g.reserved_bytes(),
+                free_segments: g.free_segments(),
+                spills: self.spill_count(i),
+            })
+            .collect();
+        PoolStats {
+            heap_bytes: self.heap_bytes(),
+            reserved_bytes: instances.iter().map(|s| s.reserved_bytes).sum(),
+            spills: self.total_spills(),
+            oversize_denials: self.oversize_denials(),
+            instances,
+        }
     }
 
     /// The home instance for a warp running on `sm_id`.
@@ -129,6 +212,14 @@ impl DeviceAllocator for GallatinPool {
     }
 
     fn malloc(&self, ctx: &LaneCtx, size: u64) -> DevicePtr {
+        // Nothing larger than the stride fits in *any* instance: deny
+        // before touching a tree — the home used to run a full (and
+        // guaranteed-futile) malloc for these, paying CAS traffic for a
+        // request the pool could never serve.
+        if size > self.stride {
+            self.oversize_denials.fetch_add(1, Ordering::Relaxed);
+            return DevicePtr::NULL;
+        }
         let n = self.instances.len();
         let home = self.home(ctx.sm_id());
         for k in 0..n {
@@ -139,11 +230,6 @@ impl DeviceAllocator for GallatinPool {
                     self.spills[home].fetch_add(1, Ordering::Relaxed);
                 }
                 return self.globalize(i, p);
-            }
-            if size > self.stride {
-                // No instance can serve it; the home already recorded the
-                // failed malloc, don't charge the siblings too.
-                break;
             }
         }
         DevicePtr::NULL
@@ -162,7 +248,29 @@ impl DeviceAllocator for GallatinPool {
         debug_assert_eq!(out.len(), warp.active as usize);
         let n = self.instances.len();
         let home = self.home(warp.sm_id);
-        trace::with_instance(home as u32, || self.instances[home].warp_malloc(warp, sizes, out));
+        // Oversize lanes are denied before the home call (their request
+        // never reaches any instance — see `malloc`); the rest of the
+        // warp proceeds as one coalesced group.
+        let active = warp.active as usize;
+        let mut eligible = [None::<u64>; WARP_SIZE];
+        let mut oversize = 0u64;
+        for lane in warp.lanes() {
+            match sizes[lane] {
+                Some(sz) if sz > self.stride => oversize += 1,
+                sz => eligible[lane] = sz,
+            }
+        }
+        if oversize > 0 {
+            self.oversize_denials.fetch_add(oversize, Ordering::Relaxed);
+            if eligible[..active].iter().all(Option::is_none) {
+                // The whole warp was oversize: nothing to launch.
+                out.iter_mut().for_each(|p| *p = DevicePtr::NULL);
+                return;
+            }
+        }
+        trace::with_instance(home as u32, || {
+            self.instances[home].warp_malloc(warp, &eligible[..active], out)
+        });
         for p in out.iter_mut() {
             if !p.is_null() {
                 *p = self.globalize(home, *p);
@@ -172,24 +280,20 @@ impl DeviceAllocator for GallatinPool {
             return;
         }
         // Spill pass: lanes the home exhausted retry on each sibling as a
-        // (smaller) coalesced group. Sizes above the stride stay NULL — no
-        // sibling can serve them either.
+        // (smaller) coalesced group.
         let mut rest = [None::<u64>; WARP_SIZE];
         let mut unserved = 0u64;
         for lane in warp.lanes() {
             if out[lane].is_null() {
-                if let Some(sz) = sizes[lane] {
-                    if sz <= self.stride {
-                        rest[lane] = Some(sz);
-                        unserved += 1;
-                    }
+                if let Some(sz) = eligible[lane] {
+                    rest[lane] = Some(sz);
+                    unserved += 1;
                 }
             }
         }
         if unserved == 0 {
             return;
         }
-        let active = warp.active as usize;
         let mut sub = [DevicePtr::NULL; WARP_SIZE];
         for k in 1..n {
             let i = (home + k) % n;
@@ -250,6 +354,7 @@ impl DeviceAllocator for GallatinPool {
         for s in &self.spills {
             s.store(0, Ordering::Relaxed);
         }
+        self.oversize_denials.store(0, Ordering::Relaxed);
     }
 
     fn heap_bytes(&self) -> u64 {
@@ -359,9 +464,76 @@ mod tests {
         assert!(!p.supports_size(p.stride() + 1));
         assert_eq!(p.max_native_size(), p.stride());
         assert_eq!(p.heap_bytes(), 4 * p.stride());
+        // The denial must be decided before any instance is consulted:
+        // zero atomic traffic (no CAS, no RMW, not even a counted failed
+        // malloc) on every instance, scalar and collective path alike.
+        let before: Vec<_> = (0..4).map(|i| p.instance(i).metrics().unwrap().snapshot()).collect();
         let q = p.malloc(&warp_on(2, 1).lane(0), p.stride() + 1);
         assert!(q.is_null());
+        let w = warp_on(2, 32);
+        let sizes = vec![Some(p.stride() + 1); 32];
+        let mut out = vec![DevicePtr(7); 32];
+        p.warp_malloc(&w, &sizes, &mut out);
+        assert!(out.iter().all(|q| q.is_null()), "oversize lanes must come back NULL");
+        for i in 0..4 {
+            let after = p.instance(i).metrics().unwrap().snapshot();
+            assert_eq!(after, before[i], "instance {i} saw traffic for an unservable size");
+        }
         assert_eq!(p.total_spills(), 0, "an unservable size is not a spill");
+        assert_eq!(p.oversize_denials(), 33, "1 scalar + 32 collective lanes");
+        assert_eq!(p.pool_stats().oversize_denials, 33);
+        p.reset();
+        assert_eq!(p.oversize_denials(), 0, "reset clears the denial counter");
+    }
+
+    #[test]
+    fn mixed_warp_serves_eligible_lanes_and_denies_oversize_ones() {
+        let p = pool(2);
+        let w = warp_on(0, 32);
+        // Even lanes ask for a servable size, odd lanes for an impossible
+        // one: the eligible half must still be served as one group.
+        let sizes: Vec<Option<u64>> =
+            (0..32).map(|l| Some(if l % 2 == 0 { 64 } else { p.stride() + 1 })).collect();
+        let mut out = vec![DevicePtr::NULL; 32];
+        p.warp_malloc(&w, &sizes, &mut out);
+        for lane in 0..32 {
+            if lane % 2 == 0 {
+                assert!(!out[lane].is_null(), "eligible lane {lane} must be served");
+            } else {
+                assert!(out[lane].is_null(), "oversize lane {lane} must be denied");
+            }
+        }
+        assert_eq!(p.oversize_denials(), 16);
+        p.warp_free(&w, &out);
+        assert_eq!(p.stats().reserved_bytes, 0);
+        p.check_invariants().expect("clean after mixed warp");
+    }
+
+    #[test]
+    fn pool_stats_snapshot_tracks_reservation_and_pressure() {
+        let p = pool(2);
+        let idle = p.pool_stats();
+        assert_eq!(idle.heap_bytes, 2 * p.stride());
+        assert_eq!(idle.reserved_bytes, 0);
+        assert_eq!(idle.headroom_bytes(), idle.heap_bytes);
+        assert_eq!(idle.instances.len(), 2);
+        let seg = p.instance(0).geometry().segment_bytes;
+        // Fill home 0 and force one spill: the snapshot must show the
+        // reservation split across instances and the spill pressure.
+        let held: Vec<_> = (0..17).map(|_| p.malloc(&warp_on(0, 1).lane(0), seg)).collect();
+        assert!(held.iter().all(|q| !q.is_null()));
+        let s = p.pool_stats();
+        assert_eq!(s.reserved_bytes, 17 * seg);
+        assert_eq!(s.instances[0].reserved_bytes, 16 * seg);
+        assert_eq!(s.instances[1].reserved_bytes, seg);
+        assert_eq!(s.instances[0].free_segments, 0);
+        assert_eq!(s.instances[1].free_segments, 15);
+        assert_eq!((s.spills, s.instances[0].spills, s.instances[1].spills), (1, 1, 0));
+        assert_eq!(s.headroom_bytes(), s.heap_bytes - 17 * seg);
+        for q in held {
+            p.free(&warp_on(0, 1).lane(0), q);
+        }
+        assert_eq!(p.pool_stats().reserved_bytes, 0);
     }
 
     #[test]

@@ -104,8 +104,21 @@ pub fn launch_warps<F>(cfg: DeviceConfig, total_threads: u64, kernel: F)
 where
     F: Fn(&WarpCtx) + Sync,
 {
+    launch_warps_counted(cfg, total_threads, kernel);
+}
+
+/// [`launch_warps`] that also reports the launch's duration in
+/// *schedule steps*: under [`ExecMode::Deterministic`] this is the
+/// coordinator's turn-grant count (one per preemption-point crossing,
+/// plus one final grant per warp) — a deterministic function of
+/// `(seed, kernel)` that the serving layer uses as simulated kernel
+/// service time. Pool mode has no schedule clock and reports 0.
+pub fn launch_warps_counted<F>(cfg: DeviceConfig, total_threads: u64, kernel: F) -> u64
+where
+    F: Fn(&WarpCtx) + Sync,
+{
     if total_threads == 0 {
-        return;
+        return 0;
     }
     let n_warps = total_threads.div_ceil(WARP_SIZE as u64);
     // The launching thread's trace sink (if any) is propagated to every
@@ -124,7 +137,10 @@ where
         });
     };
     match cfg.mode {
-        ExecMode::Pool => (0..n_warps).into_par_iter().for_each(run_warp),
+        ExecMode::Pool => {
+            (0..n_warps).into_par_iter().for_each(run_warp);
+            0
+        }
         ExecMode::Deterministic { seed } => {
             sched::run_tasks_faulted(seed, n_warps, cfg.fault, run_warp)
         }
@@ -187,6 +203,23 @@ mod tests {
         launch_warps(cfg, 32 * 8, |w| {
             assert_eq!(w.sm_id, (w.warp_id % 4) as u32);
         });
+    }
+
+    #[test]
+    fn counted_launch_reports_schedule_steps() {
+        use crate::sched::{preempt_point, PreemptPoint};
+        // 2 warps, each crossing one preemption point: 2 × (1 yield +
+        // 1 finishing grant) = 4 steps, identical across replays.
+        let cfg = DeviceConfig::with_sms(2).seeded(11);
+        let run = || {
+            launch_warps_counted(cfg, 64, |_| {
+                preempt_point(PreemptPoint::Rmw);
+            })
+        };
+        assert_eq!(run(), 4);
+        assert_eq!(run(), 4, "same seed replays the same schedule length");
+        // Pool mode has no schedule clock.
+        assert_eq!(launch_warps_counted(DeviceConfig::default(), 64, |_| {}), 0);
     }
 
     #[test]

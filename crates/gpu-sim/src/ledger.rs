@@ -63,6 +63,28 @@ pub struct FreeAnomaly {
     pub instance: u32,
 }
 
+/// A paired free whose recorded size disagrees with its malloc: the
+/// allocation's lifetime is intact (one malloc, one free, same
+/// `(instance, ptr)`), but the allocator's own accounting of how many
+/// bytes came back differs from how many went out — a size-class
+/// routing or reservation-accounting defect. Distinct from
+/// [`FreeAnomaly`], which names frees with no pairing at all.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SizeMismatch {
+    /// Device offset of the allocation.
+    pub ptr: u64,
+    /// Bytes the `Malloc` event recorded.
+    pub malloc_size: u64,
+    /// Bytes the `Free` event recorded.
+    pub free_size: u64,
+    /// Step of the originating `Malloc` event.
+    pub malloc_step: u64,
+    /// Step of the disagreeing `Free` event.
+    pub step: u64,
+    /// Allocator instance (0 outside pool mode).
+    pub instance: u32,
+}
+
 /// Number of log₂ buckets in the free-latency histogram (bucket `i`
 /// counts frees whose malloc→free step delta `d` has `⌊log₂(d+1)⌋ = i`,
 /// with the last bucket absorbing the tail).
@@ -78,6 +100,8 @@ pub struct Ledger {
     pub live: Vec<LiveAlloc>,
     /// Frees with no live allocation to pair with.
     pub double_frees: Vec<FreeAnomaly>,
+    /// Paired frees whose recorded size disagrees with their malloc.
+    pub size_mismatches: Vec<SizeMismatch>,
     /// Total `Malloc` events seen.
     pub mallocs: u64,
     /// Total `Free` events seen.
@@ -113,6 +137,8 @@ pub struct LedgerOutcome {
     pub double_frees: u64,
     /// Frees of a never-allocated pointer.
     pub unknown_frees: u64,
+    /// Paired frees whose recorded size disagreed with their malloc.
+    pub size_mismatches: u64,
     /// Sum of allocator-rounded request bytes.
     pub alloc_bytes: u64,
 }
@@ -133,6 +159,7 @@ impl Ledger {
         let mut ledger = Ledger {
             live: Vec::new(),
             double_frees: Vec::new(),
+            size_mismatches: Vec::new(),
             mallocs: 0,
             frees: 0,
             cross_warp_frees: 0,
@@ -165,11 +192,29 @@ impl Ledger {
                     live_bytes += size;
                     ledger.total_alloc_bytes += size;
                 }
-                TraceEvent::Free { ptr } => {
+                TraceEvent::Free { ptr, size } => {
                     ledger.frees += 1;
                     match by_ptr.remove(&(r.instance, ptr)).and_then(|i| live[i].take()) {
                         Some(alloc) => {
-                            live_bytes = live_bytes.saturating_sub(alloc.size);
+                            // A free whose recorded size disagrees with its
+                            // malloc is an accounting defect in the
+                            // allocator; surface it as a typed anomaly
+                            // instead of clamping the timeline (the old
+                            // `saturating_sub` silently absorbed exactly
+                            // this class of bug). The timeline subtracts
+                            // the *malloc* size, which is what was added,
+                            // so occupancy never underflows.
+                            if size != 0 && size != alloc.size {
+                                ledger.size_mismatches.push(SizeMismatch {
+                                    ptr,
+                                    malloc_size: alloc.size,
+                                    free_size: size,
+                                    malloc_step: alloc.step,
+                                    step: r.step,
+                                    instance: r.instance,
+                                });
+                            }
+                            live_bytes -= alloc.size;
                             if alloc.warp != r.warp {
                                 ledger.cross_warp_frees += 1;
                             }
@@ -239,6 +284,17 @@ impl Ledger {
                 instance_suffix(d.instance)
             ));
         }
+        for m in &self.size_mismatches {
+            out.push_str(&format!(
+                "  size mismatch: ptr {} malloc'd {} B at step {}, freed as {} B at step {}{}\n",
+                m.ptr,
+                m.malloc_size,
+                m.malloc_step,
+                m.free_size,
+                m.step,
+                instance_suffix(m.instance)
+            ));
+        }
         let paired = self.frees - self.double_frees.len() as u64;
         out.push_str(&format!("  cross-warp frees: {} of {paired}\n", self.cross_warp_frees));
         out.push_str("  free latency (log2 step buckets): ");
@@ -267,6 +323,7 @@ impl Ledger {
             leaks: self.live.len() as u64,
             double_frees: kind_count(FreeAnomalyKind::DoubleFree),
             unknown_frees: kind_count(FreeAnomalyKind::UnknownPtr),
+            size_mismatches: self.size_mismatches.len() as u64,
             alloc_bytes: self.total_alloc_bytes,
         }
     }
@@ -300,9 +357,9 @@ mod tests {
             m(0, 0, 100, 16),
             m(1, 0, 200, 16),
             m(2, 1, 300, 64),
-            rec(3, 0, 0, TraceEvent::Free { ptr: 100 }), // same warp, delta 3
-            rec(4, 2, 0, TraceEvent::Free { ptr: 300 }), // cross warp
-            rec(5, 0, 0, TraceEvent::Free { ptr: 100 }), // double free
+            rec(3, 0, 0, TraceEvent::Free { ptr: 100, size: 0 }), // same warp, delta 3
+            rec(4, 2, 0, TraceEvent::Free { ptr: 300, size: 0 }), // cross warp
+            rec(5, 0, 0, TraceEvent::Free { ptr: 100, size: 0 }), // double free
         ];
         let ledger = Ledger::build(&records);
         assert_eq!(ledger.mallocs, 3);
@@ -323,6 +380,7 @@ mod tests {
                 leaks: 1,
                 double_frees: 1,
                 unknown_frees: 0,
+                size_mismatches: 0,
                 alloc_bytes: 96,
             }
         );
@@ -345,9 +403,9 @@ mod tests {
         let records = vec![
             m(0, 0, 100),
             m(1, 1, 100),
-            rec(2, 0, 1, TraceEvent::Free { ptr: 100 }),
+            rec(2, 0, 1, TraceEvent::Free { ptr: 100, size: 0 }),
             // Instance 2 never allocated ptr 100: anomaly, not a pair.
-            rec(3, 0, 2, TraceEvent::Free { ptr: 100 }),
+            rec(3, 0, 2, TraceEvent::Free { ptr: 100, size: 0 }),
         ];
         let ledger = Ledger::build(&records);
         assert_eq!(ledger.live.len(), 1, "instance 0's allocation is still live");
@@ -367,8 +425,49 @@ mod tests {
     // violation*, never a panic, and the two anomaly kinds stay distinct.
 
     #[test]
+    fn mismatched_free_size_is_a_typed_anomaly_not_a_clamp() {
+        // Regression: a free recording a different size than its malloc
+        // used to be silently absorbed by a `saturating_sub` clamp on the
+        // occupancy timeline. It must surface as a typed anomaly, and the
+        // timeline must subtract what the malloc added (no underflow, no
+        // phantom residue).
+        let records = vec![
+            rec(0, 0, 0, TraceEvent::Malloc { size: 16, tier: AllocTier::Slice, ptr: 100 }),
+            rec(1, 0, 0, TraceEvent::Free { ptr: 100, size: 64 }),
+        ];
+        let ledger = Ledger::build(&records);
+        assert_eq!(ledger.size_mismatches.len(), 1);
+        let m = ledger.size_mismatches[0];
+        assert_eq!((m.ptr, m.malloc_size, m.free_size), (100, 16, 64));
+        assert_eq!((m.malloc_step, m.step, m.instance), (0, 1, 0));
+        assert_eq!(ledger.outcome().size_mismatches, 1);
+        assert_eq!(ledger.double_frees.len(), 0, "the lifetime itself paired cleanly");
+        assert_eq!(ledger.timeline, vec![(0, 16), (1, 0)], "timeline subtracts the malloc size");
+        assert!(
+            ledger.report().contains("size mismatch: ptr 100 malloc'd 16 B at step 0"),
+            "report: {}",
+            ledger.report()
+        );
+
+        // A free of unknown size (0) skips the cross-check: hand-built
+        // and legacy records stay anomaly-free.
+        let unknown = vec![
+            rec(0, 0, 0, TraceEvent::Malloc { size: 16, tier: AllocTier::Slice, ptr: 100 }),
+            rec(1, 0, 0, TraceEvent::Free { ptr: 100, size: 0 }),
+        ];
+        assert_eq!(Ledger::build(&unknown).outcome().size_mismatches, 0);
+
+        // And a free recording the exact malloc size is no anomaly.
+        let exact = vec![
+            rec(0, 0, 0, TraceEvent::Malloc { size: 16, tier: AllocTier::Slice, ptr: 100 }),
+            rec(1, 0, 0, TraceEvent::Free { ptr: 100, size: 16 }),
+        ];
+        assert_eq!(Ledger::build(&exact).outcome().size_mismatches, 0);
+    }
+
+    #[test]
     fn free_without_malloc_is_an_unknown_ptr_anomaly() {
-        let records = vec![rec(0, 0, 0, TraceEvent::Free { ptr: 640 })];
+        let records = vec![rec(0, 0, 0, TraceEvent::Free { ptr: 640, size: 0 })];
         let ledger = Ledger::build(&records);
         assert_eq!(ledger.frees, 1);
         assert_eq!(ledger.double_frees.len(), 1);
@@ -382,11 +481,11 @@ mod tests {
     fn replayed_double_free_is_a_double_free_anomaly() {
         let records = vec![
             rec(0, 0, 0, TraceEvent::Malloc { size: 32, tier: AllocTier::Slice, ptr: 64 }),
-            rec(1, 0, 0, TraceEvent::Free { ptr: 64 }),
+            rec(1, 0, 0, TraceEvent::Free { ptr: 64, size: 0 }),
             // The same free replayed: the pointer *was* allocated once,
             // so this is classed as a double free, not an unknown ptr.
-            rec(2, 1, 0, TraceEvent::Free { ptr: 64 }),
-            rec(3, 1, 0, TraceEvent::Free { ptr: 64 }),
+            rec(2, 1, 0, TraceEvent::Free { ptr: 64, size: 0 }),
+            rec(3, 1, 0, TraceEvent::Free { ptr: 64, size: 0 }),
         ];
         let ledger = Ledger::build(&records);
         assert_eq!(ledger.double_frees.len(), 2);
@@ -413,9 +512,9 @@ mod tests {
         let records = vec![
             m(0, 0),
             m(1, 1),
-            rec(2, 0, 0, TraceEvent::Free { ptr: 128 }),
-            rec(3, 0, 0, TraceEvent::Free { ptr: 128 }), // double free, instance 0
-            rec(4, 0, 2, TraceEvent::Free { ptr: 128 }), // unknown ptr, instance 2
+            rec(2, 0, 0, TraceEvent::Free { ptr: 128, size: 0 }),
+            rec(3, 0, 0, TraceEvent::Free { ptr: 128, size: 0 }), // double free, instance 0
+            rec(4, 0, 2, TraceEvent::Free { ptr: 128, size: 0 }), // unknown ptr, instance 2
         ];
         let ledger = Ledger::build(&records);
         let out = ledger.outcome();

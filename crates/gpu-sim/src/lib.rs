@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod alloc_api;
+pub mod clock;
 pub mod launch;
 pub mod ledger;
 pub mod mem;
@@ -58,7 +59,8 @@ pub mod trace;
 pub mod warp;
 
 pub use alloc_api::{AllocStats, DeviceAllocator};
-pub use launch::{launch, launch_warps, DeviceConfig, ExecMode};
+pub use clock::{Stamped, StepClock};
+pub use launch::{launch, launch_warps, launch_warps_counted, DeviceConfig, ExecMode};
 pub use mem::{DeviceMemory, DevicePtr};
 pub use metrics::{with_metrics_stripe, Metrics};
 pub use replay::{ConversionStats, ReplayOp, ReplayScript, WarpScript};

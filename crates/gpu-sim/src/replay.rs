@@ -138,7 +138,7 @@ impl ReplayScript {
                     by_ptr.insert((r.instance, ptr), (w, slot));
                     stats.mallocs += 1;
                 }
-                TraceEvent::Free { ptr } => {
+                TraceEvent::Free { ptr, .. } => {
                     // The freeing warp stays in the script even when its
                     // op is reassigned: it occupied an SM in the original
                     // launch, and the warp count preserves the striping.
@@ -325,9 +325,9 @@ mod tests {
             m(0, 0, 0, 100, 16),
             m(1, 0, 1, 200, 32),
             m(2, 1, 0, 300, 64),
-            rec(3, 0, 0, 0, TraceEvent::Free { ptr: 200 }),
-            rec(4, 1, LANE_NONE, 0, TraceEvent::Free { ptr: 300 }),
-            rec(5, 0, 0, 0, TraceEvent::Free { ptr: 100 }),
+            rec(3, 0, 0, 0, TraceEvent::Free { ptr: 200, size: 0 }),
+            rec(4, 1, LANE_NONE, 0, TraceEvent::Free { ptr: 300, size: 0 }),
+            rec(5, 0, 0, 0, TraceEvent::Free { ptr: 100, size: 0 }),
         ];
         let (script, stats) = ReplayScript::from_trace(&records, 4);
         assert_eq!(stats, ConversionStats { mallocs: 3, frees: 3, ..Default::default() });
@@ -353,7 +353,7 @@ mod tests {
             m(0, 0, 0, 100, 16),
             // Warp 1 frees warp 0's allocation: scripts have no cross-warp
             // channel, so the free moves to warp 0's program.
-            rec(1, 1, 0, 0, TraceEvent::Free { ptr: 100 }),
+            rec(1, 1, 0, 0, TraceEvent::Free { ptr: 100, size: 0 }),
         ];
         let (script, stats) = ReplayScript::from_trace(&records, 4);
         assert_eq!(stats.reassigned_frees, 1);
@@ -366,12 +366,12 @@ mod tests {
     fn unmatched_frees_are_dropped_and_counted() {
         let records = vec![
             m(0, 0, 0, 100, 16),
-            rec(1, 0, 0, 0, TraceEvent::Free { ptr: 100 }),
-            rec(2, 0, 0, 0, TraceEvent::Free { ptr: 100 }), // double free
-            rec(3, 0, 0, 0, TraceEvent::Free { ptr: 999 }), // never allocated
+            rec(1, 0, 0, 0, TraceEvent::Free { ptr: 100, size: 0 }),
+            rec(2, 0, 0, 0, TraceEvent::Free { ptr: 100, size: 0 }), // double free
+            rec(3, 0, 0, 0, TraceEvent::Free { ptr: 999, size: 0 }), // never allocated
             // Same local offset, different instance: pairing is per
             // (instance, ptr), so this one is also unmatched.
-            rec(4, 0, 0, 7, TraceEvent::Free { ptr: 100 }),
+            rec(4, 0, 0, 7, TraceEvent::Free { ptr: 100, size: 0 }),
         ];
         let (script, stats) = ReplayScript::from_trace(&records, 4);
         assert_eq!(stats.frees, 1);
@@ -384,7 +384,7 @@ mod tests {
         let records = vec![
             m(0, 0, 3, 100, 16),
             m(1, 2, 0, 300, 1024),
-            rec(2, 0, 3, 0, TraceEvent::Free { ptr: 100 }),
+            rec(2, 0, 3, 0, TraceEvent::Free { ptr: 100, size: 0 }),
         ];
         let (script, _) = ReplayScript::from_trace(&records, 8);
         let text = script.render();

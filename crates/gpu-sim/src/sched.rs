@@ -288,7 +288,13 @@ impl FaultPlan {
 /// Panics in tasks propagate: the coordinator releases every remaining
 /// task (so their threads exit their scope) and re-raises the first
 /// panic, which keeps `std::thread::scope` from aborting the process.
-pub fn run_tasks<F>(seed: u64, n_tasks: u64, task: F)
+///
+/// Returns the schedule length: the number of turn grants the
+/// coordinator issued. This is the run's duration in *schedule steps* —
+/// a deterministic function of `(seed, workload)`, one step per
+/// preemption-point crossing (plus one final grant per task) — and is
+/// what the serving layer uses as simulated service time.
+pub fn run_tasks<F>(seed: u64, n_tasks: u64, task: F) -> u64
 where
     F: Fn(u64) + Sync,
 {
@@ -300,13 +306,14 @@ where
 /// preemption point is parked for `park_turns` turn grants (see
 /// [`FaultPlan`]). Scheduling stays fully deterministic — the fault is
 /// part of the schedule, so the same `(seed, fault)` pair replays the
-/// identical interleaving.
-pub fn run_tasks_faulted<F>(seed: u64, n_tasks: u64, fault: Option<FaultPlan>, task: F)
+/// identical interleaving. Returns the schedule length in turn grants
+/// (see [`run_tasks`]).
+pub fn run_tasks_faulted<F>(seed: u64, n_tasks: u64, fault: Option<FaultPlan>, task: F) -> u64
 where
     F: Fn(u64) + Sync,
 {
     if n_tasks == 0 {
-        return;
+        return 0;
     }
     let gates: Vec<Arc<Gate>> = (0..n_tasks).map(|_| Arc::new(Gate::new())).collect();
     let mut rng = SplitMix64::new(seed);
@@ -339,6 +346,7 @@ where
         let mut crossings = 0u64;
         let mut fault_armed = fault.is_some();
         let mut parked: Option<(usize, u64)> = None;
+        let mut steps = 0u64;
         while !runnable.is_empty() || parked.is_some() {
             if runnable.is_empty() {
                 // Only the victim is left: release it or the run hangs.
@@ -348,6 +356,7 @@ where
             let pick = (rng.next() % runnable.len() as u64) as usize;
             let idx = runnable[pick];
             let (finished, point) = gates[idx].grant_turn();
+            steps += 1;
             if let Some((victim, ref mut remaining)) = parked {
                 *remaining = remaining.saturating_sub(1);
                 if *remaining == 0 {
@@ -371,7 +380,8 @@ where
                 }
             }
         }
-    });
+        steps
+    })
 }
 
 /// Outcome of an [`explore_schedules`] sweep that found a failure.
@@ -514,6 +524,21 @@ mod tests {
             }
         });
         assert_eq!(flag.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn schedule_length_counts_turn_grants_deterministically() {
+        // Each task yields 3 times then finishes on its 4th grant, so
+        // the schedule length is exact — and replays per seed.
+        let body = |_i: u64| {
+            for _ in 0..3 {
+                preempt_point(PreemptPoint::Rmw);
+            }
+        };
+        let steps = run_tasks(9, 4, body);
+        assert_eq!(steps, 4 * (3 + 1));
+        assert_eq!(run_tasks(9, 4, body), steps, "same seed, same schedule length");
+        assert_eq!(run_tasks(0, 0, body), 0, "empty launch takes no steps");
     }
 
     #[test]

@@ -158,6 +158,12 @@ pub enum TraceEvent {
     Free {
         /// Device offset being returned.
         ptr: u64,
+        /// Bytes the allocator recorded as released (size-class rounded,
+        /// matching the paired `Malloc`). `0` means unknown — hand-built
+        /// records, legacy traces, or a free the allocator could not
+        /// size (e.g. a raced large free) — and skips the [`Ledger`]'s
+        /// malloc/free size cross-check.
+        size: u64,
     },
     /// A segment was claimed from the segment tree for a block class.
     SegmentGrab {
@@ -547,7 +553,7 @@ fn event_args(r: &TraceRecord) -> String {
         TraceEvent::Malloc { size, tier, ptr } => {
             format!("\"size\": {size}, \"tier\": \"{}\", \"ptr\": {ptr}", tier.label())
         }
-        TraceEvent::Free { ptr } => format!("\"ptr\": {ptr}"),
+        TraceEvent::Free { ptr, size } => format!("\"ptr\": {ptr}, \"size\": {size}"),
         TraceEvent::SegmentGrab { seg, class } => format!("\"seg\": {seg}, \"class\": {class}"),
         TraceEvent::SegmentReformat { seg, class, drain_spins } => {
             format!("\"seg\": {seg}, \"class\": {class}, \"drain_spins\": {drain_spins}")
@@ -621,7 +627,7 @@ mod tests {
         let built = std::cell::Cell::new(false);
         emit(|| {
             built.set(true);
-            TraceEvent::Free { ptr: 1 }
+            TraceEvent::Free { ptr: 1, size: 0 }
         });
         assert!(!built.get(), "payload closure must not run without a sink");
     }
@@ -636,7 +642,7 @@ mod tests {
             for i in 0..20u64 {
                 // Rotate the SM stamp so records land in many stripes.
                 in_warp(current_sink(), (i % 5) as u32, i, || {
-                    emit_lane(i as u32, || TraceEvent::Free { ptr: i });
+                    emit_lane(i as u32, || TraceEvent::Free { ptr: i, size: 0 });
                 });
             }
         });
@@ -644,11 +650,11 @@ mod tests {
         assert_eq!(snap.len(), 20);
         for (i, r) in snap.iter().enumerate() {
             assert_eq!(r.step, i as u64, "snapshot must be step-ordered");
-            assert_eq!(r.event, TraceEvent::Free { ptr: i as u64 });
+            assert_eq!(r.event, TraceEvent::Free { ptr: i as u64, size: 0 });
             assert_eq!(r.sm, (i % 5) as u32);
         }
         // Outside with_sink, emission stops.
-        emit(|| TraceEvent::Free { ptr: 99 });
+        emit(|| TraceEvent::Free { ptr: 99, size: 0 });
         assert_eq!(sink.len(), 20);
     }
 
@@ -658,7 +664,7 @@ mod tests {
         let sink = Arc::new(TraceSink::with_capacity(4));
         with_sink(sink.clone(), || {
             for i in 0..10u64 {
-                emit(|| TraceEvent::Free { ptr: i });
+                emit(|| TraceEvent::Free { ptr: i, size: 0 });
             }
         });
         assert_eq!(sink.len(), 4, "one stripe (sm 0), capacity 4");
@@ -673,16 +679,16 @@ mod tests {
     fn with_instance_stamps_and_restores() {
         let sink = Arc::new(TraceSink::new());
         with_sink(sink.clone(), || {
-            emit(|| TraceEvent::Free { ptr: 0 });
+            emit(|| TraceEvent::Free { ptr: 0, size: 0 });
             with_instance(3, || {
                 assert_eq!(current_instance(), 3);
-                emit(|| TraceEvent::Free { ptr: 1 });
-                with_instance(1, || emit(|| TraceEvent::Free { ptr: 2 }));
+                emit(|| TraceEvent::Free { ptr: 1, size: 0 });
+                with_instance(1, || emit(|| TraceEvent::Free { ptr: 2, size: 0 }));
                 // Nested scope restored the outer instance.
-                emit(|| TraceEvent::Free { ptr: 3 });
+                emit(|| TraceEvent::Free { ptr: 3, size: 0 });
             });
             assert_eq!(current_instance(), 0);
-            emit(|| TraceEvent::Free { ptr: 4 });
+            emit(|| TraceEvent::Free { ptr: 4, size: 0 });
         });
         let stamps: Vec<u32> = sink.snapshot().iter().map(|r| r.instance).collect();
         assert_eq!(stamps, vec![0, 3, 1, 3, 0]);
@@ -690,7 +696,7 @@ mod tests {
 
     #[test]
     fn instance_tag_exports_only_when_nonzero() {
-        let r0 = rec(0, 0, TraceEvent::Free { ptr: 7 });
+        let r0 = rec(0, 0, TraceEvent::Free { ptr: 7, size: 0 });
         let r1 = TraceRecord { instance: 2, ..r0 };
         let single = chrome_trace_json(&[r0]);
         assert!(
