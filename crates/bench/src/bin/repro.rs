@@ -34,6 +34,16 @@
 //!   summary         §6.3-style speedup summary from the written CSVs
 //!   all             everything above, in order
 //!
+//! Perf-trend lane (E21 — see TESTING.md "Perf lane"):
+//!   perf            run the perf suite with repeated samples and append one
+//!                   gallatin-perf-v1 line to <history>/perf_history.jsonl
+//!   perf-gate       compare the latest history line against the rolling
+//!                   same-host baseline band; exits 1 on gross regressions
+//!   perf-report     render PERF_TREND.md + perf_trend.csv over the history
+//!   perf-check      lint BENCH_*.json files/dirs (positional args, default
+//!                   results/): median_ms must be a number or "untimed";
+//!                   null/missing exits 1
+//!
 //! Flags:
 //!   --threads N     logical GPU threads (default 32768)
 //!   --runs N        repetitions per measurement, median reported (default 7)
@@ -44,9 +54,21 @@
 //!   --json          also write machine-readable BENCH_<experiment>.json files
 //!   --full          paper-scale: 1M threads, 50 runs, 2G heap, 2^20 scaling
 //!   --smoke         CI smoke subset (serve): shorter horizon, fewer cells
+//!
+//! Perf flags (perf/perf-gate/perf-report only):
+//!   --samples N     repeated suite samples per run, medians kept (default 3)
+//!   --history DIR   history directory (default results/history)
+//!   --window N      rolling-baseline window for perf-gate (default 10)
+//!   --sha S         git SHA stamped on the appended run (default $GITHUB_SHA
+//!                   or "local")
+//!   --stamp S       timestamp label (default unix-<seconds>)
+//!   --host S        host label; the gate only compares equal labels
+//!                   (default $PERF_HOST or "local")
+//!   --seeds SPEC    churn-cell schedule seeds: "0..8" or "0,3,7" (default 0..8)
 //! ```
 
 use bench::experiments as exp;
+use bench::perf::PerfOptions;
 use bench::HarnessConfig;
 
 fn parse_bytes(s: &str) -> Option<u64> {
@@ -59,14 +81,28 @@ fn parse_bytes(s: &str) -> Option<u64> {
     num.parse::<u64>().ok().map(|n| n * mult)
 }
 
+/// `--seeds` accepts a half-open range (`0..8`) or a comma list (`0,3,7`).
+fn parse_seeds(s: &str) -> Option<Vec<u64>> {
+    if let Some((a, b)) = s.split_once("..") {
+        let (a, b) = (a.parse::<u64>().ok()?, b.parse::<u64>().ok()?);
+        if a >= b {
+            return None;
+        }
+        return Some((a..b).collect());
+    }
+    s.split(',').map(|p| p.trim().parse::<u64>().ok()).collect()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: repro <init|single|mixed|scaling|variance|warmup|fragmentation|utilization|graph|expansion|reclaim|ablation|bench-smoke|trace|pool|replay|serve|summary|all> [--threads N] [--runs N] [--heap BYTES] [--sms N] [--pool N] [--out DIR] [--json] [--full] [--smoke]");
+        eprintln!("usage: repro <init|single|mixed|scaling|variance|warmup|fragmentation|utilization|graph|expansion|reclaim|ablation|bench-smoke|trace|pool|replay|serve|perf|perf-gate|perf-report|perf-check|summary|all> [--threads N] [--runs N] [--heap BYTES] [--sms N] [--pool N] [--out DIR] [--json] [--full] [--smoke] [--samples N] [--history DIR] [--window N] [--sha S] [--stamp S] [--host S] [--seeds SPEC]");
         std::process::exit(2);
     }
     let cmd = args[0].clone();
     let mut cfg = HarnessConfig::default();
+    let mut perf = PerfOptions::default();
+    let mut positional: Vec<String> = Vec::new();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -106,9 +142,41 @@ fn main() {
                 cfg.smoke = true;
                 i += 1;
             }
-            other => {
+            "--samples" => {
+                perf.samples = args[i + 1].parse().expect("--samples N");
+                i += 2;
+            }
+            "--history" => {
+                perf.history_dir = args[i + 1].clone();
+                i += 2;
+            }
+            "--window" => {
+                perf.window = args[i + 1].parse().expect("--window N");
+                i += 2;
+            }
+            "--sha" => {
+                perf.sha = args[i + 1].clone();
+                i += 2;
+            }
+            "--stamp" => {
+                perf.stamp = args[i + 1].clone();
+                i += 2;
+            }
+            "--host" => {
+                perf.host = args[i + 1].clone();
+                i += 2;
+            }
+            "--seeds" => {
+                perf.seeds = parse_seeds(&args[i + 1]).expect("--seeds A..B or A,B,C");
+                i += 2;
+            }
+            other if other.starts_with("--") => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
+            }
+            other => {
+                positional.push(other.to_string());
+                i += 1;
             }
         }
     }
@@ -150,6 +218,28 @@ fn main() {
             }
         }
         "summary" => exp::run_summary(&cfg.out_dir),
+        "perf" => {
+            if !bench::perf::run_perf(&perf) {
+                std::process::exit(1);
+            }
+        }
+        "perf-gate" => {
+            if !bench::perf::run_perf_gate(&perf) {
+                std::process::exit(1);
+            }
+        }
+        "perf-report" => {
+            if !bench::perf::run_perf_report(&perf) {
+                std::process::exit(1);
+            }
+        }
+        "perf-check" => {
+            let paths =
+                if positional.is_empty() { vec!["results".to_string()] } else { positional };
+            if !bench::perf::run_perf_check(&paths) {
+                std::process::exit(1);
+            }
+        }
         "all" => {
             exp::run_init(&cfg);
             exp::run_single(&cfg);

@@ -1,0 +1,260 @@
+//! The noise-tolerant wall-clock regression gate (`repro perf-gate`).
+//!
+//! Counts are exact functions of the schedule seed, so the bench-smoke
+//! gate can fail on a 10% drift. Wall time is not: even on one host it
+//! jitters with cache state, frequency scaling, and co-tenants. The
+//! perf gate therefore compares the latest run's medians against a
+//! **rolling baseline band** derived from the same series' history:
+//!
+//! * baseline = median of the last [`GateConfig::window`] prior medians
+//!   from runs with the *same host label* (cross-host timing is not
+//!   comparable and is never gated);
+//! * tolerance = max(relative band, MAD multiple, absolute floor) — the
+//!   MAD (median absolute deviation) term widens the band for series
+//!   that are empirically noisy, the relative/absolute floors keep it
+//!   from collapsing to zero on perfectly stable series;
+//! * rows whose baseline sits under [`GateConfig::min_floor_ms`] are
+//!   skipped (microsecond rows flap on scheduler noise alone), as are
+//!   `"untimed"` rows (by schema) and series with fewer than
+//!   [`GateConfig::min_prior_runs`] prior same-host runs (no band to
+//!   speak of yet — the gate reports them and stays green).
+//!
+//! A gross regression — current median above baseline + tolerance —
+//! fails the gate. Gross *improvements* are reported as notes so a
+//! too-good-to-be-true run (wrong sample count, dead code) is visible.
+
+use super::history::{series_key, PerfRun};
+
+/// Tunables of the rolling band.
+#[derive(Clone, Debug)]
+pub struct GateConfig {
+    /// Prior runs (per series, same host) the baseline band is built
+    /// over.
+    pub window: usize,
+    /// Minimum prior same-host runs before a series is gated at all.
+    pub min_prior_runs: usize,
+    /// Series whose baseline median is below this are never gated.
+    pub min_floor_ms: f64,
+    /// Relative half-width of the band: baseline × this.
+    pub rel_band: f64,
+    /// MAD multiplier: band also covers mad × this.
+    pub mad_mult: f64,
+    /// Absolute half-width floor, milliseconds.
+    pub abs_band_ms: f64,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig {
+            window: 10,
+            min_prior_runs: 2,
+            min_floor_ms: 5.0,
+            rel_band: 0.35,
+            mad_mult: 5.0,
+            abs_band_ms: 2.0,
+        }
+    }
+}
+
+/// What the gate decided.
+#[derive(Debug, Default)]
+pub struct GateOutcome {
+    /// Hard failures: series whose current median left the band upward.
+    pub failures: Vec<String>,
+    /// Informational notes (skips, improvements, thin history).
+    pub notes: Vec<String>,
+    /// Series actually compared against a band.
+    pub gated: usize,
+    /// Series skipped (untimed / under floor / thin history).
+    pub skipped: usize,
+}
+
+impl GateOutcome {
+    /// Whether the gate passes.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Median of a non-empty slice (upper median for even lengths — bias
+/// toward the slower sample, i.e. the stricter baseline).
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("medians are finite"));
+    xs[xs.len() / 2]
+}
+
+/// Gate the last run of `history` against the band built from the runs
+/// before it. An empty history (or one with no prior same-host runs at
+/// all) passes with a note — the first run on a fresh host *creates*
+/// the baseline.
+pub fn gate_latest(history: &[PerfRun], cfg: &GateConfig) -> GateOutcome {
+    let mut out = GateOutcome::default();
+    let Some((current, prior)) = history.split_last() else {
+        out.notes.push("history is empty: nothing to gate".into());
+        return out;
+    };
+    let prior: Vec<&PerfRun> = prior.iter().filter(|r| r.host == current.host).collect();
+    if prior.is_empty() {
+        out.notes.push(format!(
+            "no prior runs for host {:?}: baseline created, nothing gated",
+            current.host
+        ));
+    }
+    for rec in &current.records {
+        let key = series_key(rec);
+        if !rec.median_ms.is_finite() {
+            out.skipped += 1;
+            continue; // untimed by schema
+        }
+        let mut series: Vec<f64> = prior
+            .iter()
+            .flat_map(|r| &r.records)
+            .filter(|r| series_key(r) == key)
+            .map(|r| r.median_ms)
+            .filter(|m| m.is_finite())
+            .collect();
+        let window_start = series.len().saturating_sub(cfg.window);
+        let series = &mut series[window_start..];
+        if series.len() < cfg.min_prior_runs {
+            out.skipped += 1;
+            out.notes.push(format!(
+                "{key}: only {} prior same-host run(s) (< {}), not gated",
+                series.len(),
+                cfg.min_prior_runs
+            ));
+            continue;
+        }
+        let baseline = median(series);
+        if baseline < cfg.min_floor_ms {
+            out.skipped += 1;
+            out.notes.push(format!(
+                "{key}: baseline {baseline:.3} ms under the {:.1} ms floor, not gated",
+                cfg.min_floor_ms
+            ));
+            continue;
+        }
+        let mut devs: Vec<f64> = series.iter().map(|x| (x - baseline).abs()).collect();
+        let mad = median(&mut devs);
+        let band = (baseline * cfg.rel_band).max(mad * cfg.mad_mult).max(cfg.abs_band_ms);
+        out.gated += 1;
+        let cur = rec.median_ms;
+        if cur > baseline + band {
+            out.failures.push(format!(
+                "{key}: {cur:.1} ms vs baseline {baseline:.1} ms (+{:.0}%, band ±{band:.1} ms over {} run(s))",
+                100.0 * (cur - baseline) / baseline,
+                series.len()
+            ));
+        } else if cur < baseline - band {
+            out.notes.push(format!(
+                "{key}: {cur:.1} ms vs baseline {baseline:.1} ms ({:.0}%) — large improvement, verify it is real",
+                100.0 * (cur - baseline) / baseline
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::BenchRecord;
+
+    fn rec(ms: f64) -> BenchRecord {
+        BenchRecord {
+            experiment: "perf".into(),
+            allocator: "Gallatin".into(),
+            params: vec![("size".into(), "1024".into())],
+            median_ms: ms,
+            counts: vec![("cas_attempts".into(), 100)],
+        }
+    }
+
+    fn run(host: &str, ms: f64) -> PerfRun {
+        PerfRun {
+            sha: "sha".into(),
+            stamp: "stamp".into(),
+            host: host.into(),
+            samples: 3,
+            records: vec![rec(ms)],
+        }
+    }
+
+    #[test]
+    fn planted_regression_trips_the_gate() {
+        // Stable ~100 ms series, then a +50% run: must fail.
+        let mut h: Vec<PerfRun> =
+            [99.0, 101.0, 100.0, 100.5].iter().map(|&m| run("ci", m)).collect();
+        h.push(run("ci", 150.0));
+        let out = gate_latest(&h, &GateConfig::default());
+        assert!(!out.ok(), "+50% must trip: {:?}", out.notes);
+        assert!(out.failures[0].contains("perf::Gallatin[size=1024]"));
+        assert_eq!(out.gated, 1);
+    }
+
+    #[test]
+    fn inside_band_stays_green() {
+        // +20% sits inside the 35% relative band.
+        let mut h: Vec<PerfRun> =
+            [99.0, 101.0, 100.0, 100.5].iter().map(|&m| run("ci", m)).collect();
+        h.push(run("ci", 120.0));
+        let out = gate_latest(&h, &GateConfig::default());
+        assert!(out.ok(), "{:?}", out.failures);
+        assert_eq!(out.gated, 1);
+    }
+
+    #[test]
+    fn noisy_series_widens_its_band() {
+        // Series with MAD ~20 ms around 100: a 190 ms run stays green
+        // (mad_mult 5 ⇒ band ~100 ms), where a stable series would trip.
+        let mut h: Vec<PerfRun> =
+            [80.0, 120.0, 100.0, 78.0, 122.0].iter().map(|&m| run("ci", m)).collect();
+        h.push(run("ci", 190.0));
+        let out = gate_latest(&h, &GateConfig::default());
+        assert!(out.ok(), "{:?}", out.failures);
+    }
+
+    #[test]
+    fn microsecond_rows_never_flap() {
+        // Baseline 0.5 ms: even a 10× run is skipped by the floor.
+        let mut h: Vec<PerfRun> = [0.5, 0.52, 0.48].iter().map(|&m| run("ci", m)).collect();
+        h.push(run("ci", 5.0));
+        let out = gate_latest(&h, &GateConfig::default());
+        assert!(out.ok());
+        assert_eq!(out.gated, 0);
+        assert_eq!(out.skipped, 1);
+        assert!(out.notes.iter().any(|n| n.contains("floor")));
+    }
+
+    #[test]
+    fn cross_host_history_is_not_compared() {
+        // Prior runs from a slower host: the fast host's first run must
+        // not be flagged (or gated at all).
+        let mut h: Vec<PerfRun> = [500.0, 505.0, 498.0].iter().map(|&m| run("laptop", m)).collect();
+        h.push(run("ci", 100.0));
+        let out = gate_latest(&h, &GateConfig::default());
+        assert!(out.ok());
+        assert_eq!(out.gated, 0);
+        assert!(out.notes.iter().any(|n| n.contains("no prior runs")));
+    }
+
+    #[test]
+    fn untimed_rows_are_skipped_by_schema() {
+        let mut h: Vec<PerfRun> = [100.0, 101.0].iter().map(|&m| run("ci", m)).collect();
+        let mut last = run("ci", f64::NAN);
+        last.records.push(rec(100.5)); // the timed row still gates
+        h.push(last);
+        let out = gate_latest(&h, &GateConfig::default());
+        assert!(out.ok());
+        assert_eq!(out.skipped, 1);
+        assert_eq!(out.gated, 1);
+    }
+
+    #[test]
+    fn empty_history_and_fresh_series_pass() {
+        assert!(gate_latest(&[], &GateConfig::default()).ok());
+        let h = [run("ci", 100.0)];
+        let out = gate_latest(&h, &GateConfig::default());
+        assert!(out.ok());
+        assert_eq!(out.gated, 0);
+    }
+}

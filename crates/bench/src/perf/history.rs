@@ -1,0 +1,226 @@
+//! The `gallatin-perf-v1` history format: an append-only JSONL file of
+//! per-run measurements under `results/history/`.
+//!
+//! One line per `repro perf` invocation. Each line is a self-contained
+//! JSON object carrying the run's provenance (git SHA, timestamp, and
+//! host label — all passed in by CI; timing is only comparable within
+//! one host) plus every [`BenchRecord`] the perf suite produced, medians
+//! taken over the run's repeated samples. Appending a line never
+//! rewrites earlier ones, so the file is trivially mergeable across CI
+//! artifact restores and safe to keep under version control.
+//!
+//! NaN medians are spelled with the schema's explicit `"untimed"`
+//! marker (never `null` — see `repro perf-check`). Counters round-trip
+//! through the f64-backed JSON parser, so the format is exact for
+//! integers below 2^53 — comfortably above any real atomic counter.
+
+use crate::report::{json, json_escape, record_from_json, BenchRecord};
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Schema tag every history line must carry.
+pub const PERF_SCHEMA: &str = "gallatin-perf-v1";
+
+/// File name of the history inside the history directory.
+pub const HISTORY_FILE: &str = "perf_history.jsonl";
+
+/// One appended run: provenance plus its measured records.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PerfRun {
+    /// Git SHA of the tree that produced the run (CI passes
+    /// `github.sha`; local runs default to `local`).
+    pub sha: String,
+    /// Timestamp label (CI passes an ISO stamp; informational only —
+    /// ordering is by file position).
+    pub stamp: String,
+    /// Host label; the gate only compares runs with equal labels, so a
+    /// laptop run never flags a regression against a CI runner.
+    pub host: String,
+    /// Repeated samples the medians were taken over.
+    pub samples: u32,
+    /// The suite's records, medians per record.
+    pub records: Vec<BenchRecord>,
+}
+
+/// The series key trend/gate group measurements under: experiment plus
+/// the record's own allocator+params key.
+pub fn series_key(r: &BenchRecord) -> String {
+    format!("{}::{}", r.experiment, r.key())
+}
+
+/// Render one run as a single JSONL line (no trailing newline).
+pub fn render_run(run: &PerfRun) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"schema\":\"{}\",\"sha\":\"{}\",\"stamp\":\"{}\",\"host\":\"{}\",\"samples\":{},\"records\":[",
+        PERF_SCHEMA,
+        json_escape(&run.sha),
+        json_escape(&run.stamp),
+        json_escape(&run.host),
+        run.samples,
+    ));
+    for (i, r) in run.records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"experiment\":\"{}\",\"allocator\":\"{}\",\"params\":{{",
+            json_escape(&r.experiment),
+            json_escape(&r.allocator),
+        ));
+        let params: Vec<String> = r
+            .params
+            .iter()
+            .map(|(k, v)| format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)))
+            .collect();
+        out.push_str(&params.join(","));
+        if r.median_ms.is_finite() {
+            out.push_str(&format!("}},\"median_ms\":{:.6},\"counts\":{{", r.median_ms));
+        } else {
+            out.push_str("},\"median_ms\":\"untimed\",\"counts\":{");
+        }
+        let counts: Vec<String> =
+            r.counts.iter().map(|(k, v)| format!("\"{}\":{}", json_escape(k), v)).collect();
+        out.push_str(&counts.join(","));
+        out.push_str("}}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Parse one history line back into a [`PerfRun`].
+pub fn parse_run(line: &str) -> Result<PerfRun, String> {
+    let doc = json::parse(line)?;
+    let schema = doc.get("schema").and_then(json::Value::as_str).unwrap_or("");
+    if schema != PERF_SCHEMA {
+        return Err(format!("unsupported schema {schema:?} (want {PERF_SCHEMA:?})"));
+    }
+    let s = |k: &str| {
+        doc.get(k)
+            .and_then(json::Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("run missing string \"{k}\""))
+    };
+    let records = doc
+        .get("records")
+        .and_then(json::Value::as_array)
+        .ok_or_else(|| "run missing \"records\" array".to_string())?
+        .iter()
+        .map(record_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(PerfRun {
+        sha: s("sha")?,
+        stamp: s("stamp")?,
+        host: s("host")?,
+        samples: doc.get("samples").and_then(json::Value::as_f64).unwrap_or(1.0) as u32,
+        records,
+    })
+}
+
+/// Path of the history file inside `dir`.
+pub fn history_path(dir: &Path) -> PathBuf {
+    dir.join(HISTORY_FILE)
+}
+
+/// Append one run to `<dir>/perf_history.jsonl`, creating the directory
+/// and file on first use. Returns the path written.
+pub fn append_run(dir: &Path, run: &PerfRun) -> std::io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = history_path(dir);
+    let mut f = fs::OpenOptions::new().create(true).append(true).open(&path)?;
+    writeln!(f, "{}", render_run(run))?;
+    Ok(path)
+}
+
+/// Read every run from `<dir>/perf_history.jsonl`, oldest first. A
+/// missing file is an empty history (the CI perf job seeds from the
+/// checked-in baseline, but a fresh clone gating its very first run is
+/// legitimate too). Blank lines are skipped; a malformed line is an
+/// error naming its line number.
+pub fn read_history(dir: &Path) -> Result<Vec<PerfRun>, String> {
+    let path = history_path(dir);
+    let text = match fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("{}: {e}", path.display())),
+    };
+    text.lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, l)| parse_run(l).map_err(|e| format!("{}:{}: {e}", path.display(), i + 1)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_run() -> PerfRun {
+        PerfRun {
+            sha: "abc123".into(),
+            stamp: "2026-08-09T00:00:00Z".into(),
+            host: "ci-Linux".into(),
+            samples: 3,
+            records: vec![
+                BenchRecord {
+                    experiment: "perf".into(),
+                    allocator: "Gallatin".into(),
+                    params: vec![("size".into(), "16".into()), ("wide".into(), "on".into())],
+                    median_ms: 12.25,
+                    counts: vec![("cas_attempts".into(), 42)],
+                },
+                BenchRecord {
+                    experiment: "perf".into(),
+                    allocator: "Gallatin".into(),
+                    params: vec![("case".into(), "group \"q\"".into())],
+                    median_ms: f64::NAN,
+                    counts: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn line_round_trips() {
+        let run = sample_run();
+        let line = render_run(&run);
+        assert!(!line.contains('\n'), "JSONL lines must be single-line");
+        assert!(line.contains("\"untimed\""));
+        let back = parse_run(&line).unwrap();
+        assert_eq!(back.sha, run.sha);
+        assert_eq!(back.samples, 3);
+        assert_eq!(back.records[0], run.records[0]);
+        assert!(back.records[1].median_ms.is_nan());
+        assert_eq!(back.records[1].params[0].1, "group \"q\"");
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        let line = render_run(&sample_run()).replace(PERF_SCHEMA, "gallatin-perf-v0");
+        assert!(parse_run(&line).unwrap_err().contains("unsupported schema"));
+    }
+
+    #[test]
+    fn file_appends_and_reads_back() {
+        let dir = std::env::temp_dir().join("gallatin-perf-history-test");
+        let _ = fs::remove_dir_all(&dir);
+        assert_eq!(read_history(&dir).unwrap(), vec![]);
+        let mut a = sample_run();
+        append_run(&dir, &a).unwrap();
+        let mut b = sample_run();
+        b.sha = "def456".into();
+        append_run(&dir, &b).unwrap();
+        let all = read_history(&dir).unwrap();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].sha, "abc123");
+        assert_eq!(all[1].sha, "def456");
+        // NaN != NaN breaks PartialEq on the untimed row; compare the
+        // timed rows and keys instead.
+        a.records.truncate(1);
+        b.records.truncate(1);
+        assert_eq!(all[0].records[0], a.records[0]);
+        assert_eq!(series_key(&all[1].records[0]), "perf::Gallatin[size=16,wide=on]");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,292 @@
+//! The perf-trend lane (E21): per-run wall-clock history, a trend
+//! report, and a noise-tolerant regression gate.
+//!
+//! The count gates (`bench-smoke`, the 64-seed hard-seed sweep) pin the
+//! simulator's *work*; this module tracks its *speed*. Four entry
+//! points, wired to `repro` subcommands:
+//!
+//! * [`run_perf`] — run the [`suite`] with repeated samples and append
+//!   one `gallatin-perf-v1` line to `results/history/perf_history.jsonl`.
+//! * [`run_perf_gate`] — compare the latest appended run against the
+//!   rolling same-host baseline band ([`gate`]); exit nonzero on gross
+//!   regressions.
+//! * [`run_perf_report`] — render `PERF_TREND.md` + `perf_trend.csv`
+//!   over the whole history ([`trend`]).
+//! * [`run_perf_check`] — schema lint for BENCH JSON files: every
+//!   record's `median_ms` must be a number or the explicit `"untimed"`
+//!   marker; `null` or a missing field fails loudly (nightly runs this
+//!   over `results/`).
+
+pub mod gate;
+pub mod history;
+pub mod suite;
+pub mod trend;
+
+pub use gate::{gate_latest, GateConfig, GateOutcome};
+pub use history::{
+    append_run, history_path, parse_run, read_history, render_run, series_key, PerfRun,
+    HISTORY_FILE, PERF_SCHEMA,
+};
+pub use suite::{sampled_records, seed_label, DEFAULT_SEEDS};
+pub use trend::{render_csv, render_markdown, write_report};
+
+use crate::report::{json, median_field, MedianField};
+use std::path::{Path, PathBuf};
+
+/// Options shared by the perf subcommands (filled from `repro` flags;
+/// CI passes `--sha`/`--stamp`/`--host` explicitly).
+#[derive(Clone, Debug)]
+pub struct PerfOptions {
+    /// Repeated samples per run; the history stores per-record medians.
+    pub samples: usize,
+    /// Directory holding `perf_history.jsonl` and the trend report.
+    pub history_dir: String,
+    /// Rolling-baseline window for the gate.
+    pub window: usize,
+    /// Git SHA label stamped on appended runs.
+    pub sha: String,
+    /// Timestamp label stamped on appended runs.
+    pub stamp: String,
+    /// Host label; the gate only compares equal labels.
+    pub host: String,
+    /// Schedule seeds for the churn cells.
+    pub seeds: Vec<u64>,
+}
+
+impl Default for PerfOptions {
+    fn default() -> Self {
+        PerfOptions {
+            samples: 3,
+            history_dir: "results/history".into(),
+            window: GateConfig::default().window,
+            sha: std::env::var("GITHUB_SHA").unwrap_or_else(|_| "local".into()),
+            stamp: unix_stamp(),
+            host: std::env::var("PERF_HOST").unwrap_or_else(|_| "local".into()),
+            seeds: DEFAULT_SEEDS.collect(),
+        }
+    }
+}
+
+/// Seconds-since-epoch stamp for local runs (CI passes an ISO stamp).
+fn unix_stamp() -> String {
+    match std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
+        Ok(d) => format!("unix-{}", d.as_secs()),
+        Err(_) => "unix-0".into(),
+    }
+}
+
+/// `repro perf`: measure and append one history line.
+pub fn run_perf(opts: &PerfOptions) -> bool {
+    println!(
+        "== perf: {} sample(s), seeds {}, history {} ==",
+        opts.samples,
+        seed_label(&opts.seeds),
+        opts.history_dir
+    );
+    let records = match sampled_records(opts.samples, &opts.seeds) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("perf: measurement failed: {e}");
+            return false;
+        }
+    };
+    for r in &records {
+        println!("  {:<70} {}", series_key(r), crate::report::fmt_ms(r.median_ms));
+    }
+    let run = PerfRun {
+        sha: opts.sha.clone(),
+        stamp: opts.stamp.clone(),
+        host: opts.host.clone(),
+        samples: opts.samples as u32,
+        records,
+    };
+    match append_run(Path::new(&opts.history_dir), &run) {
+        Ok(path) => {
+            println!(
+                "perf: appended run (sha {}, host {}) to {}",
+                run.sha,
+                run.host,
+                path.display()
+            );
+            true
+        }
+        Err(e) => {
+            eprintln!("perf: could not append history: {e}");
+            false
+        }
+    }
+}
+
+/// `repro perf-gate`: gate the latest history line.
+pub fn run_perf_gate(opts: &PerfOptions) -> bool {
+    let history = match read_history(Path::new(&opts.history_dir)) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("perf-gate: {e}");
+            return false;
+        }
+    };
+    let cfg = GateConfig { window: opts.window, ..GateConfig::default() };
+    let out = gate_latest(&history, &cfg);
+    println!(
+        "== perf-gate: {} run(s), {} series gated, {} skipped ==",
+        history.len(),
+        out.gated,
+        out.skipped
+    );
+    for n in &out.notes {
+        println!("  note: {n}");
+    }
+    for f in &out.failures {
+        println!("  FAIL: {f}");
+    }
+    if out.ok() {
+        println!("perf-gate: OK");
+        true
+    } else {
+        println!("perf-gate: {} gross regression(s)", out.failures.len());
+        false
+    }
+}
+
+/// `repro perf-report`: write and print the trend report.
+pub fn run_perf_report(opts: &PerfOptions) -> bool {
+    let dir = Path::new(&opts.history_dir);
+    let history = match read_history(dir) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("perf-report: {e}");
+            return false;
+        }
+    };
+    print!("{}", render_markdown(&history));
+    match write_report(dir, &history) {
+        Ok((md, csv)) => {
+            println!("\nperf-report: wrote {} and {}", md.display(), csv.display());
+            true
+        }
+        Err(e) => {
+            eprintln!("perf-report: could not write report: {e}");
+            false
+        }
+    }
+}
+
+/// Expand one `perf-check` argument: a file is itself, a directory is
+/// its `BENCH_*.json` files (sorted for stable output).
+fn check_targets(path: &Path) -> Vec<PathBuf> {
+    if path.is_dir() {
+        let mut found: Vec<PathBuf> = std::fs::read_dir(path)
+            .into_iter()
+            .flatten()
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            })
+            .collect();
+        found.sort();
+        found
+    } else {
+        vec![path.to_path_buf()]
+    }
+}
+
+/// `repro perf-check`: fail loudly on BENCH JSON records whose
+/// `median_ms` is `null` or missing. `"untimed"` is the only legitimate
+/// way to spell "this row is deliberately not a timing".
+pub fn run_perf_check(paths: &[String]) -> bool {
+    let mut files = 0usize;
+    let mut rows = 0usize;
+    let mut failures: Vec<String> = Vec::new();
+    for arg in paths {
+        for file in check_targets(Path::new(arg)) {
+            let text = match std::fs::read_to_string(&file) {
+                Ok(t) => t,
+                Err(e) => {
+                    failures.push(format!("{}: {e}", file.display()));
+                    continue;
+                }
+            };
+            let doc = match json::parse(&text) {
+                Ok(d) => d,
+                Err(e) => {
+                    failures.push(format!("{}: parse error: {e}", file.display()));
+                    continue;
+                }
+            };
+            let Some(records) = doc.get("records").and_then(json::Value::as_array) else {
+                failures.push(format!("{}: no \"records\" array", file.display()));
+                continue;
+            };
+            files += 1;
+            for (i, r) in records.iter().enumerate() {
+                rows += 1;
+                match median_field(r) {
+                    MedianField::Timed | MedianField::Untimed => {}
+                    MedianField::Null => failures.push(format!(
+                        "{}: record {i}: median_ms is null — time it or mark it \"untimed\"",
+                        file.display()
+                    )),
+                    MedianField::Missing => failures.push(format!(
+                        "{}: record {i}: median_ms missing — time it or mark it \"untimed\"",
+                        file.display()
+                    )),
+                }
+            }
+        }
+    }
+    println!("== perf-check: {files} file(s), {rows} record(s) ==");
+    for f in &failures {
+        println!("  FAIL: {f}");
+    }
+    if failures.is_empty() {
+        println!("perf-check: OK");
+        true
+    } else {
+        println!("perf-check: {} violation(s)", failures.len());
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    #[test]
+    fn perf_check_flags_null_and_missing_medians() {
+        let dir = std::env::temp_dir().join("gallatin-perf-check-test");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join("BENCH_good.json"),
+            r#"{"schema":"gallatin-bench-v1","records":[
+                {"experiment":"e","allocator":"a","params":{},"median_ms":1.5,"counts":{}},
+                {"experiment":"e","allocator":"a","params":{},"median_ms":"untimed","counts":{}}
+            ]}"#,
+        )
+        .unwrap();
+        assert!(run_perf_check(&[dir.to_string_lossy().into_owned()]));
+        fs::write(
+            dir.join("BENCH_bad.json"),
+            r#"{"schema":"gallatin-bench-v1","records":[
+                {"experiment":"e","allocator":"a","params":{},"median_ms":null,"counts":{}},
+                {"experiment":"e","allocator":"a","params":{},"counts":{}}
+            ]}"#,
+        )
+        .unwrap();
+        assert!(!run_perf_check(&[dir.to_string_lossy().into_owned()]));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn default_options_are_sane() {
+        let o = PerfOptions::default();
+        assert_eq!(o.samples, 3);
+        assert_eq!(o.seeds, (0..8).collect::<Vec<u64>>());
+        assert!(o.stamp.starts_with("unix-"));
+    }
+}

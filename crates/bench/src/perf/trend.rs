@@ -1,0 +1,173 @@
+//! Trend rendering (`repro perf-report`): a markdown table and a CSV
+//! over the full `gallatin-perf-v1` history, per series.
+//!
+//! The markdown lands in `PERF_TREND.md` next to the history (and in
+//! the CI job summary via `scripts/perf_report.sh`); the CSV
+//! (`perf_trend.csv`) is the machine-readable long form — one row per
+//! (series, run) — for plotting trajectories.
+
+use super::history::{history_path, series_key, PerfRun};
+use crate::report::fmt_ms;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Per-series summary over the whole history, in first-seen order.
+struct Series {
+    key: String,
+    /// `(run index, median_ms)` — only finite medians.
+    points: Vec<(usize, f64)>,
+}
+
+fn collect_series(history: &[PerfRun]) -> Vec<Series> {
+    let mut out: Vec<Series> = Vec::new();
+    for (i, run) in history.iter().enumerate() {
+        for rec in &run.records {
+            if !rec.median_ms.is_finite() {
+                continue;
+            }
+            let key = series_key(rec);
+            match out.iter_mut().find(|s| s.key == key) {
+                Some(s) => s.points.push((i, rec.median_ms)),
+                None => out.push(Series { key, points: vec![(i, rec.median_ms)] }),
+            }
+        }
+    }
+    out
+}
+
+/// Render the markdown trend report.
+pub fn render_markdown(history: &[PerfRun]) -> String {
+    let mut md = String::from("# Perf trend (gallatin-perf-v1)\n\n");
+    if history.is_empty() {
+        md.push_str("History is empty — run `repro perf` to record the first run.\n");
+        return md;
+    }
+    md.push_str("## Runs\n\n| # | sha | stamp | host | samples | records |\n|---|-----|-------|------|---------|--------|\n");
+    for (i, run) in history.iter().enumerate() {
+        md.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} |\n",
+            i,
+            run.sha,
+            run.stamp,
+            run.host,
+            run.samples,
+            run.records.len()
+        ));
+    }
+    md.push_str(
+        "\n## Series (medians in ms; Δ is last vs the median of the runs before it)\n\n\
+         | series | runs | first | last | best | worst | Δ |\n\
+         |--------|------|-------|------|------|-------|----|\n",
+    );
+    for s in collect_series(history) {
+        let first = s.points.first().expect("series has a point").1;
+        let last = s.points.last().expect("series has a point").1;
+        let best = s.points.iter().map(|&(_, m)| m).fold(f64::INFINITY, f64::min);
+        let worst = s.points.iter().map(|&(_, m)| m).fold(0.0, f64::max);
+        let delta = if s.points.len() > 1 {
+            let mut before: Vec<f64> =
+                s.points[..s.points.len() - 1].iter().map(|&(_, m)| m).collect();
+            before.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let base = before[before.len() / 2];
+            format!("{:+.1}%", 100.0 * (last - base) / base)
+        } else {
+            "n/a".to_string()
+        };
+        md.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} | {} |\n",
+            s.key,
+            s.points.len(),
+            fmt_ms(first),
+            fmt_ms(last),
+            fmt_ms(best),
+            fmt_ms(worst),
+            delta
+        ));
+    }
+    md
+}
+
+/// Render the long-form CSV: one row per (series, run) point.
+pub fn render_csv(history: &[PerfRun]) -> String {
+    let mut csv = String::from("series,run,sha,stamp,host,median_ms\n");
+    for s in collect_series(history) {
+        for &(i, ms) in &s.points {
+            let run = &history[i];
+            csv.push_str(&format!(
+                "\"{}\",{},{},{},{},{:.6}\n",
+                s.key.replace('"', "\"\""),
+                i,
+                run.sha,
+                run.stamp,
+                run.host,
+                ms
+            ));
+        }
+    }
+    csv
+}
+
+/// Write `PERF_TREND.md` and `perf_trend.csv` into the history
+/// directory; returns both paths.
+pub fn write_report(dir: &Path, history: &[PerfRun]) -> std::io::Result<(PathBuf, PathBuf)> {
+    fs::create_dir_all(dir)?;
+    let md = dir.join("PERF_TREND.md");
+    fs::write(&md, render_markdown(history))?;
+    let csv = dir.join("perf_trend.csv");
+    fs::write(&csv, render_csv(history))?;
+    debug_assert!(history_path(dir).parent() == Some(dir));
+    Ok((md, csv))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::BenchRecord;
+
+    fn run(sha: &str, ms: f64) -> PerfRun {
+        PerfRun {
+            sha: sha.into(),
+            stamp: "t".into(),
+            host: "ci".into(),
+            samples: 3,
+            records: vec![
+                BenchRecord {
+                    experiment: "perf".into(),
+                    allocator: "Gallatin".into(),
+                    params: vec![("size".into(), "16".into())],
+                    median_ms: ms,
+                    counts: vec![],
+                },
+                BenchRecord {
+                    experiment: "perf".into(),
+                    allocator: "Gallatin".into(),
+                    params: vec![("case".into(), "untimed".into())],
+                    median_ms: f64::NAN,
+                    counts: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn markdown_summarizes_series() {
+        let h = vec![run("a", 100.0), run("b", 110.0), run("c", 90.0)];
+        let md = render_markdown(&h);
+        assert!(md.contains("| 3 |"), "three runs of the series: {md}");
+        assert!(md.contains("perf::Gallatin[size=16]"));
+        // Δ of last (90) vs upper median of [100, 110] = 110 → -18.2%.
+        assert!(md.contains("-18.2%"), "{md}");
+        // Untimed rows never appear as series.
+        assert!(!md.contains("case=untimed"));
+        assert!(render_markdown(&[]).contains("History is empty"));
+    }
+
+    #[test]
+    fn csv_is_long_form() {
+        let h = vec![run("a", 100.0), run("b", 110.0)];
+        let csv = render_csv(&h);
+        assert_eq!(csv.lines().count(), 3, "{csv}");
+        assert!(csv.lines().nth(1).unwrap().starts_with("\"perf::Gallatin[size=16]\",0,a,"));
+        assert!(csv.contains(",110.000000"));
+    }
+}

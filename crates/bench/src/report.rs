@@ -95,8 +95,10 @@ pub struct BenchRecord {
     pub allocator: String,
     /// Configuration-cell parameters, in a stable order.
     pub params: Vec<(String, String)>,
-    /// Median wall time of the measured kernel, milliseconds (NaN ⇒
-    /// written as `null`: wall time is informational, never gated).
+    /// Median wall time of the measured kernel, milliseconds. NaN is
+    /// written as the explicit string `"untimed"` — a schema-level
+    /// marker the perf gate skips deliberately (a *missing* or `null`
+    /// `median_ms` is a validation error; see `repro perf-check`).
     pub median_ms: f64,
     /// Atomic-op and telemetry counters, in a stable order.
     pub counts: Vec<(String, u64)>,
@@ -112,7 +114,7 @@ impl BenchRecord {
 }
 
 /// Escape a string for a JSON string literal.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -150,7 +152,7 @@ pub fn render_bench_json(experiment: &str, records: &[BenchRecord]) -> String {
         if r.median_ms.is_finite() {
             out.push_str(&format!("      \"median_ms\": {:.6},\n", r.median_ms));
         } else {
-            out.push_str("      \"median_ms\": null,\n");
+            out.push_str("      \"median_ms\": \"untimed\",\n");
         }
         out.push_str("      \"counts\": {");
         let counts: Vec<String> =
@@ -175,6 +177,75 @@ pub fn write_bench_json(
     Ok(path)
 }
 
+/// How a record's `median_ms` field is spelled on disk. The perf lane
+/// distinguishes "deliberately untimed" (schema marker, gate skips)
+/// from "missing/null" (a writer bug `repro perf-check` fails loudly
+/// on — the silent-skip hole the nightly gate closes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MedianField {
+    /// A finite number of milliseconds.
+    Timed,
+    /// The explicit `"untimed"` string marker.
+    Untimed,
+    /// JSON `null` (legacy writer; no longer produced).
+    Null,
+    /// The key is absent or holds an unrecognized value.
+    Missing,
+}
+
+/// Classify the `median_ms` member of one record object.
+pub fn median_field(record: &json::Value) -> MedianField {
+    match record.get("median_ms") {
+        Some(json::Value::Num(n)) if n.is_finite() => MedianField::Timed,
+        Some(json::Value::Str(s)) if s == "untimed" => MedianField::Untimed,
+        Some(json::Value::Null) => MedianField::Null,
+        _ => MedianField::Missing,
+    }
+}
+
+/// Decode one record object (an element of a `"records"` array) into a
+/// [`BenchRecord`]. `"untimed"` and legacy `null` medians both come
+/// back as NaN.
+pub fn record_from_json(r: &json::Value) -> Result<BenchRecord, String> {
+    let s = |k: &str| {
+        r.get(k)
+            .and_then(json::Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("record missing string \"{k}\""))
+    };
+    let pairs = |k: &str| -> Result<Vec<(String, json::Value)>, String> {
+        Ok(r.get(k)
+            .and_then(json::Value::as_object)
+            .ok_or_else(|| format!("record missing object \"{k}\""))?
+            .to_vec())
+    };
+    let median_ms = match r.get("median_ms") {
+        Some(json::Value::Num(n)) => *n,
+        Some(json::Value::Str(m)) if m == "untimed" => f64::NAN,
+        Some(json::Value::Null) | None => f64::NAN,
+        Some(other) => return Err(format!("median_ms has unexpected shape: {other:?}")),
+    };
+    Ok(BenchRecord {
+        experiment: s("experiment")?,
+        allocator: s("allocator")?,
+        params: pairs("params")?
+            .into_iter()
+            .map(|(k, v)| {
+                let v = v.as_str().ok_or_else(|| format!("param {k} not a string"))?;
+                Ok((k, v.to_string()))
+            })
+            .collect::<Result<_, String>>()?,
+        median_ms,
+        counts: pairs("counts")?
+            .into_iter()
+            .map(|(k, v)| {
+                let v = v.as_f64().ok_or_else(|| format!("count {k} not a number"))?;
+                Ok((k, v as u64))
+            })
+            .collect::<Result<_, String>>()?,
+    })
+}
+
 /// Read a `BENCH_<experiment>.json` file back into records.
 pub fn read_bench_json(path: &Path) -> Result<Vec<BenchRecord>, String> {
     let text = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
@@ -183,42 +254,7 @@ pub fn read_bench_json(path: &Path) -> Result<Vec<BenchRecord>, String> {
         .get("records")
         .and_then(json::Value::as_array)
         .ok_or_else(|| format!("{}: no \"records\" array", path.display()))?;
-    records
-        .iter()
-        .map(|r| {
-            let s = |k: &str| {
-                r.get(k)
-                    .and_then(json::Value::as_str)
-                    .map(str::to_string)
-                    .ok_or_else(|| format!("record missing string \"{k}\""))
-            };
-            let pairs = |k: &str| -> Result<Vec<(String, json::Value)>, String> {
-                Ok(r.get(k)
-                    .and_then(json::Value::as_object)
-                    .ok_or_else(|| format!("record missing object \"{k}\""))?
-                    .to_vec())
-            };
-            Ok(BenchRecord {
-                experiment: s("experiment")?,
-                allocator: s("allocator")?,
-                params: pairs("params")?
-                    .into_iter()
-                    .map(|(k, v)| {
-                        let v = v.as_str().ok_or_else(|| format!("param {k} not a string"))?;
-                        Ok((k, v.to_string()))
-                    })
-                    .collect::<Result<_, String>>()?,
-                median_ms: r.get("median_ms").and_then(json::Value::as_f64).unwrap_or(f64::NAN),
-                counts: pairs("counts")?
-                    .into_iter()
-                    .map(|(k, v)| {
-                        let v = v.as_f64().ok_or_else(|| format!("count {k} not a number"))?;
-                        Ok((k, v as u64))
-                    })
-                    .collect::<Result<_, String>>()?,
-            })
-        })
-        .collect()
+    records.iter().map(record_from_json).collect()
 }
 
 /// A minimal JSON parser — just enough to read the documents
@@ -536,7 +572,7 @@ mod tests {
                 experiment: "ablation".into(),
                 allocator: "Gallatin".into(),
                 params: vec![("case".into(), "group \"quoted\"".into())],
-                median_ms: f64::NAN, // rendered as null, read back as NaN
+                median_ms: f64::NAN, // rendered as "untimed", read back as NaN
                 counts: vec![],
             },
         ];
@@ -549,6 +585,31 @@ mod tests {
         assert_eq!(back[1].params[0].1, "group \"quoted\"");
         assert!(back[1].median_ms.is_nan());
         assert_eq!(back[0].key(), "Gallatin[case=sweep,seeds=8]");
+        // The untimed row is spelled with the explicit marker on disk.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"median_ms\": \"untimed\""));
+        assert!(!text.contains("\"median_ms\": null"));
+    }
+
+    #[test]
+    fn median_field_classifies_all_spellings() {
+        use super::json::parse;
+        let probe = |doc: &str| median_field(&parse(doc).unwrap());
+        assert_eq!(probe(r#"{"median_ms": 1.5}"#), MedianField::Timed);
+        assert_eq!(probe(r#"{"median_ms": "untimed"}"#), MedianField::Untimed);
+        assert_eq!(probe(r#"{"median_ms": null}"#), MedianField::Null);
+        assert_eq!(probe(r#"{"counts": {}}"#), MedianField::Missing);
+        assert_eq!(probe(r#"{"median_ms": "soon"}"#), MedianField::Missing);
+        // Legacy null still decodes (as NaN) for backward reads, but a
+        // truly malformed median is an error, not a silent NaN.
+        let legacy =
+            parse(r#"{"experiment":"e","allocator":"a","params":{},"median_ms":null,"counts":{}}"#)
+                .unwrap();
+        assert!(record_from_json(&legacy).unwrap().median_ms.is_nan());
+        let bad =
+            parse(r#"{"experiment":"e","allocator":"a","params":{},"median_ms":[1],"counts":{}}"#)
+                .unwrap();
+        assert!(record_from_json(&bad).is_err());
     }
 
     #[test]

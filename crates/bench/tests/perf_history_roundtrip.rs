@@ -1,0 +1,103 @@
+//! Property: the `gallatin-perf-v1` writer/parser pair is lossless over
+//! arbitrary runs — `parse_run(render_run(run)) == run` — including
+//! hostile strings in every label and the `"untimed"` NaN spelling.
+//!
+//! Medians are generated as n/64 rationals so the writer's fixed
+//! `{:.6}` decimal rendering is exact and `==` is a fair round-trip
+//! check (an arbitrary f64 would lose sub-microsecond bits by design).
+//!
+//! A second property drives the full file path: append a generated
+//! sequence of runs one at a time, read the history back, and require
+//! the same sequence — the append-only JSONL layout must never disturb
+//! earlier lines.
+
+use bench::perf::{append_run, parse_run, read_history, render_run, PerfRun};
+use bench::report::BenchRecord;
+use proptest::prelude::*;
+
+/// Character pool for generated labels — plain identifier characters
+/// plus every escaping hazard: quote, backslash, newline, tab, unicode.
+const LABEL_CHARS: &[char] =
+    &['a', 'b', 'z', '0', '9', '_', '.', ':', '-', '"', '\\', '\n', '\t', 'κ', ' '];
+
+/// Labels exercise escaping: quotes, backslashes, newlines, unicode.
+fn label() -> impl Strategy<Value = String> {
+    prop::collection::vec(0usize..LABEL_CHARS.len(), 1..12)
+        .prop_map(|ix| ix.into_iter().map(|i| LABEL_CHARS[i]).collect())
+}
+
+/// Exact-decimal milliseconds (n/64 ≤ ~16k ms) or the untimed marker.
+fn median() -> impl Strategy<Value = f64> {
+    prop_oneof![(0u32..1 << 20).prop_map(|n| n as f64 / 64.0), Just(f64::NAN),]
+}
+
+fn record() -> impl Strategy<Value = BenchRecord> {
+    (
+        label(),
+        label(),
+        prop::collection::vec((label(), label()), 0..4),
+        median(),
+        // Counts ride through the f64-backed JSON parser, so the format
+        // is exact only below 2^53 — far above any real atomic counter.
+        prop::collection::vec((label(), 0u64..1 << 53), 0..4),
+    )
+        .prop_map(|(experiment, allocator, params, median_ms, counts)| BenchRecord {
+            experiment,
+            allocator,
+            params,
+            median_ms,
+            counts,
+        })
+}
+
+fn run() -> impl Strategy<Value = PerfRun> {
+    (label(), label(), label(), 1u32..10, prop::collection::vec(record(), 0..5)).prop_map(
+        |(sha, stamp, host, samples, records)| PerfRun { sha, stamp, host, samples, records },
+    )
+}
+
+/// NaN-tolerant equality (`PerfRun`'s derived `PartialEq` fails on the
+/// untimed rows since NaN != NaN).
+fn runs_equal(a: &PerfRun, b: &PerfRun) -> bool {
+    a.sha == b.sha
+        && a.stamp == b.stamp
+        && a.host == b.host
+        && a.samples == b.samples
+        && a.records.len() == b.records.len()
+        && a.records.iter().zip(&b.records).all(|(x, y)| {
+            x.experiment == y.experiment
+                && x.allocator == y.allocator
+                && x.params == y.params
+                && x.counts == y.counts
+                && (x.median_ms == y.median_ms || (x.median_ms.is_nan() && y.median_ms.is_nan()))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn perf_run_round_trips(run in run()) {
+        let line = render_run(&run);
+        prop_assert!(!line.contains('\n'), "JSONL line must stay single-line: {line:?}");
+        let back = parse_run(&line).map_err(|e| {
+            TestCaseError::fail(format!("parse failed: {e}\nline: {line}"))
+        })?;
+        prop_assert!(runs_equal(&run, &back), "round trip diverged:\n{run:?}\n{back:?}");
+    }
+
+    #[test]
+    fn history_file_round_trips(runs in prop::collection::vec(run(), 1..5), tag in 0u64..u64::MAX) {
+        let dir = std::env::temp_dir().join(format!("gallatin-perf-roundtrip-{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        for r in &runs {
+            append_run(&dir, r).expect("append");
+        }
+        let back = read_history(&dir).map_err(TestCaseError::fail)?;
+        let _ = std::fs::remove_dir_all(&dir);
+        prop_assert_eq!(back.len(), runs.len());
+        for (a, b) in runs.iter().zip(&back) {
+            prop_assert!(runs_equal(a, b), "history diverged:\n{:?}\n{:?}", a, b);
+        }
+    }
+}

@@ -122,7 +122,7 @@ impl Gallatin {
             mem.len(),
             geo.heap_bytes
         );
-        let segments = SegmentTier::new(cfg.search, geo.num_segments);
+        let segments = SegmentTier::new(cfg.index_kind(), geo.num_segments);
         let blocks = BlockTier::new(&cfg, geo.num_segments, geo.num_classes);
         let table = MemoryTable::new(geo);
         Gallatin {

@@ -133,9 +133,16 @@ impl BlockRing {
     /// is either published or still represented in the in-flight count).
     #[inline]
     pub fn len(&self) -> u64 {
+        // dequeue_pos stays SeqCst: the reclaim drain's `len() == n`
+        // check races pop's ticket CAS in a store-buffering (Dekker)
+        // shape — both sides must agree on a single total order or a
+        // straggler's pop can hide from the drain (see TESTING.md,
+        // "Ordering audit"). The other two legs only need to observe
+        // values no older than the dequeue ticket they pair with, which
+        // Acquire gives.
         let deq = self.dequeue_pos.load(Ordering::SeqCst);
-        let enq = self.enqueue_pos.load(Ordering::SeqCst);
-        let in_flight = self.push_in_flight.load(Ordering::SeqCst);
+        let enq = self.enqueue_pos.load(Ordering::Acquire);
+        let in_flight = self.push_in_flight.load(Ordering::Acquire);
         (enq - deq).saturating_sub(in_flight)
     }
 
@@ -152,7 +159,10 @@ impl BlockRing {
     /// means the block is still held elsewhere.
     #[inline]
     pub fn pushes_in_flight(&self) -> u64 {
-        self.push_in_flight.load(Ordering::SeqCst)
+        // Acquire: a diagnostic read paired with push's Release-class
+        // updates; no Dekker shape here (the caller already holds the
+        // segment claim when it acts on the answer).
+        self.push_in_flight.load(Ordering::Acquire)
     }
 
     /// Enqueue a block id. Returns `false` if the queue is full (only
@@ -169,10 +179,14 @@ impl BlockRing {
                 // any observer that counts the bumped enqueue_pos must
                 // also see this increment (or the publish completed).
                 self.push_in_flight.fetch_add(1, Ordering::SeqCst);
+                // AcqRel: the CAS releases the in-flight increment above
+                // to anyone who Acquire-loads the bumped ticket (len());
+                // SeqCst added nothing — the drain's Dekker partner is
+                // pop's ticket CAS, not this one.
                 match self.enqueue_pos.compare_exchange_weak(
                     pos,
                     pos + 1,
-                    Ordering::SeqCst,
+                    Ordering::AcqRel,
                     Ordering::Relaxed,
                 ) {
                     Ok(_) => {
@@ -181,7 +195,10 @@ impl BlockRing {
                         preempt_point(PreemptPoint::RingPush);
                         cell.value.store(value, Ordering::Relaxed);
                         cell.seq.store(pos + 1, Ordering::Release);
-                        self.push_in_flight.fetch_sub(1, Ordering::SeqCst);
+                        // Release: the decrement must not sink above the
+                        // cell publish, or len() could count the block
+                        // home before its cell is readable.
+                        self.push_in_flight.fetch_sub(1, Ordering::Release);
                         // Cell published: the block is home. The tag load
                         // happens inside the closure, so with no sink this
                         // line costs one thread-local check.
@@ -192,7 +209,10 @@ impl BlockRing {
                         return true;
                     }
                     Err(p) => {
-                        self.push_in_flight.fetch_sub(1, Ordering::SeqCst);
+                        // Release (rollback): nothing was published, but
+                        // the decrement still must not sink below a later
+                        // retry's increment.
+                        self.push_in_flight.fetch_sub(1, Ordering::Release);
                         pos = p;
                     }
                 }
@@ -211,6 +231,10 @@ impl BlockRing {
             let cell = &self.cells[(pos & self.mask) as usize];
             let seq = cell.seq.load(Ordering::Acquire);
             if seq == pos + 1 {
+                // SeqCst retained: this ticket CAS is one side of the
+                // store-buffering pair with the reclaim drain's len()
+                // read (see TESTING.md, "Ordering audit") — weakening it
+                // lets a pop and the drain each miss the other.
                 match self.dequeue_pos.compare_exchange_weak(
                     pos,
                     pos + 1,
@@ -253,8 +277,11 @@ impl BlockRing {
     /// `skipped != 0` is itself an invariant violation (a hole would
     /// otherwise silently mask a vanished block).
     pub fn snapshot(&self) -> RingSnapshot {
-        let deq = self.dequeue_pos.load(Ordering::SeqCst);
-        let enq = self.enqueue_pos.load(Ordering::SeqCst);
+        // Acquire: the checker runs at quiescent points, so these loads
+        // only need to see the final published values, not a total
+        // store order.
+        let deq = self.dequeue_pos.load(Ordering::Acquire);
+        let enq = self.enqueue_pos.load(Ordering::Acquire);
         let mut snap = RingSnapshot { ids: Vec::with_capacity((enq - deq) as usize), skipped: 0 };
         for pos in deq..enq {
             let cell = &self.cells[(pos & self.mask) as usize];

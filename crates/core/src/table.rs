@@ -104,7 +104,11 @@ impl BlockHandle {
 /// Per-segment metadata.
 pub struct SegmentMeta {
     /// Current owner: `TREE_FREE`, a block-tree class, or a large-alloc
-    /// marker. SeqCst accesses order the reclaim/format handshake.
+    /// marker. Only the reclaim handshake is SeqCst (the TREE_FREE
+    /// store in `tiers/segment.rs` racing [`SegmentMeta::ldcv_tree_id`]
+    /// — a store-buffering pair); every other access is Acquire/Release
+    /// under exclusive segment ownership (see TESTING.md, "Ordering
+    /// audit").
     pub tree_id: AtomicU32,
     /// Block count of the segment's current (or, when free, previous)
     /// format — the drain target for the next format.
@@ -146,6 +150,12 @@ impl SegmentMeta {
 
     /// Read the tree id with `ldcv` semantics (Algorithm 2's staleness
     /// check).
+    ///
+    /// SeqCst retained: this load is the freer's side of the reclaim
+    /// handshake — freer writes counters then loads `tree_id`; reclaimer
+    /// stores `TREE_FREE` then reads counters. Both must agree on one
+    /// total order or each can miss the other's write (store-buffering),
+    /// double-counting a freed slice into a reformatted segment.
     #[inline]
     pub fn ldcv_tree_id(&self) -> u32 {
         self.tree_id.load(Ordering::SeqCst)
@@ -360,7 +370,12 @@ impl MemoryTable {
         for w in meta.whole_block.iter() {
             w.store(0, Ordering::Relaxed);
         }
-        meta.tree_id.store(class as u32, Ordering::SeqCst);
+        // Release: publishes the fully formatted segment (ring reset,
+        // counters zeroed above) to the Acquire-class readers on the
+        // malloc path. The SeqCst half of the reclaim handshake is the
+        // *store to TREE_FREE* (tiers/segment.rs) racing ldcv_tree_id —
+        // this store only ever follows an exclusive claim.
+        meta.tree_id.store(class as u32, Ordering::Release);
         trace::emit(|| trace::TraceEvent::SegmentReformat {
             seg,
             class: class as u32,
@@ -373,9 +388,11 @@ impl MemoryTable {
     /// exclusively owns them (claimed from the segment tree).
     pub fn mark_large(&self, start: u64, n: u64) {
         debug_assert!(n >= 1);
-        self.seg(start).tree_id.store(LARGE_BASE + n as u32, Ordering::SeqCst);
+        // Release: the caller exclusively owns these segments (claimed
+        // from the tree), so this is a plain publish, not a handshake.
+        self.seg(start).tree_id.store(LARGE_BASE + n as u32, Ordering::Release);
         for s in start + 1..start + n {
-            self.seg(s).tree_id.store(LARGE_BODY, Ordering::SeqCst);
+            self.seg(s).tree_id.store(LARGE_BODY, Ordering::Release);
         }
     }
 
@@ -384,18 +401,29 @@ impl MemoryTable {
     /// a large-allocation head (double free / bogus pointer).
     pub fn unmark_large(&self, seg: u64) -> Option<u64> {
         let meta = self.seg(seg);
-        let id = meta.tree_id.load(Ordering::SeqCst);
+        // Acquire: pairs with mark_large's Release publish; the CAS
+        // below is the exclusivity arbiter, this load only routes.
+        let id = meta.tree_id.load(Ordering::Acquire);
         if id < LARGE_BASE || id == LARGE_BODY || id == TREE_FREE {
             return None;
         }
         let n = (id - LARGE_BASE) as u64;
         // Exclusive release: only one freer may transition head → FREE.
-        if meta.tree_id.compare_exchange(id, TREE_FREE, Ordering::SeqCst, Ordering::SeqCst).is_err()
+        // AcqRel: winning the CAS both acquires the allocation's writes
+        // and releases the freed state; losers only need the routing
+        // Acquire above.
+        if meta
+            .tree_id
+            .compare_exchange(id, TREE_FREE, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
         {
             return None;
         }
         for s in seg + 1..seg + n {
-            self.seg(s).tree_id.store(TREE_FREE, Ordering::SeqCst);
+            // Release: body segments become claimable; a claimant's
+            // Acquire read of TREE_FREE must see the head transition
+            // already done (program order above).
+            self.seg(s).tree_id.store(TREE_FREE, Ordering::Release);
         }
         Some(n)
     }

@@ -119,6 +119,11 @@ impl SegmentTier {
         let meta = ctx.table.seg(seg);
         // ...and publish FREE so any popper already inside Algorithm 2
         // fails its ldcv staleness re-check and pushes its block back.
+        // SeqCst retained: this store races `ldcv_tree_id` on the
+        // free/pop path in a store-buffering shape — reclaimer stores
+        // FREE then reads occupancy, popper bumps occupancy then reads
+        // the id. Release/Acquire would let both read stale and each
+        // miss the other (see TESTING.md, "Ordering audit").
         meta.tree_id.store(TREE_FREE, Ordering::SeqCst);
         // Phase 2 (quiesce-check): derived occupancy equal to the block
         // count proves every block is home *and* every push is published
@@ -144,7 +149,11 @@ impl SegmentTier {
             {
                 trace::auto_dump("reclaim_abort");
             }
-            meta.tree_id.store(class as u32, Ordering::SeqCst);
+            // Release (abort restore): re-publishing the class only has
+            // to be visible-with-context to Acquire readers; the
+            // handshake above already ran and nothing new was written
+            // that a reader could miss.
+            meta.tree_id.store(class as u32, Ordering::Release);
             blocks.trees[class].insert(seg);
             return;
         }

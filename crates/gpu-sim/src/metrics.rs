@@ -6,6 +6,13 @@
 //! workspace owns a [`Metrics`] and bumps it on its contended operations;
 //! counts are relaxed (they are statistics, not synchronization).
 //!
+//! Ordering audit (E21): this module was reviewed alongside the core
+//! allocator's SeqCst diet and deliberately has nothing left to relax —
+//! every counter bump is already `Relaxed` and the striping removes the
+//! cross-SM cache-line traffic a global counter would add. Per-stripe
+//! sums are only combined in [`Metrics::snapshot`], on the host, between
+//! kernels, so no stronger ordering is ever needed here.
+//!
 //! The counters are *striped*: each SM writes to its own
 //! cache-line-padded cell group (stripe chosen by SM id, mirroring the
 //! per-SM block buffers in `core`), and [`Metrics::snapshot`] aggregates

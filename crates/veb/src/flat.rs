@@ -8,6 +8,7 @@
 //! hierarchical design removes. The Gallatin allocator can be configured
 //! to run on either structure so the difference is measurable end to end.
 
+use crate::wide::{wide_scan_from, WideScan};
 use crate::word::{first_set_ge, first_set_le, WORD_BITS};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -65,23 +66,26 @@ impl FlatBitset {
         self.remove(x)
     }
 
-    /// Minimum member ≥ `x` (linear word scan).
+    /// Minimum member ≥ `x` (word-parallel linear scan — the flat set
+    /// has no hierarchy to fall back to, so the wide kernel runs
+    /// unbounded).
     pub fn successor(&self, x: u64) -> Option<u64> {
         if x >= self.universe {
             return None;
         }
-        let mut w = x / WORD_BITS;
-        let mut from = x % WORD_BITS;
-        while (w as usize) < self.words.len() {
-            let word = self.words[w as usize].load(Ordering::Acquire);
-            if let Some(b) = first_set_ge(word, from) {
-                let v = w * WORD_BITS + b;
-                return (v < self.universe).then_some(v);
-            }
-            w += 1;
-            from = 0;
+        let w = x / WORD_BITS;
+        let word = self.words[w as usize].load(Ordering::Acquire);
+        if let Some(b) = first_set_ge(word, x % WORD_BITS) {
+            let v = w * WORD_BITS + b;
+            return (v < self.universe).then_some(v);
         }
-        None
+        match wide_scan_from(&self.words, w as usize + 1, usize::MAX) {
+            WideScan::Hit(wi, v) => {
+                let item = wi as u64 * WORD_BITS + v.trailing_zeros() as u64;
+                (item < self.universe).then_some(item)
+            }
+            _ => None,
+        }
     }
 
     /// Minimum member ≥ `start`, wrapping to the front when nothing lies

@@ -46,8 +46,10 @@
 
 mod flat;
 mod tree;
+pub mod wide;
 mod word;
 
 pub use flat::FlatBitset;
 pub use tree::VebTree;
+pub use wide::{wide_scan_from, WideScan, WIDE_SCAN_BUDGET_WORDS, WIDE_STRIDE};
 pub use word::{first_set_ge, first_set_le, WORD_BITS};

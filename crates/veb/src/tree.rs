@@ -1,5 +1,6 @@
 //! The concurrent vEB tree proper.
 
+use crate::wide::{wide_scan_from, WideScan, WIDE_SCAN_BUDGET_WORDS};
 use crate::word::{first_set_ge, first_set_le, WORD_BITS};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -25,14 +26,31 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub struct VebTree {
     universe: u64,
     levels: Vec<Box<[AtomicU64]>>,
+    /// When set, successor searches try a bounded word-parallel scan of
+    /// the leaf level before climbing the summary hierarchy (see
+    /// [`crate::wide`]). Search results are identical either way — the
+    /// leaf level is the source of truth — only the load pattern
+    /// changes.
+    wide: bool,
 }
 
 impl VebTree {
-    /// An empty tree over `{0, …, universe−1}`.
+    /// An empty tree over `{0, …, universe−1}`, using the classic
+    /// hierarchical (narrow) search path.
     ///
     /// # Panics
     /// Panics if `universe == 0`.
     pub fn new(universe: u64) -> Self {
+        Self::with_wide(universe, false)
+    }
+
+    /// An empty tree with the search strategy chosen explicitly: `wide`
+    /// enables the bounded word-parallel leaf scan of [`crate::wide`]
+    /// in front of the hierarchical climb.
+    ///
+    /// # Panics
+    /// Panics if `universe == 0`.
+    pub fn with_wide(universe: u64, wide: bool) -> Self {
         assert!(universe > 0, "vEB universe must be non-empty");
         let mut levels = Vec::new();
         let mut width = universe;
@@ -45,7 +63,12 @@ impl VebTree {
             }
             width = words;
         }
-        VebTree { universe, levels }
+        VebTree { universe, levels, wide }
+    }
+
+    /// An empty tree with wide (word-parallel) successor scans enabled.
+    pub fn new_wide(universe: u64) -> Self {
+        Self::with_wide(universe, true)
     }
 
     /// A tree with every item of the universe present (Gallatin's segment
@@ -54,6 +77,19 @@ impl VebTree {
         let t = Self::new(universe);
         t.fill();
         t
+    }
+
+    /// A full tree with wide successor scans enabled.
+    pub fn new_full_wide(universe: u64) -> Self {
+        let t = Self::new_wide(universe);
+        t.fill();
+        t
+    }
+
+    /// Whether wide (word-parallel) successor scans are enabled.
+    #[inline]
+    pub fn is_wide(&self) -> bool {
+        self.wide
     }
 
     /// Universe size `u`.
@@ -237,11 +273,33 @@ impl VebTree {
             return None;
         }
         // Fast path: within x's own leaf word.
-        let mut word_idx = x / WORD_BITS;
+        let word_idx = x / WORD_BITS;
         let leaf = self.levels[0][word_idx as usize].load(Ordering::Acquire);
         if let Some(b) = first_set_ge(leaf, x % WORD_BITS) {
             return Some(word_idx * WORD_BITS + b);
         }
+        if self.wide {
+            // Word-parallel path: stream the next WIDE_SCAN_BUDGET_WORDS
+            // leaf words before paying for the summary climb. The leaf
+            // level is the source of truth, so a hit is a member and an
+            // exhausted scan is a definitive None; only a budget overrun
+            // defers to the hierarchy (resume - 1 is the last word the
+            // scan saw empty; the climb searches strictly after it).
+            match wide_scan_from(&self.levels[0], word_idx as usize + 1, WIDE_SCAN_BUDGET_WORDS) {
+                WideScan::Hit(w, v) => {
+                    return Some(w as u64 * WORD_BITS + v.trailing_zeros() as u64)
+                }
+                WideScan::Exhausted => return None,
+                WideScan::Bounded(resume) => return self.climb_successor(resume as u64 - 1),
+            }
+        }
+        self.climb_successor(word_idx)
+    }
+
+    /// Hierarchical successor: find the first member in a leaf word
+    /// *strictly after* `word_idx`, assuming leaf word `word_idx` (and
+    /// anything before it the caller scanned) holds no answer.
+    fn climb_successor(&self, mut word_idx: u64) -> Option<u64> {
         // Climb until a summary shows a non-empty word strictly after
         // word_idx, then descend; on stale summaries, skip the subtree.
         'restart: loop {
@@ -573,6 +631,7 @@ impl std::fmt::Debug for VebTree {
             .field("universe", &self.universe)
             .field("height", &self.height())
             .field("count", &self.count())
+            .field("wide", &self.wide)
             .finish()
     }
 }
@@ -799,6 +858,10 @@ mod tests {
         assert_eq!(full.iter().count(), 130);
         assert_eq!(full.iter().last(), Some(129));
     }
+
+    // Wide/narrow search parity lives in tests/wide_parity.rs: it only
+    // exercises the public API, and keeping it out of this file keeps
+    // tree.rs under the LOC gate.
 
     #[test]
     fn clear_and_fill_are_inverses() {

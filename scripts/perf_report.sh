@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Render the gallatin-perf-v1 trend report (PERF_TREND.md +
+# perf_trend.csv) for a history directory and, when running under
+# GitHub Actions, publish the markdown into the job summary so the
+# wall-clock trajectory is readable without downloading artifacts.
+#
+# Usage: scripts/perf_report.sh [history-dir]   (default results/history)
+set -euo pipefail
+
+HISTORY_DIR="${1:-results/history}"
+
+cargo run --release -q -p bench --bin repro -- perf-report --history "$HISTORY_DIR"
+
+if [ ! -f "$HISTORY_DIR/PERF_TREND.md" ]; then
+    echo "error: perf-report produced no $HISTORY_DIR/PERF_TREND.md" >&2
+    exit 1
+fi
+
+if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+    cat "$HISTORY_DIR/PERF_TREND.md" >> "$GITHUB_STEP_SUMMARY"
+    echo "published trend report to the job summary"
+fi
