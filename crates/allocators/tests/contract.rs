@@ -453,6 +453,185 @@ fn adversarial_outcomes_replay_per_seed() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Elastic interleaving: arbitrary donate/shrink/grow/compact maintenance
+// interleaved between the pool's workload launches must be *contract-
+// invisible* — the violation projection stays (0, 0, 0) and therefore
+// pairwise equal with every family running the plain workload. Donation
+// re-homes only quiescent free segments, shrink/grow move capacity through
+// the pool free list, and compaction migrates a pinned live set whose
+// payload stamps must survive every relocation.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum MaintOp {
+    /// Donate up to `max` free segments from `from` to the other instance.
+    Donate { from: usize, max: u64 },
+    /// Park up to `max` of instance `at`'s free segments on the pool list.
+    Shrink { at: usize, max: u64 },
+    /// Adopt up to `max` parked segments into instance `at`.
+    Grow { at: usize, max: u64 },
+    /// Compact the pinned live set (migrate out of sparse segments).
+    Compact,
+}
+
+fn maint_strategy() -> impl Strategy<Value = MaintOp> {
+    prop_oneof![
+        (0usize..2, 1u64..4).prop_map(|(from, max)| MaintOp::Donate { from, max }),
+        (0usize..2, 1u64..4).prop_map(|(at, max)| MaintOp::Shrink { at, max }),
+        (0usize..2, 1u64..4).prop_map(|(at, max)| MaintOp::Grow { at, max }),
+        Just(MaintOp::Compact),
+    ]
+}
+
+/// The differential workload on a two-instance pool, split into one
+/// launch per round with a slice of the maintenance schedule applied
+/// between launches. A pinned set of stamped allocations (one per small
+/// class) lives across the whole run so compaction has real payloads to
+/// migrate; relocations rewrite the pinned pointers and the stamps must
+/// still read back at the end. Reduced to the same [`OutcomeLedger`] as
+/// the plain families.
+fn pool_ledger_with_maintenance(seed: u64, ops: &[MaintOp]) -> OutcomeLedger {
+    let pool = GallatinPool::new(2, GallatinConfig::small_test(HEAP / 2));
+    let host = WarpCtx { warp_id: 0, sm_id: 0, base_tid: 0, active: 1 };
+    let lane = host.lane(0);
+    let mut pinned: Vec<(DevicePtr, u64, u64)> = Vec::new();
+    for (k, size) in [16u64, 33, 100, 256, 1000].into_iter().enumerate() {
+        let p = pool.malloc(&lane, size);
+        if !p.is_null() {
+            let stamp = 0xE1A5_7100 + k as u64;
+            pool.memory().write_stamp(p, stamp);
+            pinned.push((p, size, stamp));
+        }
+    }
+    let attempted = AtomicU64::new(0);
+    let served = AtomicU64::new(0);
+    let denied = AtomicU64::new(0);
+    let overlaps = AtomicU64::new(0);
+    let oob = AtomicU64::new(0);
+    for round in 0..DIFF_ROUNDS {
+        launch_warps(DeviceConfig::with_sms(4).seeded(seed ^ (round << 8)), DIFF_THREADS, |warp| {
+            let n = warp.active as usize;
+            let mut ptrs = vec![DevicePtr::NULL; n];
+            let sizes: Vec<Option<u64>> = (0..n)
+                .map(|l| {
+                    let idx = (seed * 17 + warp.warp_id * 31 + l as u64 * 7 + round * 13) % 10;
+                    let size = menu(idx as u8);
+                    attempted.fetch_add(1, Ordering::Relaxed);
+                    if pool.supports_size(size) {
+                        Some(size)
+                    } else {
+                        denied.fetch_add(1, Ordering::Relaxed);
+                        None
+                    }
+                })
+                .collect();
+            pool.warp_malloc(warp, &sizes, &mut ptrs);
+            let stamp_of = |l: usize| (round << 32) | (warp.base_tid + l as u64 + 1);
+            for l in 0..n {
+                match (sizes[l], ptrs[l]) {
+                    (Some(size), p) if !p.is_null() => {
+                        served.fetch_add(1, Ordering::Relaxed);
+                        if p.0 + size > pool.heap_bytes() {
+                            oob.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            pool.memory().write_stamp(p, stamp_of(l));
+                        }
+                    }
+                    (Some(_), _) => {
+                        denied.fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {}
+                }
+            }
+            for l in 0..n {
+                let p = ptrs[l];
+                if !p.is_null() && pool.memory().read_stamp(p) != stamp_of(l) {
+                    overlaps.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            pool.warp_free(warp, &ptrs);
+        });
+        // This round's slice of the maintenance schedule (round-robin so
+        // every op lands between two different launches).
+        for op in ops.iter().skip(round as usize).step_by(DIFF_ROUNDS as usize) {
+            match *op {
+                MaintOp::Donate { from, max } => {
+                    if let Err(e) = pool.donate(from, 1 - from, max) {
+                        panic!("donation bounced without planted corruption: {e}");
+                    }
+                }
+                MaintOp::Shrink { at, max } => {
+                    pool.shrink_instance(at, max);
+                }
+                MaintOp::Grow { at, max } => {
+                    pool.grow(at, max);
+                }
+                MaintOp::Compact => {
+                    let live: Vec<(DevicePtr, u64)> =
+                        pinned.iter().map(|&(p, s, _)| (p, s)).collect();
+                    for r in pool.compact(&live, 0.9) {
+                        if let Some(e) = pinned.iter_mut().find(|e| e.0 == r.old) {
+                            e.0 = r.new;
+                        }
+                    }
+                }
+            }
+        }
+        if let Err(e) = pool.check_invariants() {
+            panic!("invariants violated after round {round} maintenance (seed {seed}):\n{e}");
+        }
+    }
+    for &(p, _, s) in &pinned {
+        if pool.memory().read_stamp(p) != s {
+            overlaps.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    for &(p, _, _) in &pinned {
+        pool.free(&lane, p);
+    }
+    OutcomeLedger {
+        attempted: attempted.into_inner(),
+        served: served.into_inner(),
+        denied: denied.into_inner(),
+        overlaps: overlaps.into_inner(),
+        oob: oob.into_inner(),
+        leaked_bytes: pool.stats().reserved_bytes,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any interleaving of donate/shrink/grow/compact with the shared
+    /// workload keeps the violation projection zero — and thus pairwise
+    /// equal with every family of the differential sweep running the
+    /// plain workload on the same seed.
+    #[test]
+    fn elastic_maintenance_is_contract_invisible(
+        seed in 0u64..4,
+        ops in prop::collection::vec(maint_strategy(), 1..10),
+    ) {
+        let maint = pool_ledger_with_maintenance(seed, &ops);
+        prop_assert_eq!(
+            maint.attempted, maint.served + maint.denied,
+            "maintenance ledger does not balance: {:?} under {:?}", maint, ops
+        );
+        prop_assert!(maint.served > 0, "workload never got served under {:?}", ops);
+        prop_assert_eq!(
+            maint.violations(), (0, 0, 0),
+            "maintenance interleaving broke the contract: {:?} under {:?}", maint, ops
+        );
+        for a in families(HEAP) {
+            let led = outcome_ledger(a.as_ref(), seed);
+            prop_assert_eq!(
+                led.violations(), maint.violations(),
+                "family {} diverges from the maintained pool on seed {}", a.name(), seed
+            );
+        }
+    }
+}
+
 /// Same seed, same family, fresh heap ⇒ the *entire* ledger replays
 /// identically — the differential sweep is deterministic evidence, not a
 /// flaky sample.

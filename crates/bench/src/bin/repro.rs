@@ -31,6 +31,13 @@
 //!                   admission control; p50/p99/p999 + goodput to
 //!                   BENCH_serve.json; exits 1 on any quota violation or
 //!                   ledger anomaly (seed from GALLATIN_SCHED_SEED)
+//!   elastic         E22 — elastic pool: hotspot donation with lifecycle
+//!                   ledger, fragmentation-attack compaction A/B, and
+//!                   donation latency with/without compaction, to
+//!                   BENCH_elastic.json; exits 1 if the hot home absorbs no
+//!                   donated segment, the ledger shows anomalies, or a
+//!                   compaction row fails to strictly beat its control
+//!                   (seed from GALLATIN_SCHED_SEED)
 //!   summary         §6.3-style speedup summary from the written CSVs
 //!   all             everything above, in order
 //!
@@ -96,7 +103,7 @@ fn parse_seeds(s: &str) -> Option<Vec<u64>> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: repro <init|single|mixed|scaling|variance|warmup|fragmentation|utilization|graph|expansion|reclaim|ablation|bench-smoke|trace|pool|replay|serve|perf|perf-gate|perf-report|perf-check|summary|all> [--threads N] [--runs N] [--heap BYTES] [--sms N] [--pool N] [--out DIR] [--json] [--full] [--smoke] [--samples N] [--history DIR] [--window N] [--sha S] [--stamp S] [--host S] [--seeds SPEC]");
+        eprintln!("usage: repro <init|single|mixed|scaling|variance|warmup|fragmentation|utilization|graph|expansion|reclaim|ablation|bench-smoke|trace|pool|replay|serve|elastic|perf|perf-gate|perf-report|perf-check|summary|all> [--threads N] [--runs N] [--heap BYTES] [--sms N] [--pool N] [--out DIR] [--json] [--full] [--smoke] [--samples N] [--history DIR] [--window N] [--sha S] [--stamp S] [--host S] [--seeds SPEC]");
         std::process::exit(2);
     }
     let cmd = args[0].clone();
@@ -217,6 +224,11 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        "elastic" => {
+            if !exp::run_elastic(&cfg) {
+                std::process::exit(1);
+            }
+        }
         "summary" => exp::run_summary(&cfg.out_dir),
         "perf" => {
             if !bench::perf::run_perf(&perf) {
@@ -257,6 +269,7 @@ fn main() {
             exp::run_pool(&cfg);
             exp::run_replay(&cfg);
             exp::run_serve(&cfg);
+            exp::run_elastic(&cfg);
             exp::run_summary(&cfg.out_dir);
         }
         other => {

@@ -1,6 +1,7 @@
 //! One driver per paper experiment (see DESIGN.md §5, E1–E13).
 
 pub mod ablation;
+pub mod elastic;
 pub mod fragmentation;
 pub mod graph_bench;
 pub mod init_bench;
@@ -17,6 +18,7 @@ pub mod utilization;
 pub mod variance;
 
 pub use ablation::{run_ablation, run_bench_smoke};
+pub use elastic::run_elastic;
 pub use fragmentation::run_fragmentation;
 pub use graph_bench::{run_graph, run_graph_expansion};
 pub use init_bench::run_init;

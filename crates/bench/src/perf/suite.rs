@@ -1,6 +1,6 @@
 //! The perf suite: what `repro perf` actually measures.
 //!
-//! Four groups of cells, chosen so the wall-clock trajectory covers
+//! Five groups of cells, chosen so the wall-clock trajectory covers
 //! every layer the speed campaign touches (E21):
 //!
 //! 1. **Allocator churn** — the E16 churn workload (`churn_once`) at
@@ -10,10 +10,15 @@
 //!    (asserted here — the scan only changes loads), only ms may move.
 //! 2. **Pool churn** — the E18 2-instance aggregate (same cell the
 //!    count gate pins), timing the sharded path.
-//! 3. **Serving** — the E20 smoke subset via
+//! 3. **Elastic maintenance** — the E22 maintenance cycle via
+//!    [`crate::experiments::elastic::perf_record`]: fragment, compact,
+//!    donate, shrink, re-adopt on a 2-instance pool. Times the host-side
+//!    elasticity path (segment migration + payload copies); the
+//!    relocation/donation counts are exact functions of the fixed layout.
+//! 4. **Serving** — the E20 smoke subset via
 //!    [`crate::experiments::serve::perf_records`], timing the open-loop
 //!    engine end to end.
-//! 4. **vEB successor microbench** — a dedicated wide-vs-narrow
+//! 5. **vEB successor microbench** — a dedicated wide-vs-narrow
 //!    successor storm on a 2^22 universe. The allocator geometries
 //!    above have single-word trees (16–32 segments) where the wide path
 //!    cannot fire; this cell isolates the scan kernel itself, with the
@@ -28,7 +33,7 @@
 //! [`sampled_records`] asserts that and reports per-record median ms.
 
 use crate::experiments::ablation::{churn_once, SWEEP_HEAP, SWEEP_HEAP_BLOCK};
-use crate::experiments::{pool, serve};
+use crate::experiments::{elastic, pool, serve};
 use crate::report::BenchRecord;
 use gallatin::{Gallatin, GallatinConfig};
 use gpu_sim::DeviceAllocator;
@@ -152,6 +157,7 @@ fn collect_once(seeds: &[u64]) -> (Vec<BenchRecord>, bool) {
         );
     }
     records.extend(pool::pool_smoke_records("perf"));
+    records.push(elastic::perf_record());
     let (serve_recs, clean) = serve::perf_records();
     records.extend(serve_recs);
     let wide = veb_cell(true);

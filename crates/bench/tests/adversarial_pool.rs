@@ -1,8 +1,9 @@
 //! Pool-mode integration for the adversarial workload suite: the
 //! skewed-hotspot generator must actually produce the spill pressure it
-//! advertises, and real pool runs must exhibit the cross-instance
-//! pointer collisions the lifecycle ledger's per-`(instance, ptr)`
-//! pairing exists for — with zero anomalies despite the collisions.
+//! advertises, and real pool runs over the shared arena must keep
+//! global pointers disjoint across instances — the segment routing
+//! table is the single source of truth for who owns an address — with a
+//! clean per-`(instance, ptr)` lifecycle ledger.
 
 use bench::workload::{run_script, SkewedHotspot, WorkloadSource};
 use gallatin::{GallatinConfig, GallatinPool};
@@ -47,11 +48,13 @@ fn skewed_hotspot_spills_only_from_the_hot_home() {
 }
 
 #[test]
-fn pool_replay_collides_local_pointers_without_ledger_anomalies() {
-    // Every instance starts serving from its own offset 0, and the trace
-    // records instance-local pointers — so a multi-instance run *will*
-    // reuse the same ptr value across instances. The ledger must pair
-    // per (instance, ptr) and report a clean lifecycle anyway.
+fn pool_replay_keeps_global_pointers_disjoint_across_instances() {
+    // Instances share one arena and one memory table: every pointer is a
+    // global device offset inside its serving instance's owned segments.
+    // A multi-instance run must therefore never hand the same ptr value
+    // to two instances concurrently — the segment routing table is what
+    // makes cross-SM frees land — and the ledger's per-(instance, ptr)
+    // pairing must come up clean.
     let seed = 3;
     let script = SkewedHotspot::standard(NUM_SMS).script(seed);
     let pool = GallatinPool::new(NUM_SMS as usize, GallatinConfig::small_test(TIGHT_HEAP));
@@ -63,20 +66,28 @@ fn pool_replay_collides_local_pointers_without_ledger_anomalies() {
     assert_eq!(sink.dropped(), 0);
     assert_eq!(out.violations(), (0, 0, 0), "{out:?}");
 
-    // Count which instances allocated each recorded local ptr value.
+    // Count which instances allocated each recorded ptr value.
     let mut by_ptr: HashMap<u64, Vec<u32>> = HashMap::new();
+    let mut instances_seen: Vec<u32> = Vec::new();
     for r in &records {
         if let TraceEvent::Malloc { ptr, .. } = r.event {
             let owners = by_ptr.entry(ptr).or_default();
             if !owners.contains(&r.instance) {
                 owners.push(r.instance);
             }
+            if !instances_seen.contains(&r.instance) {
+                instances_seen.push(r.instance);
+            }
         }
     }
-    assert!(
-        by_ptr.values().any(|owners| owners.len() > 1),
-        "a multi-instance run must reuse local offsets across instances"
-    );
+    assert!(instances_seen.len() > 1, "the hotspot run must exercise several instances");
+    for (ptr, owners) in &by_ptr {
+        assert_eq!(
+            owners.len(),
+            1,
+            "global ptr {ptr:#x} was served by several instances at once: {owners:?}"
+        );
+    }
 
     let ledger = Ledger::build(&records);
     let outcome = ledger.outcome();

@@ -1,0 +1,450 @@
+//! Elastic pool operations: segment donation, shrink, and grow.
+//!
+//! A [`crate::pool::GallatinPool`] starts with fixed disjoint shards,
+//! but memory pressure is rarely uniform — a hot instance exhausts its
+//! shard while a cold sibling sits on free segments. The paper's
+//! two-phase segment reclamation (§4.4) already defines the state this
+//! module needs: a segment the reclaim protocol published back to a
+//! segment tree is *quiescent free* — no live slices, no wholesale
+//! blocks, every block home in the ring and published, no straggler
+//! mid-push ([`crate::table::SegmentMeta::is_quiescent_free`]). Such a
+//! segment can be re-homed without copying a byte, because the pool's
+//! instances share one arena and one memory table; ownership is only
+//! tree membership plus a row in the pool's routing table.
+//!
+//! **Donation** (`donate`) moves quiescent free segments from a cold
+//! instance straight to a hot one, in three steps per segment:
+//!
+//! 1. *claim-unreachable* — withdraw the segment's bit from the donor's
+//!    segment tree, so no donor-side malloc can claim it;
+//! 2. *quiesce-check* — verify the shared metadata still shows the
+//!    reclaimed state (the same predicate phase 2 of `try_reclaim`
+//!    publishes). A failure bounces the segment back to the donor and
+//!    aborts the donation — never corrupts;
+//! 3. *re-home* — update `seg_owner` (so frees route to the new owner
+//!    *before* it can hand out pointers), emit a `SegmentDonate` trace
+//!    event, then insert the bit into the recipient's tree.
+//!
+//! Only free segments move, so no live allocation ever changes owner
+//! mid-lifecycle: the trace ledger's `(instance, ptr)` pairing survives
+//! any interleaving of donations with traffic.
+//!
+//! **Shrink** (`shrink_instance` / `shrink_to`) runs the same
+//! withdraw-and-quiesce steps but parks the segment on the pool-level
+//! free list (`seg_owner` = unowned) — memory returned to the pool,
+//! reported as headroom and re-claimable by **grow** (or by the malloc
+//! path's adopt-before-spill, which prefers adopting returned headroom
+//! over spilling to a sibling).
+
+use crate::config::GallatinConfig;
+use crate::gallatin::Gallatin;
+use crate::pool::{GallatinPool, UNOWNED};
+use crate::table::MemoryTable;
+use crate::tiers::{BlockTier, SegmentTier, SliceTier};
+use gpu_sim::{trace, DeviceMemory, Metrics};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+impl Gallatin {
+    /// Build an instance over a shared arena view and a shared memory
+    /// table, owning only segments `[first_seg, first_seg+num_segs)` of
+    /// the table's universe. Pointers are *global* offsets into the
+    /// arena — [`crate::pool::GallatinPool`] routes them by segment
+    /// ownership, and a donated segment's metadata needs no translation
+    /// because every instance reads the same table.
+    pub(crate) fn with_shared_table(
+        cfg: GallatinConfig,
+        mem: DeviceMemory,
+        table: Arc<MemoryTable>,
+        first_seg: u64,
+        num_segs: u64,
+    ) -> Self {
+        let geo = cfg.geometry();
+        assert!(
+            mem.len() as u64 >= geo.heap_bytes,
+            "device memory of {} bytes cannot back a {}-byte heap",
+            mem.len(),
+            geo.heap_bytes
+        );
+        assert!(first_seg + num_segs <= geo.num_segments, "owned span exceeds the universe");
+        assert_eq!(
+            table.geometry().num_segments,
+            geo.num_segments,
+            "shared table laid out for a different universe"
+        );
+        let segments =
+            SegmentTier::with_span(cfg.index_kind(), geo.num_segments, first_seg, num_segs);
+        let blocks = BlockTier::new(&cfg, geo.num_segments, geo.num_classes);
+        Gallatin {
+            geo,
+            mem,
+            segments,
+            blocks,
+            slices: SliceTier,
+            table,
+            metrics: Metrics::new(),
+            randomize_probes: cfg.randomize_probe_starts,
+            reserved: AtomicU64::new(0),
+            span: (first_seg, num_segs),
+        }
+    }
+
+    /// The instance-local share of a reset: drain the buffer wavefront,
+    /// restore the segment tree to the instance's *initial* span, clear
+    /// the block trees and counters. Does NOT touch the memory table —
+    /// it is shared in pool mode, so the pool resets it exactly once.
+    pub(crate) fn reset_local(&self) {
+        for b in &self.blocks.buffers {
+            b.drain();
+        }
+        self.segments.tree.clear();
+        self.segments.tree.insert_range(self.span.0, self.span.1);
+        for t in &self.blocks.trees {
+            t.clear();
+        }
+        self.metrics.reset();
+        self.reserved.store(0, Ordering::Relaxed);
+    }
+
+    /// Withdraw one free segment from this instance's segment tree (the
+    /// claim-unreachable step of donation/shrink): once the bit is
+    /// claimed, no malloc on this instance can reach the segment.
+    pub(crate) fn withdraw_free_segment(&self) -> Option<u64> {
+        self.segments.tree.claim_first_ge(0)
+    }
+
+    /// Hand a (quiescent free) segment to this instance: inserting the
+    /// bit is the publish — the very next malloc may claim and format
+    /// it. The caller must already have routed the segment here.
+    pub(crate) fn adopt_segment(&self, seg: u64) {
+        self.segments.tree.insert(seg);
+    }
+}
+
+impl GallatinPool {
+    /// Re-home up to `max` quiescent free segments from instance `from`
+    /// to instance `to`. Returns the number donated (possibly 0 when
+    /// the donor has nothing free). A segment that fails the quiesce
+    /// check is bounced back to the donor and the donation aborts with
+    /// an error — partial progress is reported in the error string and
+    /// already counted.
+    ///
+    /// Host-side operation, but safe to run concurrently with device
+    /// traffic: every step is an atomic handoff (tree claim → routing
+    /// store → tree insert) and only free segments move.
+    pub fn donate(&self, from: usize, to: usize, max: u64) -> Result<u64, String> {
+        if from == to {
+            return Err("donation requires two distinct instances".to_string());
+        }
+        let n = self.num_instances();
+        if from >= n || to >= n {
+            return Err(format!("donation between out-of-range instances {from} -> {to}"));
+        }
+        let mut moved = 0u64;
+        while moved < max {
+            // Claim-unreachable: withdraw the bit so no donor-side malloc
+            // can find the segment any more.
+            let Some(seg) = self.instance(from).withdraw_free_segment() else { break };
+            // Quiesce-check on the shared metadata. Membership in the
+            // donor's tree should already imply this, but the check is
+            // the protocol, not an optimization: a segment that fails it
+            // bounces back — never crosses instances in a torn state.
+            if !self.table.seg(seg).is_quiescent_free() {
+                self.instance(from).adopt_segment(seg);
+                self.donations.fetch_add(moved, Ordering::Relaxed);
+                return Err(format!(
+                    "segment {seg} failed the quiesce check mid-donation \
+                     ({moved} segment(s) already moved)"
+                ));
+            }
+            // Route first, then publish: a free targeting this segment
+            // must reach the recipient from the instant the recipient
+            // can hand out pointers from it.
+            self.seg_owner[seg as usize].store(to as u32, Ordering::Release);
+            trace::emit(|| trace::TraceEvent::SegmentDonate {
+                from: from as u32,
+                to: to as u32,
+                seg,
+            });
+            self.instance(to).adopt_segment(seg);
+            moved += 1;
+        }
+        self.donations.fetch_add(moved, Ordering::Relaxed);
+        Ok(moved)
+    }
+
+    /// Withdraw up to `max` quiescent free segments from instance `i`
+    /// and park them on the pool-level free list (memory returned to
+    /// the pool). Returns the number returned. Call
+    /// [`GallatinPool::trim`] first to release the buffered wavefront
+    /// if the instance should give up everything it can.
+    pub fn shrink_instance(&self, i: usize, max: u64) -> u64 {
+        let mut count = 0u64;
+        while count < max {
+            let Some(seg) = self.instance(i).withdraw_free_segment() else { break };
+            if !self.table.seg(seg).is_quiescent_free() {
+                // Same bounce as donation: never park a torn segment.
+                self.instance(i).adopt_segment(seg);
+                break;
+            }
+            self.seg_owner[seg as usize].store(UNOWNED, Ordering::Release);
+            self.pool_free.insert(seg);
+            self.pool_free_len.fetch_add(1, Ordering::Relaxed);
+            count += 1;
+        }
+        self.returned.fetch_add(count, Ordering::Relaxed);
+        count
+    }
+
+    /// Release whole free segments round-robin across instances until
+    /// the instance-owned footprint is at most `target_bytes` (or no
+    /// instance can give anything more). Returns the number of segments
+    /// released to the pool free list by this call — best effort: live
+    /// allocations pin their segments.
+    pub fn shrink_to(&self, target_bytes: u64) -> u64 {
+        let mut released = 0u64;
+        loop {
+            let owned = self.num_segments - self.pool_free_len.load(Ordering::Relaxed);
+            let owned_bytes = owned * self.segment_bytes;
+            if owned_bytes <= target_bytes {
+                return released;
+            }
+            let need = (owned_bytes - target_bytes).div_ceil(self.segment_bytes);
+            let mut progress = 0u64;
+            for i in 0..self.num_instances() {
+                if progress >= need {
+                    break;
+                }
+                progress += self.shrink_instance(i, need - progress);
+            }
+            released += progress;
+            if progress == 0 {
+                return released;
+            }
+        }
+    }
+
+    /// Adopt up to `max` segments from the pool-level free list into
+    /// instance `i` (the inverse of shrink). Returns the number
+    /// adopted. The malloc path calls this automatically when a home
+    /// instance is exhausted while the pool holds returned headroom.
+    pub fn grow(&self, i: usize, max: u64) -> u64 {
+        let mut count = 0u64;
+        while count < max {
+            let Some(seg) = self.pool_free.claim_first_ge(0) else { break };
+            self.pool_free_len.fetch_sub(1, Ordering::Relaxed);
+            self.seg_owner[seg as usize].store(i as u32, Ordering::Release);
+            self.instance(i).adopt_segment(seg);
+            count += 1;
+        }
+        self.adopted.fetch_add(count, Ordering::Relaxed);
+        count
+    }
+
+    /// The pool share of the invariant check: the routing table, the
+    /// pool free list, and the shared table must tell one story —
+    /// unowned ⇔ parked on the free list, parked ⇒ quiescent free, and
+    /// the approximate length counter matches at a quiescent point.
+    pub(crate) fn ownership_audit(&self, errors: &mut Vec<String>) {
+        let n = self.num_instances() as u32;
+        let mut unowned = 0u64;
+        for seg in 0..self.num_segments {
+            let o = self.seg_owner[seg as usize].load(Ordering::Acquire);
+            let parked = self.pool_free.contains(seg);
+            if o == UNOWNED {
+                unowned += 1;
+                if !parked {
+                    errors.push(format!(
+                        "segment {seg} is unowned but missing from the pool free list"
+                    ));
+                }
+                if !self.table.seg(seg).is_quiescent_free() {
+                    errors.push(format!(
+                        "segment {seg} is on the pool free list but not quiescent-free"
+                    ));
+                }
+            } else {
+                if o >= n {
+                    errors.push(format!("segment {seg} is routed to nonexistent instance {o}"));
+                }
+                if parked {
+                    errors.push(format!(
+                        "segment {seg} is owned by instance {o} but also on the pool free list"
+                    ));
+                }
+            }
+        }
+        let len = self.pool_free_len.load(Ordering::Relaxed);
+        if len != unowned {
+            errors.push(format!(
+                "pool free list length counter says {len}, routing table implies {unowned}"
+            ));
+        }
+    }
+
+    /// Test-only sabotage: re-home a *formatted* segment from `from` to
+    /// `to` without the claim-unreachable or quiesce steps — exactly
+    /// the corruption a buggy donation would plant. Returns the segment
+    /// moved, or `None` if the donor holds no formatted segment. The
+    /// planted state must be caught by `check_invariants` (the donor
+    /// still holds the segment in a block tree it no longer owns; the
+    /// recipient sees it simultaneously free and formatted).
+    #[doc(hidden)]
+    pub fn debug_donate_skip_quiesce(&self, from: usize, to: usize) -> Option<u64> {
+        let num_classes = self.instance(from).geometry().num_classes;
+        for seg in 0..self.num_segments {
+            if self.seg_owner[seg as usize].load(Ordering::Acquire) != from as u32 {
+                continue;
+            }
+            if (self.table.seg(seg).ldcv_tree_id() as usize) < num_classes {
+                self.seg_owner[seg as usize].store(to as u32, Ordering::Release);
+                self.instance(to).adopt_segment(seg);
+                return Some(seg);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::GallatinConfig;
+    use crate::pool::GallatinPool;
+    use crate::table::TREE_FREE;
+    use gpu_sim::{DeviceAllocator, WarpCtx};
+    use std::sync::atomic::Ordering;
+
+    fn pool(n: usize) -> GallatinPool {
+        GallatinPool::new(n, GallatinConfig::small_test(1 << 20)) // 16 segments each
+    }
+
+    fn warp_on(sm_id: u32, active: u32) -> WarpCtx {
+        WarpCtx { warp_id: sm_id as u64, sm_id, base_tid: (sm_id as u64) << 32, active }
+    }
+
+    #[test]
+    fn donation_rehomes_free_segments_and_routing_follows() {
+        let p = pool(2);
+        assert_eq!(p.donate(0, 1, 4), Ok(4));
+        assert_eq!(p.donated_segments(), 4);
+        let s = p.pool_stats();
+        assert_eq!(s.instances[0].owned_segments, 12);
+        assert_eq!(s.instances[1].owned_segments, 20);
+        p.check_invariants().expect("clean after donation");
+        // Instance 1 can now hold 20 segment-sized allocations at home.
+        let l1 = warp_on(1, 1);
+        let seg = p.instance(1).geometry().segment_bytes;
+        let held: Vec<_> = (0..20).map(|_| p.malloc(&l1.lane(0), seg)).collect();
+        assert!(held.iter().all(|q| !q.is_null()));
+        assert_eq!(p.spill_count(1), 0, "all 20 served at home after the donation");
+        // Frees of pointers in donated segments route to the new owner.
+        for q in held {
+            p.free(&warp_on(7, 1).lane(0), q);
+        }
+        assert_eq!(p.stats().reserved_bytes, 0);
+        p.check_invariants().expect("clean after routed frees of donated segments");
+    }
+
+    #[test]
+    fn donation_bounces_when_the_quiesce_check_fails() {
+        let p = pool(2);
+        // Plant a torn state: segment 0 claims to be formatted while
+        // still sitting in instance 0's segment tree.
+        p.instance(0).table().seg(0).tree_id.store(0, Ordering::SeqCst);
+        let err = p.donate(0, 1, 16).unwrap_err();
+        assert!(err.contains("quiesce"), "unexpected error: {err}");
+        // The segment bounced back to the donor: nothing crossed over.
+        assert_eq!(p.pool_stats().instances[0].owned_segments, 16);
+        assert_eq!(p.donated_segments(), 0);
+        // Undoing the corruption lets the full donation through.
+        p.instance(0).table().seg(0).tree_id.store(TREE_FREE, Ordering::SeqCst);
+        assert_eq!(p.donate(0, 1, 16), Ok(16));
+        p.check_invariants().expect("clean after the repaired donation");
+    }
+
+    #[test]
+    fn donation_skipping_quiesce_is_caught_by_the_invariant_check() {
+        let p = pool(2);
+        // Live traffic pins a formatted segment on instance 0.
+        let l0 = warp_on(0, 1);
+        let live = p.malloc(&l0.lane(0), 16);
+        assert!(!live.is_null());
+        p.check_invariants().expect("healthy before the planted corruption");
+        let seg = p.debug_donate_skip_quiesce(0, 1).expect("a formatted segment to steal");
+        let err = p.check_invariants().unwrap_err();
+        assert!(err.contains(&format!("segment {seg}")), "unexpected report: {err}");
+        assert!(
+            err.contains("not owned by this instance")
+                || err.contains("simultaneously free and formatted"),
+            "unexpected report: {err}"
+        );
+    }
+
+    #[test]
+    fn shrink_returns_segments_and_malloc_adopts_them_back() {
+        let p = pool(2);
+        assert_eq!(p.shrink_instance(1, 10), 10);
+        assert_eq!(p.returned_segments(), 10);
+        assert_eq!(p.pool_free_segments(), 10);
+        p.check_invariants().expect("clean after shrink");
+        // Instance 0's home pressure adopts from the pool free list
+        // before spilling: 20 claims = 16 original + 4 adopted, 0 spills.
+        let l0 = warp_on(0, 1);
+        let seg = p.instance(0).geometry().segment_bytes;
+        let held: Vec<_> = (0..20).map(|_| p.malloc(&l0.lane(0), seg)).collect();
+        assert!(held.iter().all(|q| !q.is_null()));
+        assert_eq!(p.spill_count(0), 0, "adoption absorbs the pressure, no spills");
+        assert_eq!(p.adopted_segments(), 4);
+        assert_eq!(p.pool_free_segments(), 6);
+        for q in held {
+            p.free(&l0.lane(0), q);
+        }
+        assert_eq!(p.stats().reserved_bytes, 0);
+        p.check_invariants().expect("clean after adopted traffic");
+    }
+
+    #[test]
+    fn shrink_to_releases_down_to_the_target_and_is_pinned_by_live_data() {
+        let p = pool(2);
+        let seg_bytes = p.instance(0).geometry().segment_bytes;
+        let total = p.heap_bytes();
+        assert_eq!(p.shrink_to(total - 6 * seg_bytes), 6);
+        assert_eq!(p.pool_free_segments(), 6);
+        assert_eq!(p.shrink_to(total - 6 * seg_bytes), 0, "idempotent at the target");
+        p.check_invariants().expect("clean after shrink_to");
+        // Live allocations pin their segments: shrinking to zero only
+        // releases what is actually free.
+        let l0 = warp_on(0, 1);
+        let held: Vec<_> = (0..10).map(|_| p.malloc(&l0.lane(0), seg_bytes)).collect();
+        assert!(held.iter().all(|q| !q.is_null()));
+        assert_eq!(p.shrink_to(0), 16, "only the free segments could be released");
+        assert_eq!(p.pool_free_segments(), 22);
+        p.check_invariants().expect("clean with live data after best-effort shrink");
+        for q in held {
+            p.free(&l0.lane(0), q);
+        }
+        assert_eq!(p.stats().reserved_bytes, 0);
+        p.check_invariants().expect("clean after frees");
+        let s = p.pool_stats();
+        assert_eq!(s.returned_segments, 22);
+        assert_eq!(s.pool_free_bytes(seg_bytes), 22 * seg_bytes);
+    }
+
+    #[test]
+    fn donation_conserves_segments_and_reset_restores_the_shards() {
+        let p = pool(4);
+        assert_eq!(p.donate(0, 3, 2), Ok(2));
+        assert_eq!(p.shrink_instance(1, 3), 3);
+        assert_eq!(p.grow(2, 1), 1);
+        let s = p.pool_stats();
+        let owned: u64 = s.instances.iter().map(|i| i.owned_segments).sum();
+        assert_eq!(owned + s.pool_free_segments, 64, "segments are conserved");
+        p.check_invariants().expect("clean after a donate/shrink/grow mix");
+        p.reset();
+        let s = p.pool_stats();
+        assert!(s.instances.iter().all(|i| i.owned_segments == 16));
+        assert_eq!(s.pool_free_segments, 0);
+        assert_eq!((s.donated_segments, s.returned_segments, s.adopted_segments), (0, 0, 0));
+        p.check_invariants().expect("clean after reset");
+    }
+}

@@ -28,25 +28,33 @@ use gpu_sim::{
     trace, AllocStats, DeviceAllocator, DeviceMemory, DevicePtr, LaneCtx, Metrics, WarpCtx,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// The Gallatin GPU memory manager.
 pub struct Gallatin {
-    geo: Geometry,
-    mem: DeviceMemory,
+    pub(crate) geo: Geometry,
+    pub(crate) mem: DeviceMemory,
     /// Segment tree, claim/reclaim/trim (Algorithm 1).
-    segments: SegmentTier,
+    pub(crate) segments: SegmentTier,
     /// Per-class block trees and per-SM buffers (Algorithm 2).
-    blocks: BlockTier,
+    pub(crate) blocks: BlockTier,
     /// Generation-tagged claim words and coalesced claims (Algorithm 3).
-    slices: SliceTier,
-    table: MemoryTable,
-    metrics: Metrics,
+    pub(crate) slices: SliceTier,
+    /// Shared in pool mode: every instance of a [`crate::pool::GallatinPool`]
+    /// holds the same table so a donated segment's metadata travels with
+    /// it (see `crate::elastic`).
+    pub(crate) table: Arc<MemoryTable>,
+    pub(crate) metrics: Metrics,
     /// Start tree probes at an SM-hashed position (paper §4.3); see
     /// [`GallatinConfig::randomize_probe_starts`].
-    randomize_probes: bool,
+    pub(crate) randomize_probes: bool,
     /// Bytes reserved by live allocations (internal accounting, includes
     /// size-class rounding).
-    reserved: AtomicU64,
+    pub(crate) reserved: AtomicU64,
+    /// The segment span `[first, first+count)` this instance initially
+    /// owns — the whole universe standalone, one shard in pool mode.
+    /// `reset_local` restores exactly this span.
+    pub(crate) span: (u64, u64),
 }
 
 /// Append lifecycle-ledger violations (leaks and unmatched frees seen by
@@ -110,32 +118,14 @@ impl Gallatin {
         Self::with_memory(cfg, DeviceMemory::new(bytes))
     }
 
-    /// Build an allocator over caller-provided device memory — the seam
-    /// [`crate::pool::GallatinPool`] uses to bind each instance to a
-    /// disjoint partition of one arena ([`DeviceMemory::split`]). Device
-    /// pointers stay *local* (offsets from the partition's base).
+    /// Build an allocator over caller-provided device memory. Owns the
+    /// whole heap and a private memory table; pool instances instead go
+    /// through `with_shared_table` (see `crate::elastic`) so a donated
+    /// segment's metadata is visible from its new home.
     pub fn with_memory(cfg: GallatinConfig, mem: DeviceMemory) -> Self {
         let geo = cfg.geometry();
-        assert!(
-            mem.len() as u64 >= geo.heap_bytes,
-            "device memory of {} bytes cannot back a {}-byte heap",
-            mem.len(),
-            geo.heap_bytes
-        );
-        let segments = SegmentTier::new(cfg.index_kind(), geo.num_segments);
-        let blocks = BlockTier::new(&cfg, geo.num_segments, geo.num_classes);
-        let table = MemoryTable::new(geo);
-        Gallatin {
-            geo,
-            mem,
-            segments,
-            blocks,
-            slices: SliceTier,
-            table,
-            metrics: Metrics::new(),
-            randomize_probes: cfg.randomize_probe_starts,
-            reserved: AtomicU64::new(0),
-        }
+        let table = Arc::new(MemoryTable::new(geo));
+        Self::with_shared_table(cfg, mem, table, 0, geo.num_segments)
     }
 
     /// The borrowed view of shared state every tier call operates through.
@@ -204,12 +194,23 @@ impl Gallatin {
     /// without the trace-ledger pass or the auto-dump (the pool runs
     /// those once across all instances).
     pub(crate) fn structural_errors(&self) -> Vec<String> {
+        self.structural_errors_where(&|_| true)
+    }
+
+    /// [`Self::structural_errors`] restricted to segments `owned` says
+    /// belong to this instance. The pool passes its routing table here:
+    /// each instance audits exactly the segments currently homed on it
+    /// (including adopted ones), and flags any unowned segment that
+    /// still lingers in one of its trees — the footprint of a donation
+    /// that skipped the quiesce handshake.
+    pub(crate) fn structural_errors_where(&self, owned: &dyn Fn(u64) -> bool) -> Vec<String> {
         let ctx = self.ctx();
         let mut errors: Vec<String> = Vec::new();
         // Invariant 4 first: collects each segment's cached blocks for
         // the per-block ownership accounting in the walk.
-        let buffered = self.blocks.check_buffers(&ctx, &mut errors);
-        let computed_reserved = self.segments.check(&ctx, &self.blocks, &buffered, &mut errors);
+        let buffered = self.blocks.check_buffers(&ctx, owned, &mut errors);
+        let computed_reserved =
+            self.segments.check(&ctx, &self.blocks, &buffered, owned, &mut errors);
         // Invariant 5: the reserved counter matches the table. Checked on
         // the raw counter, not the saturating accessor — a wrapped value
         // is itself the violation being reported.
@@ -312,7 +313,7 @@ impl Gallatin {
         }
     }
 
-    fn malloc_routed(&self, sm_id: u32, size: u64) -> DevicePtr {
+    pub(crate) fn malloc_routed(&self, sm_id: u32, size: u64) -> DevicePtr {
         if size > self.geo.heap_bytes {
             self.metrics.count_malloc(false);
             return DevicePtr::NULL;
@@ -341,7 +342,7 @@ impl Gallatin {
         ptr
     }
 
-    fn free_routed(&self, ptr: DevicePtr) {
+    pub(crate) fn free_routed(&self, ptr: DevicePtr) {
         self.metrics.count_free();
         let off = ptr.0;
         assert!(off < self.geo.heap_bytes, "free of foreign pointer {off}");
@@ -561,16 +562,8 @@ impl DeviceAllocator for Gallatin {
     }
 
     fn reset(&self) {
-        for b in &self.blocks.buffers {
-            b.drain();
-        }
+        self.reset_local();
         self.table.reset();
-        self.segments.tree.fill();
-        for t in &self.blocks.trees {
-            t.clear();
-        }
-        self.metrics.reset();
-        self.reserved.store(0, Ordering::Relaxed);
     }
 
     fn heap_bytes(&self) -> u64 {

@@ -32,17 +32,18 @@ use std::sync::OnceLock;
 
 /// What the process-wide global allocator is backed by.
 enum GlobalBackend {
-    // Boxed: Gallatin inlines its per-class tree/buffer tables, which
-    // dwarf the pool's Vec headers.
+    // Both boxed: Gallatin inlines its per-class tree/buffer tables,
+    // and the pool carries the shared table plus ownership/free-list
+    // state inline.
     Single(Box<Gallatin>),
-    Pool(GallatinPool),
+    Pool(Box<GallatinPool>),
 }
 
 impl GlobalBackend {
     fn as_dyn(&self) -> &(dyn DeviceAllocator + Send + Sync) {
         match self {
             GlobalBackend::Single(g) => g.as_ref(),
-            GlobalBackend::Pool(p) => p,
+            GlobalBackend::Pool(p) => p.as_ref(),
         }
     }
 }
@@ -110,7 +111,7 @@ pub fn init_global_pool(n: usize, num_bytes: u64) -> Result<(), AlreadyInitializ
 /// Initialize the global allocator as a [`GallatinPool`] with an explicit
 /// *per-instance* configuration.
 pub fn init_global_pool_with(n: usize, cfg: GallatinConfig) -> Result<(), AlreadyInitialized> {
-    set_global(GlobalBackend::Pool(GallatinPool::new(n, cfg)))
+    set_global(GlobalBackend::Pool(Box::new(GallatinPool::new(n, cfg))))
 }
 
 /// Whether any `init_global_*` call has succeeded.

@@ -37,7 +37,9 @@
 #![warn(missing_docs)]
 
 mod buffer;
+mod compact;
 mod config;
+mod elastic;
 mod gallatin;
 pub mod global;
 mod index;
@@ -47,6 +49,7 @@ mod table;
 mod tiers;
 
 pub use buffer::BlockBuffer;
+pub use compact::Relocation;
 pub use config::{GallatinConfig, Geometry};
 pub use gallatin::Gallatin;
 pub use index::{SearchStructure, SegmentIndex};

@@ -1,76 +1,115 @@
-//! A sharded pool of Gallatin instances over one partitioned arena.
+//! A sharded pool of Gallatin instances over one shared arena.
 //!
 //! The paper's allocator is a single shared heap; under extreme SM
 //! counts even its coalesced atomics contend on the shared trees. A
 //! [`GallatinPool`] shards the heap into `n` full [`Gallatin`]
-//! instances, each bound to a disjoint window of one parent arena
-//! ([`gpu_sim::DeviceMemory::split`]), so instances share *no* hot
-//! metadata — only the backing bytes, which never contend.
+//! instances. Every instance sees the *whole* arena and the *shared*
+//! [`MemoryTable`] (one metadata row per segment, pool-wide), but its
+//! segment tree starts with only its own shard of segments — so
+//! steady-state traffic from different SM groups touches different
+//! trees, rings, and claim words, while a segment can be *re-homed*
+//! without copying anything: ownership is just tree membership plus one
+//! row in the pool's routing table (see `crate::elastic`).
 //!
 //! * **Placement** is SM-affine: a warp on SM `s` allocates from its
-//!   *home* instance `s % n`, so steady-state traffic from different SM
-//!   groups touches different trees, rings, and claim words.
+//!   *home* instance `s % n`.
 //! * **Overflow spills**: when the home instance is exhausted, the
 //!   request walks the siblings (`home+1, home+2, …` mod `n`) and the
-//!   spill is counted against the home instance — the E18 benchmark
-//!   reports these rates per instance.
-//! * **Frees route by pointer range**: a pool pointer is
-//!   `local + instance * stride` (`stride` = the per-instance heap), so
-//!   the owning instance is recovered by division alone — any lane on
-//!   any SM can free any pool pointer, exactly like the single-instance
-//!   offset-only routing of Algorithm 4, one level up.
+//!   spill is charged to the home instance — *only* when a sibling
+//!   actually serves it; a walk that every sibling denies is not a
+//!   spill. If the pool-level free list has headroom, the home adopts a
+//!   returned segment and retries before spilling at all.
+//! * **Frees route by segment ownership**: pointers are global offsets
+//!   into the one arena, so `ptr / segment_bytes` names the segment and
+//!   [`GallatinPool::seg_owner`] names the owning instance — any lane
+//!   on any SM can free any pool pointer, and the route stays correct
+//!   across donations because donation updates the same table.
 //!
-//! Requests larger than one instance's heap cannot be served (a pool
-//! trades the single heap's "any size" property for isolation);
-//! [`DeviceAllocator::supports_size`] and `max_native_size` advertise
-//! the `stride` bound, and the pool *denies such requests up front* —
-//! before touching any instance's trees — counting each denial in
-//! [`GallatinPool::oversize_denials`] so callers that ignore
-//! `supports_size` pay zero CAS traffic for an unservable size.
+//! Requests larger than one instance's nominal shard (`stride`) are
+//! denied up front — before touching any instance's trees — counting
+//! each denial in [`GallatinPool::oversize_denials`].
 //!
 //! Trace events are stamped with the owning instance
 //! ([`trace::with_instance`]), so one sink captures a pool run and the
 //! lifecycle [`trace::Ledger`] pairs mallocs with frees per
-//! `(instance, local ptr)` — cross-instance routing bugs surface as
-//! unmatched frees instead of silent corruption.
+//! `(instance, ptr)` — cross-instance routing bugs surface as
+//! unmatched frees instead of silent corruption. Donations only move
+//! *quiescent free* segments, so no live pointer ever changes owner
+//! mid-lifecycle and the pairing survives elasticity.
 
 use crate::config::GallatinConfig;
 use crate::gallatin::{ledger_errors, Gallatin};
+use crate::index::SegmentIndex;
+use crate::table::MemoryTable;
 use gpu_sim::{
     trace, AllocStats, DeviceAllocator, DeviceMemory, DevicePtr, LaneCtx, Metrics, WarpCtx,
     WARP_SIZE,
 };
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
 
-/// `n` independent Gallatin instances over disjoint partitions of one
-/// arena, with SM-affine placement and pointer-range free routing.
+/// `seg_owner` value for a segment parked on the pool-level free list
+/// (owned by no instance).
+pub(crate) const UNOWNED: u32 = u32::MAX;
+
+/// `n` Gallatin instances over one arena and one shared memory table,
+/// with SM-affine placement, ownership-routed frees, and elastic
+/// segment migration (`crate::elastic`).
 pub struct GallatinPool {
-    /// The parent arena view covering every partition (`n * stride`
-    /// bytes); [`DeviceAllocator::memory`] returns this so pool pointers
-    /// index it directly.
+    /// The parent arena (`n * stride` bytes); [`DeviceAllocator::memory`]
+    /// returns this so pool pointers index it directly.
     mem: DeviceMemory,
     instances: Vec<Gallatin>,
-    /// Per-instance heap in bytes; instance `i` owns global offsets
-    /// `[i*stride, (i+1)*stride)`.
+    /// The shared per-segment metadata table (every instance holds the
+    /// same `Arc`); the elastic quiesce checks read it directly.
+    pub(crate) table: Arc<MemoryTable>,
+    /// Per-instance nominal heap in bytes (the initial shard size and
+    /// the pool's max servable request).
     stride: u64,
+    /// Bytes per segment (global-offset → segment routing).
+    pub(crate) segment_bytes: u64,
+    /// Total segments across the pool.
+    pub(crate) num_segments: u64,
+    /// Segments per instance at construction (reset restores this).
+    segs_per_instance: u64,
+    /// The routing table: owning instance per segment, or [`UNOWNED`]
+    /// for segments parked on the pool free list. Donation and shrink
+    /// update this *before* the new owner can touch the segment.
+    pub(crate) seg_owner: Vec<AtomicU32>,
+    /// Pool-level free list: whole segments returned by `shrink`,
+    /// claimable by any instance (`grow`, or the malloc path's
+    /// adopt-before-spill).
+    pub(crate) pool_free: SegmentIndex,
+    /// Approximate occupancy of `pool_free` (cheap gate for the malloc
+    /// hot path; exact only at quiescent points).
+    pub(crate) pool_free_len: AtomicU64,
     /// Allocations instance `i` could not serve locally and a sibling
-    /// absorbed (charged to the *home*, not the absorber).
+    /// absorbed (charged to the *home*, only on successful placement).
     spills: Vec<AtomicU64>,
     /// Requests larger than `stride`, denied before touching any
     /// instance (no sibling could have served them either).
     oversize_denials: AtomicU64,
+    /// Segments re-homed instance-to-instance (elastic donation).
+    pub(crate) donations: AtomicU64,
+    /// Segments returned to the pool free list by shrink.
+    pub(crate) returned: AtomicU64,
+    /// Segments adopted out of the pool free list by grow.
+    pub(crate) adopted: AtomicU64,
 }
 
 /// Point-in-time occupancy snapshot of one pool instance, as reported
 /// by [`GallatinPool::pool_stats`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct InstanceStats {
-    /// Bytes of this instance's partition (the pool stride).
+    /// Bytes of this instance's nominal partition (the pool stride).
     pub heap_bytes: u64,
     /// Bytes reserved by live allocations (size-class rounded).
     pub reserved_bytes: u64,
     /// Segments still unclaimed in the instance's segment tree.
     pub free_segments: u64,
+    /// Segments currently homed on this instance (initial shard, minus
+    /// donations/returns, plus adoptions).
+    pub owned_segments: u64,
     /// Allocations homed here that a sibling had to absorb.
     pub spills: u64,
 }
@@ -79,7 +118,9 @@ pub struct InstanceStats {
 /// the signal a host-side admission controller reads to decide whether
 /// to keep admitting traffic: per-instance headroom (a hot instance
 /// near capacity predicts spills), the spill and oversize-denial
-/// counters (already-visible pressure), and the aggregate reservation.
+/// counters (already-visible pressure), the elasticity counters
+/// (donated / returned / adopted segments and the pool-level free
+/// list), and the aggregate reservation.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct PoolStats {
     /// Total bytes across all partitions.
@@ -90,6 +131,15 @@ pub struct PoolStats {
     pub spills: u64,
     /// Requests denied up front for exceeding the stride.
     pub oversize_denials: u64,
+    /// Segments re-homed instance-to-instance (elastic donation).
+    pub donated_segments: u64,
+    /// Segments returned to the pool-level free list (shrink).
+    pub returned_segments: u64,
+    /// Segments adopted out of the pool-level free list (grow /
+    /// adopt-before-spill).
+    pub adopted_segments: u64,
+    /// Segments currently parked on the pool-level free list.
+    pub pool_free_segments: u64,
     /// One entry per instance, in instance order.
     pub instances: Vec<InstanceStats>,
 }
@@ -101,23 +151,56 @@ impl PoolStats {
     pub fn headroom_bytes(&self) -> u64 {
         self.heap_bytes - self.reserved_bytes.min(self.heap_bytes)
     }
+
+    /// Bytes parked on the pool-level free list — memory the pool has
+    /// withdrawn from every instance (e.g. [`GallatinPool::shrink_to`])
+    /// and could hand back to the host or to a future hot instance.
+    pub fn pool_free_bytes(&self, segment_bytes: u64) -> u64 {
+        self.pool_free_segments * segment_bytes
+    }
 }
 
 impl GallatinPool {
     /// Build `n` instances, each configured by `cfg` (so `cfg.heap_bytes`
-    /// is the *per-instance* heap; the pool manages `n` times that).
+    /// is the *per-instance* shard; the pool manages `n` times that).
     pub fn new(n: usize, cfg: GallatinConfig) -> Self {
         assert!(n > 0, "a pool needs at least one instance");
         let stride = cfg.geometry().heap_bytes;
-        let mem = DeviceMemory::new((stride as usize).checked_mul(n).expect("pool size overflow"));
-        let instances =
-            mem.split(n).into_iter().map(|part| Gallatin::with_memory(cfg, part)).collect();
+        let total = stride.checked_mul(n as u64).expect("pool size overflow");
+        // One full-universe geometry: every instance sees every segment,
+        // ownership is expressed through tree membership + `seg_owner`.
+        let full = GallatinConfig { heap_bytes: total, ..cfg };
+        let geo = full.geometry();
+        let mem = DeviceMemory::new(total as usize);
+        let table = Arc::new(MemoryTable::new(geo));
+        let per = geo.num_segments / n as u64;
+        let instances = (0..n as u64)
+            .map(|i| {
+                Gallatin::with_shared_table(
+                    full,
+                    mem.clone_view(),
+                    Arc::clone(&table),
+                    i * per,
+                    per,
+                )
+            })
+            .collect();
         GallatinPool {
             mem,
             instances,
+            table,
             stride,
+            segment_bytes: geo.segment_bytes,
+            num_segments: geo.num_segments,
+            segs_per_instance: per,
+            seg_owner: (0..geo.num_segments).map(|s| AtomicU32::new((s / per) as u32)).collect(),
+            pool_free: SegmentIndex::new(full.index_kind(), geo.num_segments),
+            pool_free_len: AtomicU64::new(0),
             spills: (0..n).map(|_| AtomicU64::new(0)).collect(),
             oversize_denials: AtomicU64::new(0),
+            donations: AtomicU64::new(0),
+            returned: AtomicU64::new(0),
+            adopted: AtomicU64::new(0),
         }
     }
 
@@ -126,7 +209,8 @@ impl GallatinPool {
         self.instances.len()
     }
 
-    /// The per-instance heap size in bytes (the pointer-routing stride).
+    /// The per-instance nominal heap size in bytes (the initial shard
+    /// and the largest servable request).
     pub fn stride(&self) -> u64 {
         self.stride
     }
@@ -151,10 +235,46 @@ impl GallatinPool {
         self.oversize_denials.load(Ordering::Relaxed)
     }
 
+    /// Segments re-homed instance-to-instance so far (elastic donation).
+    pub fn donated_segments(&self) -> u64 {
+        self.donations.load(Ordering::Relaxed)
+    }
+
+    /// Segments returned to the pool-level free list so far.
+    pub fn returned_segments(&self) -> u64 {
+        self.returned.load(Ordering::Relaxed)
+    }
+
+    /// Segments adopted out of the pool-level free list so far.
+    pub fn adopted_segments(&self) -> u64 {
+        self.adopted.load(Ordering::Relaxed)
+    }
+
+    /// Segments currently parked on the pool-level free list.
+    pub fn pool_free_segments(&self) -> u64 {
+        self.pool_free.count()
+    }
+
+    /// The instance that currently owns `seg`, or `None` if the segment
+    /// is parked on the pool free list.
+    pub fn owner_of_segment(&self, seg: u64) -> Option<usize> {
+        match self.seg_owner[seg as usize].load(Ordering::Acquire) {
+            UNOWNED => None,
+            o => Some(o as usize),
+        }
+    }
+
     /// Snapshot the pool's occupancy and pressure counters (see
     /// [`PoolStats`]). Relaxed reads: the snapshot is advisory, exact
     /// only when the pool is quiescent.
     pub fn pool_stats(&self) -> PoolStats {
+        let mut owned = vec![0u64; self.instances.len()];
+        for o in &self.seg_owner {
+            let i = o.load(Ordering::Relaxed);
+            if i != UNOWNED {
+                owned[i as usize] += 1;
+            }
+        }
         let instances: Vec<InstanceStats> = self
             .instances
             .iter()
@@ -163,6 +283,7 @@ impl GallatinPool {
                 heap_bytes: self.stride,
                 reserved_bytes: g.reserved_bytes(),
                 free_segments: g.free_segments(),
+                owned_segments: owned[i],
                 spills: self.spill_count(i),
             })
             .collect();
@@ -171,28 +292,29 @@ impl GallatinPool {
             reserved_bytes: instances.iter().map(|s| s.reserved_bytes).sum(),
             spills: self.total_spills(),
             oversize_denials: self.oversize_denials(),
+            donated_segments: self.donated_segments(),
+            returned_segments: self.returned_segments(),
+            adopted_segments: self.adopted_segments(),
+            pool_free_segments: self.pool_free_segments(),
             instances,
         }
     }
 
     /// The home instance for a warp running on `sm_id`.
     #[inline]
-    fn home(&self, sm_id: u32) -> usize {
+    pub(crate) fn home(&self, sm_id: u32) -> usize {
         sm_id as usize % self.instances.len()
     }
 
-    /// Owning instance and instance-local pointer of a pool pointer.
+    /// Owning instance of a pool pointer (global offset), via the
+    /// segment routing table.
     #[inline]
-    fn route(&self, ptr: DevicePtr) -> (usize, DevicePtr) {
-        let i = (ptr.0 / self.stride) as usize;
-        assert!(i < self.instances.len(), "free of foreign pointer {}", ptr.0);
-        (i, DevicePtr(ptr.0 - i as u64 * self.stride))
-    }
-
-    /// Lift an instance-local pointer into the pool's global range.
-    #[inline]
-    fn globalize(&self, i: usize, ptr: DevicePtr) -> DevicePtr {
-        DevicePtr(ptr.0 + i as u64 * self.stride)
+    pub(crate) fn owner_of(&self, ptr: DevicePtr) -> usize {
+        let seg = ptr.0 / self.segment_bytes;
+        assert!(seg < self.num_segments, "free of foreign pointer {}", ptr.0);
+        let o = self.seg_owner[seg as usize].load(Ordering::Acquire);
+        assert!(o != UNOWNED, "free of foreign pointer {} (segment {seg} is unowned)", ptr.0);
+        o as usize
     }
 
     /// Release every instance's block-buffer wavefront (see
@@ -224,20 +346,29 @@ impl DeviceAllocator for GallatinPool {
         let home = self.home(ctx.sm_id());
         for k in 0..n {
             let i = (home + k) % n;
-            let p = trace::with_instance(i as u32, || self.instances[i].malloc(ctx, size));
+            let mut p = trace::with_instance(i as u32, || self.instances[i].malloc(ctx, size));
+            if p.is_null() && k == 0 && self.pool_free_len.load(Ordering::Relaxed) > 0 {
+                // Home exhausted but the pool holds returned headroom:
+                // adopt before spilling, so elasticity absorbs pressure
+                // the fixed shards used to push onto siblings.
+                let need = size.div_ceil(self.segment_bytes).max(1);
+                if self.grow(i, need) > 0 {
+                    p = trace::with_instance(i as u32, || self.instances[i].malloc(ctx, size));
+                }
+            }
             if !p.is_null() {
                 if k > 0 {
                     self.spills[home].fetch_add(1, Ordering::Relaxed);
                 }
-                return self.globalize(i, p);
+                return p;
             }
         }
         DevicePtr::NULL
     }
 
     fn free(&self, ctx: &LaneCtx, ptr: DevicePtr) {
-        let (i, local) = self.route(ptr);
-        trace::with_instance(i as u32, || self.instances[i].free(ctx, local));
+        let i = self.owner_of(ptr);
+        trace::with_instance(i as u32, || self.instances[i].free(ctx, ptr));
     }
 
     /// Warp-collective allocation: the whole warp goes to its home
@@ -271,11 +402,6 @@ impl DeviceAllocator for GallatinPool {
         trace::with_instance(home as u32, || {
             self.instances[home].warp_malloc(warp, &eligible[..active], out)
         });
-        for p in out.iter_mut() {
-            if !p.is_null() {
-                *p = self.globalize(home, *p);
-            }
-        }
         if n == 1 {
             return;
         }
@@ -303,13 +429,15 @@ impl DeviceAllocator for GallatinPool {
             let mut served = 0u64;
             for lane in warp.lanes() {
                 if !sub[lane].is_null() {
-                    out[lane] = self.globalize(i, sub[lane]);
+                    out[lane] = sub[lane];
                     sub[lane] = DevicePtr::NULL;
                     rest[lane] = None;
                     served += 1;
                 }
             }
             if served > 0 {
+                // Charged only here — on actual sibling placement; a walk
+                // every sibling denies never touches the counter.
                 self.spills[home].fetch_add(served, Ordering::Relaxed);
                 unserved -= served;
             }
@@ -320,7 +448,7 @@ impl DeviceAllocator for GallatinPool {
     }
 
     /// Warp-collective free with per-instance regrouping: the warp's
-    /// pointers are split by owning instance (pointer-range routing) and
+    /// pointers are split by owning instance (segment routing table) and
     /// each instance receives one lane-aligned collective free, so the
     /// per-block `fetch_add` coalescing inside each instance survives the
     /// sharding.
@@ -335,9 +463,8 @@ impl DeviceAllocator for GallatinPool {
                 if p.is_null() {
                     continue;
                 }
-                let (owner, loc) = self.route(p);
-                if owner == i {
-                    local[lane] = loc;
+                if self.owner_of(p) == i {
+                    local[lane] = p;
                     any = true;
                 }
             }
@@ -349,12 +476,22 @@ impl DeviceAllocator for GallatinPool {
 
     fn reset(&self) {
         for inst in &self.instances {
-            inst.reset();
+            inst.reset_local();
         }
+        // The table is shared: reset it once, not per instance.
+        self.table.reset();
+        for (s, o) in self.seg_owner.iter().enumerate() {
+            o.store((s as u64 / self.segs_per_instance) as u32, Ordering::Relaxed);
+        }
+        self.pool_free.clear();
+        self.pool_free_len.store(0, Ordering::Relaxed);
         for s in &self.spills {
             s.store(0, Ordering::Relaxed);
         }
         self.oversize_denials.store(0, Ordering::Relaxed);
+        self.donations.store(0, Ordering::Relaxed);
+        self.returned.store(0, Ordering::Relaxed);
+        self.adopted.store(0, Ordering::Relaxed);
     }
 
     fn heap_bytes(&self) -> u64 {
@@ -363,7 +500,7 @@ impl DeviceAllocator for GallatinPool {
 
     fn supports_size(&self, size: u64) -> bool {
         // Sharding trades the single heap's "any size" property for
-        // isolation: nothing larger than one instance's heap fits.
+        // isolation: nothing larger than one instance's shard fits.
         size <= self.stride
     }
 
@@ -377,17 +514,21 @@ impl DeviceAllocator for GallatinPool {
         None
     }
 
-    /// Verify every instance's structural invariants (each error prefixed
-    /// with the owning instance) plus one pool-wide lifecycle-ledger pass
-    /// — the ledger pairs per `(instance, ptr)`, so a free routed to the
+    /// Verify every instance's structural invariants over exactly the
+    /// segments it currently owns (each error prefixed with the owning
+    /// instance), the pool-level ownership audit (routing table vs free
+    /// list vs quiescence), plus one pool-wide lifecycle-ledger pass —
+    /// the ledger pairs per `(instance, ptr)`, so a free routed to the
     /// wrong instance shows up as an unmatched free *and* a leak.
     fn check_invariants(&self) -> Result<(), String> {
         let mut errors: Vec<String> = Vec::new();
         for (i, inst) in self.instances.iter().enumerate() {
-            for e in inst.structural_errors() {
+            let mine = |s: u64| self.seg_owner[s as usize].load(Ordering::Acquire) == i as u32;
+            for e in inst.structural_errors_where(&mine) {
                 errors.push(format!("instance {i}: {e}"));
             }
         }
+        self.ownership_audit(&mut errors);
         ledger_errors(&mut errors);
         if errors.is_empty() {
             Ok(())
@@ -449,13 +590,41 @@ mod tests {
         assert!(spilled.0 >= p.stride(), "served by the sibling");
         assert_eq!(p.spill_count(0), 1);
         assert_eq!(p.spill_count(1), 0);
-        // Frees route home by range regardless of the freeing SM.
+        // Frees route home by ownership regardless of the freeing SM.
         p.free(&warp_on(1, 1).lane(0), spilled);
         for q in held {
             p.free(&warp_on(3, 1).lane(0), q);
         }
         assert_eq!(p.stats().reserved_bytes, 0);
         p.check_invariants().expect("clean after spill + routed frees");
+    }
+
+    #[test]
+    fn spills_are_charged_only_on_successful_sibling_placement() {
+        // The PR 5 pressure case: 24 segment-sized claims against a
+        // 16-segment home. Exactly the 8 overflow claims are spills…
+        let p = pool(2);
+        let l0 = warp_on(0, 1);
+        let seg = p.instance(0).geometry().segment_bytes;
+        let held: Vec<_> = (0..24).map(|_| p.malloc(&l0.lane(0), seg)).collect();
+        assert!(held.iter().all(|q| !q.is_null()));
+        assert_eq!(p.spill_count(0), 8, "24 claims vs a 16-segment home: 8 spills");
+        // …filling the sibling's remainder keeps charging placements…
+        let rest: Vec<_> = (0..8).map(|_| p.malloc(&l0.lane(0), seg)).collect();
+        assert!(rest.iter().all(|q| !q.is_null()));
+        assert_eq!(p.spill_count(0), 16);
+        // …but pushing past total pool capacity adds zero further spills:
+        // a walk every sibling denies is a failed malloc, not a spill.
+        for _ in 0..5 {
+            assert!(p.malloc(&l0.lane(0), seg).is_null());
+        }
+        assert_eq!(p.spill_count(0), 16, "denied walks must not be charged as spills");
+        assert_eq!(p.total_spills(), 16);
+        for q in held.into_iter().chain(rest) {
+            p.free(&l0.lane(0), q);
+        }
+        assert_eq!(p.stats().reserved_bytes, 0);
+        p.check_invariants().expect("clean after capacity stress");
     }
 
     #[test]
@@ -517,6 +686,8 @@ mod tests {
         assert_eq!(idle.reserved_bytes, 0);
         assert_eq!(idle.headroom_bytes(), idle.heap_bytes);
         assert_eq!(idle.instances.len(), 2);
+        assert_eq!(idle.instances[0].owned_segments, 16);
+        assert_eq!(idle.pool_free_segments, 0);
         let seg = p.instance(0).geometry().segment_bytes;
         // Fill home 0 and force one spill: the snapshot must show the
         // reservation split across instances and the spill pressure.
@@ -572,6 +743,7 @@ mod tests {
         assert_eq!(p.stats().reserved_bytes, 0);
         for i in 0..2 {
             assert_eq!(p.instance(i).free_segments(), 16);
+            assert_eq!(p.pool_stats().instances[i].owned_segments, 16);
         }
         p.check_invariants().expect("clean after reset");
     }
@@ -586,8 +758,10 @@ mod tests {
     #[test]
     fn pool_invariant_check_names_the_corrupt_instance() {
         let p = pool(2);
-        p.instance(1).table().seg(3).tree_id.store(0, Ordering::SeqCst);
+        // Segment 19 is instance 1's (segments 16..32): claim its tree_id
+        // without removing it from the segment tree or formatting it.
+        p.instance(1).table().seg(19).tree_id.store(0, Ordering::SeqCst);
         let err = p.check_invariants().unwrap_err();
-        assert!(err.contains("instance 1: segment 3"), "unexpected report: {err}");
+        assert!(err.contains("instance 1: segment 19"), "unexpected report: {err}");
     }
 }

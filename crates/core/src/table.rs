@@ -161,6 +161,19 @@ impl SegmentMeta {
         self.tree_id.load(Ordering::SeqCst)
     }
 
+    /// Whether this segment is quiescent and free: owned by no block
+    /// tree (`tree_id == TREE_FREE`) and fully drained — every block of
+    /// its previous format is home in the ring and published. This is
+    /// exactly the state the two-phase reclaim publishes, so it doubles
+    /// as the precondition for re-homing a segment across pool instances
+    /// (elastic donation): a segment passing this check has no live
+    /// slices, no wholesale blocks, and no straggler mid-push.
+    #[inline]
+    pub fn is_quiescent_free(&self) -> bool {
+        self.ldcv_tree_id() == TREE_FREE
+            && self.ring.len() == self.cur_blocks.load(Ordering::Acquire) as u64
+    }
+
     /// Load `block`'s claim word (generation + served count).
     #[inline]
     pub fn claim_word(&self, block: u64) -> u32 {

@@ -139,10 +139,13 @@ impl BlockTier {
     /// buffer's class), collecting each segment's cached blocks for the
     /// per-block ownership accounting. `current(i)` for i < num_slots
     /// visits each slot exactly once (identity under the modular SM
-    /// mapping).
+    /// mapping). A buffered block of a segment the instance does not
+    /// own (per `owned`) is an error: a segment must be fully drained —
+    /// wavefront included — before it can be donated away.
     pub fn check_buffers(
         &self,
         ctx: &TierCtx,
+        owned: &dyn Fn(u64) -> bool,
         errors: &mut Vec<String>,
     ) -> HashMap<u64, HashSet<u64>> {
         let geo = ctx.geo;
@@ -157,6 +160,12 @@ impl BlockTier {
                         "buffer[class {class}] slot {i} holds out-of-range block {seg}/{block}"
                     ));
                     continue;
+                }
+                if !owned(seg) {
+                    errors.push(format!(
+                        "buffer[class {class}] slot {i} caches block {block} of segment \
+                         {seg}, which this instance does not own"
+                    ));
                 }
                 let id = ctx.table.seg(seg).ldcv_tree_id();
                 if id != class as u32 {

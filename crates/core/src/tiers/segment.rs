@@ -23,9 +23,19 @@ pub(crate) struct SegmentTier {
 }
 
 impl SegmentTier {
-    /// A tier whose tree starts full (every segment free).
-    pub fn new(kind: crate::index::SearchStructure, num_segments: u64) -> Self {
-        SegmentTier { tree: SegmentIndex::new_full(kind, num_segments) }
+    /// A tier whose tree spans `universe` segments but starts with only
+    /// `[first, first+count)` free — pool mode, where every instance's
+    /// tree covers the whole arena (so adopted segments are insertable
+    /// anywhere) but initially owns just its shard.
+    pub fn with_span(
+        kind: crate::index::SearchStructure,
+        universe: u64,
+        first: u64,
+        count: u64,
+    ) -> Self {
+        let tree = SegmentIndex::new(kind, universe);
+        tree.insert_range(first, count);
+        SegmentTier { tree }
     }
 
     /// Claim one free segment, probing from `sm_id`'s hashed start with
@@ -226,15 +236,21 @@ impl SegmentTier {
     }
 
     /// The segment tier's share of the invariant check: walk every
-    /// segment and verify single ownership (invariant 1), drained-ness of
-    /// free segments (invariant 2), and large-allocation span integrity,
+    /// segment this instance owns (per the `owned` predicate — always
+    /// true standalone, the pool's routing table in pool mode) and
+    /// verify single ownership (invariant 1), drained-ness of free
+    /// segments (invariant 2), and large-allocation span integrity,
     /// delegating formatted segments to [`BlockTier::check_formatted`].
-    /// Returns the reserved-byte total implied by the table.
+    /// Unowned segments are another instance's to audit, but any residue
+    /// of one in *this* instance's trees is an error (a donation that
+    /// left without the quiesce handshake). Returns the reserved-byte
+    /// total implied by the table for the owned segments.
     pub fn check(
         &self,
         ctx: &TierCtx,
         blocks: &BlockTier,
         buffered: &HashMap<u64, HashSet<u64>>,
+        owned: &dyn Fn(u64) -> bool,
         errors: &mut Vec<String>,
     ) -> u64 {
         let geo = ctx.geo;
@@ -244,9 +260,33 @@ impl SegmentTier {
         // LARGE_BODY segments still owed to the most recent large head.
         let mut expect_body = 0u64;
         for seg in 0..geo.num_segments {
+            let in_seg_tree = self.tree.contains(seg);
+            if !owned(seg) {
+                if in_seg_tree {
+                    errors.push(format!(
+                        "segment {seg} is not owned by this instance but is still in its \
+                         segment tree"
+                    ));
+                }
+                for (c, tree) in blocks.trees.iter().enumerate() {
+                    if tree.contains(seg) {
+                        errors.push(format!(
+                            "segment {seg} is not owned by this instance but is still in its \
+                             block tree {c}"
+                        ));
+                    }
+                }
+                if expect_body > 0 {
+                    errors.push(format!(
+                        "segment {seg} leaves this instance's ownership while a large \
+                         allocation is still owed {expect_body} body segment(s)"
+                    ));
+                    expect_body = 0;
+                }
+                continue;
+            }
             let meta = ctx.table.seg(seg);
             let id = meta.ldcv_tree_id();
-            let in_seg_tree = self.tree.contains(seg);
             for (c, tree) in blocks.trees.iter().enumerate() {
                 if tree.contains(seg) && id != c as u32 {
                     errors.push(format!(

@@ -12,12 +12,20 @@
 //! Keep the seed list in sync with the `hard-seeds` matrix in
 //! nightly.yml: add any seed a sweep failure reports; never remove.
 
-use gallatin::{Gallatin, GallatinConfig};
+use gallatin::{Gallatin, GallatinConfig, GallatinPool};
 use gpu_sim::{launch_warps, DeviceAllocator, DeviceConfig, DevicePtr};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The nightly hard-seed matrix (nightly.yml `hard-seeds.strategy.matrix.seed`).
 const HARD_SEEDS: [u64; 5] = [7, 13, 29, 42, 57];
+
+/// Schedule seeds that produced the tightest elastic-pool interleavings
+/// during the donation sweeps (`tests/elastic.rs`): donation, shrink,
+/// and grow racing churn, reclaim, and adopt-before-spill. Same
+/// contract as `HARD_SEEDS`: add any seed a sweep failure reports,
+/// never remove. The CI adversarial job's quick elastic step runs the
+/// first four seeds of the full sweep; this list pins the keepers.
+const ELASTIC_HARD_SEEDS: [u64; 4] = [2, 5, 9, 14];
 
 /// One fast churn under the pinned schedule: whole-block fills with the
 /// class alternating per round over a 4-segment heap, so segments cycle
@@ -61,6 +69,61 @@ fn hard_seed_churn(seed: u64) {
     assert_eq!(g.free_segments(), 4, "segment lost under seed {seed}");
 }
 
+/// One fast elastic churn under the pinned schedule: a two-instance
+/// pool over 8 segments with a maintenance warp shuttling capacity
+/// (donate → shrink → grow) while the other warps churn blocks and
+/// slices — the `tests/elastic.rs` sweep scenario at a single seed.
+/// Checks payload integrity, leak-freedom, segment conservation, and
+/// the cross-structure invariants including the ownership audit.
+fn elastic_hard_seed_churn(seed: u64) {
+    let pool = GallatinPool::new(2, GallatinConfig::small_test(256 << 10)); // 8 segments
+    let corrupt = AtomicU64::new(0);
+    launch_warps(DeviceConfig::with_sms(4).seeded(seed), 128, |warp| {
+        let l = warp.lane(0);
+        if warp.warp_id == 0 {
+            for round in 0..6u64 {
+                let (from, to) = if round % 2 == 0 { (0, 1) } else { (1, 0) };
+                if let Err(e) = pool.donate(from, to, 1) {
+                    panic!("donation bounced under seed {seed}: {e}");
+                }
+                let parked = pool.shrink_instance(to, 1);
+                pool.grow(from, parked);
+            }
+        } else {
+            for round in 0..6u64 {
+                let mut ptrs = [DevicePtr::NULL; 8];
+                for (i, slot) in ptrs.iter_mut().enumerate() {
+                    let size = if (warp.warp_id + i as u64) % 3 == 0 {
+                        1024
+                    } else {
+                        16 << ((warp.warp_id + round + i as u64) % 5)
+                    };
+                    *slot = pool.malloc(&l, size);
+                    if !slot.is_null() {
+                        pool.memory().write_stamp(*slot, round * 100 + i as u64);
+                    }
+                }
+                for (i, p) in ptrs.iter().enumerate() {
+                    if !p.is_null() {
+                        if pool.memory().read_stamp(*p) != round * 100 + i as u64 {
+                            corrupt.fetch_add(1, Ordering::Relaxed);
+                        }
+                        pool.free(&l, *p);
+                    }
+                }
+            }
+        }
+    });
+    assert_eq!(corrupt.load(Ordering::Relaxed), 0, "torn payload under seed {seed}");
+    assert_eq!(pool.stats().reserved_bytes, 0, "leak under seed {seed}");
+    let s = pool.pool_stats();
+    let owned: u64 = s.instances.iter().map(|i| i.owned_segments).sum();
+    assert_eq!(owned + s.pool_free_segments, 8, "segments lost under seed {seed}: {s:?}");
+    if let Err(e) = pool.check_invariants() {
+        panic!("invariants violated under seed {seed}:\n{e}");
+    }
+}
+
 macro_rules! hard_seed_test {
     ($name:ident, $seed:expr) => {
         #[test]
@@ -76,10 +139,29 @@ hard_seed_test!(hard_seed_29, HARD_SEEDS[2]);
 hard_seed_test!(hard_seed_42, HARD_SEEDS[3]);
 hard_seed_test!(hard_seed_57, HARD_SEEDS[4]);
 
-/// The macro invocations above must cover the whole list — a new seed
-/// added to `HARD_SEEDS` without a matching test fails here instead of
-/// silently running nowhere.
+macro_rules! elastic_hard_seed_test {
+    ($name:ident, $seed:expr) => {
+        #[test]
+        fn $name() {
+            elastic_hard_seed_churn($seed);
+        }
+    };
+}
+
+elastic_hard_seed_test!(elastic_hard_seed_2, ELASTIC_HARD_SEEDS[0]);
+elastic_hard_seed_test!(elastic_hard_seed_5, ELASTIC_HARD_SEEDS[1]);
+elastic_hard_seed_test!(elastic_hard_seed_9, ELASTIC_HARD_SEEDS[2]);
+elastic_hard_seed_test!(elastic_hard_seed_14, ELASTIC_HARD_SEEDS[3]);
+
+/// The macro invocations above must cover both lists — a new seed added
+/// to `HARD_SEEDS` or `ELASTIC_HARD_SEEDS` without a matching test
+/// fails here instead of silently running nowhere.
 #[test]
 fn every_hard_seed_has_a_test() {
     assert_eq!(HARD_SEEDS, [7, 13, 29, 42, 57], "add a hard_seed_test! for the new seed");
+    assert_eq!(
+        ELASTIC_HARD_SEEDS,
+        [2, 5, 9, 14],
+        "add an elastic_hard_seed_test! for the new seed"
+    );
 }

@@ -145,6 +145,14 @@ impl DeviceMemory {
             .collect()
     }
 
+    /// A second view of the same window, sharing the backing arena.
+    /// Used where several owners need whole-range access to one heap
+    /// (e.g. every `GallatinPool` instance holds a full-arena view so a
+    /// donated segment's bytes stay reachable from its new home).
+    pub fn clone_view(&self) -> DeviceMemory {
+        DeviceMemory { arena: Arc::clone(&self.arena), off: self.off, len: self.len }
+    }
+
     /// Host pointer to byte offset `off` of this view.
     #[inline]
     fn ptr(&self, off: usize) -> *mut u8 {

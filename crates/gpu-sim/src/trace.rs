@@ -242,6 +242,18 @@ pub enum TraceEvent {
         /// Raw block handle installed.
         new: u64,
     },
+    /// A quiescent free segment was re-homed from one pool instance to
+    /// another (elastic `GallatinPool::donate`). Emitted after the
+    /// routing table switched the owner and before the recipient can
+    /// claim the segment.
+    SegmentDonate {
+        /// Donor instance.
+        from: u32,
+        /// Recipient instance.
+        to: u32,
+        /// Segment id (global across the pool).
+        seg: u64,
+    },
 }
 
 impl TraceEvent {
@@ -259,6 +271,7 @@ impl TraceEvent {
             TraceEvent::CoalesceGroup { .. } => "coalesce_group",
             TraceEvent::BufferInstall { .. } => "buffer_install",
             TraceEvent::BufferReplace { .. } => "buffer_replace",
+            TraceEvent::SegmentDonate { .. } => "segment_donate",
         }
     }
 }
@@ -575,6 +588,9 @@ fn event_args(r: &TraceRecord) -> String {
         }
         TraceEvent::BufferReplace { slot, old, new } => {
             format!("\"slot\": {slot}, \"old\": {old}, \"new\": {new}")
+        }
+        TraceEvent::SegmentDonate { from, to, seg } => {
+            format!("\"from\": {from}, \"to\": {to}, \"seg\": {seg}")
         }
     };
     format!("{lane}, {rest}")
