@@ -204,7 +204,7 @@ fn concurrent_contract_deterministic_seeds() {
 // the schedule as a Chrome trace (see TESTING.md).
 // ---------------------------------------------------------------------------
 
-use gallatin::{Gallatin, GallatinConfig, GallatinPool};
+use gallatin::{DevicePool, Gallatin, GallatinConfig, GallatinPool};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 const DIFF_THREADS: u64 = 128;
@@ -246,6 +246,10 @@ fn families(heap: u64) -> Vec<std::sync::Arc<dyn DeviceAllocator>> {
     // the budget each, so its ledger is directly comparable to the
     // single-instance families.
     v.push(std::sync::Arc::new(GallatinPool::new(2, GallatinConfig::small_test(heap / 2))));
+    // The hierarchical device pool over the same total heap: two
+    // one-instance devices of half the budget each, so cross-device
+    // routing and the interconnect layer face the same workload ledger.
+    v.push(std::sync::Arc::new(DevicePool::new(2, 1, GallatinConfig::small_test(heap / 2))));
     v
 }
 

@@ -38,6 +38,13 @@
 //!                   donated segment, the ledger shows anomalies, or a
 //!                   compaction row fails to strictly beat its control
 //!                   (seed from GALLATIN_SCHED_SEED)
+//!   topo            E23 — multi-device topology scaling over 1/2/4/8 devices:
+//!                   locality-skew traffic sweep, cross-device spill cascade,
+//!                   single-device parity vs GallatinPool, and a 2-device
+//!                   serving cell, to BENCH_topo.json; exits 1 if the affine
+//!                   cells exceed 5% peer traffic, the cascade overflow is
+//!                   wrong, parity diverges, or the serve cell is dirty
+//!                   (seed count from GALLATIN_TOPO_SEEDS, default 8)
 //!   summary         §6.3-style speedup summary from the written CSVs
 //!   all             everything above, in order
 //!
@@ -103,7 +110,7 @@ fn parse_seeds(s: &str) -> Option<Vec<u64>> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: repro <init|single|mixed|scaling|variance|warmup|fragmentation|utilization|graph|expansion|reclaim|ablation|bench-smoke|trace|pool|replay|serve|elastic|perf|perf-gate|perf-report|perf-check|summary|all> [--threads N] [--runs N] [--heap BYTES] [--sms N] [--pool N] [--out DIR] [--json] [--full] [--smoke] [--samples N] [--history DIR] [--window N] [--sha S] [--stamp S] [--host S] [--seeds SPEC]");
+        eprintln!("usage: repro <init|single|mixed|scaling|variance|warmup|fragmentation|utilization|graph|expansion|reclaim|ablation|bench-smoke|trace|pool|replay|serve|elastic|topo|perf|perf-gate|perf-report|perf-check|summary|all> [--threads N] [--runs N] [--heap BYTES] [--sms N] [--pool N] [--out DIR] [--json] [--full] [--smoke] [--samples N] [--history DIR] [--window N] [--sha S] [--stamp S] [--host S] [--seeds SPEC]");
         std::process::exit(2);
     }
     let cmd = args[0].clone();
@@ -229,6 +236,11 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        "topo" => {
+            if !exp::run_topo(&cfg) {
+                std::process::exit(1);
+            }
+        }
         "summary" => exp::run_summary(&cfg.out_dir),
         "perf" => {
             if !bench::perf::run_perf(&perf) {
@@ -270,6 +282,7 @@ fn main() {
             exp::run_replay(&cfg);
             exp::run_serve(&cfg);
             exp::run_elastic(&cfg);
+            exp::run_topo(&cfg);
             exp::run_summary(&cfg.out_dir);
         }
         other => {

@@ -13,6 +13,7 @@ pub mod scaling;
 pub mod serve;
 pub mod single;
 pub mod summary;
+pub mod topo;
 pub mod trace;
 pub mod utilization;
 pub mod variance;
@@ -30,6 +31,7 @@ pub use scaling::run_scaling;
 pub use serve::run_serve;
 pub use single::{run_single, run_warmup};
 pub use summary::run_summary;
+pub use topo::run_topo;
 pub use trace::run_trace;
 pub use utilization::run_utilization;
 pub use variance::run_variance;

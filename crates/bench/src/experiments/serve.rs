@@ -26,10 +26,11 @@
 
 use crate::report::{write_bench_json, BenchRecord, Table};
 use crate::serve::{
-    run_serve_engine, ArrivalConfig, ArrivalShape, Rejection, ServeConfig, ServeOutcome, TenantSpec,
+    run_serve_engine, run_serve_engine_sampled, ArrivalConfig, ArrivalShape, Rejection,
+    ServeConfig, ServeOutcome, TenantSpec,
 };
 use crate::HarnessConfig;
-use gallatin::{Gallatin, GallatinConfig, GallatinPool};
+use gallatin::{DevicePool, Gallatin, GallatinConfig, GallatinPool};
 use gpu_sim::sched::SCHED_SEED_ENV;
 use gpu_sim::DeviceAllocator;
 use std::sync::Arc;
@@ -67,6 +68,23 @@ fn backends() -> Vec<(String, Arc<dyn DeviceAllocator>, u64)> {
         ),
         ("GallatinPool(2)".to_string(), Arc::new(pool) as Arc<_>, pool_stride),
     ]
+}
+
+/// Every *remaining* roster family plus the hierarchical topology pool,
+/// each of which rides through one serving matrix cell (scenario
+/// "roster"). The two flagship backends already run the full load
+/// sweep, so they are filtered out here.
+fn roster_backends() -> Vec<(String, Arc<dyn DeviceAllocator>, u64)> {
+    let mut v: Vec<(String, Arc<dyn DeviceAllocator>, u64)> =
+        crate::roster::quick_roster(2 * SERVE_HEAP, 16)
+            .into_iter()
+            .filter(|a| a.name() != "Gallatin")
+            .map(|a| (a.name().to_string(), a, u64::MAX))
+            .collect();
+    let dp = DevicePool::new(2, 1, GallatinConfig::small_test(SERVE_HEAP));
+    let stride = dp.stride();
+    v.push(("DevicePool(2x1)".to_string(), Arc::new(dp) as Arc<_>, stride));
+    v
 }
 
 /// The standard two-tenant mix: a heavy service and a light one.
@@ -226,6 +244,90 @@ fn record_of(
     }
 }
 
+/// Step cadence of the fragmentation timeline (one sample per 500
+/// simulated steps — fine enough to see the saw-tooth of batched
+/// serve/drain, coarse enough to keep the CSV small).
+const FRAG_SAMPLE_STEPS: u64 = 500;
+
+/// Fragmentation-over-time sampling: drive the two pool backends
+/// through the middle-load Poisson cell with the engine's cadence hook
+/// and write one row per `(allocator, step)` to
+/// `<out_dir>/e20_frag_timeline.csv` — reserved bytes, headroom, parked
+/// segments, spill/denial counters, and (for the topology pool) the
+/// interconnect traffic split, all on the deterministic step clock so
+/// the whole timeline replays byte-identically. Returns the clean flag
+/// of both runs.
+fn frag_timeline(cfg: &HarnessConfig, seed: u64, horizon: u64) -> bool {
+    let mut rows = vec!["allocator,step,reserved_bytes,headroom_bytes,pool_free_segments,spills,\
+         oversize_denials,cross_spills,peer_accesses"
+        .to_string()];
+    let mut clean = true;
+
+    let pool = GallatinPool::new(2, GallatinConfig::small_test(SERVE_HEAP));
+    let c = cell_config(
+        ArrivalShape::Poisson,
+        LOADS[1],
+        64,
+        horizon,
+        seed,
+        pool.stride(),
+        standard_tenants(),
+        16,
+    );
+    let out = run_serve_engine_sampled(&c, &pool, FRAG_SAMPLE_STEPS, &mut |step| {
+        let s = pool.pool_stats();
+        rows.push(format!(
+            "GallatinPool(2),{step},{},{},{},{},{},0,0",
+            s.reserved_bytes,
+            s.headroom_bytes(),
+            s.pool_free_segments,
+            s.spills,
+            s.oversize_denials
+        ));
+    });
+    clean &= out.clean();
+
+    let dp = DevicePool::new(2, 1, GallatinConfig::small_test(SERVE_HEAP));
+    let c = cell_config(
+        ArrivalShape::Poisson,
+        LOADS[1],
+        64,
+        horizon,
+        seed,
+        dp.stride(),
+        standard_tenants(),
+        16,
+    );
+    let out = run_serve_engine_sampled(&c, &dp, FRAG_SAMPLE_STEPS, &mut |step| {
+        let s = dp.topo_stats();
+        let (free_segs, denials) = s
+            .devices
+            .iter()
+            .fold((0u64, 0u64), |(f, d), p| (f + p.pool_free_segments, d + p.oversize_denials));
+        rows.push(format!(
+            "DevicePool(2x1),{step},{},{},{free_segs},{},{denials},{},{}",
+            s.reserved_bytes,
+            s.heap_bytes - s.reserved_bytes.min(s.heap_bytes),
+            s.in_device_spills,
+            s.cross_spills,
+            s.peer_accesses
+        ));
+    });
+    clean &= out.clean();
+
+    let path = std::path::Path::new(&cfg.out_dir).join("e20_frag_timeline.csv");
+    match std::fs::create_dir_all(&cfg.out_dir)
+        .and_then(|()| std::fs::write(&path, rows.join("\n") + "\n"))
+    {
+        Ok(()) => println!("wrote {} ({} samples)", path.display(), rows.len() - 1),
+        Err(e) => {
+            eprintln!("error: could not write e20_frag_timeline.csv: {e}");
+            clean = false;
+        }
+    }
+    clean
+}
+
 /// E20 entry point (`repro serve`). Returns `false` — exit 1 — when
 /// the smoke gate trips: any quota violation or ledger anomaly.
 pub fn run_serve(cfg: &HarnessConfig) -> bool {
@@ -310,6 +412,26 @@ pub fn run_serve(cfg: &HarnessConfig) -> bool {
         }
     }
 
+    // Roster widening: every remaining allocator family plus the
+    // multi-device pool through one Poisson matrix cell. The quota and
+    // queue machinery is backend-agnostic, so the same clean() gate
+    // applies; families without lifecycle tracing simply contribute an
+    // empty ledger.
+    for (name, alloc, max_req) in roster_backends() {
+        let c = cell_config(
+            ArrivalShape::Poisson,
+            LOADS[1],
+            64,
+            horizon,
+            seed,
+            max_req,
+            standard_tenants(),
+            cfg.num_sms.min(16),
+        );
+        let out = run_cell(&name, alloc.as_ref(), "roster", &c, &mut records, &mut table);
+        clean &= out.clean();
+    }
+
     // Batch-width sweep past the saturation knee (bursty top load),
     // flagship backend only — width only matters once a backlog forms.
     if !smoke {
@@ -361,6 +483,8 @@ pub fn run_serve(cfg: &HarnessConfig) -> bool {
                 && out.trace_dropped == 0;
         }
     }
+
+    clean &= frag_timeline(cfg, seed, horizon);
 
     println!(
         "fairness: victim p99 {} steps with admission control, {} without{}",

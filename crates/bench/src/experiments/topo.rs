@@ -1,0 +1,505 @@
+//! E23 — multi-device topology scaling (`repro topo`).
+//!
+//! Four deterministic arms over the hierarchical [`DevicePool`], swept
+//! across 1/2/4/8 devices:
+//!
+//! 1. **Locality skew.** Every warp allocates on its affinity device,
+//!    then a controlled fraction of warps (0, 1, or 8 per 16 warp
+//!    pairs) return a *neighbor* warp's batch — frees issued one SM
+//!    over, which on a multi-device topology is one device over. The
+//!    interconnect counters make the skew exactly visible: the
+//!    peer-access share is a closed-form function of the rotation
+//!    fraction, and the acceptance gate pins the affine and mild-skew
+//!    cells under 5% peer share while every home has headroom.
+//! 2. **Spill cascade.** One SM claims every segment of the whole
+//!    topology wholesale: the home device's in-device walk absorbs the
+//!    first `width × 16` claims, then each successive device denial
+//!    crosses the interconnect. Cross-spill counts and the step cost of
+//!    the cascade (peer accesses × the interconnect tariff) are exact
+//!    functions of the geometry.
+//! 3. **Single-device parity.** `DevicePool(1, 2)` runs the E18 block
+//!    churn and must reproduce `GallatinPool(2)`'s per-instance
+//!    atomic-op counts **bit-identically** — the refactor's standing
+//!    regression gate: the topology layer adds host-side accounting
+//!    only, never a scheduler preemption point. The rows are emitted
+//!    under both allocator names so `BENCH_topo.json` diffs directly
+//!    against `BENCH_pool.json`.
+//! 4. **Serving tail.** A 2-device pool serves one open-loop E20 cell;
+//!    p99 and the quota/ledger audit ride into the JSON.
+//!
+//! `GALLATIN_TOPO_SEEDS` bounds the seed sweep (default 8; CI quick
+//! uses 4). Everything replays bit-identically per seed.
+
+use crate::report::{write_bench_json, BenchRecord, Table};
+use crate::serve::{run_serve_engine, ArrivalConfig, ArrivalShape, ServeConfig, TenantSpec};
+use crate::HarnessConfig;
+use gallatin::{DevicePool, GallatinConfig, GallatinPool, TopoStats};
+use gpu_sim::{launch_warps, DeviceAllocator, DeviceConfig, DevicePtr};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use super::ablation::{block_churn_config, churn_once, SWEEP_SEEDS_SMOKE, SWEEP_SIZE_BLOCK};
+
+/// Device counts swept by `repro topo`.
+const TOPO_DEVICES: [u32; 4] = [1, 2, 4, 8];
+
+/// Instances per device throughout the experiment.
+const WIDTH: usize = 2;
+
+/// Per-instance heap (16 small_test segments, matching E18's pressure
+/// geometry).
+const HEAP: u64 = 1 << 20;
+
+/// Warps per skew run; warp `w` lands on SM `w % (2 × devices)`, so 32
+/// warps cover every SM at every swept device count.
+const SKEW_WARPS: u64 = 32;
+
+/// Rotated warp *pairs* per 16: warp `w` returns warp `w ^ 1`'s batch
+/// when `(w / 2) % 16 < skew`. Adjacent warps sit one SM — hence one
+/// device — apart, so each rotation is a cross-device free. 0 = fully
+/// affine, 1 = mild skew (1/16 of warps ⇒ 1/32 of accesses peer), 8 =
+/// heavy skew (1/2 of warps ⇒ 1/4 of accesses peer).
+const SKEWS: [u64; 3] = [0, 1, 8];
+
+/// Peer-share ceiling the affine and mild-skew cells must stay under
+/// (acceptance: "peer-access share stays under 5% at headroom").
+const PEER_SHARE_GATE: f64 = 0.05;
+
+/// Schedule seed of the cascade and serve arms (any seed reproduces
+/// the same counts — one warp, nothing to interleave with).
+const CASCADE_SEED: u64 = 3;
+
+/// Env var bounding the skew-arm seed sweep (mirrors
+/// `GALLATIN_ELASTIC_SEEDS`); default 8, CI quick uses 4.
+const TOPO_SEEDS_ENV: &str = "GALLATIN_TOPO_SEEDS";
+
+fn topo_seeds() -> u64 {
+    match std::env::var(TOPO_SEEDS_ENV) {
+        Ok(s) => {
+            s.parse::<u64>().unwrap_or_else(|_| panic!("{TOPO_SEEDS_ENV} must be a u64, got {s:?}"))
+        }
+        Err(_) => 8,
+    }
+}
+
+/// One seeded locality-skew run: affine warp-collective mallocs, then a
+/// rotated free pass where `skew`-per-16 warp pairs return their
+/// neighbor's batch. Returns the topology snapshot after the frees
+/// (counters still armed) — the pool drains and audits clean.
+fn skew_run(devices: u32, skew: u64, seed: u64) -> TopoStats {
+    let pool = Arc::new(DevicePool::new(devices, WIDTH, GallatinConfig::small_test(HEAP)));
+    let num_sms = devices * WIDTH as u32;
+    let slots: Vec<Mutex<Vec<DevicePtr>>> =
+        (0..SKEW_WARPS).map(|_| Mutex::new(Vec::new())).collect();
+    launch_warps(DeviceConfig::with_sms(num_sms).seeded(seed), SKEW_WARPS * 32, |warp| {
+        let k = warp.active as usize;
+        let sizes: Vec<Option<u64>> =
+            (0..k).map(|l| Some(16u64 << ((warp.base_tid as usize + l) % 4))).collect();
+        let mut out = vec![DevicePtr::NULL; k];
+        pool.warp_malloc(warp, &sizes, &mut out);
+        assert!(out.iter().all(|p| !p.is_null()), "every home device has headroom");
+        *slots[warp.warp_id as usize].lock().unwrap() = out;
+    });
+    assert_eq!(pool.total_cross_spills(), 0, "affine placement never crosses at headroom");
+    let rotated = AtomicU64::new(0);
+    launch_warps(DeviceConfig::with_sms(num_sms).seeded(seed ^ 0x5eed), SKEW_WARPS * 32, |warp| {
+        let victim = if (warp.warp_id / 2) % 16 < skew {
+            rotated.fetch_add(1, Ordering::Relaxed);
+            warp.warp_id ^ 1
+        } else {
+            warp.warp_id
+        };
+        let ptrs = slots[victim as usize].lock().unwrap().clone();
+        pool.warp_free(warp, &ptrs);
+    });
+    assert_eq!(rotated.load(Ordering::Relaxed), SKEW_WARPS * skew.min(16) / 16);
+    assert_eq!(pool.stats().reserved_bytes, 0, "every rotated free routed home");
+    pool.check_invariants().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    pool.topo_stats()
+}
+
+/// The spill cascade: one SM claims every segment of the whole topology
+/// with segment-sized allocations, then frees them all. Returns the
+/// snapshot, the claim count, and the cascade's interconnect cost in
+/// schedule steps (peer accesses × peer tariff).
+fn cascade(devices: u32) -> (TopoStats, u64, u64) {
+    let pool = DevicePool::new(devices, WIDTH, GallatinConfig::small_test(HEAP));
+    let claims = devices as u64 * WIDTH as u64 * 16;
+    launch_warps(DeviceConfig::with_sms(1).seeded(CASCADE_SEED), 32, |warp| {
+        let lane = warp.lane(0);
+        let seg = pool.pool(0).instance(0).geometry().segment_bytes;
+        let held: Vec<DevicePtr> = (0..claims).map(|_| pool.malloc(&lane, seg)).collect();
+        assert!(held.iter().all(|p| !p.is_null()), "the cascade must reach every device");
+        for p in held {
+            pool.free(&lane, p);
+        }
+    });
+    pool.check_invariants().expect("clean after the cascade round-trip");
+    let stats = pool.topo_stats();
+    let cost = stats.peer_accesses * pool.topology().cost().peer_steps;
+    (stats, claims, cost)
+}
+
+/// Per-instance churn counters for the parity gate, in instance order.
+type ParityCounts = Vec<(u64, u64, u64, u64)>; // (cas_attempts, cas_failures, atomic_rmw, spills)
+
+/// Run the E18 block churn over `seeds` on `a`, reading instance `i`'s
+/// counters through `read`.
+fn churn_counts<A: DeviceAllocator>(
+    a_of: impl Fn() -> A,
+    read: impl Fn(&A, usize) -> (u64, u64, u64, u64),
+    seeds: u64,
+) -> (ParityCounts, f64) {
+    let mut per = vec![(0u64, 0u64, 0u64, 0u64); WIDTH];
+    let mut ms = 0.0;
+    for seed in 0..seeds {
+        let a = a_of();
+        let t0 = Instant::now();
+        churn_once(&a, seed, SWEEP_SIZE_BLOCK);
+        ms += t0.elapsed().as_secs_f64() * 1e3;
+        a.check_invariants().expect("invariants after churn");
+        assert_eq!(a.stats().reserved_bytes, 0, "churn leaked");
+        for (i, t) in per.iter_mut().enumerate() {
+            let (ca, cf, rmw, sp) = read(&a, i);
+            t.0 += ca;
+            t.1 += cf;
+            t.2 += rmw;
+            t.3 += sp;
+        }
+    }
+    (per, ms)
+}
+
+/// The parity gate: `DevicePool(1, 2)` must reproduce `GallatinPool(2)`
+/// bit-for-bit on the E18 churn. Returns `(pool rows, device rows, ok)`.
+fn parity(seeds: u64) -> (ParityCounts, f64, ParityCounts, f64, bool) {
+    let inst = |p: &GallatinPool, i: usize| {
+        let m = p.instance(i).metrics().expect("gallatin keeps metrics").snapshot();
+        (m.cas_attempts, m.cas_failures, m.atomic_rmw, p.spill_count(i))
+    };
+    let (flat, flat_ms) =
+        churn_counts(|| GallatinPool::new(WIDTH, block_churn_config()), |p, i| inst(p, i), seeds);
+    let (one, one_ms) = churn_counts(
+        || DevicePool::new(1, WIDTH, block_churn_config()),
+        |t, i| inst(t.pool(0), i),
+        seeds,
+    );
+    let ok = flat == one;
+    (flat, flat_ms, one, one_ms, ok)
+}
+
+/// One open-loop serving cell on a 2-device pool; returns `(p99 steps,
+/// clean)`.
+fn serve_cell(seed: u64) -> (u64, bool) {
+    let pool = DevicePool::new(2, 1, GallatinConfig::small_test(1 << 22));
+    let cfg = ServeConfig {
+        arrivals: ArrivalConfig {
+            shape: ArrivalShape::Poisson,
+            seed: seed ^ 0x5EED_A221,
+            rate_per_kstep: 90,
+            horizon_steps: 6_000,
+        },
+        tenants: vec![TenantSpec {
+            name: "svc".into(),
+            weight: 1,
+            quota_bytes: 1 << 21,
+            size_min: 16,
+            size_max: 4096,
+            mean_lifetime_steps: 96,
+        }],
+        sched_seed: seed,
+        batch_width: 64,
+        queue_capacity: 256,
+        launch_overhead_steps: 8,
+        max_request_bytes: pool.stride(),
+        enforce_quotas: true,
+        num_sms: 16,
+        ledger_check: true,
+    };
+    let out = run_serve_engine(&cfg, &pool);
+    pool.check_invariants().expect("clean after the serve cell");
+    (out.latency.p99, out.clean())
+}
+
+fn rec(
+    allocator: &str,
+    case: &str,
+    extra: Vec<(String, String)>,
+    ms: f64,
+    counts: Vec<(String, u64)>,
+) -> BenchRecord {
+    let mut params = vec![("case".to_string(), case.to_string())];
+    params.extend(extra);
+    BenchRecord {
+        experiment: "topo".to_string(),
+        allocator: allocator.to_string(),
+        params,
+        median_ms: ms,
+        counts,
+    }
+}
+
+fn skew_record(devices: u32, skew: u64, s: &TopoStats, seeds: u64, ms: f64) -> BenchRecord {
+    rec(
+        "DevicePool",
+        "locality-skew",
+        vec![
+            ("devices".into(), devices.to_string()),
+            ("width".into(), WIDTH.to_string()),
+            ("skew_per_16".into(), skew.to_string()),
+            ("seeds".into(), seeds.to_string()),
+        ],
+        ms,
+        vec![
+            ("local_accesses".into(), s.local_accesses),
+            ("peer_accesses".into(), s.peer_accesses),
+            ("peer_share_bp".into(), (s.peer_share() * 10_000.0).round() as u64),
+            ("in_device_spills".into(), s.in_device_spills),
+            ("cross_spills".into(), s.cross_spills),
+        ],
+    )
+}
+
+/// The parity rows: identical count sets under both allocator names so
+/// `BENCH_topo.json` diffs against `BENCH_pool.json` directly.
+fn parity_records(per: &ParityCounts, name: &str, seeds: u64, ms: f64) -> Vec<BenchRecord> {
+    per.iter()
+        .enumerate()
+        .map(|(i, t)| {
+            rec(
+                name,
+                "parity-churn",
+                vec![
+                    ("instances".into(), WIDTH.to_string()),
+                    ("instance".into(), i.to_string()),
+                    ("size".into(), SWEEP_SIZE_BLOCK.to_string()),
+                    ("seeds".into(), seeds.to_string()),
+                ],
+                ms,
+                vec![
+                    ("cas_attempts".into(), t.0),
+                    ("cas_failures".into(), t.1),
+                    ("atomic_rmw".into(), t.2),
+                    ("spills".into(), t.3),
+                ],
+            )
+        })
+        .collect()
+}
+
+/// E23 entry point (`repro topo`). Returns `false` — exit 1 — when a
+/// gate trips: affine/mild-skew peer share ≥ 5%, single-device parity
+/// broken, or a dirty serve cell.
+pub fn run_topo(cfg: &HarnessConfig) -> bool {
+    let seeds = topo_seeds();
+    println!("E23 topo: multi-device scaling, {TOPO_SEEDS_ENV}={seeds}");
+    let mut clean = true;
+    let mut records = Vec::new();
+    let mut table = Table::new(
+        "E23 — multi-device topology: locality skew, spill cascade, parity",
+        &[
+            "case",
+            "devices",
+            "skew/16",
+            "local",
+            "peer",
+            "peer share",
+            "in-dev spills",
+            "cross spills",
+            "cascade steps",
+        ],
+    );
+
+    // Arm 1: locality skew × device count, seed-swept; counters must
+    // replay bit-identically across seeds of the same cell.
+    for &devices in &TOPO_DEVICES {
+        for &skew in &SKEWS {
+            let t0 = Instant::now();
+            let mut first: Option<TopoStats> = None;
+            for seed in 0..seeds {
+                let s = skew_run(devices, skew, seed);
+                if let Some(f) = &first {
+                    assert_eq!(
+                        (f.local_accesses, f.peer_accesses, f.cross_spills),
+                        (s.local_accesses, s.peer_accesses, s.cross_spills),
+                        "devices={devices} skew={skew}: traffic counters must be seed-independent"
+                    );
+                } else {
+                    first = Some(s);
+                }
+            }
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            let s = first.expect("at least one seed");
+            let share = s.peer_share();
+            if devices > 1 && skew <= 1 && share >= PEER_SHARE_GATE {
+                eprintln!(
+                    "topo gate FAILED: devices={devices} skew={skew}: peer share {:.2}% ≥ 5%",
+                    share * 100.0
+                );
+                clean = false;
+            }
+            table.row(vec![
+                "locality-skew".into(),
+                devices.to_string(),
+                skew.to_string(),
+                s.local_accesses.to_string(),
+                s.peer_accesses.to_string(),
+                format!("{:.2}%", share * 100.0),
+                s.in_device_spills.to_string(),
+                s.cross_spills.to_string(),
+                "-".into(),
+            ]);
+            records.push(skew_record(devices, skew, &s, seeds, ms));
+        }
+    }
+
+    // Arm 2: the spill cascade at every device count.
+    for &devices in &TOPO_DEVICES {
+        let t0 = Instant::now();
+        let (s, claims, cost) = cascade(devices);
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        let expected_cross = claims - (WIDTH as u64 * 16);
+        if s.cross_spills != expected_cross {
+            eprintln!(
+                "topo gate FAILED: cascade devices={devices}: {} cross spills, expected \
+                 {expected_cross}",
+                s.cross_spills
+            );
+            clean = false;
+        }
+        table.row(vec![
+            "cascade".into(),
+            devices.to_string(),
+            "-".into(),
+            s.local_accesses.to_string(),
+            s.peer_accesses.to_string(),
+            format!("{:.2}%", s.peer_share() * 100.0),
+            s.in_device_spills.to_string(),
+            s.cross_spills.to_string(),
+            cost.to_string(),
+        ]);
+        records.push(rec(
+            "DevicePool",
+            "cascade",
+            vec![
+                ("devices".into(), devices.to_string()),
+                ("width".into(), WIDTH.to_string()),
+                ("seed".into(), CASCADE_SEED.to_string()),
+            ],
+            ms,
+            vec![
+                ("claims".into(), claims),
+                ("cross_spills".into(), s.cross_spills),
+                ("in_device_spills".into(), s.in_device_spills),
+                ("peer_accesses".into(), s.peer_accesses),
+                ("cascade_cost_steps".into(), cost),
+            ],
+        ));
+    }
+
+    // Arm 3: single-device parity against the sharded pool.
+    let (flat, flat_ms, one, one_ms, parity_ok) = parity(seeds.min(SWEEP_SEEDS_SMOKE));
+    if !parity_ok {
+        eprintln!("topo gate FAILED: DevicePool(1,{WIDTH}) diverged from GallatinPool({WIDTH})");
+        clean = false;
+    }
+    let pseeds = seeds.min(SWEEP_SEEDS_SMOKE);
+    records.extend(parity_records(&flat, "GallatinPool", pseeds, flat_ms));
+    records.extend(parity_records(&one, "DevicePool", pseeds, one_ms));
+    println!(
+        "parity: DevicePool(1,{WIDTH}) {} GallatinPool({WIDTH}) on {pseeds}-seed churn counters",
+        if parity_ok { "matches" } else { "DIVERGES FROM" }
+    );
+
+    // Arm 4: the serving tail on a 2-device pool.
+    let t0 = Instant::now();
+    let (p99, serve_clean) = serve_cell(7);
+    if !serve_clean {
+        eprintln!("topo gate FAILED: serve cell reported quota/ledger anomalies");
+        clean = false;
+    }
+    records.push(rec(
+        "DevicePool",
+        "serve",
+        vec![("devices".into(), "2".into()), ("width".into(), "1".into())],
+        t0.elapsed().as_secs_f64() * 1e3,
+        vec![("p99_steps".into(), p99)],
+    ));
+    println!("serve cell: 2-device pool p99 {p99} steps");
+
+    table.emit(&cfg.out_dir, "e23_topo");
+    match write_bench_json(&cfg.out_dir, "topo", &records) {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(e) => {
+            eprintln!("error: could not write BENCH_topo.json: {e}");
+            clean = false;
+        }
+    }
+    if !clean {
+        eprintln!("topo gate FAILED (see above)");
+    }
+    clean
+}
+
+/// The perf-lane cell (`repro perf`, E21 "inter-device-spill"): the
+/// 2-device cascade, whose counts are exact functions of the geometry;
+/// only the ms may move.
+pub fn perf_record() -> BenchRecord {
+    let t0 = Instant::now();
+    let (s, claims, cost) = cascade(2);
+    assert_eq!(s.cross_spills, claims - WIDTH as u64 * 16, "cascade overflow is exact");
+    BenchRecord {
+        experiment: "perf".to_string(),
+        allocator: "DevicePool".to_string(),
+        params: vec![("case".to_string(), "inter-device-spill".to_string())],
+        median_ms: t0.elapsed().as_secs_f64() * 1e3,
+        counts: vec![
+            ("claims".into(), claims),
+            ("cross_spills".into(), s.cross_spills),
+            ("peer_accesses".into(), s.peer_accesses),
+            ("cascade_cost_steps".into(), cost),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skew_share_is_closed_form() {
+        // Mallocs are all local; `skew`-per-16 warp pairs free one SM
+        // (= one device) over, so peer share = skew / 32 exactly.
+        for (skew, expected) in [(0u64, 0.0), (1, 1.0 / 32.0), (8, 0.25)] {
+            let s = skew_run(4, skew, 11);
+            assert_eq!(s.cross_spills, 0, "skew frees route, they never spill");
+            assert!(
+                (s.peer_share() - expected).abs() < 1e-9,
+                "skew {skew}: share {} != {expected}",
+                s.peer_share()
+            );
+        }
+        // One device: rotation crosses instances, never devices.
+        assert_eq!(skew_run(1, 8, 11).peer_accesses, 0);
+    }
+
+    #[test]
+    fn cascade_overflow_and_cost_are_exact() {
+        let (s, claims, cost) = cascade(2);
+        assert_eq!(claims, 64);
+        assert_eq!(s.cross_spills, 32, "everything past the home device crosses");
+        // 32 peer mallocs + 32 peer frees, at the default 40-step tariff.
+        assert_eq!(s.peer_accesses, 64);
+        assert_eq!(cost, 64 * 40);
+        let (s1, _, cost1) = cascade(1);
+        assert_eq!((s1.cross_spills, cost1), (0, 0), "one device has no interconnect to pay");
+    }
+
+    #[test]
+    fn single_device_parity_holds_on_the_churn() {
+        let (flat, _, one, _, ok) = parity(2);
+        assert!(ok, "DevicePool(1,2) churn diverged: {flat:?} vs {one:?}");
+        assert!(flat.iter().all(|t| t.0 > 0), "the churn must actually exercise CAS paths");
+    }
+}

@@ -33,7 +33,7 @@
 //! [`sampled_records`] asserts that and reports per-record median ms.
 
 use crate::experiments::ablation::{churn_once, SWEEP_HEAP, SWEEP_HEAP_BLOCK};
-use crate::experiments::{elastic, pool, serve};
+use crate::experiments::{elastic, pool, serve, topo};
 use crate::report::BenchRecord;
 use gallatin::{Gallatin, GallatinConfig};
 use gpu_sim::DeviceAllocator;
@@ -158,6 +158,7 @@ fn collect_once(seeds: &[u64]) -> (Vec<BenchRecord>, bool) {
     }
     records.extend(pool::pool_smoke_records("perf"));
     records.push(elastic::perf_record());
+    records.push(topo::perf_record());
     let (serve_recs, clean) = serve::perf_records();
     records.extend(serve_recs);
     let wide = veb_cell(true);

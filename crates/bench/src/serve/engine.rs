@@ -228,9 +228,29 @@ type DueFree = Reverse<(u64, u64, usize, u64)>; // (due_step, ptr, tenant, size)
 /// lifecycle — but every served allocation is freed before return (the
 /// engine drains), so a clean run leaves the heap empty.
 pub fn run_serve_engine(cfg: &ServeConfig, alloc: &dyn DeviceAllocator) -> ServeOutcome {
+    run_serve_engine_sampled(cfg, alloc, 0, &mut |_| {})
+}
+
+/// [`run_serve_engine`] with a fragmentation-timeline hook: every time
+/// the step clock crosses a multiple of `sample_every`, `sampler` is
+/// called once with that multiple, at the next batch boundary (the only
+/// points where the host observes the device — a mid-kernel probe
+/// would not exist on real hardware either). The sampler also fires at
+/// step 0, before any batch, capturing the pristine-heap baseline.
+/// `sample_every == 0` disables sampling. The sampler runs inside the
+/// ledger's trace scope but must not allocate from `alloc`; reading
+/// host-side stats (`stats()`, `pool_stats()`, metrics) is the intended
+/// use.
+pub fn run_serve_engine_sampled(
+    cfg: &ServeConfig,
+    alloc: &dyn DeviceAllocator,
+    sample_every: u64,
+    sampler: &mut dyn FnMut(u64),
+) -> ServeOutcome {
+    let sample = (sample_every > 0).then_some((sample_every, sampler));
     if cfg.ledger_check {
         let sink = Arc::new(TraceSink::new());
-        let mut out = trace::with_sink(sink.clone(), || drive(cfg, alloc));
+        let mut out = trace::with_sink(sink.clone(), move || drive(cfg, alloc, sample));
         let ledger = Ledger::build(&sink.snapshot());
         let audit = ledger.outcome();
         out.ledger_leaks = audit.leaks;
@@ -240,13 +260,17 @@ pub fn run_serve_engine(cfg: &ServeConfig, alloc: &dyn DeviceAllocator) -> Serve
         out.trace_dropped = sink.dropped();
         out
     } else {
-        drive(cfg, alloc)
+        drive(cfg, alloc, sample)
     }
 }
 
 /// The engine loop proper (ledger audit is layered on by
 /// [`run_serve_engine`]).
-fn drive(cfg: &ServeConfig, alloc: &dyn DeviceAllocator) -> ServeOutcome {
+fn drive(
+    cfg: &ServeConfig,
+    alloc: &dyn DeviceAllocator,
+    mut sample: Option<(u64, &mut dyn FnMut(u64))>,
+) -> ServeOutcome {
     let arrivals = arrival::generate(&cfg.arrivals, &cfg.tenants);
     let mut book = TenantBook::new(cfg.tenants.clone(), cfg.enforce_quotas);
     let n_tenants = cfg.tenants.len();
@@ -269,6 +293,21 @@ fn drive(cfg: &ServeConfig, alloc: &dyn DeviceAllocator) -> ServeOutcome {
     let mut t_latencies: Vec<Vec<u64>> = vec![Vec::new(); n_tenants];
     let mut batches = 0u64;
     let mut sched_steps = 0u64;
+
+    // Cadence bookkeeping for the fragmentation timeline; fires once
+    // per crossed multiple, however far one batch jumps the clock.
+    let mut next_sample = 0u64;
+    macro_rules! drain_samples {
+        () => {
+            if let Some((every, f)) = sample.as_mut() {
+                while next_sample <= clock.now() {
+                    f(next_sample);
+                    next_sample += *every;
+                }
+            }
+        };
+    }
+    drain_samples!(); // the step-0 pristine-heap baseline
 
     loop {
         // Ingest every arrival whose stamp has passed. This happens at
@@ -314,6 +353,7 @@ fn drive(cfg: &ServeConfig, alloc: &dyn DeviceAllocator) -> ServeOutcome {
                     clock.advance_to(a.unwrap_or(u64::MAX).min(f.unwrap_or(u64::MAX)));
                 }
             }
+            drain_samples!();
             continue;
         }
 
@@ -344,6 +384,7 @@ fn drive(cfg: &ServeConfig, alloc: &dyn DeviceAllocator) -> ServeOutcome {
             }
         }
         clock.advance_to(completion);
+        drain_samples!();
     }
 
     let tenants = (0..n_tenants)
@@ -436,6 +477,24 @@ mod tests {
         assert_eq!(out.latency.hist.iter().sum::<u64>(), out.served);
         assert!(out.latency.p50 <= out.latency.p99 && out.latency.p99 <= out.latency.p999);
         assert!(out.end_step >= cfg.arrivals.horizon_steps / 2);
+    }
+
+    #[test]
+    fn sampler_fires_on_cadence_and_never_perturbs_the_run() {
+        let cfg = small_cfg();
+        // Fresh allocator per run: a warm heap changes per-batch step
+        // counts, which would mask whether sampling itself perturbs.
+        let baseline = run_serve_engine(&cfg, &Gallatin::new(GallatinConfig::small_test(1 << 22)));
+        let alloc = Gallatin::new(GallatinConfig::small_test(1 << 22));
+        let mut stamps = Vec::new();
+        let sampled = run_serve_engine_sampled(&cfg, &alloc, 500, &mut |step| stamps.push(step));
+        assert_eq!(sampled, baseline, "sampling is observation only");
+        // Exactly the multiples of the cadence up to the end of the run,
+        // starting from the step-0 baseline row.
+        let expected: Vec<u64> =
+            (0..).map(|i| i * 500).take_while(|&s| s <= sampled.end_step).collect();
+        assert_eq!(stamps, expected);
+        assert!(stamps.len() > 5, "the horizon should span many cadence windows");
     }
 
     #[test]

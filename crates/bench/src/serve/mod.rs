@@ -28,5 +28,8 @@ pub mod engine;
 pub mod tenant;
 
 pub use arrival::{Arrival, ArrivalConfig, ArrivalShape};
-pub use engine::{run_serve_engine, LatencyStats, ServeConfig, ServeOutcome, TenantOutcome};
+pub use engine::{
+    run_serve_engine, run_serve_engine_sampled, LatencyStats, ServeConfig, ServeOutcome,
+    TenantOutcome,
+};
 pub use tenant::{Rejection, TenantBook, TenantSpec, N_REJECTIONS};

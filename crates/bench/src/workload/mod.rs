@@ -15,7 +15,7 @@
 //! and [`adversarial`] generates hostile shapes — fragmentation attack,
 //! size-class flipper, skewed-SM hotspot, OOM-pressure ramp — that the
 //! differential sweep in `crates/allocators/tests/contract.rs` runs
-//! across all seven allocator families.
+//! across all eight allocator families.
 
 pub mod adversarial;
 pub mod measure;

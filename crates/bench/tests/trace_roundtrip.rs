@@ -64,13 +64,21 @@ fn instance_strategy() -> impl Strategy<Value = u32> {
     prop_oneof![Just(0u32), 1..B32]
 }
 
+/// Device ids, weighted toward 0 for the same reason: device 0 is
+/// omitted from the JSON (single-device traces stay byte-identical to
+/// the pre-topology format) and must decode back as the default.
+fn device_strategy() -> impl Strategy<Value = u32> {
+    prop_oneof![Just(0u32), 1..B32]
+}
+
 fn record_strategy() -> impl Strategy<Value = TraceRecord> {
-    (0..B32, 0..B, 0u32..33, instance_strategy(), event_strategy()).prop_map(
-        |(sm, warp, lane, instance, event)| TraceRecord {
+    (0..B32, 0..B, 0u32..33, device_strategy(), instance_strategy(), event_strategy()).prop_map(
+        |(sm, warp, lane, device, instance, event)| TraceRecord {
             step: 0, // assigned from the index below, like the real sink's ticket
             sm,
             warp,
             lane: if lane == 32 { LANE_NONE } else { lane },
+            device,
             instance,
             event,
         },
@@ -150,6 +158,7 @@ fn decode(entry: &Value) -> TraceRecord {
         sm: field(entry, "pid") as u32,
         warp: field(entry, "tid"),
         lane: field(args, "lane") as u32,
+        device: opt_field(args, "device", 0) as u32,
         instance: opt_field(args, "instance", 0) as u32,
         event,
     }

@@ -204,7 +204,11 @@ impl GallatinPool {
     pub fn shrink_to(&self, target_bytes: u64) -> u64 {
         let mut released = 0u64;
         loop {
-            let owned = self.num_segments - self.pool_free_len.load(Ordering::Relaxed);
+            // Instance-owned = responsible minus parked (NOT the table
+            // universe: in device-pool mode the universe spans every
+            // device, while responsibility is this pool's alone).
+            let owned =
+                self.resp_len.load(Ordering::Relaxed) - self.pool_free_len.load(Ordering::Relaxed);
             let owned_bytes = owned * self.segment_bytes;
             if owned_bytes <= target_bytes {
                 return released;
@@ -243,27 +247,33 @@ impl GallatinPool {
 
     /// The pool share of the invariant check: the routing table, the
     /// pool free list, and the shared table must tell one story —
-    /// unowned ⇔ parked on the free list, parked ⇒ quiescent free, and
-    /// the approximate length counter matches at a quiescent point.
+    /// parked ⇒ unowned and quiescent free, and the responsibility
+    /// balance holds: instance-owned plus parked segments equal exactly
+    /// what this pool is responsible for ([`GallatinPool::resp_len`]).
+    /// Segments that are unowned *and* unparked are foreign (another
+    /// device's, in device-pool mode) and legitimately skipped — the
+    /// balance check is what keeps a dropped segment loud anyway: losing
+    /// one from both the routing table and the free list leaves
+    /// `owned + parked` one short of the responsibility count.
     pub(crate) fn ownership_audit(&self, errors: &mut Vec<String>) {
         let n = self.num_instances() as u32;
-        let mut unowned = 0u64;
+        let mut owned = 0u64;
+        let mut parked_count = 0u64;
         for seg in 0..self.num_segments {
             let o = self.seg_owner[seg as usize].load(Ordering::Acquire);
             let parked = self.pool_free.contains(seg);
             if o == UNOWNED {
-                unowned += 1;
-                if !parked {
-                    errors.push(format!(
-                        "segment {seg} is unowned but missing from the pool free list"
-                    ));
+                if parked {
+                    parked_count += 1;
+                    if !self.table.seg(seg).is_quiescent_free() {
+                        errors.push(format!(
+                            "segment {seg} is on the pool free list but not quiescent-free"
+                        ));
+                    }
                 }
-                if !self.table.seg(seg).is_quiescent_free() {
-                    errors.push(format!(
-                        "segment {seg} is on the pool free list but not quiescent-free"
-                    ));
-                }
+                // Unowned and unparked: foreign to this pool.
             } else {
+                owned += 1;
                 if o >= n {
                     errors.push(format!("segment {seg} is routed to nonexistent instance {o}"));
                 }
@@ -274,10 +284,17 @@ impl GallatinPool {
                 }
             }
         }
-        let len = self.pool_free_len.load(Ordering::Relaxed);
-        if len != unowned {
+        let resp = self.resp_len.load(Ordering::Relaxed);
+        if owned + parked_count != resp {
             errors.push(format!(
-                "pool free list length counter says {len}, routing table implies {unowned}"
+                "responsibility leak: instances own {owned} + {parked_count} parked \
+                 != {resp} segments this pool answers for"
+            ));
+        }
+        let len = self.pool_free_len.load(Ordering::Relaxed);
+        if len != parked_count {
+            errors.push(format!(
+                "pool free list length counter says {len}, the free list holds {parked_count}"
             ));
         }
     }

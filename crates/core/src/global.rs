@@ -25,6 +25,7 @@
 //! ```
 
 use crate::config::GallatinConfig;
+use crate::device_pool::DevicePool;
 use crate::gallatin::Gallatin;
 use crate::pool::GallatinPool;
 use gpu_sim::{DeviceAllocator, DevicePtr, LaneCtx};
@@ -32,11 +33,12 @@ use std::sync::OnceLock;
 
 /// What the process-wide global allocator is backed by.
 enum GlobalBackend {
-    // Both boxed: Gallatin inlines its per-class tree/buffer tables,
-    // and the pool carries the shared table plus ownership/free-list
+    // All boxed: Gallatin inlines its per-class tree/buffer tables,
+    // and the pools carry the shared table plus ownership/free-list
     // state inline.
     Single(Box<Gallatin>),
     Pool(Box<GallatinPool>),
+    Device(Box<DevicePool>),
 }
 
 impl GlobalBackend {
@@ -44,6 +46,7 @@ impl GlobalBackend {
         match self {
             GlobalBackend::Single(g) => g.as_ref(),
             GlobalBackend::Pool(p) => p.as_ref(),
+            GlobalBackend::Device(t) => t.as_ref(),
         }
     }
 }
@@ -114,6 +117,36 @@ pub fn init_global_pool_with(n: usize, cfg: GallatinConfig) -> Result<(), Alread
     set_global(GlobalBackend::Pool(Box::new(GallatinPool::new(n, cfg))))
 }
 
+/// Initialize the global allocator as a [`DevicePool`] spanning
+/// `devices` devices of `width` instances each, sharing `num_bytes` in
+/// total: each instance gets `num_bytes / (devices * width)`, rounded
+/// down to whole default segments (minimum one segment each). Placement
+/// is SM-affine at both levels, frees route by segment home, and only a
+/// whole-device denial crosses the interconnect (see [`DevicePool`]).
+pub fn init_global_device_pool(
+    devices: u32,
+    width: usize,
+    num_bytes: u64,
+) -> Result<(), AlreadyInitialized> {
+    assert!(devices > 0, "a topology needs at least one device");
+    assert!(width > 0, "a device pool needs at least one instance");
+    let cfg = GallatinConfig {
+        heap_bytes: whole_segments(num_bytes / (devices as u64 * width as u64)),
+        ..GallatinConfig::default()
+    };
+    init_global_device_pool_with(devices, width, cfg)
+}
+
+/// Initialize the global allocator as a [`DevicePool`] with an explicit
+/// *per-instance* configuration.
+pub fn init_global_device_pool_with(
+    devices: u32,
+    width: usize,
+    cfg: GallatinConfig,
+) -> Result<(), AlreadyInitialized> {
+    set_global(GlobalBackend::Device(Box::new(DevicePool::new(devices, width, cfg))))
+}
+
 /// Whether any `init_global_*` call has succeeded.
 pub fn global_allocator_initialized() -> bool {
     GLOBAL.get().is_some()
@@ -134,6 +167,16 @@ pub fn global_allocator() -> &'static (dyn DeviceAllocator + Send + Sync) {
 pub fn global_pool() -> Option<&'static GallatinPool> {
     match GLOBAL.get() {
         Some(GlobalBackend::Pool(p)) => Some(p),
+        _ => None,
+    }
+}
+
+/// The global device pool, when [`init_global_device_pool`] initialized
+/// one — `None` otherwise. For topology-specific introspection
+/// (per-device pools, cross-device spill counts, local/peer traffic).
+pub fn global_device_pool() -> Option<&'static DevicePool> {
+    match GLOBAL.get() {
+        Some(GlobalBackend::Device(t)) => Some(t),
         _ => None,
     }
 }

@@ -39,6 +39,7 @@
 mod buffer;
 mod compact;
 mod config;
+mod device_pool;
 mod elastic;
 mod gallatin;
 pub mod global;
@@ -51,6 +52,7 @@ mod tiers;
 pub use buffer::BlockBuffer;
 pub use compact::Relocation;
 pub use config::{GallatinConfig, Geometry};
+pub use device_pool::{DevicePool, TopoStats};
 pub use gallatin::Gallatin;
 pub use index::{SearchStructure, SegmentIndex};
 pub use pool::{GallatinPool, InstanceStats, PoolStats};

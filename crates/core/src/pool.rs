@@ -68,10 +68,23 @@ pub struct GallatinPool {
     stride: u64,
     /// Bytes per segment (global-offset → segment routing).
     pub(crate) segment_bytes: u64,
-    /// Total segments across the pool.
+    /// Total segments in the *universe* this pool's table spans. Equal
+    /// to the pool's own segments for a standalone pool; larger when the
+    /// pool is one device of a `crate::device_pool::DevicePool` (whose
+    /// table covers every device).
     pub(crate) num_segments: u64,
+    /// First segment of this pool's initial span within the universe
+    /// (0 for a standalone pool).
+    first_seg: u64,
     /// Segments per instance at construction (reset restores this).
     segs_per_instance: u64,
+    /// Segments this pool is *responsible* for: owned by an instance or
+    /// parked on its free list. Initially `segs_per_instance × n`; moves
+    /// only when a segment is re-homed across pools (device-level
+    /// donation). The ownership audit balances against this so a
+    /// responsibility leak (a segment no pool accounts for) stays loud
+    /// even though foreign segments are legitimately unowned.
+    pub(crate) resp_len: AtomicU64,
     /// The routing table: owning instance per segment, or [`UNOWNED`]
     /// for segments parked on the pool free list. Donation and shrink
     /// update this *before* the new owner can touch the segment.
@@ -173,18 +186,45 @@ impl GallatinPool {
         let geo = full.geometry();
         let mem = DeviceMemory::new(total as usize);
         let table = Arc::new(MemoryTable::new(geo));
-        let per = geo.num_segments / n as u64;
+        Self::with_shared_parts(n, full, mem, table, 0, geo.num_segments)
+    }
+
+    /// Build `n` instances over an *existing* arena view and table,
+    /// owning only segments `[first_seg, first_seg+num_segs)` of the
+    /// table's universe — one device's pool within a
+    /// `crate::device_pool::DevicePool`. `full` describes the whole
+    /// universe (`full.heap_bytes` spans every device); pointers stay
+    /// global offsets into `mem`. A standalone pool is the degenerate
+    /// case: `first_seg == 0`, `num_segs` = the whole universe.
+    pub(crate) fn with_shared_parts(
+        n: usize,
+        full: GallatinConfig,
+        mem: DeviceMemory,
+        table: Arc<MemoryTable>,
+        first_seg: u64,
+        num_segs: u64,
+    ) -> Self {
+        assert!(n > 0, "a pool needs at least one instance");
+        let geo = full.geometry();
+        assert!(first_seg + num_segs <= geo.num_segments, "pool span exceeds the universe");
+        assert!(
+            num_segs.is_multiple_of(n as u64) && num_segs > 0,
+            "{num_segs} segments do not shard evenly over {n} instances"
+        );
+        let per = num_segs / n as u64;
+        let stride = per * geo.segment_bytes;
         let instances = (0..n as u64)
             .map(|i| {
                 Gallatin::with_shared_table(
                     full,
                     mem.clone_view(),
                     Arc::clone(&table),
-                    i * per,
+                    first_seg + i * per,
                     per,
                 )
             })
             .collect();
+        let in_span = |s: u64| s >= first_seg && s < first_seg + num_segs;
         GallatinPool {
             mem,
             instances,
@@ -192,8 +232,18 @@ impl GallatinPool {
             stride,
             segment_bytes: geo.segment_bytes,
             num_segments: geo.num_segments,
+            first_seg,
             segs_per_instance: per,
-            seg_owner: (0..geo.num_segments).map(|s| AtomicU32::new((s / per) as u32)).collect(),
+            resp_len: AtomicU64::new(num_segs),
+            seg_owner: (0..geo.num_segments)
+                .map(|s| {
+                    AtomicU32::new(if in_span(s) {
+                        ((s - first_seg) / per) as u32
+                    } else {
+                        UNOWNED
+                    })
+                })
+                .collect(),
             pool_free: SegmentIndex::new(full.index_kind(), geo.num_segments),
             pool_free_len: AtomicU64::new(0),
             spills: (0..n).map(|_| AtomicU64::new(0)).collect(),
@@ -321,6 +371,52 @@ impl GallatinPool {
     /// [`Gallatin::trim`]); returns the total blocks reclaimed.
     pub fn trim(&self) -> u64 {
         self.instances.iter().map(|g| g.trim()).sum()
+    }
+
+    /// The pool-local share of a reset: every instance's local reset,
+    /// the routing table and free list back to the initial span, and the
+    /// counters cleared. Does NOT touch the memory table — shared in
+    /// device-pool mode, where the owner resets it exactly once.
+    pub(crate) fn reset_local_pool(&self) {
+        for inst in &self.instances {
+            inst.reset_local();
+        }
+        let span =
+            self.first_seg..self.first_seg + self.segs_per_instance * self.instances.len() as u64;
+        for (s, o) in self.seg_owner.iter().enumerate() {
+            let s = s as u64;
+            let owner = if span.contains(&s) {
+                ((s - self.first_seg) / self.segs_per_instance) as u32
+            } else {
+                UNOWNED
+            };
+            o.store(owner, Ordering::Relaxed);
+        }
+        self.resp_len.store(span.end - span.start, Ordering::Relaxed);
+        self.pool_free.clear();
+        self.pool_free_len.store(0, Ordering::Relaxed);
+        for s in &self.spills {
+            s.store(0, Ordering::Relaxed);
+        }
+        self.oversize_denials.store(0, Ordering::Relaxed);
+        self.donations.store(0, Ordering::Relaxed);
+        self.returned.store(0, Ordering::Relaxed);
+        self.adopted.store(0, Ordering::Relaxed);
+    }
+
+    /// Structural and ownership errors of this pool alone — everything
+    /// [`DeviceAllocator::check_invariants`] checks except the trace
+    /// ledger, which a `DevicePool` runs exactly once pool-of-pools-wide.
+    pub(crate) fn local_errors(&self) -> Vec<String> {
+        let mut errors: Vec<String> = Vec::new();
+        for (i, inst) in self.instances.iter().enumerate() {
+            let mine = |s: u64| self.seg_owner[s as usize].load(Ordering::Acquire) == i as u32;
+            for e in inst.structural_errors_where(&mine) {
+                errors.push(format!("instance {i}: {e}"));
+            }
+        }
+        self.ownership_audit(&mut errors);
+        errors
     }
 }
 
@@ -475,23 +571,11 @@ impl DeviceAllocator for GallatinPool {
     }
 
     fn reset(&self) {
-        for inst in &self.instances {
-            inst.reset_local();
-        }
-        // The table is shared: reset it once, not per instance.
+        self.reset_local_pool();
+        // The table is shared across instances: reset it once, not per
+        // instance. (A DevicePool shares it across *pools* too and calls
+        // `reset_local_pool` per device plus one table reset of its own.)
         self.table.reset();
-        for (s, o) in self.seg_owner.iter().enumerate() {
-            o.store((s as u64 / self.segs_per_instance) as u32, Ordering::Relaxed);
-        }
-        self.pool_free.clear();
-        self.pool_free_len.store(0, Ordering::Relaxed);
-        for s in &self.spills {
-            s.store(0, Ordering::Relaxed);
-        }
-        self.oversize_denials.store(0, Ordering::Relaxed);
-        self.donations.store(0, Ordering::Relaxed);
-        self.returned.store(0, Ordering::Relaxed);
-        self.adopted.store(0, Ordering::Relaxed);
     }
 
     fn heap_bytes(&self) -> u64 {
@@ -521,14 +605,7 @@ impl DeviceAllocator for GallatinPool {
     /// the ledger pairs per `(instance, ptr)`, so a free routed to the
     /// wrong instance shows up as an unmatched free *and* a leak.
     fn check_invariants(&self) -> Result<(), String> {
-        let mut errors: Vec<String> = Vec::new();
-        for (i, inst) in self.instances.iter().enumerate() {
-            let mine = |s: u64| self.seg_owner[s as usize].load(Ordering::Acquire) == i as u32;
-            for e in inst.structural_errors_where(&mine) {
-                errors.push(format!("instance {i}: {e}"));
-            }
-        }
-        self.ownership_audit(&mut errors);
+        let mut errors = self.local_errors();
         ledger_errors(&mut errors);
         if errors.is_empty() {
             Ok(())

@@ -119,6 +119,27 @@ pub trait DeviceAllocator: Send + Sync {
         None
     }
 
+    /// How many devices this allocator spans. Single-device allocators
+    /// (everything except the topology-aware pool-of-pools) report 1.
+    fn device_count(&self) -> u32 {
+        1
+    }
+
+    /// The device whose arena holds `ptr`'s bytes. On a single device
+    /// this is always 0; a topology-aware allocator routes by its
+    /// device stride (see [`crate::mem::DevicePtr::device_of`]).
+    fn device_of(&self, ptr: DevicePtr) -> u32 {
+        debug_assert!(!ptr.is_null());
+        0
+    }
+
+    /// The device an allocation issued from `sm` is preferentially
+    /// placed on (SM→device affinity). 0 on a single device.
+    fn affinity_device(&self, sm: u32) -> u32 {
+        let _ = sm;
+        0
+    }
+
     /// Verify the allocator's internal cross-structure invariants,
     /// returning every violation found. Must only be called while the
     /// allocator is quiescent (no kernel live) — like
@@ -181,6 +202,15 @@ impl<T: DeviceAllocator + ?Sized> DeviceAllocator for &T {
     }
     fn metrics(&self) -> Option<&Metrics> {
         (**self).metrics()
+    }
+    fn device_count(&self) -> u32 {
+        (**self).device_count()
+    }
+    fn device_of(&self, ptr: DevicePtr) -> u32 {
+        (**self).device_of(ptr)
+    }
+    fn affinity_device(&self, sm: u32) -> u32 {
+        (**self).affinity_device(sm)
     }
     fn check_invariants(&self) -> Result<(), String> {
         (**self).check_invariants()
@@ -286,5 +316,10 @@ mod tests {
         assert!(dyn_ref.supports_size(8));
         assert!(dyn_ref.supports_size(0), "zero-size requests are part of the contract");
         assert!(!dyn_ref.supports_size(dyn_ref.heap_bytes() + 1));
+        // Topology defaults: a plain allocator is one device, everything
+        // local to device 0.
+        assert_eq!(dyn_ref.device_count(), 1);
+        assert_eq!(dyn_ref.device_of(DevicePtr(64)), 0);
+        assert_eq!(dyn_ref.affinity_device(31), 0);
     }
 }

@@ -4,10 +4,12 @@
 //! so recording and analysis evolve independently. The ledger pairs
 //! `Malloc` events with `Free` events to report leaks, double frees,
 //! cross-warp free traffic, a free-latency histogram (in schedule
-//! steps), and a live-bytes timeline. Pointers are paired per allocator
-//! instance: in pool mode two instances legitimately hand out the same
-//! local offset, so the pairing key is `(instance, ptr)` and every
-//! anomaly names the instance it belongs to.
+//! steps), and a live-bytes timeline. Pointers are paired per device and
+//! allocator instance: in pool mode two instances legitimately hand out
+//! the same local offset (and on a multi-device topology two devices'
+//! pools may do the same), so the pairing key is
+//! `(device, instance, ptr)` and every anomaly names the device and
+//! instance it belongs to.
 
 use crate::trace::{TraceEvent, TraceRecord};
 
@@ -26,6 +28,8 @@ pub struct LiveAlloc {
     pub warp: u64,
     /// Lane that allocated it (or [`crate::trace::LANE_NONE`]).
     pub lane: u32,
+    /// Device that served it (0 on a single-device topology).
+    pub device: u32,
     /// Allocator instance that served it (0 outside pool mode).
     pub instance: u32,
 }
@@ -37,9 +41,10 @@ pub struct LiveAlloc {
 /// (a routing or cross-instance defect in pool mode).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FreeAnomalyKind {
-    /// The `(instance, ptr)` pair was allocated and already freed.
+    /// The `(device, instance, ptr)` key was allocated and already freed.
     DoubleFree,
-    /// The `(instance, ptr)` pair was never allocated in this trace.
+    /// The `(device, instance, ptr)` key was never allocated in this
+    /// trace.
     UnknownPtr,
 }
 
@@ -59,6 +64,8 @@ pub struct FreeAnomaly {
     pub warp: u64,
     /// Lane that issued it (or [`crate::trace::LANE_NONE`]).
     pub lane: u32,
+    /// Device the free was routed to (0 on a single-device topology).
+    pub device: u32,
     /// Allocator instance the free was routed to (0 outside pool mode).
     pub instance: u32,
 }
@@ -81,6 +88,8 @@ pub struct SizeMismatch {
     pub malloc_step: u64,
     /// Step of the disagreeing `Free` event.
     pub step: u64,
+    /// Device (0 on a single-device topology).
+    pub device: u32,
     /// Allocator instance (0 outside pool mode).
     pub instance: u32,
 }
@@ -146,16 +155,16 @@ pub struct LedgerOutcome {
 impl Ledger {
     /// Build the ledger from a step-ordered record slice (as returned by
     /// [`crate::trace::TraceSink::snapshot`]). Non-lifecycle events are
-    /// ignored. Pairing is per `(instance, ptr)`.
+    /// ignored. Pairing is per `(device, instance, ptr)`.
     pub fn build(records: &[TraceRecord]) -> Ledger {
         use std::collections::{HashMap, HashSet};
         // Insertion-ordered live list + index map: reports come out in
         // allocation order, never hash order, keeping output diffable.
         let mut live: Vec<Option<LiveAlloc>> = Vec::new();
-        let mut by_ptr: HashMap<(u32, u64), usize> = HashMap::new();
+        let mut by_ptr: HashMap<(u32, u32, u64), usize> = HashMap::new();
         // Everything ever allocated, so an unmatched free can be classed
         // as a double free (seen before) vs a free of an unknown pointer.
-        let mut ever: HashSet<(u32, u64)> = HashSet::new();
+        let mut ever: HashSet<(u32, u32, u64)> = HashSet::new();
         let mut ledger = Ledger {
             live: Vec::new(),
             double_frees: Vec::new(),
@@ -180,21 +189,22 @@ impl Ledger {
                         sm: r.sm,
                         warp: r.warp,
                         lane: r.lane,
+                        device: r.device,
                         instance: r.instance,
                     };
                     // A ptr re-allocated while the ledger thinks it is
                     // live means its free was lost (or the allocator
                     // handed the region out twice); keep the newer
                     // incarnation live, the older one stays leaked.
-                    by_ptr.insert((r.instance, ptr), live.len());
-                    ever.insert((r.instance, ptr));
+                    by_ptr.insert((r.device, r.instance, ptr), live.len());
+                    ever.insert((r.device, r.instance, ptr));
                     live.push(Some(alloc));
                     live_bytes += size;
                     ledger.total_alloc_bytes += size;
                 }
                 TraceEvent::Free { ptr, size } => {
                     ledger.frees += 1;
-                    match by_ptr.remove(&(r.instance, ptr)).and_then(|i| live[i].take()) {
+                    match by_ptr.remove(&(r.device, r.instance, ptr)).and_then(|i| live[i].take()) {
                         Some(alloc) => {
                             // A free whose recorded size disagrees with its
                             // malloc is an accounting defect in the
@@ -211,6 +221,7 @@ impl Ledger {
                                     free_size: size,
                                     malloc_step: alloc.step,
                                     step: r.step,
+                                    device: r.device,
                                     instance: r.instance,
                                 });
                             }
@@ -223,7 +234,7 @@ impl Ledger {
                             ledger.latency_hist[bucket.min(LATENCY_BUCKETS - 1)] += 1;
                         }
                         None => ledger.double_frees.push(FreeAnomaly {
-                            kind: if ever.contains(&(r.instance, ptr)) {
+                            kind: if ever.contains(&(r.device, r.instance, ptr)) {
                                 FreeAnomalyKind::DoubleFree
                             } else {
                                 FreeAnomalyKind::UnknownPtr
@@ -233,6 +244,7 @@ impl Ledger {
                             sm: r.sm,
                             warp: r.warp,
                             lane: r.lane,
+                            device: r.device,
                             instance: r.instance,
                         }),
                     }
@@ -259,19 +271,20 @@ impl Ledger {
         );
         for l in &self.live {
             out.push_str(&format!(
-                "  leak: ptr {} ({} B) allocated at step {} (sm {} warp {} lane {}{})\n",
+                "  leak: ptr {} ({} B) allocated at step {} (sm {} warp {} lane {}{}{})\n",
                 l.ptr,
                 l.size,
                 l.step,
                 l.sm,
                 l.warp,
                 l.lane,
+                device_suffix(l.device),
                 instance_suffix(l.instance)
             ));
         }
         for d in &self.double_frees {
             out.push_str(&format!(
-                "  {}: ptr {} at step {} (sm {} warp {} lane {}{})\n",
+                "  {}: ptr {} at step {} (sm {} warp {} lane {}{}{})\n",
                 match d.kind {
                     FreeAnomalyKind::DoubleFree => "double free",
                     FreeAnomalyKind::UnknownPtr => "unknown-ptr free",
@@ -281,17 +294,19 @@ impl Ledger {
                 d.sm,
                 d.warp,
                 d.lane,
+                device_suffix(d.device),
                 instance_suffix(d.instance)
             ));
         }
         for m in &self.size_mismatches {
             out.push_str(&format!(
-                "  size mismatch: ptr {} malloc'd {} B at step {}, freed as {} B at step {}{}\n",
+                "  size mismatch: ptr {} malloc'd {} B at step {}, freed as {} B at step {}{}{}\n",
                 m.ptr,
                 m.malloc_size,
                 m.malloc_step,
                 m.free_size,
                 m.step,
+                device_suffix(m.device),
                 instance_suffix(m.instance)
             ));
         }
@@ -339,13 +354,23 @@ pub(crate) fn instance_suffix(instance: u32) -> String {
     }
 }
 
+/// `" device N"` for multi-device records, empty for device 0 — keeps
+/// single-device reports byte-identical to pre-topology output.
+pub(crate) fn device_suffix(device: u32) -> String {
+    if device == 0 {
+        String::new()
+    } else {
+        format!(" device {device}")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::trace::AllocTier;
 
     fn rec(step: u64, warp: u64, instance: u32, event: TraceEvent) -> TraceRecord {
-        TraceRecord { step, sm: 0, warp, lane: 0, instance, event }
+        TraceRecord { step, sm: 0, warp, lane: 0, device: 0, instance, event }
     }
 
     #[test]
@@ -419,6 +444,43 @@ mod tests {
         );
         let report = ledger.report();
         assert!(report.contains("lane 0 instance 2"), "anomaly names its instance: {report}");
+    }
+
+    #[test]
+    fn pairing_is_per_device() {
+        let m = |step, device, ptr| TraceRecord {
+            step,
+            sm: 0,
+            warp: 0,
+            lane: 0,
+            device,
+            instance: 0,
+            event: TraceEvent::Malloc { size: 16, tier: AllocTier::Slice, ptr },
+        };
+        let f = |step, device, ptr| TraceRecord {
+            step,
+            sm: 0,
+            warp: 0,
+            lane: 0,
+            device,
+            instance: 0,
+            event: TraceEvent::Free { ptr, size: 0 },
+        };
+        // Two devices' pools hand out the same instance-0 local offset;
+        // each free must pair within its own device.
+        let records = vec![m(0, 0, 100), m(1, 1, 100), f(2, 1, 100), f(3, 3, 100)];
+        let ledger = Ledger::build(&records);
+        assert_eq!(ledger.live.len(), 1, "device 0's allocation is still live");
+        assert_eq!((ledger.live[0].device, ledger.live[0].ptr), (0, 100));
+        assert_eq!(ledger.double_frees.len(), 1);
+        assert_eq!(ledger.double_frees[0].device, 3);
+        assert_eq!(
+            ledger.double_frees[0].kind,
+            FreeAnomalyKind::UnknownPtr,
+            "device 3 never allocated ptr 100, so this is not a double free"
+        );
+        let report = ledger.report();
+        assert!(report.contains("lane 0 device 3"), "anomaly names its device: {report}");
     }
 
     // Edge-case matrix: each malformed lifecycle is a *classified

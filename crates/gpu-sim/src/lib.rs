@@ -55,6 +55,7 @@ pub mod mem;
 pub mod metrics;
 pub mod replay;
 pub mod sched;
+pub mod topo;
 pub mod trace;
 pub mod warp;
 
@@ -68,5 +69,6 @@ pub use sched::{
     current_sched_seed, explore_schedules, preempt_point, spin_hint, with_hooks, FaultPlan,
     PreemptPoint, ScheduleFailure, SimHooks,
 };
+pub use topo::{InterconnectCost, Topology};
 pub use trace::{TraceEvent, TraceRecord, TraceSink};
 pub use warp::{LaneCtx, WarpCtx, WARP_SIZE};

@@ -59,6 +59,27 @@ impl DevicePtr {
         debug_assert!(!self.is_null());
         DevicePtr(self.0 + bytes)
     }
+
+    /// The device holding this pointer's bytes, on a topology whose
+    /// per-device arenas are `device_stride` bytes each (devices are
+    /// carved contiguously from one reservation, so the device id is the
+    /// quotient — the same integer-division routing Gallatin uses for
+    /// segment ids, lifted one level up).
+    #[inline]
+    pub fn device_of(self, device_stride: u64) -> u32 {
+        debug_assert!(!self.is_null());
+        debug_assert!(device_stride > 0);
+        (self.0 / device_stride) as u32
+    }
+
+    /// This pointer's byte offset within its device's arena (the
+    /// remainder of the device-id division).
+    #[inline]
+    pub fn local_offset(self, device_stride: u64) -> u64 {
+        debug_assert!(!self.is_null());
+        debug_assert!(device_stride > 0);
+        self.0 % device_stride
+    }
 }
 
 /// The backing host allocation for one or more [`DeviceMemory`] views.
@@ -319,6 +340,17 @@ mod tests {
         assert!(DevicePtr::NULL.is_null());
         assert!(!DevicePtr(0).is_null());
         assert_eq!(DevicePtr(16).offset(8), DevicePtr(24));
+    }
+
+    #[test]
+    fn device_routing_is_quotient_and_remainder() {
+        let stride = 1 << 20;
+        assert_eq!(DevicePtr(0).device_of(stride), 0);
+        assert_eq!(DevicePtr(stride - 1).device_of(stride), 0);
+        assert_eq!(DevicePtr(stride).device_of(stride), 1);
+        assert_eq!(DevicePtr(3 * stride + 17).device_of(stride), 3);
+        assert_eq!(DevicePtr(3 * stride + 17).local_offset(stride), 17);
+        assert_eq!(DevicePtr(stride - 1).local_offset(stride), stride - 1);
     }
 
     #[test]

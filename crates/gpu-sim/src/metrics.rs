@@ -67,10 +67,10 @@ pub fn with_metrics_stripe<R>(sm_id: u32, f: impl FnOnce() -> R) -> R {
     f()
 }
 
-/// One stripe's counter cells, padded to two cache lines so stripes
-/// never share a line (12 × 8 = 96 bytes of counters, aligned up to
-/// 128). Counters of the *same* stripe may share a line — by
-/// construction they are only bumped by warps of the same SMs.
+/// One stripe's counter cells, padded to cache lines so stripes never
+/// share a line (14 × 8 = 112 bytes of counters, aligned up to 128).
+/// Counters of the *same* stripe may share a line — by construction they
+/// are only bumped by warps of the same SMs.
 #[repr(align(128))]
 #[derive(Debug, Default)]
 struct Stripe {
@@ -86,6 +86,8 @@ struct Stripe {
     reclaim_aborts: AtomicU64,
     drain_spins: AtomicU64,
     straggler_bounces: AtomicU64,
+    local_accesses: AtomicU64,
+    peer_accesses: AtomicU64,
 }
 
 impl Stripe {
@@ -93,7 +95,7 @@ impl Stripe {
     /// counter added to the struct but forgotten here fails the
     /// `counters_accumulate_and_reset` round-trip test immediately —
     /// there is no way for reset coverage to silently drift.
-    fn cells(&self) -> [&AtomicU64; 12] {
+    fn cells(&self) -> [&AtomicU64; 14] {
         [
             &self.atomic_rmw,
             &self.cas_attempts,
@@ -107,6 +109,8 @@ impl Stripe {
             &self.reclaim_aborts,
             &self.drain_spins,
             &self.straggler_bounces,
+            &self.local_accesses,
+            &self.peer_accesses,
         ]
     }
 }
@@ -215,6 +219,22 @@ impl Metrics {
         self.stripe().straggler_bounces.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one memory access served by the issuing SM's own device.
+    /// NOT a preemption point: topology accounting must not perturb the
+    /// deterministic schedule, so single-device replays stay bit-identical
+    /// whether or not traffic classification is enabled.
+    #[inline]
+    pub fn count_local_access(&self) {
+        self.stripe().local_accesses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` memory accesses crossing the interconnect to a peer
+    /// device. NOT a preemption point (see [`Self::count_local_access`]).
+    #[inline]
+    pub fn count_peer_access(&self, n: u64) {
+        self.stripe().peer_accesses.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Reset all counters in all stripes to zero.
     pub fn reset(&self) {
         for stripe in &self.stripes {
@@ -240,6 +260,8 @@ impl Metrics {
             reclaim_aborts: self.sum(|s| &s.reclaim_aborts),
             drain_spins: self.sum(|s| &s.drain_spins),
             straggler_bounces: self.sum(|s| &s.straggler_bounces),
+            local_accesses: self.sum(|s| &s.local_accesses),
+            peer_accesses: self.sum(|s| &s.peer_accesses),
         }
     }
 }
@@ -271,6 +293,10 @@ pub struct MetricsSnapshot {
     pub drain_spins: u64,
     /// Blocks bounced home by the `ldcv` staleness re-check.
     pub straggler_bounces: u64,
+    /// Memory accesses served by the issuing SM's own device.
+    pub local_accesses: u64,
+    /// Memory accesses that crossed the interconnect to a peer device.
+    pub peer_accesses: u64,
 }
 
 impl MetricsSnapshot {
@@ -280,6 +306,18 @@ impl MetricsSnapshot {
             0.0
         } else {
             (self.atomic_rmw + self.cas_attempts) as f64 / self.mallocs as f64
+        }
+    }
+
+    /// Fraction of classified memory accesses that crossed the
+    /// interconnect — the E23 locality headline. 0.0 when no accesses
+    /// were classified (single-device runs never classify).
+    pub fn peer_share(&self) -> f64 {
+        let total = self.local_accesses + self.peer_accesses;
+        if total == 0 {
+            0.0
+        } else {
+            self.peer_accesses as f64 / total as f64
         }
     }
 }
@@ -305,6 +343,9 @@ mod tests {
         m.count_reclaim_abort();
         m.count_drain_spins(5);
         m.count_straggler_bounce();
+        m.count_local_access();
+        m.count_local_access();
+        m.count_peer_access(2);
         let s = m.snapshot();
         assert_eq!(s.atomic_rmw, 2);
         assert_eq!(s.cas_attempts, 2);
@@ -318,6 +359,9 @@ mod tests {
         assert_eq!(s.reclaim_aborts, 1);
         assert_eq!(s.drain_spins, 5);
         assert_eq!(s.straggler_bounces, 1);
+        assert_eq!(s.local_accesses, 2);
+        assert_eq!(s.peer_accesses, 2);
+        assert_eq!(s.peer_share(), 0.5);
         m.reset();
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
     }

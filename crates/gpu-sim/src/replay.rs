@@ -108,11 +108,12 @@ impl ReplayScript {
     /// Reduce a step-ordered trace (as returned by
     /// [`crate::trace::TraceSink::snapshot`]) to a replay script for a
     /// `num_sms`-wide device. Non-lifecycle events are ignored; pairing
-    /// is per `(instance, ptr)` exactly like [`crate::ledger::Ledger`].
+    /// is per `(device, instance, ptr)` exactly like
+    /// [`crate::ledger::Ledger`].
     pub fn from_trace(records: &[TraceRecord], num_sms: u32) -> (ReplayScript, ConversionStats) {
         let mut warps: Vec<WarpScript> = Vec::new();
         let mut slots_taken: Vec<u32> = Vec::new();
-        let mut by_ptr: HashMap<(u32, u64), (usize, u32)> = HashMap::new();
+        let mut by_ptr: HashMap<(u32, u32, u64), (usize, u32)> = HashMap::new();
         let mut stats = ConversionStats::default();
         let warp_at = |warps: &mut Vec<WarpScript>, slots: &mut Vec<u32>, w: usize| {
             if warps.len() <= w {
@@ -135,7 +136,7 @@ impl ReplayScript {
                     // A ptr re-allocated while mapped means its free was
                     // never traced; the newer incarnation wins, the older
                     // slot is simply never freed (mirrors Ledger's leak).
-                    by_ptr.insert((r.instance, ptr), (w, slot));
+                    by_ptr.insert((r.device, r.instance, ptr), (w, slot));
                     stats.mallocs += 1;
                 }
                 TraceEvent::Free { ptr, .. } => {
@@ -143,7 +144,7 @@ impl ReplayScript {
                     // op is reassigned: it occupied an SM in the original
                     // launch, and the warp count preserves the striping.
                     warp_at(&mut warps, &mut slots_taken, r.warp as usize);
-                    match by_ptr.remove(&(r.instance, ptr)) {
+                    match by_ptr.remove(&(r.device, r.instance, ptr)) {
                         Some((w, slot)) => {
                             if w as u64 != r.warp {
                                 stats.reassigned_frees += 1;
@@ -312,7 +313,7 @@ mod tests {
     use crate::trace::AllocTier;
 
     fn rec(step: u64, warp: u64, lane: u32, instance: u32, event: TraceEvent) -> TraceRecord {
-        TraceRecord { step, sm: (warp % 4) as u32, warp, lane, instance, event }
+        TraceRecord { step, sm: (warp % 4) as u32, warp, lane, device: 0, instance, event }
     }
 
     fn m(step: u64, warp: u64, lane: u32, ptr: u64, size: u64) -> TraceRecord {

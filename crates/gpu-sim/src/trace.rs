@@ -287,6 +287,13 @@ pub struct TraceRecord {
     pub warp: u64,
     /// Lane within the warp, or [`LANE_NONE`] for warp-/host-level events.
     pub lane: u32,
+    /// Device the event belongs to. `0` on a single-device topology; a
+    /// multi-device pool wraps each routed call in [`with_device`] so
+    /// topology-mode traces and ledger anomalies name the owning device.
+    /// Generalizes `instance` the same way `instance` generalized the
+    /// pre-pool single-allocator stamp: the full scope of an event is
+    /// `(device, instance)`.
+    pub device: u32,
     /// Allocator instance the event belongs to. `0` for a standalone
     /// allocator; a `GallatinPool` wraps each instance's calls in
     /// [`with_instance`] so pool-mode traces and ledger anomalies name
@@ -355,12 +362,20 @@ impl TraceSink {
     /// Record one event with the given stamp. Draws the next step ticket;
     /// called by [`emit_lane`] — instrumented code does not use this
     /// directly.
-    pub fn record(&self, sm: u32, warp: u64, lane: u32, instance: u32, event: TraceEvent) {
+    pub fn record(
+        &self,
+        sm: u32,
+        warp: u64,
+        lane: u32,
+        device: u32,
+        instance: u32,
+        event: TraceEvent,
+    ) {
         let step = self.step.fetch_add(1, Ordering::Relaxed);
         let stripe = &self.stripes[sm as usize & (STRIPES - 1)];
         let mut buf = stripe.buf.lock().unwrap();
         if buf.len() < self.capacity {
-            buf.push(TraceRecord { step, sm, warp, lane, instance, event });
+            buf.push(TraceRecord { step, sm, warp, lane, device, instance, event });
         } else {
             stripe.dropped.fetch_add(1, Ordering::Relaxed);
         }
@@ -417,6 +432,34 @@ thread_local! {
     /// default) for standalone allocators; a pool scopes each routed call
     /// with [`with_instance`].
     static CURRENT_INSTANCE: Cell<u32> = const { Cell::new(0) };
+    /// Device stamp for this thread's emissions. `0` (the default) on a
+    /// single-device topology; a multi-device pool scopes each routed
+    /// call with [`with_device`].
+    static CURRENT_DEVICE: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Stamp every event emitted during `f` with device `id` (restored
+/// afterwards, also on panic). Used by a multi-device pool to scope each
+/// routed malloc/free to the device serving it; nested scopes restore
+/// the outer id — the exact mirror of [`with_instance`] one level up.
+pub fn with_device<R>(id: u32, f: impl FnOnce() -> R) -> R {
+    struct Restore(u32);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CURRENT_DEVICE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = CURRENT_DEVICE.with(|c| {
+        let prev = c.get();
+        c.set(id);
+        Restore(prev)
+    });
+    f()
+}
+
+/// The device stamp currently installed for this thread.
+pub fn current_device() -> u32 {
+    CURRENT_DEVICE.with(|c| c.get())
 }
 
 /// Stamp every event emitted during `f` with allocator instance `id`
@@ -504,8 +547,9 @@ pub fn emit_lane(lane: u32, event: impl FnOnce() -> TraceEvent) {
         let sink = c.borrow().clone();
         if let Some(sink) = sink {
             let (sm, warp) = CURRENT_CTX.with(|ctx| ctx.get());
+            let device = CURRENT_DEVICE.with(|d| d.get());
             let instance = CURRENT_INSTANCE.with(|i| i.get());
-            sink.record(sm, warp, lane, instance, event());
+            sink.record(sm, warp, lane, device, instance, event());
         }
     });
     #[cfg(not(feature = "trace"))]
@@ -551,17 +595,21 @@ pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
 }
 
 /// The `args` object body for one record: the lane first, then — only
-/// for pool-mode records (nonzero instance) — the owning allocator
-/// instance, then the event's payload fields in declaration order.
-/// Omitting `"instance"` for instance 0 keeps single-instance exports
+/// for topology-mode records (nonzero device) — the owning device, then
+/// — only for pool-mode records (nonzero instance) — the owning
+/// allocator instance, then the event's payload fields in declaration
+/// order. Omitting `"device"` for device 0 and `"instance"` for
+/// instance 0 keeps single-device, single-instance exports
 /// byte-identical to those of earlier trace versions (and to any run
 /// without a pool), which the fixed-seed determinism tests assert.
 fn event_args(r: &TraceRecord) -> String {
-    let lane = if r.instance == 0 {
-        format!("\"lane\": {}", r.lane)
-    } else {
-        format!("\"lane\": {}, \"instance\": {}", r.lane, r.instance)
-    };
+    let mut lane = format!("\"lane\": {}", r.lane);
+    if r.device != 0 {
+        lane.push_str(&format!(", \"device\": {}", r.device));
+    }
+    if r.instance != 0 {
+        lane.push_str(&format!(", \"instance\": {}", r.instance));
+    }
     let rest = match r.event {
         TraceEvent::Malloc { size, tier, ptr } => {
             format!("\"size\": {size}, \"tier\": \"{}\", \"ptr\": {ptr}", tier.label())
@@ -635,7 +683,7 @@ mod tests {
     use super::*;
 
     fn rec(step: u64, warp: u64, event: TraceEvent) -> TraceRecord {
-        TraceRecord { step, sm: 0, warp, lane: 0, instance: 0, event }
+        TraceRecord { step, sm: 0, warp, lane: 0, device: 0, instance: 0, event }
     }
 
     #[test]
@@ -721,6 +769,44 @@ mod tests {
         );
         let pooled = chrome_trace_json(&[r1]);
         assert!(pooled.contains("\"lane\": 0, \"instance\": 2"), "export: {pooled}");
+    }
+
+    #[test]
+    fn device_tag_exports_only_when_nonzero() {
+        let r0 = rec(0, 0, TraceEvent::Free { ptr: 7, size: 0 });
+        let single = chrome_trace_json(&[r0]);
+        assert!(
+            !single.contains("device"),
+            "device-0 exports must stay byte-identical to pre-topology traces: {single}"
+        );
+        // Device alone, instance alone, and both together each render in
+        // the fixed lane → device → instance order.
+        let dev = chrome_trace_json(&[TraceRecord { device: 1, ..r0 }]);
+        assert!(dev.contains("\"lane\": 0, \"device\": 1, \"ptr\""), "export: {dev}");
+        let both = chrome_trace_json(&[TraceRecord { device: 1, instance: 2, ..r0 }]);
+        assert!(both.contains("\"lane\": 0, \"device\": 1, \"instance\": 2"), "export: {both}");
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn with_device_stamps_and_restores() {
+        let sink = Arc::new(TraceSink::new());
+        with_sink(sink.clone(), || {
+            emit(|| TraceEvent::Free { ptr: 0, size: 0 });
+            with_device(2, || {
+                assert_eq!(current_device(), 2);
+                emit(|| TraceEvent::Free { ptr: 1, size: 0 });
+                // Instance scopes nest inside device scopes: the full
+                // stamp is (device, instance).
+                with_instance(5, || emit(|| TraceEvent::Free { ptr: 2, size: 0 }));
+                with_device(1, || emit(|| TraceEvent::Free { ptr: 3, size: 0 }));
+                emit(|| TraceEvent::Free { ptr: 4, size: 0 });
+            });
+            assert_eq!(current_device(), 0);
+        });
+        let stamps: Vec<(u32, u32)> =
+            sink.snapshot().iter().map(|r| (r.device, r.instance)).collect();
+        assert_eq!(stamps, vec![(0, 0), (2, 0), (2, 5), (1, 0), (2, 0)]);
     }
 
     #[test]

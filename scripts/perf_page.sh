@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Assemble the committed performance page (PERF_PAGE.md) from the
+# gallatin-perf-v1 history: regenerate the trend report for the history
+# directory, then prepend provenance (run count, latest sha/stamp/host)
+# so the page reads standalone at the repo root. Under GitHub Actions
+# the page is also published into the job summary, next to
+# scripts/perf_report.sh's trend output.
+#
+# Usage: scripts/perf_page.sh [history-dir] [out-file]
+#        (defaults: results/history PERF_PAGE.md)
+set -euo pipefail
+
+HISTORY_DIR="${1:-results/history}"
+OUT="${2:-PERF_PAGE.md}"
+JSONL="$HISTORY_DIR/perf_history.jsonl"
+
+if [ ! -f "$JSONL" ]; then
+    echo "error: no $JSONL — append a run with 'repro perf' first" >&2
+    exit 1
+fi
+
+cargo run --release -q -p bench --bin repro -- perf-report --history "$HISTORY_DIR"
+
+RUNS=$(wc -l <"$JSONL" | tr -d ' ')
+LATEST=$(tail -1 "$JSONL")
+field() { printf '%s' "$LATEST" | sed -n "s/.*\"$1\":\"\([^\"]*\)\".*/\1/p"; }
+
+{
+    echo "# Gallatin performance page"
+    echo
+    echo "Committed snapshot of the perf-trend lane (E21; see TESTING.md"
+    echo '"Perf lane"). Regenerate with `scripts/perf_page.sh` after'
+    echo 'appending a run with `repro perf`.'
+    echo
+    echo "- **history**: \`$JSONL\` ($RUNS runs)"
+    echo "- **latest run**: sha \`$(field sha)\`, stamp \`$(field stamp)\`, host \`$(field host)\`"
+    echo "- **machine-readable**: \`$HISTORY_DIR/perf_trend.csv\`"
+    echo
+    cat "$HISTORY_DIR/PERF_TREND.md"
+} >"$OUT"
+
+echo "wrote $OUT ($RUNS history runs)"
+
+if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+    cat "$OUT" >>"$GITHUB_STEP_SUMMARY"
+    echo "published perf page to the job summary"
+fi
